@@ -1,0 +1,84 @@
+//! Steepest-descent with random restarts.
+
+use crate::BaselineResult;
+use qubo::{BitVec, Energy, Qubo};
+use qubo_search::DeltaTracker;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Runs `restarts` independent steepest descents from random starts;
+/// each descent flips the global minimum-Δ bit while it improves the
+/// energy and stops at a 1-flip local minimum.
+///
+/// # Panics
+/// Panics if `restarts == 0`.
+#[must_use]
+pub fn solve(q: &Qubo, restarts: u64, seed: u64) -> BaselineResult {
+    assert!(restarts > 0, "need at least one restart");
+    let n = q.n();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut best: Option<(BitVec, Energy)> = None;
+    let mut steps = 0u64;
+    for _ in 0..restarts {
+        let start = BitVec::random(n, &mut rng);
+        let mut t = DeltaTracker::at(q, &start);
+        loop {
+            let (k, &d) = t
+                .deltas()
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &d)| d)
+                .expect("non-empty");
+            if d >= 0 {
+                break; // 1-flip local minimum
+            }
+            t.flip(k);
+            steps += 1;
+        }
+        let e = t.energy();
+        if best.as_ref().is_none_or(|&(_, be)| e < be) {
+            best = Some((t.x().clone(), e));
+        }
+    }
+    let (bx, be) = best.expect("restarts > 0");
+    BaselineResult {
+        best: bx,
+        best_energy: be,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    fn random_qubo(n: usize, seed: u64) -> Qubo {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Qubo::random(n, &mut rng)
+    }
+
+    #[test]
+    fn result_is_a_one_flip_local_minimum() {
+        let q = random_qubo(24, 1);
+        let r = solve(&q, 5, 2);
+        assert_eq!(r.best_energy, q.energy(&r.best));
+        for i in 0..24 {
+            assert!(q.energy(&r.best.flipped(i)) >= r.best_energy, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn more_restarts_never_hurt() {
+        let q = random_qubo(30, 3);
+        let few = solve(&q, 1, 4);
+        let many = solve(&q, 20, 4);
+        assert!(many.best_energy <= few.best_energy);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let q = random_qubo(16, 5);
+        assert_eq!(solve(&q, 3, 6).best_energy, solve(&q, 3, 6).best_energy);
+    }
+}

@@ -1,0 +1,53 @@
+//! Baseline QUBO solvers.
+//!
+//! The paper compares ABS against classical metaheuristics and uses
+//! converged reference values for the synthetic benchmarks; this crate
+//! provides those comparators, all built on the same incremental
+//! [`qubo_search::DeltaTracker`] so comparisons are apples-to-apples:
+//!
+//! * [`sa`] — classical simulated annealing (Eq. (7)) with a geometric
+//!   schedule: accept/reject semantics, *not* the forced flip of ABS.
+//! * [`tabu`] — tabu search with tenure and aspiration.
+//! * [`greedy`] — steepest-descent with random restarts.
+//! * [`random`] — uniform random sampling (the null model).
+//! * [`exact`] — exhaustive Gray-code enumeration (exact ground states
+//!   for small `n`, used as ground truth in tests).
+//!
+//! # Example
+//!
+//! ```
+//! use qubo::Qubo;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(5);
+//! let q = Qubo::random(12, &mut rng);
+//! let truth = qubo_baselines::exact::solve(&q);
+//! let sa = qubo_baselines::sa::solve(
+//!     &q,
+//!     &qubo_baselines::sa::SaConfig::for_instance(&q, 20_000, 1),
+//! );
+//! assert!(sa.best_energy >= truth.best_energy);
+//! assert_eq!(truth.best_energy, q.energy(&truth.best));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod greedy;
+pub mod random;
+pub mod sa;
+pub mod tabu;
+
+use qubo::{BitVec, Energy};
+
+/// Common result type for the baseline solvers.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// Best solution found.
+    pub best: BitVec,
+    /// Its energy.
+    pub best_energy: Energy,
+    /// Total bit flips (or samples) performed.
+    pub steps: u64,
+}

@@ -1,0 +1,66 @@
+//! Uniform random sampling — the null model every heuristic must beat.
+
+use crate::BaselineResult;
+use qubo::{BitVec, Energy, Qubo};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Evaluates `samples` uniformly random solutions and keeps the best.
+///
+/// # Panics
+/// Panics if `samples == 0`.
+#[must_use]
+pub fn solve(q: &Qubo, samples: u64, seed: u64) -> BaselineResult {
+    assert!(samples > 0, "need at least one sample");
+    let n = q.n();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut best = BitVec::random(n, &mut rng);
+    let mut best_e: Energy = q.energy(&best);
+    for _ in 1..samples {
+        let x = BitVec::random(n, &mut rng);
+        let e = q.energy(&x);
+        if e < best_e {
+            best = x;
+            best_e = e;
+        }
+    }
+    BaselineResult {
+        best,
+        best_energy: best_e,
+        steps: samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy;
+    use rand::rngs::StdRng;
+
+    fn random_qubo(n: usize, seed: u64) -> Qubo {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Qubo::random(n, &mut rng)
+    }
+
+    #[test]
+    fn energy_is_exact() {
+        let q = random_qubo(32, 1);
+        let r = solve(&q, 100, 2);
+        assert_eq!(r.best_energy, q.energy(&r.best));
+        assert_eq!(r.steps, 100);
+    }
+
+    #[test]
+    fn loses_to_greedy_descent() {
+        let q = random_qubo(64, 3);
+        let rnd = solve(&q, 200, 4);
+        let grd = greedy::solve(&q, 3, 4);
+        assert!(grd.best_energy < rnd.best_energy);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let q = random_qubo(16, 5);
+        assert_eq!(solve(&q, 50, 6).best_energy, solve(&q, 50, 6).best_energy);
+    }
+}

@@ -1,0 +1,56 @@
+//! Wall-clock cost per *evaluated solution* of Algorithms 1–4
+//! (the benchmark behind the Lemma 1–3 / Theorem 1 story).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qubo::BitVec;
+use qubo_problems::random;
+use qubo_search::naive::{algorithm1, algorithm2, algorithm3, Acceptor};
+use qubo_search::{local_search, DeltaTracker, WindowMinPolicy};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let n = 256usize;
+    let q = random::generate(n, 1);
+    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(2);
+    let start = BitVec::random(n, &mut rng);
+
+    let mut g = c.benchmark_group("per_evaluated_solution");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    // Algorithm 1 evaluates `steps + 1` solutions.
+    let steps = 16usize;
+    g.throughput(Throughput::Elements(steps as u64 + 1));
+    g.bench_with_input(BenchmarkId::new("alg1_naive", n), &n, |b, _| {
+        b.iter(|| black_box(algorithm1(&q, &start, steps, Acceptor::Greedy, 3)));
+    });
+
+    let steps = 512usize;
+    g.throughput(Throughput::Elements(steps as u64 + 1));
+    g.bench_with_input(BenchmarkId::new("alg2_one_row", n), &n, |b, _| {
+        b.iter(|| black_box(algorithm2(&q, &start, steps, Acceptor::Greedy, 3)));
+    });
+
+    // Algorithm 3 evaluates 1 + |ones| + steps solutions; |ones| ≈ n/2.
+    g.throughput(Throughput::Elements(1 + (n as u64) / 2 + steps as u64));
+    g.bench_with_input(BenchmarkId::new("alg3_delta_vector", n), &n, |b, _| {
+        b.iter(|| black_box(algorithm3(&q, &start, steps, Acceptor::Greedy, 3)));
+    });
+
+    // Algorithm 4 (ABS): steps flips evaluate (steps + 1)(n + 1) solutions.
+    g.throughput(Throughput::Elements((steps as u64 + 1) * (n as u64 + 1)));
+    g.bench_with_input(BenchmarkId::new("alg4_forced_flip", n), &n, |b, _| {
+        b.iter(|| {
+            let mut t = DeltaTracker::new(&q);
+            let mut p = WindowMinPolicy::new(n / 8);
+            local_search(&mut t, &mut p, steps);
+            black_box(t.best().1)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

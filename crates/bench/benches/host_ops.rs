@@ -1,0 +1,55 @@
+//! Host-side costs: pool insertion (the O(log m) binary search of
+//! §3.1) and GA target generation. These must stay negligible next to
+//! device flips or the host becomes the bottleneck.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qubo::BitVec;
+use qubo_ga::{GaConfig, SolutionPool, TargetGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_pool_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool_insert");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for m in [64usize, 1024] {
+        let n = 1024;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pool = SolutionPool::random(m, n, &mut rng);
+        // Pre-generate candidates so RNG cost stays out of the loop.
+        let candidates: Vec<(BitVec, i64)> = (0..4096)
+            .map(|_| (BitVec::random(n, &mut rng), rng.gen_range(-1_000_000..0)))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("insert", m), &m, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let (x, e) = &candidates[i % candidates.len()];
+                i += 1;
+                black_box(pool.insert(x.clone(), *e))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_target_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("target_generation");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for n in [1024usize, 8192] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = SolutionPool::random(64, n, &mut rng);
+        let mut generator = TargetGenerator::new(n, GaConfig::default(), 3);
+        g.bench_with_input(BenchmarkId::new("generate", n), &n, |b, _| {
+            b.iter(|| black_box(generator.generate(&pool)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pool_insert, bench_target_generation);
+criterion_main!(benches);

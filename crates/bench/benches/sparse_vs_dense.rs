@@ -1,0 +1,47 @@
+//! Dense O(n) vs sparse O(degree) flips on a G-set-like instance — the
+//! CPU-side trade-off the paper's GPU design sidesteps (a GPU *wants*
+//! the dense row stream; a CPU core doesn't).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qubo::sparse::SparseQubo;
+use qubo_problems::{gset, maxcut};
+use qubo_search::{DeltaTracker, SparseDeltaTracker};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_sparse_vs_dense(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flip_on_gset_like");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    // A G1-shaped instance: 800 vertices, 19 176 unit edges → average
+    // degree ≈ 48 ≪ n.
+    let graph = gset::generate(800, 19_176, gset::GsetFamily::RandomUnit, 7);
+    let q = maxcut::to_qubo(&graph).expect("encodes");
+    let s = SparseQubo::from_dense(&q);
+    let n = q.n();
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_with_input(BenchmarkId::new("dense_On", n), &n, |b, _| {
+        let mut t = DeltaTracker::new(&q);
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 211) % n; // co-prime stride
+            t.flip(black_box(k));
+        });
+    });
+
+    g.bench_with_input(BenchmarkId::new("sparse_Odeg", n), &n, |b, _| {
+        let mut t = SparseDeltaTracker::new(&s);
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 211) % n;
+            t.flip(black_box(k));
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sparse_vs_dense);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! The straight-search ablation: reaching a GA target by straight
+//! search (Algorithm 5, keeps O(1) efficiency and searches on the way)
+//! versus re-initializing the Δ state at the target from scratch
+//! (what a naive GA × local-search combination would do).
+//!
+//! Both cost O(HD·n) here — the point the numbers make is that the
+//! straight search's cost *is* useful search (HD·(n+1) evaluated
+//! solutions), while re-initialization evaluates almost nothing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qubo::BitVec;
+use qubo_problems::random;
+use qubo_search::{straight_search, DeltaTracker};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_straight_vs_reinit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reach_target");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for n in [512usize, 2048] {
+        let q = random::generate(n, 1);
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(2);
+        let target = BitVec::random(n, &mut rng);
+
+        g.bench_with_input(BenchmarkId::new("straight_search", n), &n, |b, _| {
+            b.iter(|| {
+                let mut t = DeltaTracker::new(&q);
+                let flips = straight_search(&mut t, &target);
+                black_box((flips, t.best().1))
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("reinit_at_target", n), &n, |b, _| {
+            b.iter(|| {
+                let t = DeltaTracker::at(&q, &target);
+                black_box(t.energy())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_straight_vs_reinit);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Minimal ASCII charts so the report can render *figures*, not just
+//! tables (Fig. 8's scaling line, Table 2's rate-vs-p series, and
+//! convergence traces).
+
+/// Renders a horizontal bar chart. Values must be non-negative; bars are
+/// scaled to `width` characters against the maximum value.
+#[must_use]
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|r| r.1).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let mut out = format!("\n{title}\n");
+    for (label, value) in rows {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "  {label:label_w$} | {}{} {value:.3e}\n",
+            "█".repeat(bar_len),
+            " ".repeat(width.saturating_sub(bar_len)),
+        ));
+    }
+    out
+}
+
+/// Renders a decreasing series (e.g. a best-energy convergence trace) as
+/// a down-sampled sparkline over `bins` columns using eight block
+/// levels, lowest value = full block.
+#[must_use]
+pub fn sparkline(series: &[f64], bins: usize) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() || bins == 0 {
+        return String::new();
+    }
+    let lo = series.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    let mut out = String::with_capacity(bins * 3);
+    let cols = bins.min(series.len());
+    for b in 0..cols {
+        // Endpoint-inclusive sampling: the first and last values always
+        // appear, so the trace's extremes are never lost.
+        let idx = if cols == 1 {
+            0
+        } else {
+            b * (series.len() - 1) / (cols - 1)
+        };
+        let v = series[idx];
+        let t = (v - lo) / span; // 0 = lowest
+        let level = ((1.0 - t) * 7.0).round() as usize;
+        out.push(LEVELS[level.min(7)]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let rows = vec![
+            ("one".to_owned(), 1.0),
+            ("two".to_owned(), 2.0),
+            ("four".to_owned(), 4.0),
+        ];
+        let s = bar_chart("demo", &rows, 8);
+        assert!(s.contains("demo"));
+        // The max row gets the full width, the min a quarter of it.
+        assert!(s.contains(&"█".repeat(8)));
+        assert!(s
+            .lines()
+            .any(|l| l.contains("one") && l.matches('█').count() == 2));
+    }
+
+    #[test]
+    fn bar_chart_survives_zeroes() {
+        let rows = vec![("z".to_owned(), 0.0)];
+        let s = bar_chart("zero", &rows, 5);
+        assert!(s.contains("0.000e0"));
+        assert!(!s.contains('█'));
+    }
+
+    #[test]
+    fn sparkline_maps_extremes() {
+        // Decreasing series: starts at the top level, ends at the bottom.
+        let series: Vec<f64> = (0..32).map(|i| f64::from(32 - i)).collect();
+        let s = sparkline(&series, 8);
+        assert_eq!(s.chars().count(), 8);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn sparkline_handles_degenerate_input() {
+        assert_eq!(sparkline(&[], 8), "");
+        assert_eq!(sparkline(&[1.0], 0), "");
+        let flat = sparkline(&[3.0, 3.0, 3.0], 3);
+        assert_eq!(flat.chars().count(), 3);
+    }
+}

@@ -1,0 +1,97 @@
+//! The experiment implementations behind the `report` binary.
+
+pub mod ablation;
+pub mod baselines;
+pub mod efficiency;
+pub mod throughput;
+pub mod time_to_solution;
+
+use abs::{Abs, AbsConfig, SolveResult, StopCondition};
+use qubo::Qubo;
+use std::time::Duration;
+
+/// Baseline ABS configuration used by the report experiments: one
+/// virtual device, a handful of blocks, workers matched to the host.
+#[must_use]
+pub fn report_config(blocks: usize, timeout_ms: u64) -> AbsConfig {
+    let mut cfg = AbsConfig::small();
+    cfg.machine.device.blocks_override = Some(blocks);
+    cfg.machine.device.workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    cfg.stop = StopCondition::timeout(Duration::from_millis(timeout_ms));
+    cfg
+}
+
+/// Runs ABS and returns the result.
+#[must_use]
+pub fn run(q: &Qubo, cfg: AbsConfig) -> SolveResult {
+    Abs::new(cfg).solve(q)
+}
+
+/// The paper's target protocol, applied to our own run: the first time
+/// the best energy reached `fraction` of the final best (both measured
+/// from this run's history). Returns seconds, or `None` if only the
+/// final point qualifies.
+///
+/// `fraction` is applied to the *magnitude* of the final best energy
+/// (energies here are negative).
+#[must_use]
+pub fn time_to_fraction(r: &SolveResult, fraction: f64) -> Option<f64> {
+    let final_best = r.best_energy;
+    if final_best >= 0 {
+        return None;
+    }
+    let target = (final_best as f64 * fraction).floor() as i64;
+    r.history
+        .iter()
+        .find(|p| p.energy <= target)
+        .map(|p| p.elapsed_ns as f64 / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abs::HistoryPoint;
+    use qubo::BitVec;
+
+    fn result_with_history(points: &[(u128, i64)]) -> SolveResult {
+        SolveResult {
+            best: BitVec::zeros(4),
+            best_energy: points.last().map_or(0, |p| p.1),
+            reached_target: false,
+            time_to_target: None,
+            elapsed: Duration::from_secs(1),
+            total_flips: 1,
+            evaluated: 5,
+            search_rate: 5.0,
+            iterations: 1,
+            results_received: 1,
+            results_inserted: 1,
+            history: points
+                .iter()
+                .map(|&(ns, e)| HistoryPoint {
+                    elapsed_ns: ns,
+                    energy: e,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn time_to_fraction_finds_first_crossing() {
+        let r = result_with_history(&[(1_000, -50), (2_000, -99), (3_000, -100)]);
+        // 99% of -100 = -99: first reached at 2 µs.
+        let t = time_to_fraction(&r, 0.99).unwrap();
+        assert!((t - 2e-6).abs() < 1e-12);
+        // 100% only at the last point.
+        let t = time_to_fraction(&r, 1.0).unwrap();
+        assert!((t - 3e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_to_fraction_none_for_non_negative_best() {
+        let r = result_with_history(&[(1_000, 5)]);
+        assert!(time_to_fraction(&r, 0.99).is_none());
+    }
+}

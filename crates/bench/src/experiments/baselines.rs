@@ -1,0 +1,148 @@
+//! Solver-quality comparison: ABS vs the classical baselines at a
+//! matched wall-clock budget (a supplemental experiment; the paper
+//! compares against hardware systems, we also compare against software
+//! metaheuristics on the same host).
+
+use super::{report_config, run};
+use crate::table::Table;
+use crate::{write_json, Scale};
+use abs::StopCondition;
+use qubo::{BitVec, Energy, Qubo};
+use qubo_problems::{gset, maxcut, random, tsp, tsplib};
+use serde::Serialize;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// One comparison row.
+#[derive(Serialize)]
+pub struct BaselineRow {
+    /// Workload label.
+    pub workload: String,
+    /// Solver label.
+    pub solver: String,
+    /// Best energy at the budget.
+    pub best_energy: i64,
+    /// Wall-clock actually used, seconds.
+    pub elapsed_s: f64,
+}
+
+fn run_sa_for(q: &Qubo, budget: Duration, seed: u64) -> (Energy, f64) {
+    // Calibrate SA's step count to the budget with a short probe.
+    let probe_steps = 50_000u64;
+    let t0 = Instant::now();
+    let _ = qubo_baselines::sa::solve(
+        q,
+        &qubo_baselines::sa::SaConfig::for_instance(q, probe_steps, seed),
+    );
+    let per_step = t0.elapsed().as_secs_f64() / probe_steps as f64;
+    let steps = ((budget.as_secs_f64() / per_step) as u64).max(probe_steps);
+    let t1 = Instant::now();
+    let r = qubo_baselines::sa::solve(
+        q,
+        &qubo_baselines::sa::SaConfig::for_instance(q, steps, seed),
+    );
+    (r.best_energy, t1.elapsed().as_secs_f64())
+}
+
+fn run_tabu_for(q: &Qubo, budget: Duration, seed: u64) -> (Energy, f64) {
+    let probe_steps = 2_000u64;
+    let t0 = Instant::now();
+    let _ = qubo_baselines::tabu::solve(
+        q,
+        &qubo_baselines::tabu::TabuConfig {
+            tenure: (q.n() as u64 / 16).max(1),
+            steps: probe_steps,
+            seed,
+        },
+    );
+    let per_step = t0.elapsed().as_secs_f64() / probe_steps as f64;
+    let steps = ((budget.as_secs_f64() / per_step) as u64).max(probe_steps);
+    let t1 = Instant::now();
+    let r = qubo_baselines::tabu::solve(
+        q,
+        &qubo_baselines::tabu::TabuConfig {
+            tenure: (q.n() as u64 / 16).max(1),
+            steps,
+            seed,
+        },
+    );
+    (r.best_energy, t1.elapsed().as_secs_f64())
+}
+
+fn compare_on(label: &str, q: &Qubo, budget_ms: u64, rows: &mut Vec<BaselineRow>, t: &mut Table) {
+    let budget = Duration::from_millis(budget_ms);
+    let mut record = |solver: &str, energy: Energy, elapsed: f64| {
+        t.row(&[
+            label.into(),
+            solver.into(),
+            energy.to_string(),
+            format!("{elapsed:.2}"),
+        ]);
+        rows.push(BaselineRow {
+            workload: label.into(),
+            solver: solver.into(),
+            best_energy: energy,
+            elapsed_s: elapsed,
+        });
+    };
+
+    let mut cfg = report_config(16, budget_ms);
+    cfg.stop = StopCondition::timeout(budget);
+    let t0 = Instant::now();
+    let abs_r = run(q, cfg);
+    record("ABS", abs_r.best_energy, t0.elapsed().as_secs_f64());
+
+    let (sa_e, sa_t) = run_sa_for(q, budget, 1);
+    record("SA", sa_e, sa_t);
+    let (tb_e, tb_t) = run_tabu_for(q, budget, 1);
+    record("tabu", tb_e, tb_t);
+
+    let t0 = Instant::now();
+    let mut greedy_best = Energy::MAX;
+    let mut restarts = 0u64;
+    while t0.elapsed() < budget {
+        let r = qubo_baselines::greedy::solve(q, 1, 100 + restarts);
+        greedy_best = greedy_best.min(r.best_energy);
+        restarts += 1;
+    }
+    record("greedy×restarts", greedy_best, t0.elapsed().as_secs_f64());
+
+    let t0 = Instant::now();
+    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(2);
+    let mut rand_best = Energy::MAX;
+    while t0.elapsed() < budget {
+        for _ in 0..200 {
+            let x = BitVec::random(q.n(), &mut rng);
+            rand_best = rand_best.min(q.energy(&x));
+        }
+    }
+    record("random", rand_best, t0.elapsed().as_secs_f64());
+}
+
+/// Runs the comparison on one instance per workload family.
+pub fn report(scale: Scale, out: &Path) {
+    let mut t = Table::new(
+        "Baselines — best energy at a matched wall-clock budget",
+        &["Workload", "Solver", "Best energy", "Used (s)"],
+    );
+    let mut rows = Vec::new();
+
+    let budget = scale.ms(1_000);
+
+    // Dense random, 512 bits.
+    let q = random::generate(512, 41);
+    compare_on("random-512", &q, budget, &mut rows, &mut t);
+
+    // Max-Cut, G1 stand-in.
+    let graph = gset::generate_instance(gset::instance("G1").expect("catalog"), 0);
+    let q = maxcut::to_qubo(&graph).expect("encodes");
+    compare_on("maxcut-G1", &q, budget, &mut rows, &mut t);
+
+    // TSP, ulysses16 stand-in (the hard one-hot family).
+    let inst = tsplib::instance("ulysses16");
+    let tq = tsp::to_qubo(&inst).expect("encodes");
+    compare_on("tsp-ulysses16", tq.qubo(), budget, &mut rows, &mut t);
+
+    println!("{}", t.render());
+    write_json(out, "baselines", &rows);
+}

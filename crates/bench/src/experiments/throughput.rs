@@ -1,0 +1,274 @@
+//! Table 2, Fig. 8, and Table 3: throughput experiments.
+
+use super::{report_config, run};
+use crate::table::{sci, Table};
+use crate::{write_json, Scale};
+use qubo_problems::random;
+use serde::Serialize;
+use std::path::Path;
+use vgpu::{full_occupancy_configs, DeviceSpec, TimingModel, PAPER_TABLE2};
+
+/// One Table 2 row.
+#[derive(Serialize)]
+pub struct Table2Row {
+    /// Problem bits.
+    pub bits: usize,
+    /// Bits per thread `p`.
+    pub bits_per_thread: u32,
+    /// Threads per block (occupancy calculator).
+    pub threads_per_block: u32,
+    /// Active blocks per GPU (occupancy calculator).
+    pub blocks_per_gpu: u32,
+    /// Measured CPU search rate, solutions/s (this machine, 1 device).
+    pub measured_cpu_rate: f64,
+    /// Modeled 4-GPU search rate, solutions/s.
+    pub modeled_gpu_rate: f64,
+    /// The paper's measured rate, solutions/s (4 GPUs).
+    pub paper_rate: f64,
+}
+
+/// Table 2: search rate across the 100 %-occupancy configurations.
+///
+/// Three rate columns: the CPU rate *measured* on this machine (whose
+/// absolute value reflects the host, and which barely depends on `p`
+/// because the virtual blocks share cores), the calibrated GPU-model
+/// rate (which reproduces the paper's shape: rising then falling in
+/// `p`, declining in `n`), and the paper's number.
+pub fn table2(scale: Scale, large: bool, out: &Path) {
+    let spec = DeviceSpec::rtx_2080_ti();
+    let model = TimingModel::default();
+    let mut t = Table::new(
+        "Table 2 — search rate vs bits per thread (100 % occupancy)",
+        &[
+            "# Bits",
+            "p",
+            "Threads/block",
+            "Blocks/GPU",
+            "Measured CPU (sol/s)",
+            "Model 4-GPU (sol/s)",
+            "Paper (sol/s)",
+        ],
+    );
+    let mut rows = Vec::new();
+    let sizes: &[usize] = if large {
+        &[1024, 2048, 4096, 8192, 16384, 32768]
+    } else {
+        &[1024, 2048, 4096]
+    };
+    for &n in sizes {
+        let q = random::generate(n, 11);
+        for occ in full_occupancy_configs(&spec, n) {
+            // Measured: run the real machine with exactly this block
+            // count. The budget grows with n because flips are accounted
+            // at bulk-iteration boundaries and one iteration is O(n²).
+            let budget = scale.ms(300 + n as u64 / 8);
+            let mut cfg = report_config(occ.blocks_per_gpu as usize, budget);
+            cfg.machine.device.bits_per_thread = None;
+            let r = run(&q, cfg);
+            let paper = PAPER_TABLE2
+                .iter()
+                .find(|&&(pn, pp, _)| pn == n && pp == occ.bits_per_thread)
+                .map_or(f64::NAN, |&(_, _, tps)| tps * 1e12);
+            let modeled = model.search_rate(n, &occ, 4);
+            t.row(&[
+                n.to_string(),
+                occ.bits_per_thread.to_string(),
+                occ.threads_per_block.to_string(),
+                occ.blocks_per_gpu.to_string(),
+                sci(r.search_rate),
+                sci(modeled),
+                sci(paper),
+            ]);
+            rows.push(Table2Row {
+                bits: n,
+                bits_per_thread: occ.bits_per_thread,
+                threads_per_block: occ.threads_per_block,
+                blocks_per_gpu: occ.blocks_per_gpu,
+                measured_cpu_rate: r.search_rate,
+                modeled_gpu_rate: modeled,
+                paper_rate: paper,
+            });
+        }
+    }
+    println!("{}", t.render());
+    write_json(out, "table2", &rows);
+}
+
+/// One Fig. 8 point.
+#[derive(Serialize)]
+pub struct Fig8Point {
+    /// Problem bits.
+    pub bits: usize,
+    /// Device count.
+    pub devices: usize,
+    /// Measured CPU search rate (workers = 1 per device).
+    pub measured_cpu_rate: f64,
+    /// Modeled GPU search rate.
+    pub modeled_gpu_rate: f64,
+}
+
+/// Fig. 8: search-rate scaling with the number of devices.
+pub fn fig8(scale: Scale, out: &Path) {
+    let spec = DeviceSpec::rtx_2080_ti();
+    let model = TimingModel::default();
+    let mut t = Table::new(
+        "Fig. 8 — search-rate scaling with device count (n = 1024, p = 16)",
+        &[
+            "Devices",
+            "Measured CPU (sol/s)",
+            "CPU speedup",
+            "Model GPU (sol/s)",
+            "GPU speedup",
+        ],
+    );
+    let n = 1024;
+    let q = random::generate(n, 13);
+    let occ = vgpu::occupancy(&spec, n, 16).expect("Table 2 config");
+    let mut points = Vec::new();
+    let mut base: Option<f64> = None;
+    for devices in 1..=4usize {
+        let mut cfg = report_config(8, scale.ms(400));
+        cfg.machine.num_devices = devices;
+        cfg.machine.device.workers = 1;
+        let r = run(&q, cfg);
+        let measured = r.search_rate;
+        let speed = measured / *base.get_or_insert(measured);
+        let modeled = model.search_rate(n, &occ, devices);
+        t.row(&[
+            devices.to_string(),
+            sci(measured),
+            format!("{speed:.2}×"),
+            sci(modeled),
+            format!("{:.2}×", modeled / model.search_rate(n, &occ, 1)),
+        ]);
+        points.push(Fig8Point {
+            bits: n,
+            devices,
+            measured_cpu_rate: measured,
+            modeled_gpu_rate: modeled,
+        });
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!("{}", t.render());
+    println!(
+        "{}",
+        crate::chart::bar_chart(
+            "Fig. 8 (modeled GPU rate, sol/s):",
+            &points
+                .iter()
+                .map(|p| (format!("{} device(s)", p.devices), p.modeled_gpu_rate))
+                .collect::<Vec<_>>(),
+            40,
+        )
+    );
+    println!("(measured scaling requires ≥ devices+1 physical cores; this host has {cores})");
+    write_json(out, "fig8", &points);
+}
+
+/// Table 3: cross-system comparison. Literature rows are constants from
+/// the paper; our rows are measured (CPU) and modeled (GPU) peaks.
+pub fn table3(scale: Scale, out: &Path) {
+    let spec = DeviceSpec::rtx_2080_ti();
+    let model = TimingModel::default();
+    // Our modeled peak across Table 2 configurations.
+    let model_peak = PAPER_TABLE2
+        .iter()
+        .map(|&(n, p, _)| model.search_rate_for(&spec, n, p, 4))
+        .fold(0.0f64, f64::max);
+    // Our measured CPU peak at n = 1024.
+    let q = random::generate(1024, 17);
+    let r = run(&q, report_config(64, scale.ms(400)));
+
+    let mut t = Table::new(
+        "Table 3 — comparison with existing systems",
+        &[
+            "System",
+            "# Bits",
+            "Connection",
+            "Search rate (sol/s)",
+            "Technology",
+        ],
+    );
+    for (sys, bits, conn, rate, tech) in [
+        (
+            "D-Wave 2000Q",
+            "2,048",
+            "Chimera graph",
+            "N/A",
+            "quantum annealer",
+        ),
+        (
+            "Ref. [22]",
+            "1,024",
+            "fully-connected",
+            "2.04e10",
+            "Intel Arria 10 FPGA",
+        ),
+        (
+            "Ref. [29]",
+            "4,096",
+            "fully-connected",
+            "N/A",
+            "Intel Arria 10 GX1150 FPGA",
+        ),
+        (
+            "Ref. [13]",
+            "100,000",
+            "fully-connected",
+            "N/A",
+            "Tesla V100 ×8",
+        ),
+        (
+            "ABS (paper)",
+            "32,768",
+            "fully-connected",
+            "1.24e12",
+            "RTX 2080 Ti ×4",
+        ),
+    ] {
+        t.row(&[
+            sys.into(),
+            bits.into(),
+            conn.into(),
+            rate.into(),
+            tech.into(),
+        ]);
+    }
+    t.row(&[
+        "ABS (this repo, modeled)".into(),
+        "32,768".into(),
+        "fully-connected".into(),
+        sci(model_peak),
+        "calibrated RTX 2080 Ti ×4 model".into(),
+    ]);
+    t.row(&[
+        "ABS (this repo, measured)".into(),
+        "32,768".into(),
+        "fully-connected".into(),
+        sci(r.search_rate),
+        "virtual GPU on this host CPU".into(),
+    ]);
+    println!("{}", t.render());
+
+    #[derive(Serialize)]
+    struct Out {
+        modeled_peak: f64,
+        measured_cpu_peak: f64,
+        paper_peak: f64,
+        fpga_ref22: f64,
+        speedup_vs_fpga_modeled: f64,
+    }
+    write_json(
+        out,
+        "table3",
+        &Out {
+            modeled_peak: model_peak,
+            measured_cpu_peak: r.search_rate,
+            paper_peak: 1.24e12,
+            fpga_ref22: 2.04e10,
+            speedup_vs_fpga_modeled: model_peak / 2.04e10,
+        },
+    );
+}

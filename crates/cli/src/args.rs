@@ -1,0 +1,276 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+/// Usage text.
+pub const USAGE: &str = "\
+abs-cli — Adaptive Bulk Search QUBO solver
+
+USAGE:
+    abs-cli solve  <file.qubo>  [OPTIONS]   solve a .qubo file
+    abs-cli random <bits>       [OPTIONS]   solve a synthetic random instance
+    abs-cli gset   <name>       [OPTIONS]   solve a G-set stand-in (e.g. G1)
+    abs-cli tsp    <name>       [OPTIONS]   solve a TSPLIB stand-in (e.g. berlin52)
+    abs-cli info   <file.qubo>              print instance statistics
+    abs-cli verify <file.qubo> <file.sol>   recompute and check a saved solution
+
+OPTIONS:
+    --timeout-ms <N>   wall-clock budget in milliseconds   [default: 1000]
+    --target <E>       stop early at energy ≤ E
+    --devices <D>      number of virtual GPUs              [default: 1]
+    --blocks <B>       logical blocks per device           [default: 8]
+    --seed <S>         master seed                         [default: 0]
+    --preset <P>       family preset: maxcut | tsp | random
+    --save <PATH>      write the best solution to a .sol file
+    --json             machine-readable output";
+
+/// Parsed subcommand.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Solve a `.qubo` file.
+    Solve {
+        /// Path to the file.
+        path: String,
+    },
+    /// Solve a synthetic random instance.
+    Random {
+        /// Problem size in bits.
+        bits: usize,
+    },
+    /// Solve a G-set stand-in by catalog name.
+    Gset {
+        /// Instance name (G1, G6, …).
+        name: String,
+    },
+    /// Solve a TSPLIB stand-in by catalog name.
+    Tsp {
+        /// Instance name (berlin52, …).
+        name: String,
+    },
+    /// Print instance statistics.
+    Info {
+        /// Path to the file.
+        path: String,
+    },
+    /// Verify a saved solution against its instance.
+    Verify {
+        /// Path to the `.qubo` file.
+        problem: String,
+        /// Path to the `.sol` file.
+        solution: String,
+    },
+}
+
+/// Parsed options.
+#[derive(Debug, PartialEq)]
+pub struct Options {
+    pub timeout_ms: u64,
+    pub target: Option<i64>,
+    pub devices: Option<usize>,
+    pub blocks: Option<usize>,
+    pub seed: u64,
+    pub preset: Option<String>,
+    pub save: Option<String>,
+    pub json: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            timeout_ms: 1000,
+            target: None,
+            devices: None,
+            blocks: None,
+            seed: 0,
+            preset: None,
+            save: None,
+            json: false,
+        }
+    }
+}
+
+/// Parses argv (without the program name). `Ok(None)` means "print
+/// usage and exit 0" (no arguments or `--help`).
+pub fn parse(argv: &[String]) -> Result<Option<(Command, Options)>, String> {
+    let mut it = argv.iter();
+    let sub = match it.next() {
+        None => return Ok(None),
+        Some(s) if s == "--help" || s == "-h" => return Ok(None),
+        Some(s) => s.as_str(),
+    };
+    let positional = |it: &mut std::slice::Iter<'_, String>, what: &str| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{sub}: missing {what}"))
+    };
+    let cmd = match sub {
+        "solve" => Command::Solve {
+            path: positional(&mut it, "file path")?,
+        },
+        "info" => Command::Info {
+            path: positional(&mut it, "file path")?,
+        },
+        "verify" => Command::Verify {
+            problem: positional(&mut it, "problem path")?,
+            solution: positional(&mut it, "solution path")?,
+        },
+        "random" => {
+            let bits = positional(&mut it, "bit count")?;
+            Command::Random {
+                bits: bits
+                    .parse()
+                    .map_err(|_| format!("random: bad bit count {bits:?}"))?,
+            }
+        }
+        "gset" => Command::Gset {
+            name: positional(&mut it, "instance name")?,
+        },
+        "tsp" => Command::Tsp {
+            name: positional(&mut it, "instance name")?,
+        },
+        other => return Err(format!("unknown command {other:?}")),
+    };
+
+    let mut opts = Options::default();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag}: missing {what}"))
+        };
+        match flag.as_str() {
+            "--timeout-ms" => {
+                opts.timeout_ms = value("milliseconds")?
+                    .parse()
+                    .map_err(|_| format!("{flag}: expected an integer"))?;
+            }
+            "--target" => {
+                opts.target = Some(
+                    value("energy")?
+                        .parse()
+                        .map_err(|_| format!("{flag}: expected an integer"))?,
+                );
+            }
+            "--devices" => {
+                opts.devices = Some(
+                    value("count")?
+                        .parse()
+                        .map_err(|_| format!("{flag}: expected an integer"))?,
+                );
+            }
+            "--blocks" => {
+                opts.blocks = Some(
+                    value("count")?
+                        .parse()
+                        .map_err(|_| format!("{flag}: expected an integer"))?,
+                );
+            }
+            "--seed" => {
+                opts.seed = value("seed")?
+                    .parse()
+                    .map_err(|_| format!("{flag}: expected an integer"))?;
+            }
+            "--preset" => {
+                let p = value("preset name")?.clone();
+                if !matches!(p.as_str(), "maxcut" | "tsp" | "random") {
+                    return Err(format!("{flag}: unknown preset {p:?}"));
+                }
+                opts.preset = Some(p);
+            }
+            "--save" => opts.save = Some(value("path")?.clone()),
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(Some((cmd, opts)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn empty_and_help_print_usage() {
+        assert_eq!(parse(&[]).unwrap(), None);
+        assert_eq!(parse(&v(&["--help"])).unwrap(), None);
+    }
+
+    #[test]
+    fn solve_with_options() {
+        let (cmd, opts) = parse(&v(&[
+            "solve",
+            "x.qubo",
+            "--timeout-ms",
+            "250",
+            "--target",
+            "-42",
+            "--json",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Solve {
+                path: "x.qubo".into()
+            }
+        );
+        assert_eq!(opts.timeout_ms, 250);
+        assert_eq!(opts.target, Some(-42));
+        assert!(opts.json);
+    }
+
+    #[test]
+    fn random_parses_bits() {
+        let (cmd, _) = parse(&v(&["random", "512"])).unwrap().unwrap();
+        assert_eq!(cmd, Command::Random { bits: 512 });
+    }
+
+    #[test]
+    fn verify_takes_two_paths() {
+        let (cmd, _) = parse(&v(&["verify", "p.qubo", "s.sol"])).unwrap().unwrap();
+        assert_eq!(
+            cmd,
+            Command::Verify {
+                problem: "p.qubo".into(),
+                solution: "s.sol".into()
+            }
+        );
+        assert!(parse(&v(&["verify", "p.qubo"])).is_err());
+    }
+
+    #[test]
+    fn preset_option_validates() {
+        let (_, opts) = parse(&v(&["random", "8", "--preset", "tsp"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.preset.as_deref(), Some("tsp"));
+        assert!(parse(&v(&["random", "8", "--preset", "bogus"]))
+            .unwrap_err()
+            .contains("unknown preset"));
+    }
+
+    #[test]
+    fn save_option_parses() {
+        let (_, opts) = parse(&v(&["random", "8", "--save", "out.sol"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.save.as_deref(), Some("out.sol"));
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&v(&["frobnicate"]))
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(parse(&v(&["solve"])).unwrap_err().contains("missing"));
+        assert!(parse(&v(&["random", "abc"]))
+            .unwrap_err()
+            .contains("bad bit count"));
+        assert!(parse(&v(&["random", "8", "--seed"]))
+            .unwrap_err()
+            .contains("missing"));
+        assert!(parse(&v(&["random", "8", "--wat"]))
+            .unwrap_err()
+            .contains("unknown option"));
+    }
+}

@@ -1,0 +1,156 @@
+//! `abs-cli` — solve QUBO problems from the command line.
+//!
+//! ```text
+//! abs-cli solve <file.qubo> [--timeout-ms N] [--target E] [--devices D]
+//!                           [--blocks B] [--seed S] [--json]
+//! abs-cli random <bits>     [--timeout-ms N] [--seed S] [--json]
+//! abs-cli gset <name>       [--timeout-ms N] [--seed S] [--json]
+//! abs-cli tsp <name>        [--timeout-ms N] [--seed S] [--json]
+//! abs-cli info <file.qubo>
+//! abs-cli verify <file.qubo> <file.sol>
+//! ```
+//!
+//! Exit code 0 on success, 2 on usage errors, 1 on runtime errors.
+
+#![forbid(unsafe_code)]
+
+use abs::{Abs, AbsConfig, StopCondition};
+use qubo::{format, Qubo};
+use std::process::ExitCode;
+use std::time::Duration;
+
+mod args;
+mod output;
+
+use args::{Command, Options};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+        Ok(None) => {
+            println!("{}", args::USAGE);
+            ExitCode::SUCCESS
+        }
+        Ok(Some((cmd, opts))) => match run(cmd, &opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
+fn run(cmd: Command, opts: &Options) -> Result<(), String> {
+    match cmd {
+        Command::Info { path } => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let q = format::parse(&text).map_err(|e| e.to_string())?;
+            let s = qubo::InstanceStats::of(&q);
+            println!("file:         {path}");
+            println!("bits:         {}", s.bits);
+            println!(
+                "couplers:     {} (density {:.2} %)",
+                s.couplers,
+                s.density * 100.0
+            );
+            println!("diagonals:    {}", s.diagonals);
+            println!(
+                "weight range: [{}, {}]  mean non-zero {:.2}",
+                s.min_weight, s.max_weight, s.mean_nonzero
+            );
+            println!("|E| bound:    {}", s.energy_bound);
+            println!("max |Δ|:      {}", s.max_abs_delta);
+            Ok(())
+        }
+        Command::Verify { problem, solution } => {
+            let ptext = std::fs::read_to_string(&problem)
+                .map_err(|e| format!("cannot read {problem}: {e}"))?;
+            let q = format::parse(&ptext).map_err(|e| e.to_string())?;
+            let stext = std::fs::read_to_string(&solution)
+                .map_err(|e| format!("cannot read {solution}: {e}"))?;
+            let (x, claimed) = format::parse_solution(&stext).map_err(|e| e.to_string())?;
+            if x.len() != q.n() {
+                return Err(format!(
+                    "solution has {} bits, instance has {}",
+                    x.len(),
+                    q.n()
+                ));
+            }
+            let actual = q.energy(&x);
+            println!("claimed energy: {claimed}");
+            println!("actual energy:  {actual}");
+            if actual == claimed {
+                println!("VERIFIED");
+                Ok(())
+            } else {
+                Err("energy mismatch".to_owned())
+            }
+        }
+        Command::Solve { path } => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let q = format::parse(&text).map_err(|e| e.to_string())?;
+            solve_and_report(&q, opts, &path)
+        }
+        Command::Random { bits } => {
+            let q = qubo_problems::random::generate(bits, opts.seed);
+            solve_and_report(&q, opts, &format!("random-{bits}"))
+        }
+        Command::Gset { name } => {
+            let inst = qubo_problems::gset::instance(&name)
+                .ok_or_else(|| format!("unknown G-set instance {name:?}"))?;
+            let g = qubo_problems::gset::generate_instance(inst, opts.seed);
+            let q = qubo_problems::maxcut::to_qubo(&g).map_err(|e| e.to_string())?;
+            solve_and_report(&q, opts, &format!("gset-{name}"))
+        }
+        Command::Tsp { name } => {
+            let inst = qubo_problems::tsplib::entry(&name)
+                .ok_or_else(|| format!("unknown TSPLIB instance {name:?}"))?;
+            let tsp = qubo_problems::tsplib::instance(inst.name);
+            let tq = qubo_problems::tsp::to_qubo(&tsp).map_err(|e| e.to_string())?;
+            solve_and_report(tq.qubo(), opts, &format!("tsp-{name}"))
+        }
+    }
+}
+
+fn solve_and_report(q: &Qubo, opts: &Options, label: &str) -> Result<(), String> {
+    let mut config = match opts.preset.as_deref() {
+        Some("maxcut") => abs::presets::maxcut(),
+        Some("tsp") => abs::presets::tsp(q.n()),
+        Some("random") => abs::presets::random(q.n()),
+        _ => AbsConfig::small(),
+    };
+    config.seed = opts.seed;
+    if let Some(d) = opts.devices {
+        config.machine.num_devices = d;
+    }
+    if let Some(b) = opts.blocks {
+        config.machine.device.blocks_override = Some(b);
+    }
+    let mut stop = StopCondition::timeout(Duration::from_millis(opts.timeout_ms));
+    if let Some(t) = opts.target {
+        stop = stop.with_target(t);
+    }
+    config.stop = stop;
+    let result = Abs::new(config).solve(q);
+    if let Some(path) = &opts.save {
+        std::fs::write(
+            path,
+            format::solution_to_string(&result.best, result.best_energy),
+        )
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if opts.json {
+        println!("{}", output::to_json(label, q, &result));
+    } else {
+        output::print_human(label, q, &result);
+    }
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Result rendering for the CLI.
+
+use abs::SolveResult;
+use qubo::Qubo;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct JsonResult<'a> {
+    label: &'a str,
+    bits: usize,
+    best_energy: i64,
+    reached_target: bool,
+    time_to_target_ms: Option<f64>,
+    elapsed_ms: f64,
+    total_flips: u64,
+    evaluated: u64,
+    search_rate_per_s: f64,
+    iterations: u64,
+    solution: String,
+}
+
+/// Serializes a solve result as one JSON object.
+pub fn to_json(label: &str, q: &Qubo, r: &SolveResult) -> String {
+    let j = JsonResult {
+        label,
+        bits: q.n(),
+        best_energy: r.best_energy,
+        reached_target: r.reached_target,
+        time_to_target_ms: r.time_to_target.map(|d| d.as_secs_f64() * 1e3),
+        elapsed_ms: r.elapsed.as_secs_f64() * 1e3,
+        total_flips: r.total_flips,
+        evaluated: r.evaluated,
+        search_rate_per_s: r.search_rate,
+        iterations: r.iterations,
+        solution: r.best.to_string(),
+    };
+    serde_json::to_string(&j).expect("serializable")
+}
+
+/// Prints a human-readable report.
+pub fn print_human(label: &str, q: &Qubo, r: &SolveResult) {
+    println!("instance:     {label} ({} bits)", q.n());
+    println!("best energy:  {}", r.best_energy);
+    if r.reached_target {
+        let ms = r
+            .time_to_target
+            .map(|d| d.as_secs_f64() * 1e3)
+            .unwrap_or_default();
+        println!("target:       reached in {ms:.1} ms");
+    }
+    println!(
+        "elapsed:      {:.1} ms  ({} flips, {:.3e} solutions/s)",
+        r.elapsed.as_secs_f64() * 1e3,
+        r.total_flips,
+        r.search_rate
+    );
+    if q.n() <= 256 {
+        println!("solution:     {}", r.best);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abs::{Abs, AbsConfig, StopCondition};
+
+    #[test]
+    fn json_has_expected_fields() {
+        let q = qubo_problems::random::generate(16, 0);
+        let mut cfg = AbsConfig::small();
+        cfg.stop = StopCondition::flips(5_000);
+        let r = Abs::new(cfg).solve(&q);
+        let json = to_json("t", &q, &r);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["bits"], 16);
+        assert_eq!(v["label"], "t");
+        assert!(v["best_energy"].is_i64());
+        assert_eq!(v["solution"].as_str().unwrap().len(), 16);
+    }
+}

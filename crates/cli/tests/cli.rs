@@ -1,0 +1,178 @@
+//! End-to-end tests of the `abs-cli` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_abs-cli"))
+}
+
+fn tmp_qubo_file(name: &str, body: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("abs-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, body).expect("write temp file");
+    path
+}
+
+#[test]
+fn no_args_prints_usage_and_succeeds() {
+    let out = bin().output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("abs-cli solve"));
+}
+
+#[test]
+fn unknown_command_exits_2() {
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn info_reports_instance_statistics() {
+    let path = tmp_qubo_file("info.qubo", "p qubo 0 4 4 2\n0 0 -5\n0 1 3\n2 3 -2\n");
+    let out = bin().arg("info").arg(&path).output().expect("run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("bits:         4"));
+    assert!(text.contains("couplers:     2"));
+    assert!(text.contains("weight range: [-5, 3]"));
+}
+
+#[test]
+fn info_on_missing_file_exits_1() {
+    let out = bin()
+        .arg("info")
+        .arg("/nonexistent/x.qubo")
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn solve_file_with_target_emits_json() {
+    // trivial 2-bit problem: optimum is x = 11 with E = -10 + 2·2 = -6?
+    // W: diag -10, 4; coupler 1 → E(10) = -10 is the optimum.
+    let path = tmp_qubo_file("solve.qubo", "p qubo 0 2 2 1\n0 0 -10\n1 1 4\n0 1 1\n");
+    let out = bin()
+        .args(["solve"])
+        .arg(&path)
+        .args(["--target", "-10", "--timeout-ms", "5000", "--json"])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("json output");
+    assert_eq!(v["bits"], 2);
+    assert_eq!(v["best_energy"], -10);
+    assert_eq!(v["reached_target"], true);
+    assert_eq!(v["solution"], "10");
+}
+
+#[test]
+fn random_subcommand_solves_and_reports() {
+    let out = bin()
+        .args([
+            "random",
+            "48",
+            "--timeout-ms",
+            "150",
+            "--seed",
+            "3",
+            "--json",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("json");
+    assert_eq!(v["bits"], 48);
+    assert!(v["best_energy"].as_i64().unwrap() < 0);
+    assert!(v["total_flips"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn gset_subcommand_knows_the_catalog() {
+    let ok = bin()
+        .args(["gset", "G1", "--timeout-ms", "100", "--json"])
+        .output()
+        .expect("run");
+    assert!(ok.status.success());
+    let bad = bin().args(["gset", "G999"]).output().expect("run");
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown G-set instance"));
+}
+
+#[test]
+fn save_and_verify_roundtrip() {
+    let problem = tmp_qubo_file("roundtrip.qubo", "p qubo 0 3 3 1\n0 0 -7\n1 1 2\n0 2 -1\n");
+    let sol = std::env::temp_dir()
+        .join("abs-cli-tests")
+        .join("roundtrip.sol");
+    let out = bin()
+        .args(["solve"])
+        .arg(&problem)
+        .args(["--timeout-ms", "300", "--save"])
+        .arg(&sol)
+        .output()
+        .expect("run solve");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let verify = bin()
+        .arg("verify")
+        .arg(&problem)
+        .arg(&sol)
+        .output()
+        .expect("run verify");
+    assert!(verify.status.success());
+    assert!(String::from_utf8_lossy(&verify.stdout).contains("VERIFIED"));
+}
+
+#[test]
+fn verify_rejects_tampered_solutions() {
+    let problem = tmp_qubo_file("tamper.qubo", "p qubo 0 2 2 0\n0 0 -3\n");
+    let sol = tmp_qubo_file("tamper.sol", "s -999 10\n"); // wrong energy claim
+    let out = bin()
+        .arg("verify")
+        .arg(&problem)
+        .arg(&sol)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("energy mismatch"));
+    // Wrong bit-length is rejected too.
+    let sol2 = tmp_qubo_file("tamper2.sol", "s -3 101\n");
+    let out2 = bin()
+        .arg("verify")
+        .arg(&problem)
+        .arg(&sol2)
+        .output()
+        .expect("run");
+    assert_eq!(out2.status.code(), Some(1));
+}
+
+#[test]
+fn tsp_subcommand_knows_the_catalog() {
+    let ok = bin()
+        .args(["tsp", "ulysses16", "--timeout-ms", "100", "--json"])
+        .output()
+        .expect("run");
+    assert!(ok.status.success());
+    let v: serde_json::Value = serde_json::from_slice(&ok.stdout).expect("json");
+    assert_eq!(v["bits"], 225);
+    let bad = bin().args(["tsp", "nowhere99"]).output().expect("run");
+    assert_eq!(bad.status.code(), Some(1));
+}

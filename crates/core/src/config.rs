@@ -1,0 +1,175 @@
+//! Configuration of an ABS run.
+
+use qubo::{BitVec, Energy};
+use qubo_ga::GaConfig;
+use std::time::Duration;
+use vgpu::{DeviceConfig, MachineConfig, WindowSchedule};
+
+/// When the host stops the search. Conditions compose: the run stops as
+/// soon as *any* active condition is met. At least one condition must be
+/// set.
+#[derive(Clone, Debug, Default)]
+pub struct StopCondition {
+    /// Stop once the best energy is `≤ target_energy` (the paper's
+    /// time-to-solution experiments, Table 1).
+    pub target_energy: Option<Energy>,
+    /// Wall-clock budget.
+    pub timeout: Option<Duration>,
+    /// Budget on total device flips (deterministic-ish work budget for
+    /// tests and benches; checked at host poll granularity).
+    pub max_flips: Option<u64>,
+}
+
+impl StopCondition {
+    /// Stop at a target energy.
+    #[must_use]
+    pub fn target(target_energy: Energy) -> Self {
+        Self {
+            target_energy: Some(target_energy),
+            ..Self::default()
+        }
+    }
+
+    /// Stop after a wall-clock duration.
+    #[must_use]
+    pub fn timeout(d: Duration) -> Self {
+        Self {
+            timeout: Some(d),
+            ..Self::default()
+        }
+    }
+
+    /// Stop after a total flip budget.
+    #[must_use]
+    pub fn flips(max: u64) -> Self {
+        Self {
+            max_flips: Some(max),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a target energy to an existing condition.
+    #[must_use]
+    pub fn with_target(mut self, target_energy: Energy) -> Self {
+        self.target_energy = Some(target_energy);
+        self
+    }
+
+    /// Adds a timeout to an existing condition.
+    #[must_use]
+    pub fn with_timeout(mut self, d: Duration) -> Self {
+        self.timeout = Some(d);
+        self
+    }
+
+    /// `true` if at least one condition is set.
+    #[must_use]
+    pub fn is_bounded(&self) -> bool {
+        self.target_energy.is_some() || self.timeout.is_some() || self.max_flips.is_some()
+    }
+}
+
+/// Full configuration of an ABS run.
+#[derive(Clone, Debug)]
+pub struct AbsConfig {
+    /// Solution-pool capacity `m` (§3.1).
+    pub pool_size: usize,
+    /// Genetic-operator mix.
+    pub ga: GaConfig,
+    /// Devices and per-device execution parameters.
+    pub machine: MachineConfig,
+    /// Targets pushed to each device at startup, as a multiple of its
+    /// block count (the devices drain one target per bulk iteration).
+    pub initial_targets_per_block: usize,
+    /// Stop condition (must be bounded).
+    pub stop: StopCondition,
+    /// Master seed; pool, GA and policies derive their streams from it.
+    pub seed: u64,
+    /// Warm-start solutions: seeded into the pool (unevaluated — the
+    /// host never computes energies) and shipped as the very first
+    /// targets, so devices evaluate them exactly via straight search.
+    /// Lengths must match the problem's bit count.
+    pub initial_solutions: Vec<BitVec>,
+}
+
+impl Default for AbsConfig {
+    fn default() -> Self {
+        Self {
+            pool_size: 64,
+            ga: GaConfig::default(),
+            machine: MachineConfig::default(),
+            initial_targets_per_block: 2,
+            stop: StopCondition::default(),
+            seed: 0,
+            initial_solutions: Vec::new(),
+        }
+    }
+}
+
+impl AbsConfig {
+    /// A modest CPU preset for tests, examples and docs: one device,
+    /// 8 blocks on up to 4 workers, short local searches.
+    #[must_use]
+    pub fn small() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get().min(4))
+            .unwrap_or(1);
+        Self {
+            pool_size: 32,
+            machine: MachineConfig {
+                num_devices: 1,
+                device: DeviceConfig {
+                    blocks_override: Some(8),
+                    workers,
+                    local_steps: 128,
+                    windows: WindowSchedule::PowersOfTwo,
+                    ..DeviceConfig::default()
+                },
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on an unbounded stop condition, an empty pool, or an
+    /// invalid GA mix.
+    pub fn validate(&self) {
+        assert!(self.stop.is_bounded(), "stop condition must be bounded");
+        assert!(self.pool_size > 0, "pool must hold at least one solution");
+        self.ga.validate();
+        assert!(
+            self.machine.num_devices > 0,
+            "machine needs at least one device"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_constructors_and_composition() {
+        let s = StopCondition::target(-5).with_timeout(Duration::from_secs(1));
+        assert_eq!(s.target_energy, Some(-5));
+        assert!(s.timeout.is_some());
+        assert!(s.is_bounded());
+        assert!(!StopCondition::default().is_bounded());
+        assert!(StopCondition::flips(10).is_bounded());
+    }
+
+    #[test]
+    #[should_panic(expected = "stop condition must be bounded")]
+    fn unbounded_stop_rejected() {
+        AbsConfig::default().validate();
+    }
+
+    #[test]
+    fn small_preset_is_valid_once_bounded() {
+        let mut c = AbsConfig::small();
+        c.stop = StopCondition::flips(100);
+        c.validate();
+    }
+}

@@ -1,0 +1,40 @@
+//! Adaptive Bulk Search (ABS): a CPU-host + (virtual) multi-GPU framework
+//! for quadratic unconstrained binary optimization.
+//!
+//! This crate ties the workspace together into the system of the paper's
+//! Fig. 5: a host thread runs the genetic algorithm of [`qubo_ga`] over a
+//! sorted, distinct solution pool, while every virtual device of
+//! [`vgpu`] runs hundreds of asynchronous search blocks, each
+//! alternating a straight search toward a GA-generated target with a
+//! forced-flip local search ([`qubo_search`]), all at O(1) search
+//! efficiency.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use abs::{Abs, AbsConfig, StopCondition};
+//! use qubo::Qubo;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let problem = Qubo::random(64, &mut rng);
+//!
+//! let mut config = AbsConfig::small(); // modest CPU preset
+//! config.stop = StopCondition::flips(200_000);
+//! let result = Abs::new(config).solve(&problem);
+//!
+//! assert_eq!(result.best_energy, problem.energy(&result.best));
+//! assert!(result.best_energy < 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod presets;
+pub mod solver;
+pub mod stats;
+
+pub use config::{AbsConfig, StopCondition};
+pub use solver::Abs;
+pub use stats::{HistoryPoint, SolveResult};

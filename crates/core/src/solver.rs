@@ -1,0 +1,377 @@
+//! The ABS host: GA bookkeeping plus the asynchronous polling loop of
+//! §3.1, driving a [`vgpu::Machine`].
+
+use crate::config::AbsConfig;
+use crate::stats::{HistoryPoint, SolveResult};
+use qubo::{BitVec, Energy, Qubo};
+use qubo_ga::{InsertOutcome, SolutionPool, TargetGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+use vgpu::{GlobalMem, Machine};
+
+/// The Adaptive Bulk Search solver.
+///
+/// One `Abs` value owns a validated configuration and can solve any
+/// number of problems; each [`Abs::solve`] call builds a fresh virtual
+/// machine, runs the host loop on the calling thread, and joins all
+/// device threads before returning.
+pub struct Abs {
+    config: AbsConfig,
+}
+
+impl Abs {
+    /// Creates a solver.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`AbsConfig::validate`]).
+    #[must_use]
+    pub fn new(config: AbsConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &AbsConfig {
+        &self.config
+    }
+
+    /// Runs the full ABS system on `qubo` until the stop condition fires.
+    ///
+    /// The host (this thread) performs §3.1: it seeds the target buffers
+    /// from a random pool, then loops — polling each device's counter,
+    /// draining new solutions into the sorted distinct pool, and pushing
+    /// exactly as many freshly bred targets as solutions arrived. The
+    /// host never evaluates the energy function.
+    #[must_use]
+    pub fn solve(&self, qubo: &Qubo) -> SolveResult {
+        let n = qubo.n();
+        let machine = Machine::new(&self.config.machine);
+        let blocks: Vec<usize> = machine
+            .devices()
+            .iter()
+            .map(|d| d.resolve_blocks(n))
+            .collect();
+        machine.run(qubo, |mems| self.host_loop(qubo, mems, &blocks))
+    }
+
+    fn host_loop(&self, qubo: &Qubo, mems: &[Arc<GlobalMem>], blocks: &[usize]) -> SolveResult {
+        let n = qubo.n();
+        let cfg = &self.config;
+        let start = Instant::now();
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut pool = SolutionPool::random(cfg.pool_size, n, &mut rng);
+        let mut gen = TargetGenerator::new(n, cfg.ga, cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
+
+        // Warm starts: into the pool as unevaluated parents, and to the
+        // front of every target queue so devices price them exactly.
+        for warm in &cfg.initial_solutions {
+            assert_eq!(
+                warm.len(),
+                n,
+                "initial solution length does not match the problem"
+            );
+            let _ = pool.insert(warm.clone(), qubo::energy::UNEVALUATED);
+        }
+
+        // Step 1: seed every device's target buffer.
+        for (mem, &b) in mems.iter().zip(blocks) {
+            for warm in &cfg.initial_solutions {
+                mem.push_target(warm.clone());
+            }
+            for _ in 0..b.max(1) * cfg.initial_targets_per_block.max(1) {
+                mem.push_target(gen.generate(&pool));
+            }
+        }
+
+        let mut last_counter = vec![0u64; mems.len()];
+        let mut best: Option<BitVec> = None;
+        let mut best_energy = Energy::MAX;
+        let mut history = Vec::new();
+        let mut received = 0u64;
+        let mut inserted = 0u64;
+        let mut reached_target = false;
+        let mut time_to_target = None;
+
+        let total_flips =
+            |mems: &[Arc<GlobalMem>]| -> u64 { mems.iter().map(|m| m.total_flips()).sum() };
+
+        loop {
+            // Steps 2–4: poll counters, drain, insert, re-target.
+            let mut progressed = false;
+            for (i, mem) in mems.iter().enumerate() {
+                let c = mem.counter();
+                if c == last_counter[i] {
+                    continue;
+                }
+                last_counter[i] = c;
+                progressed = true;
+                let records = mem.drain_results();
+                let arrived = records.len();
+                for rec in records {
+                    received += 1;
+                    if rec.energy < best_energy {
+                        best_energy = rec.energy;
+                        best = Some(rec.x.clone());
+                        history.push(HistoryPoint {
+                            elapsed_ns: start.elapsed().as_nanos(),
+                            energy: rec.energy,
+                        });
+                        if let Some(t) = cfg.stop.target_energy {
+                            if rec.energy <= t && time_to_target.is_none() {
+                                reached_target = true;
+                                time_to_target = Some(start.elapsed());
+                            }
+                        }
+                    }
+                    if pool.insert(rec.x, rec.energy) == InsertOutcome::Inserted {
+                        inserted += 1;
+                    }
+                }
+                // "The number of generated solutions is set to be the
+                // same as the number of newly arrived solutions."
+                for _ in 0..arrived {
+                    mem.push_target(gen.generate(&pool));
+                }
+            }
+
+            // Stop checks.
+            if reached_target {
+                break;
+            }
+            if let Some(to) = cfg.stop.timeout {
+                if start.elapsed() >= to {
+                    break;
+                }
+            }
+            if let Some(mf) = cfg.stop.max_flips {
+                if total_flips(mems) >= mf {
+                    break;
+                }
+            }
+            if !progressed {
+                std::thread::yield_now();
+            }
+        }
+
+        // Degenerate budgets can stop before any result arrived; the
+        // devices are still running (the stop flag is raised only when
+        // this closure returns), so one result is guaranteed to come.
+        if best.is_none() {
+            'wait: loop {
+                for mem in mems {
+                    for rec in mem.drain_results() {
+                        received += 1;
+                        if rec.energy < best_energy {
+                            best_energy = rec.energy;
+                            best = Some(rec.x);
+                        }
+                    }
+                }
+                if best.is_some() {
+                    break 'wait;
+                }
+                std::thread::yield_now();
+            }
+        }
+
+        let elapsed = start.elapsed();
+        let flips = total_flips(mems);
+        let evaluated = flips * (n as u64 + 1);
+        SolveResult {
+            best: best.expect("at least one device result"),
+            best_energy,
+            reached_target,
+            time_to_target,
+            elapsed,
+            total_flips: flips,
+            evaluated,
+            search_rate: evaluated as f64 / elapsed.as_secs_f64().max(1e-12),
+            iterations: mems.iter().map(|m| m.total_iterations()).sum(),
+            results_received: received,
+            results_inserted: inserted,
+            history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StopCondition;
+    use std::time::Duration;
+
+    fn brute_force(q: &Qubo) -> (BitVec, Energy) {
+        let n = q.n();
+        assert!(n <= 20);
+        let mut best = BitVec::zeros(n);
+        let mut best_e = q.energy(&best);
+        for bits in 1u32..(1 << n) {
+            let x = BitVec::from_bits(&(0..n).map(|i| ((bits >> i) & 1) as u8).collect::<Vec<_>>());
+            let e = q.energy(&x);
+            if e < best_e {
+                best_e = e;
+                best = x;
+            }
+        }
+        (best, best_e)
+    }
+
+    #[test]
+    fn finds_exact_optimum_of_small_problem() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = Qubo::random(16, &mut rng);
+        let (_, opt) = brute_force(&q);
+        let mut cfg = AbsConfig::small();
+        cfg.stop = StopCondition::target(opt).with_timeout(Duration::from_secs(30));
+        let r = Abs::new(cfg).solve(&q);
+        assert!(
+            r.reached_target,
+            "optimum {opt} not reached, got {}",
+            r.best_energy
+        );
+        assert_eq!(r.best_energy, opt);
+        assert_eq!(r.best_energy, q.energy(&r.best));
+        assert!(r.time_to_target.is_some());
+    }
+
+    #[test]
+    fn flip_budget_stops_the_run() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let q = Qubo::random(64, &mut rng);
+        let mut cfg = AbsConfig::small();
+        cfg.stop = StopCondition::flips(50_000);
+        let r = Abs::new(cfg).solve(&q);
+        assert!(r.total_flips >= 50_000);
+        assert_eq!(r.evaluated, r.total_flips * 65);
+        assert!(!r.reached_target);
+        assert!(r.search_rate > 0.0);
+        assert_eq!(r.best_energy, q.energy(&r.best));
+    }
+
+    #[test]
+    fn timeout_stops_the_run() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = Qubo::random(128, &mut rng);
+        let mut cfg = AbsConfig::small();
+        cfg.stop = StopCondition::timeout(Duration::from_millis(200));
+        let t0 = Instant::now();
+        let r = Abs::new(cfg).solve(&q);
+        assert!(t0.elapsed() < Duration::from_secs(20));
+        assert!(r.elapsed >= Duration::from_millis(200));
+        assert!(r.results_received > 0);
+    }
+
+    #[test]
+    fn history_is_monotone_decreasing() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let q = Qubo::random(96, &mut rng);
+        let mut cfg = AbsConfig::small();
+        cfg.stop = StopCondition::flips(200_000);
+        let r = Abs::new(cfg).solve(&q);
+        assert!(!r.history.is_empty());
+        for w in r.history.windows(2) {
+            assert!(w[1].energy < w[0].energy, "history must strictly improve");
+            assert!(w[1].elapsed_ns >= w[0].elapsed_ns);
+        }
+        assert_eq!(r.history.last().unwrap().energy, r.best_energy);
+    }
+
+    #[test]
+    fn multi_device_run_aggregates_stats() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let q = Qubo::random(48, &mut rng);
+        let mut cfg = AbsConfig::small();
+        cfg.machine.num_devices = 3;
+        cfg.stop = StopCondition::flips(60_000);
+        let r = Abs::new(cfg).solve(&q);
+        assert!(r.iterations > 0);
+        assert!(r.results_received >= r.results_inserted);
+        assert!(r.insertion_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn degenerate_budget_still_returns_a_result() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let q = Qubo::random(32, &mut rng);
+        let mut cfg = AbsConfig::small();
+        cfg.stop = StopCondition::flips(1); // stops before first poll sees much
+        let r = Abs::new(cfg).solve(&q);
+        assert_eq!(r.best_energy, q.energy(&r.best));
+    }
+
+    #[test]
+    fn better_than_random_sampling_at_equal_budget() {
+        // Sanity: ABS with a flip budget must beat the best of an equal
+        // number of uniformly random solutions.
+        let mut rng = StdRng::seed_from_u64(7);
+        let q = Qubo::random(128, &mut rng);
+        let mut cfg = AbsConfig::small();
+        cfg.stop = StopCondition::flips(100_000);
+        let r = Abs::new(cfg).solve(&q);
+        let mut rand_best = Energy::MAX;
+        for _ in 0..2_000 {
+            let x = BitVec::random(128, &mut rng);
+            rand_best = rand_best.min(q.energy(&x));
+        }
+        assert!(
+            r.best_energy < rand_best,
+            "ABS {} vs random {rand_best}",
+            r.best_energy
+        );
+    }
+
+    #[test]
+    fn adaptive_mode_solves_correctly() {
+        // The future-work adaptive window switching must not break
+        // correctness: energies remain exact and small optima are found.
+        let mut rng = StdRng::seed_from_u64(8);
+        let q = Qubo::random(14, &mut rng);
+        let (_, opt) = brute_force(&q);
+        let mut cfg = AbsConfig::small();
+        cfg.machine.device.adaptive = Some(vgpu::AdaptiveConfig { patience: 3 });
+        cfg.stop = StopCondition::target(opt).with_timeout(Duration::from_secs(30));
+        let r = Abs::new(cfg).solve(&q);
+        assert!(r.reached_target);
+        assert_eq!(r.best_energy, q.energy(&r.best));
+    }
+
+    #[test]
+    fn warm_start_reaches_a_known_target_immediately() {
+        // Plant the exact optimum as a warm start: the first straight
+        // search evaluates it, so the target is hit with a tiny budget.
+        let mut rng = StdRng::seed_from_u64(9);
+        let q = Qubo::random(18, &mut rng);
+        let (opt_x, opt_e) = brute_force(&q);
+        let mut cfg = AbsConfig::small();
+        cfg.initial_solutions = vec![opt_x.clone()];
+        cfg.stop = StopCondition::target(opt_e).with_timeout(Duration::from_secs(20));
+        let r = Abs::new(cfg).solve(&q);
+        assert!(r.reached_target);
+        assert_eq!(r.best_energy, opt_e);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial solution length")]
+    fn warm_start_length_mismatch_panics() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let q = Qubo::random(16, &mut rng);
+        let mut cfg = AbsConfig::small();
+        cfg.initial_solutions = vec![BitVec::zeros(8)];
+        cfg.stop = StopCondition::flips(100);
+        let _ = Abs::new(cfg).solve(&q);
+    }
+
+    #[test]
+    fn config_accessor_roundtrips() {
+        let mut cfg = AbsConfig::small();
+        cfg.stop = StopCondition::flips(10);
+        cfg.pool_size = 11;
+        let solver = Abs::new(cfg);
+        assert_eq!(solver.config().pool_size, 11);
+    }
+}

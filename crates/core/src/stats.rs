@@ -1,0 +1,138 @@
+//! Results and statistics of an ABS run.
+
+use qubo::{BitVec, Energy};
+use serde::Serialize;
+use std::time::Duration;
+
+/// One point of the best-energy trace.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct HistoryPoint {
+    /// Time since the start of the run, in nanoseconds (serialized as an
+    /// integer for stable JSON).
+    pub elapsed_ns: u128,
+    /// Best energy known at that time.
+    pub energy: Energy,
+}
+
+/// Outcome of [`crate::Abs::solve`].
+#[derive(Clone, Debug)]
+pub struct SolveResult {
+    /// Best solution found.
+    pub best: BitVec,
+    /// Its energy (always exact — energies travel with solutions from
+    /// the devices, which track them incrementally and exactly).
+    pub best_energy: Energy,
+    /// Whether the target energy (if any) was reached.
+    pub reached_target: bool,
+    /// Time at which the target was first reached (the paper's
+    /// *time-to-solution*, Table 1).
+    pub time_to_target: Option<Duration>,
+    /// Total wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Total device flips.
+    pub total_flips: u64,
+    /// Total solutions evaluated (`flips × (n + 1)`).
+    pub evaluated: u64,
+    /// Solutions evaluated per second — the paper's *search rate* (§4.3).
+    pub search_rate: f64,
+    /// Bulk-search iterations completed across all blocks.
+    pub iterations: u64,
+    /// Results drained from devices.
+    pub results_received: u64,
+    /// Results that entered the pool (not duplicates, not worse than the
+    /// whole pool).
+    pub results_inserted: u64,
+    /// Best-energy improvement trace.
+    pub history: Vec<HistoryPoint>,
+}
+
+impl SolveResult {
+    /// Fraction of device results that were novel enough to enter the
+    /// pool — a diagnostic of GA diversity.
+    #[must_use]
+    pub fn insertion_ratio(&self) -> f64 {
+        if self.results_received == 0 {
+            0.0
+        } else {
+            self.results_inserted as f64 / self.results_received as f64
+        }
+    }
+
+    /// Renders the best-energy trace as CSV (`elapsed_s,energy` with a
+    /// header), for plotting convergence curves outside Rust.
+    #[must_use]
+    pub fn history_csv(&self) -> String {
+        let mut out = String::from("elapsed_s,energy\n");
+        for p in &self.history {
+            out.push_str(&format!("{:.9},{}\n", p.elapsed_ns as f64 / 1e9, p.energy));
+        }
+        out
+    }
+
+    /// Writes the best-energy trace to a CSV file.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn write_history_csv(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.history_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(received: u64, inserted: u64) -> SolveResult {
+        SolveResult {
+            best: BitVec::zeros(4),
+            best_energy: 0,
+            reached_target: false,
+            time_to_target: None,
+            elapsed: Duration::from_millis(10),
+            total_flips: 100,
+            evaluated: 500,
+            search_rate: 5e4,
+            iterations: 10,
+            results_received: received,
+            results_inserted: inserted,
+            history: vec![],
+        }
+    }
+
+    #[test]
+    fn insertion_ratio_handles_zero() {
+        assert_eq!(dummy(0, 0).insertion_ratio(), 0.0);
+        assert!((dummy(10, 4).insertion_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn history_csv_renders_and_roundtrips_through_disk() {
+        let mut r = dummy(1, 1);
+        r.history = vec![
+            HistoryPoint {
+                elapsed_ns: 1_000_000,
+                energy: -5,
+            },
+            HistoryPoint {
+                elapsed_ns: 2_500_000,
+                energy: -9,
+            },
+        ];
+        let csv = r.history_csv();
+        assert_eq!(csv, "elapsed_s,energy\n0.001000000,-5\n0.002500000,-9\n");
+        let path = std::env::temp_dir().join("abs-stats-test-history.csv");
+        r.write_history_csv(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), csv);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn history_point_serializes_stably() {
+        let p = HistoryPoint {
+            elapsed_ns: 1_500,
+            energy: -42,
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(json, r#"{"elapsed_ns":1500,"energy":-42}"#);
+    }
+}

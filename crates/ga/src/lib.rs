@@ -1,0 +1,43 @@
+//! Host-side genetic algorithm of the ABS framework (§2.2, §3.1).
+//!
+//! The CPU host's entire job is bookkeeping and breeding: it maintains a
+//! [`SolutionPool`] of the `m` best *distinct* solutions seen so far —
+//! sorted by energy, deduplicated with a binary search — and produces new
+//! *target* solutions for the devices by mutation, uniform crossover, and
+//! random immigration ([`TargetGenerator`]). Crucially, the host **never
+//! evaluates the energy function**: energies arrive from the devices along
+//! with the solutions, and freshly generated targets are shipped
+//! unevaluated (the device learns their energy for free while straight-
+//! searching toward them).
+//!
+//! # Example
+//!
+//! ```
+//! use qubo_ga::{GaConfig, InsertOutcome, SolutionPool, TargetGenerator};
+//! use qubo::BitVec;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut pool = SolutionPool::random(16, 32, &mut rng);
+//!
+//! // A device reports a solution with its energy; the pool stays
+//! // sorted and distinct.
+//! let x = BitVec::random(32, &mut rng);
+//! assert_eq!(pool.insert(x.clone(), -123), InsertOutcome::Inserted);
+//! assert_eq!(pool.insert(x, -123), InsertOutcome::Duplicate);
+//! assert_eq!(pool.best().unwrap().energy, -123);
+//!
+//! // Breed the next target.
+//! let mut gen = TargetGenerator::new(32, GaConfig::default(), 42);
+//! let target = gen.generate(&pool);
+//! assert_eq!(target.len(), 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod operators;
+pub mod pool;
+
+pub use operators::{GaConfig, Operator, OperatorUsage, TargetGenerator};
+pub use pool::{InsertOutcome, PoolEntry, SolutionPool};

@@ -1,0 +1,332 @@
+//! Genetic operators generating target solutions (§2.2.1).
+
+use crate::pool::SolutionPool;
+use qubo::BitVec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The genetic operator applied to produce one target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operator {
+    /// Flip a few random bits of one selected parent.
+    Mutate,
+    /// Uniform crossover: each bit drawn from either of two parents.
+    Crossover,
+    /// Copy a parent unchanged (the local search around it still makes
+    /// progress because the device's best-solution record was reset).
+    Copy,
+    /// A fresh uniformly random solution, injected for diversity.
+    RandomImmigrant,
+}
+
+/// Probabilities of the genetic operators and mutation strength.
+#[derive(Clone, Copy, Debug)]
+pub struct GaConfig {
+    /// Probability of [`Operator::Mutate`].
+    pub p_mutate: f64,
+    /// Probability of [`Operator::Crossover`].
+    pub p_crossover: f64,
+    /// Probability of [`Operator::RandomImmigrant`]; the remainder
+    /// (`1 − p_mutate − p_crossover − p_immigrant`) is [`Operator::Copy`].
+    pub p_immigrant: f64,
+    /// Number of random bits flipped by a mutation.
+    pub mutation_flips: usize,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        Self {
+            p_mutate: 0.35,
+            p_crossover: 0.45,
+            p_immigrant: 0.05,
+            mutation_flips: 4,
+        }
+    }
+}
+
+impl GaConfig {
+    /// Validates that the probabilities form a distribution.
+    ///
+    /// # Panics
+    /// Panics when probabilities are negative or sum above 1.
+    pub fn validate(&self) {
+        assert!(
+            self.p_mutate >= 0.0 && self.p_crossover >= 0.0 && self.p_immigrant >= 0.0,
+            "operator probabilities must be non-negative"
+        );
+        assert!(
+            self.p_mutate + self.p_crossover + self.p_immigrant <= 1.0 + 1e-9,
+            "operator probabilities exceed 1"
+        );
+        assert!(
+            self.mutation_flips > 0,
+            "mutation must flip at least one bit"
+        );
+    }
+}
+
+/// Per-operator usage counters (diagnostics for the ablation harness).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OperatorUsage {
+    /// Targets produced by mutation.
+    pub mutate: u64,
+    /// Targets produced by crossover.
+    pub crossover: u64,
+    /// Targets copied verbatim.
+    pub copy: u64,
+    /// Random immigrants.
+    pub immigrant: u64,
+}
+
+impl OperatorUsage {
+    /// Total targets generated.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.mutate + self.crossover + self.copy + self.immigrant
+    }
+}
+
+/// Stateful generator of target solutions for the devices (§3.1 Step 4).
+#[derive(Clone, Debug)]
+pub struct TargetGenerator {
+    config: GaConfig,
+    n: usize,
+    rng: SmallRng,
+    usage: OperatorUsage,
+}
+
+impl TargetGenerator {
+    /// Creates a generator for `n`-bit problems.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`GaConfig::validate`]).
+    #[must_use]
+    pub fn new(n: usize, config: GaConfig, seed: u64) -> Self {
+        config.validate();
+        Self {
+            config,
+            n,
+            rng: SmallRng::seed_from_u64(seed),
+            usage: OperatorUsage::default(),
+        }
+    }
+
+    /// Per-operator usage counters since construction.
+    #[must_use]
+    pub fn usage(&self) -> OperatorUsage {
+        self.usage
+    }
+
+    /// Draws the operator for the next target.
+    fn draw_operator(&mut self) -> Operator {
+        let r: f64 = self.rng.gen();
+        let c = &self.config;
+        if r < c.p_mutate {
+            Operator::Mutate
+        } else if r < c.p_mutate + c.p_crossover {
+            Operator::Crossover
+        } else if r < c.p_mutate + c.p_crossover + c.p_immigrant {
+            Operator::RandomImmigrant
+        } else {
+            Operator::Copy
+        }
+    }
+
+    /// Generates one target solution from the pool.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty.
+    pub fn generate(&mut self, pool: &SolutionPool) -> BitVec {
+        let op = self.draw_operator();
+        self.generate_with(op, pool)
+    }
+
+    /// Generates one target with an explicit operator (test hook and
+    /// ablation entry point).
+    ///
+    /// # Panics
+    /// Panics if the pool is empty.
+    pub fn generate_with(&mut self, op: Operator, pool: &SolutionPool) -> BitVec {
+        match op {
+            Operator::Mutate => self.usage.mutate += 1,
+            Operator::Crossover => self.usage.crossover += 1,
+            Operator::Copy => self.usage.copy += 1,
+            Operator::RandomImmigrant => self.usage.immigrant += 1,
+        }
+        match op {
+            Operator::Mutate => {
+                let mut x = pool.tournament(&mut self.rng).x.clone();
+                for _ in 0..self.config.mutation_flips {
+                    let k = self.rng.gen_range(0..self.n);
+                    x.flip(k);
+                }
+                x
+            }
+            Operator::Crossover => {
+                let a = pool.tournament(&mut self.rng).x.clone();
+                let b = &pool.tournament(&mut self.rng).x;
+                let mut child = a;
+                for i in 0..self.n {
+                    if self.rng.gen::<bool>() {
+                        child.set(i, b.get(i));
+                    }
+                }
+                child
+            }
+            Operator::Copy => pool.tournament(&mut self.rng).x.clone(),
+            Operator::RandomImmigrant => BitVec::random(self.n, &mut self.rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qubo::energy::UNEVALUATED;
+    use rand::rngs::StdRng;
+
+    fn pool_of(n: usize, members: &[&str]) -> SolutionPool {
+        let mut p = SolutionPool::empty(members.len().max(1));
+        for (i, s) in members.iter().enumerate() {
+            assert_eq!(s.len(), n);
+            p.insert(BitVec::from_bit_str(s).unwrap(), i as i64);
+        }
+        p
+    }
+
+    #[test]
+    fn mutate_changes_hamming_distance_by_parity() {
+        // Flipping f random bits changes the parent by at most f bits,
+        // with matching parity (bits may collide and cancel).
+        let pool = pool_of(16, &["0000000000000000"]);
+        let cfg = GaConfig {
+            mutation_flips: 3,
+            ..GaConfig::default()
+        };
+        let mut g = TargetGenerator::new(16, cfg, 1);
+        for _ in 0..50 {
+            let child = g.generate_with(Operator::Mutate, &pool);
+            let hd = child.hamming(&pool.get(0).unwrap().x);
+            assert!(hd <= 3);
+            assert_eq!(hd % 2, 1, "parity of 3 flips");
+        }
+    }
+
+    #[test]
+    fn crossover_child_bits_come_from_parents() {
+        let pool = pool_of(8, &["00001111", "01010101"]);
+        let mut g = TargetGenerator::new(8, GaConfig::default(), 2);
+        for _ in 0..50 {
+            let child = g.generate_with(Operator::Crossover, &pool);
+            for i in 0..8 {
+                let a = pool.get(0).unwrap().x.get(i);
+                let b = pool.get(1).unwrap().x.get(i);
+                let c = child.get(i);
+                assert!(c == a || c == b, "bit {i} from neither parent");
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_of_identical_parents_is_identity() {
+        let pool = pool_of(8, &["01101001"]);
+        let mut g = TargetGenerator::new(8, GaConfig::default(), 3);
+        let child = g.generate_with(Operator::Crossover, &pool);
+        assert_eq!(child, pool.get(0).unwrap().x);
+    }
+
+    #[test]
+    fn copy_returns_a_pool_member() {
+        let pool = pool_of(4, &["0011", "1100", "1010"]);
+        let mut g = TargetGenerator::new(4, GaConfig::default(), 4);
+        for _ in 0..20 {
+            let t = g.generate_with(Operator::Copy, &pool);
+            assert!(pool.iter().any(|e| e.x == t));
+        }
+    }
+
+    #[test]
+    fn immigrant_has_the_right_length() {
+        let pool = pool_of(12, &["000000000000"]);
+        let mut g = TargetGenerator::new(12, GaConfig::default(), 5);
+        let t = g.generate_with(Operator::RandomImmigrant, &pool);
+        assert_eq!(t.len(), 12);
+    }
+
+    #[test]
+    fn operator_mix_roughly_follows_probabilities() {
+        let cfg = GaConfig {
+            p_mutate: 0.5,
+            p_crossover: 0.3,
+            p_immigrant: 0.1,
+            mutation_flips: 1,
+        };
+        let mut g = TargetGenerator::new(8, cfg, 6);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            match g.draw_operator() {
+                Operator::Mutate => counts[0] += 1,
+                Operator::Crossover => counts[1] += 1,
+                Operator::RandomImmigrant => counts[2] += 1,
+                Operator::Copy => counts[3] += 1,
+            }
+        }
+        assert!((counts[0] as f64 / 4000.0 - 0.5).abs() < 0.05);
+        assert!((counts[1] as f64 / 4000.0 - 0.3).abs() < 0.05);
+        assert!((counts[2] as f64 / 4000.0 - 0.1).abs() < 0.05);
+        assert!((counts[3] as f64 / 4000.0 - 0.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn usage_counters_track_operators() {
+        let pool = pool_of(8, &["00110011", "11001100"]);
+        let mut g = TargetGenerator::new(8, GaConfig::default(), 11);
+        assert_eq!(g.usage().total(), 0);
+        g.generate_with(Operator::Mutate, &pool);
+        g.generate_with(Operator::Mutate, &pool);
+        g.generate_with(Operator::Crossover, &pool);
+        g.generate_with(Operator::Copy, &pool);
+        g.generate_with(Operator::RandomImmigrant, &pool);
+        let u = g.usage();
+        assert_eq!(u.mutate, 2);
+        assert_eq!(u.crossover, 1);
+        assert_eq!(u.copy, 1);
+        assert_eq!(u.immigrant, 1);
+        assert_eq!(u.total(), 5);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pool = SolutionPool::random(8, 32, &mut rng);
+        let mut g1 = TargetGenerator::new(32, GaConfig::default(), 8);
+        let mut g2 = TargetGenerator::new(32, GaConfig::default(), 8);
+        for _ in 0..20 {
+            assert_eq!(g1.generate(&pool), g2.generate(&pool));
+        }
+    }
+
+    #[test]
+    fn works_with_unevaluated_pool() {
+        // §3.1 Step 1: the first targets are bred from the random,
+        // never-evaluated population.
+        let mut rng = StdRng::seed_from_u64(9);
+        let pool = SolutionPool::random(4, 16, &mut rng);
+        assert!(pool.iter().all(|e| e.energy == UNEVALUATED));
+        let mut g = TargetGenerator::new(16, GaConfig::default(), 10);
+        let t = g.generate(&pool);
+        assert_eq!(t.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn invalid_probabilities_panic() {
+        let cfg = GaConfig {
+            p_mutate: 0.9,
+            p_crossover: 0.9,
+            p_immigrant: 0.0,
+            mutation_flips: 1,
+        };
+        let _ = TargetGenerator::new(8, cfg, 0);
+    }
+}

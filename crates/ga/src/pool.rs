@@ -1,0 +1,317 @@
+//! The host's sorted, distinct solution pool (§3.1).
+
+use qubo::energy::UNEVALUATED;
+use qubo::{BitVec, Energy};
+use rand::Rng;
+
+/// One pool slot: a solution and its energy (or [`UNEVALUATED`] for the
+/// initial random population, whose energies the host never computes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoolEntry {
+    /// Energy reported by a device, or [`UNEVALUATED`].
+    pub energy: Energy,
+    /// The solution bits.
+    pub x: BitVec,
+}
+
+/// Outcome of [`SolutionPool::insert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The solution entered the pool (possibly evicting the worst entry).
+    Inserted,
+    /// An identical solution was already present — rejected to keep the
+    /// pool distinct (the paper's premature-convergence guard).
+    Duplicate,
+    /// The pool is full and the solution is no better than the worst.
+    Worse,
+}
+
+/// The host's pool of `m` solutions, always sorted by `(energy, bits)`
+/// ascending and free of duplicates.
+///
+/// Ordering by the pair (not just energy) lets a single binary search do
+/// both jobs the paper gives it: find the insertion index *and* decide
+/// whether the identical solution already exists, in O(log m)
+/// comparisons.
+#[derive(Clone, Debug)]
+pub struct SolutionPool {
+    entries: Vec<PoolEntry>,
+    capacity: usize,
+}
+
+impl SolutionPool {
+    /// Creates a pool of `capacity` random distinct `n`-bit solutions
+    /// with unevaluated energies (§3.1 Step 1).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or `n == 0`.
+    pub fn random<R: Rng + ?Sized>(capacity: usize, n: usize, rng: &mut R) -> Self {
+        assert!(capacity > 0, "pool capacity must be positive");
+        assert!(n > 0, "problem size must be positive");
+        // A pool of *distinct* solutions can never exceed 2ⁿ members;
+        // clamp the initial fill so tiny problems terminate (inserts may
+        // still grow toward the configured capacity later — they simply
+        // deduplicate).
+        let fill = if n < usize::BITS as usize {
+            capacity.min(1usize << n)
+        } else {
+            capacity
+        };
+        let mut pool = Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        };
+        // Random n-bit vectors collide with probability ~m²/2ⁿ⁺¹ — for
+        // tiny n (tests) we may need a few retries, so loop with an
+        // enumeration fallback that guarantees termination (fill ≤ 2ⁿ).
+        let mut attempts = 0usize;
+        let mut enumerate_next = 0usize;
+        while pool.entries.len() < fill {
+            let mut x = BitVec::random(n, rng);
+            attempts += 1;
+            if attempts > fill * 64 {
+                // Deterministic fallback: enumerate counter values.
+                x = BitVec::zeros(n);
+                for b in 0..n.min(usize::BITS as usize) {
+                    if (enumerate_next >> b) & 1 == 1 {
+                        x.set(b, true);
+                    }
+                }
+                enumerate_next += 1;
+            }
+            let _ = pool.insert(x, UNEVALUATED);
+        }
+        pool
+    }
+
+    /// Creates an empty pool with the given capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn empty(capacity: usize) -> Self {
+        assert!(capacity > 0, "pool capacity must be positive");
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Number of stored solutions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the pool holds no solutions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of stored solutions `m`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The best (lowest-energy) entry, if any solution has been evaluated
+    /// or stored.
+    #[must_use]
+    pub fn best(&self) -> Option<&PoolEntry> {
+        self.entries.first()
+    }
+
+    /// The worst (highest-energy) entry.
+    #[must_use]
+    pub fn worst(&self) -> Option<&PoolEntry> {
+        self.entries.last()
+    }
+
+    /// Entry at rank `i` (0 = best).
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<&PoolEntry> {
+        self.entries.get(i)
+    }
+
+    /// Iterates entries in ascending energy order.
+    pub fn iter(&self) -> impl Iterator<Item = &PoolEntry> {
+        self.entries.iter()
+    }
+
+    /// Inserts a solution reported by a device (§3.1 Step 3).
+    ///
+    /// A binary search over `(energy, bits)` finds the insertion point
+    /// and detects duplicates in O(log m); when the pool is full the
+    /// worst entry is evicted — unless the newcomer itself is worst, in
+    /// which case it is rejected.
+    pub fn insert(&mut self, x: BitVec, energy: Energy) -> InsertOutcome {
+        let probe = PoolEntry { energy, x };
+        match self
+            .entries
+            .binary_search_by(|e| (e.energy, &e.x).cmp(&(probe.energy, &probe.x)))
+        {
+            Ok(_) => InsertOutcome::Duplicate,
+            Err(idx) => {
+                if self.entries.len() == self.capacity {
+                    if idx == self.entries.len() {
+                        return InsertOutcome::Worse;
+                    }
+                    self.entries.pop();
+                }
+                self.entries.insert(idx, probe);
+                InsertOutcome::Inserted
+            }
+        }
+    }
+
+    /// Selects an entry by binary rank tournament: two uniform ranks are
+    /// drawn and the better (lower) one wins, biasing parents toward the
+    /// front of the pool without starving the tail.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty.
+    pub fn tournament<R: Rng + ?Sized>(&self, rng: &mut R) -> &PoolEntry {
+        assert!(!self.entries.is_empty(), "tournament on empty pool");
+        let a = rng.gen_range(0..self.entries.len());
+        let b = rng.gen_range(0..self.entries.len());
+        &self.entries[a.min(b)]
+    }
+
+    /// Debug/test helper: panics unless the pool is sorted and distinct.
+    pub fn assert_invariants(&self) {
+        for w in self.entries.windows(2) {
+            let a = (w[0].energy, &w[0].x);
+            let b = (w[1].energy, &w[1].x);
+            assert!(a < b, "pool not strictly sorted/distinct");
+        }
+        assert!(self.entries.len() <= self.capacity, "pool over capacity");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bv(s: &str) -> BitVec {
+        BitVec::from_bit_str(s).unwrap()
+    }
+
+    #[test]
+    fn random_pool_is_full_distinct_unevaluated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = SolutionPool::random(16, 64, &mut rng);
+        assert_eq!(p.len(), 16);
+        p.assert_invariants();
+        assert!(p.iter().all(|e| e.energy == UNEVALUATED));
+    }
+
+    #[test]
+    fn random_pool_survives_tiny_solution_space() {
+        // 2⁴ = 16 ≥ capacity 10: must terminate and stay distinct.
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = SolutionPool::random(10, 4, &mut rng);
+        assert_eq!(p.len(), 10);
+        p.assert_invariants();
+    }
+
+    #[test]
+    fn random_pool_clamps_when_capacity_exceeds_solution_space() {
+        // 2³ = 8 < capacity 32 (the abs-cli hang regression): the fill
+        // stops at 8 distinct solutions instead of spinning forever.
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = SolutionPool::random(32, 3, &mut rng);
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.capacity(), 32);
+        p.assert_invariants();
+        // 1-bit problems, capacity 4: both solutions, no more.
+        let p1 = SolutionPool::random(4, 1, &mut rng);
+        assert_eq!(p1.len(), 2);
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let mut p = SolutionPool::empty(4);
+        assert_eq!(p.insert(bv("0011"), 5), InsertOutcome::Inserted);
+        assert_eq!(p.insert(bv("1100"), -3), InsertOutcome::Inserted);
+        assert_eq!(p.insert(bv("1111"), 1), InsertOutcome::Inserted);
+        let energies: Vec<i64> = p.iter().map(|e| e.energy).collect();
+        assert_eq!(energies, vec![-3, 1, 5]);
+        p.assert_invariants();
+    }
+
+    #[test]
+    fn duplicate_solution_is_rejected() {
+        let mut p = SolutionPool::empty(4);
+        p.insert(bv("0101"), 7);
+        assert_eq!(p.insert(bv("0101"), 7), InsertOutcome::Duplicate);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn same_energy_different_bits_both_kept() {
+        let mut p = SolutionPool::empty(4);
+        p.insert(bv("0101"), 7);
+        assert_eq!(p.insert(bv("1010"), 7), InsertOutcome::Inserted);
+        assert_eq!(p.len(), 2);
+        p.assert_invariants();
+    }
+
+    #[test]
+    fn full_pool_evicts_worst() {
+        let mut p = SolutionPool::empty(2);
+        p.insert(bv("01"), 10);
+        p.insert(bv("10"), 20);
+        assert_eq!(p.insert(bv("11"), 5), InsertOutcome::Inserted);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.best().unwrap().energy, 5);
+        assert_eq!(p.worst().unwrap().energy, 10);
+    }
+
+    #[test]
+    fn full_pool_rejects_worse_candidate() {
+        let mut p = SolutionPool::empty(2);
+        p.insert(bv("01"), 10);
+        p.insert(bv("10"), 20);
+        assert_eq!(p.insert(bv("11"), 99), InsertOutcome::Worse);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn unevaluated_entries_sort_last_and_get_replaced() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = SolutionPool::random(3, 32, &mut rng);
+        // A real (evaluated) solution evicts an unevaluated one.
+        let x = BitVec::random(32, &mut rng);
+        assert_eq!(p.insert(x, 0), InsertOutcome::Inserted);
+        assert_eq!(p.best().unwrap().energy, 0);
+        assert_eq!(p.iter().filter(|e| e.energy == UNEVALUATED).count(), 2);
+    }
+
+    #[test]
+    fn tournament_biases_toward_better_ranks() {
+        let mut p = SolutionPool::empty(10);
+        for i in 0..10i64 {
+            let mut x = BitVec::zeros(8);
+            for b in 0..8 {
+                if (i >> b) & 1 == 1 {
+                    x.set(b, true);
+                }
+            }
+            p.insert(x, i);
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let picks: Vec<i64> = (0..2000).map(|_| p.tournament(&mut rng).energy).collect();
+        let avg = picks.iter().sum::<i64>() as f64 / picks.len() as f64;
+        // Uniform average rank-energy would be 4.5; min-of-two ≈ 3.0.
+        assert!(avg < 4.0, "tournament not biased: avg={avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = SolutionPool::empty(0);
+    }
+}

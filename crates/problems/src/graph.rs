@@ -1,0 +1,130 @@
+//! Simple undirected weighted graphs shared by the graph-based
+//! formulations.
+
+use std::collections::BTreeMap;
+
+/// An undirected graph with integer edge weights and no self-loops.
+/// Parallel edges merge by summing weights.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    edges: BTreeMap<(usize, usize), i32>,
+}
+
+impl Graph {
+    /// Creates an edgeless graph on `n` vertices.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: BTreeMap::new(),
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or self-loops.
+    #[must_use]
+    pub fn from_edges(n: usize, edges: &[(usize, usize, i32)]) -> Self {
+        let mut g = Self::new(n);
+        for &(u, v, w) in edges {
+            g.add_edge(u, v, w);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (merged) edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds weight `w` to edge `{u, v}` (creating it if absent).
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or a self-loop.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: i32) {
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        assert_ne!(u, v, "self-loops are not allowed");
+        let key = (u.min(v), u.max(v));
+        *self.edges.entry(key).or_insert(0) += w;
+    }
+
+    /// `true` if edge `{u, v}` exists.
+    #[must_use]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.edges.contains_key(&(u.min(v), u.max(v)))
+    }
+
+    /// Weight of edge `{u, v}` (0 if absent).
+    #[must_use]
+    pub fn weight(&self, u: usize, v: usize) -> i32 {
+        *self.edges.get(&(u.min(v), u.max(v))).unwrap_or(&0)
+    }
+
+    /// Iterates `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, i32)> + '_ {
+        self.edges.iter().map(|(&(u, v), &w)| (u, v, w))
+    }
+
+    /// Weighted degree of `v` (sum of incident edge weights).
+    #[must_use]
+    pub fn weighted_degree(&self, v: usize) -> i64 {
+        self.edges()
+            .filter(|&(a, b, _)| a == v || b == v)
+            .map(|(_, _, w)| i64::from(w))
+            .sum()
+    }
+
+    /// Total weight of all edges.
+    #[must_use]
+    pub fn total_weight(&self) -> i64 {
+        self.edges().map(|(_, _, w)| i64::from(w)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_merge_and_canonicalize() {
+        let mut g = Graph::new(4);
+        g.add_edge(2, 1, 3);
+        g.add_edge(1, 2, 4);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.weight(1, 2), 7);
+        assert_eq!(g.weight(2, 1), 7);
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn degree_and_total() {
+        let g = Graph::from_edges(4, &[(0, 1, 1), (0, 2, 2), (1, 2, -1), (2, 3, 5)]);
+        assert_eq!(g.weighted_degree(2), 2 - 1 + 5);
+        assert_eq!(g.weighted_degree(3), 5);
+        assert_eq!(g.total_weight(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 2, 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! G-set-style Max-Cut instances (Table 1 (a)).
+//!
+//! The real G-set is a collection of machine-generated graphs
+//! distributed as downloads; offline, we regenerate the same three
+//! *families* with a seeded RNG and carry a catalog of the eight
+//! instances the paper benchmarks, including the paper's target values
+//! and measured times. Our generated graphs share each instance's size,
+//! edge count, family and weight alphabet — but are not the literal
+//! G-set graphs, so best-known cut values differ; the benchmark harness
+//! therefore reports targets as *fractions of our own best-found*
+//! values, mirroring the paper's "99 % / 95 % of best-known" protocol
+//! (substitution documented in DESIGN.md).
+
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The three G-set graph families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GsetFamily {
+    /// Uniform random graphs with unit weights (+1).
+    RandomUnit,
+    /// Uniform random graphs with ±1 weights.
+    RandomPm1,
+    /// "Planar"-family graphs with unit weights (a lattice backbone plus
+    /// chords up to the target edge count — the G-set planar instances
+    /// exceed the strict planar edge bound, so exact planarity is not a
+    /// property the family actually has).
+    PlanarUnit,
+    /// "Planar"-family graphs with ±1 weights.
+    PlanarPm1,
+}
+
+impl GsetFamily {
+    fn weighted(self) -> bool {
+        matches!(self, Self::RandomPm1 | Self::PlanarPm1)
+    }
+
+    fn planar(self) -> bool {
+        matches!(self, Self::PlanarUnit | Self::PlanarPm1)
+    }
+}
+
+/// Catalog entry for one paper-benchmarked G-set instance.
+#[derive(Clone, Debug)]
+pub struct GsetInstance {
+    /// Instance name (G1, G6, …).
+    pub name: &'static str,
+    /// Vertices (equals QUBO bits).
+    pub n: usize,
+    /// Edge count of the original instance.
+    pub edges: usize,
+    /// Graph family.
+    pub family: GsetFamily,
+    /// The target cut value the paper used.
+    pub paper_target: i64,
+    /// The fraction of best-known the target represents (1.0, 0.99, 0.95).
+    pub target_fraction: f64,
+    /// The paper's measured time-to-solution in seconds (Table 1 (a)).
+    pub paper_time_s: f64,
+}
+
+/// The eight instances of Table 1 (a).
+pub const PAPER_INSTANCES: &[GsetInstance] = &[
+    GsetInstance {
+        name: "G1",
+        n: 800,
+        edges: 19176,
+        family: GsetFamily::RandomUnit,
+        paper_target: 11624,
+        target_fraction: 1.00,
+        paper_time_s: 0.0723,
+    },
+    GsetInstance {
+        name: "G6",
+        n: 800,
+        edges: 19176,
+        family: GsetFamily::RandomPm1,
+        paper_target: 2178,
+        target_fraction: 1.00,
+        paper_time_s: 0.106,
+    },
+    GsetInstance {
+        name: "G22",
+        n: 2000,
+        edges: 19990,
+        family: GsetFamily::RandomUnit,
+        paper_target: 13225,
+        target_fraction: 0.99,
+        paper_time_s: 0.110,
+    },
+    GsetInstance {
+        name: "G27",
+        n: 2000,
+        edges: 19990,
+        family: GsetFamily::RandomPm1,
+        paper_target: 3308,
+        target_fraction: 0.99,
+        paper_time_s: 0.721,
+    },
+    GsetInstance {
+        name: "G35",
+        n: 2000,
+        edges: 11778,
+        family: GsetFamily::PlanarUnit,
+        paper_target: 7611,
+        target_fraction: 0.99,
+        paper_time_s: 0.208,
+    },
+    GsetInstance {
+        name: "G39",
+        n: 2000,
+        edges: 11778,
+        family: GsetFamily::PlanarPm1,
+        paper_target: 2384,
+        target_fraction: 0.99,
+        paper_time_s: 1.89,
+    },
+    GsetInstance {
+        name: "G55",
+        n: 5000,
+        edges: 12498,
+        family: GsetFamily::RandomUnit,
+        paper_target: 9785,
+        target_fraction: 0.95,
+        paper_time_s: 0.150,
+    },
+    GsetInstance {
+        name: "G70",
+        n: 10000,
+        edges: 9999,
+        family: GsetFamily::RandomUnit,
+        paper_target: 9112,
+        target_fraction: 0.95,
+        paper_time_s: 0.360,
+    },
+];
+
+/// Looks up a paper instance by name (case-sensitive, e.g. `"G22"`).
+#[must_use]
+pub fn instance(name: &str) -> Option<&'static GsetInstance> {
+    PAPER_INSTANCES.iter().find(|i| i.name == name)
+}
+
+/// Generates a G-set-style graph: `n` vertices, exactly `edges` distinct
+/// edges, weights from the family's alphabet. Deterministic in `seed`.
+///
+/// # Panics
+/// Panics if `edges` exceeds the number of vertex pairs.
+#[must_use]
+pub fn generate(n: usize, edges: usize, family: GsetFamily, seed: u64) -> Graph {
+    let max_edges = n * (n - 1) / 2;
+    assert!(edges <= max_edges, "requested {edges} edges > {max_edges}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    let weight = |rng: &mut StdRng| -> i32 {
+        if family.weighted() {
+            if rng.gen_bool(0.5) {
+                1
+            } else {
+                -1
+            }
+        } else {
+            1
+        }
+    };
+    if family.planar() {
+        // Lattice backbone: a √n × √n torus grid (locality-structured,
+        // like the rudy-generated "planar" instances), then random
+        // chords between nearby vertices up to the edge budget.
+        let side = (n as f64).sqrt().ceil() as usize;
+        let at = |r: usize, c: usize| (r * side + c) % n;
+        'grid: for r in 0..side {
+            for c in 0..side {
+                let v = at(r, c);
+                for (dr, dc) in [(0usize, 1usize), (1, 0)] {
+                    if g.edge_count() >= edges {
+                        break 'grid;
+                    }
+                    let u = at((r + dr) % side, (c + dc) % side);
+                    if u != v && !g.has_edge(u, v) {
+                        let w = weight(&mut rng);
+                        g.add_edge(u, v, w);
+                    }
+                }
+            }
+        }
+        while g.edge_count() < edges {
+            let u = rng.gen_range(0..n);
+            // Chord to a vertex within a small lattice neighbourhood.
+            let dv = rng.gen_range(1..=2 * side);
+            let v = (u + dv) % n;
+            if u != v && !g.has_edge(u, v) {
+                let w = weight(&mut rng);
+                g.add_edge(u, v, w);
+            }
+        }
+    } else {
+        while g.edge_count() < edges {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v && !g.has_edge(u, v) {
+                let w = weight(&mut rng);
+                g.add_edge(u, v, w);
+            }
+        }
+    }
+    g
+}
+
+/// Generates the stand-in graph for a cataloged paper instance.
+#[must_use]
+pub fn generate_instance(inst: &GsetInstance, seed: u64) -> Graph {
+    generate(inst.n, inst.edges, inst.family, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_contains_the_eight_paper_rows() {
+        assert_eq!(PAPER_INSTANCES.len(), 8);
+        assert!(instance("G1").is_some());
+        assert!(instance("G70").is_some());
+        assert!(instance("G2").is_none());
+        let g39 = instance("G39").unwrap();
+        assert_eq!(g39.n, 2000);
+        assert_eq!(g39.paper_target, 2384);
+    }
+
+    #[test]
+    fn generator_hits_exact_edge_counts() {
+        for fam in [
+            GsetFamily::RandomUnit,
+            GsetFamily::RandomPm1,
+            GsetFamily::PlanarUnit,
+            GsetFamily::PlanarPm1,
+        ] {
+            let g = generate(100, 300, fam, 42);
+            assert_eq!(g.n(), 100);
+            assert_eq!(g.edge_count(), 300, "{fam:?}");
+        }
+    }
+
+    #[test]
+    fn weights_respect_family_alphabet() {
+        let unit = generate(60, 150, GsetFamily::RandomUnit, 1);
+        assert!(unit.edges().all(|(_, _, w)| w == 1));
+        let pm = generate(60, 150, GsetFamily::RandomPm1, 1);
+        assert!(pm.edges().all(|(_, _, w)| w == 1 || w == -1));
+        assert!(pm.edges().any(|(_, _, w)| w == -1));
+        assert!(pm.edges().any(|(_, _, w)| w == 1));
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = generate(80, 200, GsetFamily::RandomPm1, 7);
+        let b = generate(80, 200, GsetFamily::RandomPm1, 7);
+        assert_eq!(a, b);
+        let c = generate(80, 200, GsetFamily::RandomPm1, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn planar_family_is_locality_structured() {
+        // Chords connect lattice-nearby vertices: index distance is
+        // bounded by 2·side (mod n wrap-around).
+        let n = 100;
+        let side = 10;
+        let g = generate(n, 250, GsetFamily::PlanarUnit, 3);
+        for (u, v, _) in g.edges() {
+            let d = (v - u).min(n - (v - u)); // circular index distance
+            assert!(
+                d <= 2 * side + side, // grid rows wrap via `at`
+                "edge ({u},{v}) spans index distance {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_instances_generate_and_encode() {
+        // The small ones, end-to-end through the Max-Cut encoder.
+        let inst = instance("G1").unwrap();
+        let g = generate_instance(inst, 0);
+        assert_eq!(g.n(), 800);
+        assert_eq!(g.edge_count(), 19176);
+        let q = crate::maxcut::to_qubo(&g).unwrap();
+        assert_eq!(q.n(), 800);
+    }
+}

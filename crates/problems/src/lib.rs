@@ -1,0 +1,62 @@
+//! Benchmark problem generators and QUBO formulations (§4.1).
+//!
+//! The paper evaluates ABS on three benchmark families, all reproduced
+//! here:
+//!
+//! * [`maxcut`] — the Max-Cut QUBO formulation of Eq. (17), plus
+//!   [`gset`], a generator of G-set-style graphs with a catalog of the
+//!   eight instances in Table 1 (a). The real G-set files are downloads;
+//!   we regenerate the same graph families (random ±1 / +1, "planar")
+//!   with seeded RNG — see DESIGN.md for the substitution note.
+//! * [`tsp`] — the (c−1)²-bit traveling-salesman formulation of Lucas
+//!   (Fig. 7), an exact Held–Karp solver for small instances, a 2-opt
+//!   heuristic for reference values, and [`tsplib`], seeded stand-ins
+//!   for the five TSPLIB instances of Table 1 (b).
+//! * [`random`] — synthetic random problems with full 16-bit weights
+//!   (§4.1.3, Table 1 (c) and Table 2).
+//!
+//! Beyond the paper's benchmarks (its future work asks for "other
+//! applications"), five more Karp/Lucas formulations exercise the same public
+//! API: [`partition`] (number partitioning), [`cover`] (minimum vertex
+//! cover), [`mis`] (maximum independent set), [`coloring`] (graph
+//! k-coloring), and [`sat`] (Max-2-SAT).
+//!
+//! # Example
+//!
+//! ```
+//! use qubo_problems::{gset, maxcut, tsp, tsplib};
+//!
+//! // A G-set-style Max-Cut instance: energy is the negated cut.
+//! let g = gset::generate(50, 120, gset::GsetFamily::RandomPm1, 7);
+//! let q = maxcut::to_qubo(&g).unwrap();
+//! let x = qubo::BitVec::zeros(50);
+//! assert_eq!(q.energy(&x), -maxcut::cut_value(&g, &x));
+//!
+//! // A TSP stand-in: encode a tour, decode it back.
+//! let inst = tsplib::synthetic("demo", 6, 1);
+//! let tq = tsp::to_qubo(&inst).unwrap();
+//! let tour = vec![0, 2, 4, 1, 5, 3];
+//! let bits = tq.encode(&tour);
+//! assert_eq!(tq.decode(&bits).unwrap(), tour);
+//! assert_eq!(
+//!     tq.energy_to_length(tq.qubo().energy(&bits)),
+//!     inst.tour_length(&tour) as i64
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coloring;
+pub mod cover;
+pub mod graph;
+pub mod gset;
+pub mod maxcut;
+pub mod mis;
+pub mod partition;
+pub mod random;
+pub mod sat;
+pub mod tsp;
+pub mod tsplib;
+
+pub use graph::Graph;

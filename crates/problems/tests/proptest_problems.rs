@@ -1,0 +1,156 @@
+//! Property-based tests of the problem formulations.
+
+use proptest::prelude::*;
+use qubo_problems::{coloring, cover, maxcut, mis, partition, tsp, tsplib, Graph};
+
+/// Strategy: a random graph on `n ≤ 10` vertices.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..=10).prop_flat_map(|n| {
+        proptest::collection::vec(any::<bool>(), n * (n - 1) / 2).prop_map(move |mask| {
+            let mut g = Graph::new(n);
+            let mut idx = 0;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if mask[idx] {
+                        g.add_edge(u, v, 1);
+                    }
+                    idx += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+/// Strategy: a random permutation of `0..c` rooted at 0.
+fn arb_tour(c: usize) -> impl Strategy<Value = Vec<usize>> {
+    Just(()).prop_perturb(move |(), mut rng| {
+        let mut tour: Vec<usize> = (1..c).collect();
+        for i in (1..tour.len()).rev() {
+            let j = (rng.next_u64() as usize) % (i + 1);
+            tour.swap(i, j);
+        }
+        let mut full = vec![0];
+        full.extend(tour);
+        full
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Max-Cut: E(X) = −cut(X) for every graph and partition.
+    #[test]
+    fn maxcut_energy_is_negated_cut(g in arb_graph(), bits in any::<u16>()) {
+        let q = maxcut::to_qubo(&g).expect("encodes");
+        let x = qubo::BitVec::from_bits(
+            &(0..g.n()).map(|i| ((bits >> (i % 16)) & 1) as u8).collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(q.energy(&x), -maxcut::cut_value(&g, &x));
+    }
+
+    /// TSP: encode/decode round-trips every tour, and the energy maps to
+    /// the exact tour length.
+    #[test]
+    fn tsp_encode_decode_roundtrip(c in 4usize..=9, seed in any::<u64>(), tour in arb_tour(8)) {
+        let inst = tsplib::synthetic("prop", c, seed);
+        let tq = tsp::to_qubo(&inst).expect("encodes");
+        // Build a tour of the right size from the sampled permutation.
+        let mut t: Vec<usize> = tour.into_iter().filter(|&v| v < c).collect();
+        let mut seen = vec![false; c];
+        t.retain(|&v| !std::mem::replace(&mut seen[v], true));
+        for v in 0..c {
+            if !seen[v] {
+                t.push(v);
+            }
+        }
+        prop_assert_eq!(t[0], 0);
+        let x = tq.encode(&t);
+        let decoded = tq.decode(&x);
+        prop_assert_eq!(decoded, Some(t.clone()));
+        prop_assert_eq!(
+            tq.energy_to_length(tq.qubo().energy(&x)),
+            inst.tour_length(&t) as i64
+        );
+    }
+
+    /// TSP: corrupting any single bit of a valid tour encoding makes it
+    /// undecodable (one-hot constraints are tight).
+    #[test]
+    fn tsp_single_bit_corruption_is_detected(seed in any::<u64>(), flip in 0usize..16) {
+        let inst = tsplib::synthetic("prop2", 5, seed);
+        let tq = tsp::to_qubo(&inst).expect("encodes");
+        let x = tq.encode(&[0, 1, 2, 3, 4]);
+        let corrupted = x.flipped(flip % x.len());
+        prop_assert!(tq.decode(&corrupted).is_none());
+    }
+
+    /// Vertex cover energy identity over random graphs and subsets.
+    #[test]
+    fn cover_energy_identity(g in arb_graph(), bits in any::<u16>()) {
+        let a = cover::DEFAULT_PENALTY;
+        let q = cover::to_qubo(&g, a).expect("encodes");
+        let x = qubo::BitVec::from_bits(
+            &(0..g.n()).map(|i| ((bits >> (i % 16)) & 1) as u8).collect::<Vec<_>>(),
+        );
+        let expect = 2 * x.count_ones() as i64
+            + 2 * a * cover::uncovered(&g, &x) as i64
+            - 2 * a * g.edge_count() as i64;
+        prop_assert_eq!(q.energy(&x), expect);
+    }
+
+    /// MIS energy identity over random graphs and subsets.
+    #[test]
+    fn mis_energy_identity(g in arb_graph(), bits in any::<u16>()) {
+        let a = mis::DEFAULT_PENALTY;
+        let q = mis::to_qubo(&g, a).expect("encodes");
+        let x = qubo::BitVec::from_bits(
+            &(0..g.n()).map(|i| ((bits >> (i % 16)) & 1) as u8).collect::<Vec<_>>(),
+        );
+        let expect = -(x.count_ones() as i64) + 2 * a * mis::violations(&g, &x) as i64;
+        prop_assert_eq!(q.energy(&x), expect);
+    }
+
+    /// Coloring: encode/decode round-trips arbitrary color assignments,
+    /// and conflicts price at exactly 2A each.
+    #[test]
+    fn coloring_roundtrip_and_pricing(
+        g in arb_graph(),
+        k in 2usize..=4,
+        colors_seed in any::<u64>(),
+    ) {
+        let a = coloring::DEFAULT_PENALTY;
+        let cq = coloring::to_qubo(&g, k, a).expect("encodes");
+        let colors: Vec<usize> = (0..g.n())
+            .map(|v| ((colors_seed >> (v * 2)) as usize) % k)
+            .collect();
+        let x = cq.encode(&colors);
+        let decoded = cq.decode(&x);
+        prop_assert_eq!(decoded, Some(colors.clone()));
+        let e = cq.qubo().energy(&x);
+        prop_assert_eq!(
+            e,
+            cq.proper_energy() + 2 * a * coloring::conflicts(&g, &colors) as i64
+        );
+    }
+
+    /// Number partitioning: the energy identity under arbitrary values.
+    #[test]
+    fn partition_energy_identity(
+        values in proptest::collection::vec(1u32..=9, 2..=10),
+        bits in any::<u16>(),
+    ) {
+        let q = partition::to_qubo(&values).expect("small values encode");
+        let x = qubo::BitVec::from_bits(
+            &(0..values.len()).map(|i| ((bits >> (i % 16)) & 1) as u8).collect::<Vec<_>>(),
+        );
+        let d = partition::difference(&values, &x);
+        prop_assert_eq!(q.energy(&x), partition::difference_to_energy(&values, d));
+    }
+
+    /// The `.qubo` parser never panics on arbitrary input.
+    #[test]
+    fn format_parser_is_panic_free(junk in "\\PC{0,200}") {
+        let _ = qubo::format::parse(&junk);
+    }
+}

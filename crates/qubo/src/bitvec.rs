@@ -1,0 +1,335 @@
+//! Packed bit vectors representing candidate solutions.
+
+use rand::Rng;
+use std::fmt;
+
+/// A fixed-length bit vector `X = x_0 x_1 … x_{n-1}` packed into 64-bit
+/// words, the genetic representation used throughout the framework.
+///
+/// Bit `i` lives in word `i / 64` at position `i % 64`. Unused high bits
+/// of the last word are always zero, which lets [`Eq`]/[`Ord`]/hashing
+/// operate on whole words.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BitVec {
+    len: usize,
+    words: Box<[u64]>,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of `len` bits (`X = 00…0`), the canonical
+    /// starting point of the O(1)-efficiency search (Algorithm 4 requires
+    /// `X = 0` so that `E(X) = 0` and `Δ_i = W_ii`).
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            len,
+            words: vec![0u64; len.div_ceil(64)].into_boxed_slice(),
+        }
+    }
+
+    /// Creates a vector from explicit bit values (anything non-zero is 1).
+    #[must_use]
+    pub fn from_bits(bits: &[u8]) -> Self {
+        let mut v = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b != 0 {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Creates a vector of `len` bits from a `0`/`1` string, e.g. `"0100"`.
+    ///
+    /// Returns `None` if the string contains other characters.
+    #[must_use]
+    pub fn from_bit_str(s: &str) -> Option<Self> {
+        let mut v = Self::zeros(s.len());
+        for (i, c) in s.chars().enumerate() {
+            match c {
+                '0' => {}
+                '1' => v.set(i, true),
+                _ => return None,
+            }
+        }
+        Some(v)
+    }
+
+    /// Creates a uniformly random vector of `len` bits.
+    pub fn random<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Self {
+        let mut v = Self::zeros(len);
+        for w in v.words.iter_mut() {
+            *w = rng.gen();
+        }
+        v.mask_tail();
+        v
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    #[must_use]
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the vector has zero bits.
+    #[must_use]
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Value of bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips bit `i` in place: the `flip_k` neighbour function (Eq. (2)).
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Returns a copy with bit `i` flipped (`flip_k(X)` as a pure function).
+    #[must_use]
+    pub fn flipped(&self, i: usize) -> Self {
+        let mut c = self.clone();
+        c.flip(i);
+        c
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Hamming distance to `other` (the number of flips a straight search
+    /// needs to transform `self` into `other`).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    #[must_use]
+    pub fn hamming(&self, other: &Self) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over indices of set bits, in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &w)| BitIter { word: w }.map(move |b| wi * 64 + b))
+    }
+
+    /// Iterates over indices where `self` and `other` differ, in
+    /// increasing order (the candidate flips of a straight search).
+    pub fn iter_diff<'a>(&'a self, other: &'a Self) -> impl Iterator<Item = usize> + 'a {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .enumerate()
+            .flat_map(|(wi, (&a, &b))| BitIter { word: a ^ b }.map(move |bit| wi * 64 + bit))
+    }
+
+    /// The underlying 64-bit words (low bit of word 0 is `x_0`).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Fills `self` from another vector of the same length without
+    /// reallocating (a "workhorse" copy).
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+}
+
+struct BitIter {
+    word: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            None
+        } else {
+            let b = self.word.trailing_zeros() as usize;
+            self.word &= self.word - 1;
+            Some(b)
+        }
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec({})", self)
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len <= 256 {
+            for i in 0..self.len {
+                write!(f, "{}", u8::from(self.get(i)))?;
+            }
+            Ok(())
+        } else {
+            write!(f, "<{} bits, {} ones>", self.len, self.count_ones())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_is_all_zero() {
+        let v = BitVec::zeros(130);
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.count_ones(), 0);
+        assert!(!v.get(0));
+        assert!(!v.get(129));
+    }
+
+    #[test]
+    fn set_get_flip_roundtrip() {
+        let mut v = BitVec::zeros(100);
+        v.set(3, true);
+        v.set(64, true);
+        v.set(99, true);
+        assert!(v.get(3) && v.get(64) && v.get(99));
+        assert_eq!(v.count_ones(), 3);
+        v.flip(64);
+        assert!(!v.get(64));
+        v.flip(64);
+        assert!(v.get(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::zeros(10);
+        let _ = v.get(10);
+    }
+
+    #[test]
+    fn from_bit_str_and_display() {
+        let v = BitVec::from_bit_str("01001").unwrap();
+        assert_eq!(v.to_string(), "01001");
+        assert!(BitVec::from_bit_str("01x").is_none());
+    }
+
+    #[test]
+    fn from_bits_matches_from_bit_str() {
+        let a = BitVec::from_bits(&[0, 1, 0, 0, 1]);
+        let b = BitVec::from_bit_str("01001").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_respects_tail_mask() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for len in [1usize, 5, 63, 64, 65, 127, 200] {
+            let v = BitVec::random(len, &mut rng);
+            // Equality with a manually re-set copy proves tail bits are 0.
+            let mut copy = BitVec::zeros(len);
+            for i in 0..len {
+                copy.set(i, v.get(i));
+            }
+            assert_eq!(v, copy, "len={len}");
+        }
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a = BitVec::from_bit_str("0101").unwrap();
+        let b = BitVec::from_bit_str("1100").unwrap();
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn iter_ones_order() {
+        let v = BitVec::from_bits(&[1, 0, 0, 1, 1]);
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn iter_diff_crosses_word_boundary() {
+        let mut a = BitVec::zeros(130);
+        let mut b = BitVec::zeros(130);
+        a.set(2, true);
+        b.set(70, true);
+        a.set(129, true);
+        b.set(129, true); // same -> not in diff
+        assert_eq!(a.iter_diff(&b).collect::<Vec<_>>(), vec![2, 70]);
+        assert_eq!(a.hamming(&b), 2);
+    }
+
+    #[test]
+    fn flipped_is_pure() {
+        let a = BitVec::from_bit_str("000").unwrap();
+        let b = a.flipped(1);
+        assert_eq!(a.to_string(), "000");
+        assert_eq!(b.to_string(), "010");
+    }
+
+    #[test]
+    fn ordering_is_word_lexicographic_and_consistent() {
+        let a = BitVec::from_bit_str("10").unwrap(); // x0=1
+        let b = BitVec::from_bit_str("01").unwrap(); // x1=1
+        assert!(a < b); // word value 1 < word value 2
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn copy_from_reuses_buffer() {
+        let mut a = BitVec::zeros(65);
+        let mut b = BitVec::zeros(65);
+        b.set(64, true);
+        a.copy_from(&b);
+        assert_eq!(a, b);
+    }
+}

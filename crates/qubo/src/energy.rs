@@ -1,0 +1,56 @@
+//! Energy algebra helpers shared across the workspace.
+
+/// Energies and energy differences are 64-bit signed integers.
+///
+/// For `n ≤ 32768` and 16-bit weights, `|E(X)| ≤ n²·2¹⁵ = 2⁴⁵` and
+/// `|Δ_k(X)| ≤ 2·n·2¹⁵ + 2¹⁵ < 2³², so `i64` never overflows.
+pub type Energy = i64;
+
+/// Sentinel meaning "energy not yet evaluated"; the host's solution pool
+/// initializes entries to `+∞` in this sense (§3.1 Step 1).
+pub const UNEVALUATED: Energy = Energy::MAX;
+
+/// The sign function `φ(x)` of Eq. (3): `φ(0) = +1`, `φ(1) = −1`
+/// (equivalently `φ(x) = 1 − 2x`).
+#[must_use]
+#[inline]
+pub fn phi(x: bool) -> i32 {
+    1 - 2 * i32::from(x)
+}
+
+/// `φ(x_i)·φ(x_k)`: `+1` when the bits agree, `−1` when they differ —
+/// the combined sign of the Δ update rule (Eq. (16)).
+#[must_use]
+#[inline]
+pub fn phi2(xi: bool, xk: bool) -> i32 {
+    1 - 2 * i32::from(xi != xk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_values() {
+        assert_eq!(phi(false), 1);
+        assert_eq!(phi(true), -1);
+    }
+
+    #[test]
+    fn phi_identities() {
+        // φ(x)² = 1 and φ(x)·φ(!x) = −1 (noted below Eq. (16)).
+        for x in [false, true] {
+            assert_eq!(phi(x) * phi(x), 1);
+            assert_eq!(phi(x) * phi(!x), -1);
+        }
+    }
+
+    #[test]
+    fn phi2_is_product_of_phis() {
+        for xi in [false, true] {
+            for xk in [false, true] {
+                assert_eq!(phi2(xi, xk), phi(xi) * phi(xk));
+            }
+        }
+    }
+}

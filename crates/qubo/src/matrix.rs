@@ -1,0 +1,444 @@
+//! Dense symmetric QUBO weight matrices.
+
+use crate::bitvec::BitVec;
+use crate::energy::phi;
+use crate::MAX_BITS;
+use rand::Rng;
+use std::fmt;
+
+/// Errors produced when constructing a [`Qubo`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuboError {
+    /// The problem has zero bits or exceeds [`MAX_BITS`].
+    BadSize(usize),
+    /// The provided dense matrix is not `n × n`.
+    BadShape {
+        /// Number of provided entries.
+        got: usize,
+        /// Number of expected entries (`n²`).
+        expected: usize,
+    },
+    /// The provided dense matrix is not symmetric at `(i, j)`.
+    NotSymmetric(usize, usize),
+    /// A triplet refers to a bit index `>= n`.
+    IndexOutOfRange(usize),
+    /// Accumulated weight at `(i, j)` overflows the 16-bit weight range.
+    WeightOverflow(usize, usize),
+}
+
+impl fmt::Display for QuboError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadSize(n) => write!(f, "problem size {n} not in 1..={MAX_BITS}"),
+            Self::BadShape { got, expected } => {
+                write!(f, "dense matrix has {got} entries, expected {expected}")
+            }
+            Self::NotSymmetric(i, j) => write!(f, "matrix not symmetric at ({i}, {j})"),
+            Self::IndexOutOfRange(i) => write!(f, "bit index {i} out of range"),
+            Self::WeightOverflow(i, j) => {
+                write!(f, "accumulated weight at ({i}, {j}) overflows i16")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuboError {}
+
+/// An instance of a QUBO problem: an `n × n` symmetric matrix of 16-bit
+/// weights `W = (W_ij)`, stored dense row-major.
+///
+/// The objective is to find an `n`-bit vector `X` minimizing
+/// `E(X) = Xᵀ W X = Σ_{i,j} W_ij x_i x_j` (Eq. (1)).
+///
+/// The dense full-square layout mirrors the GPU global-memory layout in
+/// the paper: the hot operation of the incremental search is reading one
+/// full row `W_k` contiguously (symmetry makes the column `W_{·k}` equal
+/// to the row `W_{k·}`).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Qubo {
+    n: usize,
+    w: Box<[i16]>,
+}
+
+impl Qubo {
+    /// Creates a QUBO with all-zero weights.
+    ///
+    /// # Errors
+    /// Returns [`QuboError::BadSize`] if `n == 0` or `n > MAX_BITS`.
+    pub fn zero(n: usize) -> Result<Self, QuboError> {
+        if n == 0 || n > MAX_BITS {
+            return Err(QuboError::BadSize(n));
+        }
+        Ok(Self {
+            n,
+            w: vec![0i16; n * n].into_boxed_slice(),
+        })
+    }
+
+    /// Creates a QUBO from a dense row-major matrix, validating symmetry.
+    ///
+    /// # Errors
+    /// [`QuboError::BadShape`] if `w.len() != n²`,
+    /// [`QuboError::NotSymmetric`] if `w[i][j] != w[j][i]`.
+    pub fn from_dense(n: usize, w: Vec<i16>) -> Result<Self, QuboError> {
+        if n == 0 || n > MAX_BITS {
+            return Err(QuboError::BadSize(n));
+        }
+        if w.len() != n * n {
+            return Err(QuboError::BadShape {
+                got: w.len(),
+                expected: n * n,
+            });
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if w[i * n + j] != w[j * n + i] {
+                    return Err(QuboError::NotSymmetric(i, j));
+                }
+            }
+        }
+        Ok(Self {
+            n,
+            w: w.into_boxed_slice(),
+        })
+    }
+
+    /// Creates a QUBO from fixed-size rows — convenient in tests and docs.
+    ///
+    /// # Errors
+    /// Same as [`Qubo::from_dense`].
+    pub fn from_rows<const N: usize>(n: usize, rows: &[[i16; N]]) -> Result<Self, QuboError> {
+        let mut w = Vec::with_capacity(n * n);
+        for row in rows {
+            w.extend_from_slice(row);
+        }
+        Self::from_dense(n, w)
+    }
+
+    /// Creates a synthetic random problem: every weight drawn uniformly
+    /// from the full 16-bit range `[-32768, 32767]` with `W_ij = W_ji`
+    /// (§4.1.3 of the paper).
+    ///
+    /// # Panics
+    /// Panics if `n` is out of range (synthetic generators are test/bench
+    /// entry points where a panic is the right failure mode).
+    pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut q = Self::zero(n).expect("size in range");
+        for i in 0..n {
+            for j in i..n {
+                let v: i16 = rng.gen();
+                q.set(i, j, v);
+            }
+        }
+        q
+    }
+
+    /// Number of bits (variables) `n`.
+    #[must_use]
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Weight `W_ij`.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> i16 {
+        self.w[i * self.n + j]
+    }
+
+    /// Sets `W_ij` and `W_ji` simultaneously, keeping the matrix symmetric.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: i16) {
+        self.w[i * self.n + j] = v;
+        self.w[j * self.n + i] = v;
+    }
+
+    /// Row `W_k` as a contiguous slice — the hot read of the Δ update.
+    #[must_use]
+    #[inline]
+    pub fn row(&self, k: usize) -> &[i16] {
+        &self.w[k * self.n..(k + 1) * self.n]
+    }
+
+    /// Diagonal weight `W_kk` (equal to `Δ_k(0)`).
+    #[must_use]
+    #[inline]
+    pub fn diag(&self, k: usize) -> i16 {
+        self.w[k * self.n + k]
+    }
+
+    /// Number of non-zero off-diagonal couplers `(i < j)`.
+    #[must_use]
+    pub fn coupler_count(&self) -> usize {
+        let mut c = 0;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if self.get(i, j) != 0 {
+                    c += 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// Reference energy function `E(X) = Σ_{i,j} W_ij x_i x_j` (Eq. (1)).
+    ///
+    /// O(|ones|²) — used for initialization, verification, and as the
+    /// "naive" cost model; the incremental search never calls it.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n`.
+    #[must_use]
+    pub fn energy(&self, x: &BitVec) -> i64 {
+        assert_eq!(x.len(), self.n, "solution length mismatch");
+        let ones: Vec<usize> = x.iter_ones().collect();
+        let mut e = 0i64;
+        for &i in &ones {
+            let row = self.row(i);
+            for &j in &ones {
+                e += i64::from(row[j]);
+            }
+        }
+        e
+    }
+
+    /// Reference `Δ_k(X) = E(flip_k(X)) − E(X)` computed directly from
+    /// Eq. (4): `Δ_k = φ(x_k)·(2·Σ_{i≠k} W_ki x_i + W_kk)`. O(n).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n` or `k >= n`.
+    #[must_use]
+    pub fn delta(&self, x: &BitVec, k: usize) -> i64 {
+        assert_eq!(x.len(), self.n, "solution length mismatch");
+        assert!(k < self.n, "bit index out of range");
+        let row = self.row(k);
+        let mut s = 0i64;
+        for i in x.iter_ones() {
+            if i != k {
+                s += i64::from(row[i]);
+            }
+        }
+        i64::from(phi(x.get(k))) * (2 * s + i64::from(self.diag(k)))
+    }
+
+    /// A conservative bound on `|E(X)|` over all `X`, useful for sizing
+    /// penalty weights: `Σ_{i,j} |W_ij|`.
+    #[must_use]
+    pub fn energy_bound(&self) -> i64 {
+        self.w.iter().map(|&v| i64::from(v).abs()).sum()
+    }
+}
+
+impl fmt::Debug for Qubo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Qubo(n={}, couplers={})", self.n, self.coupler_count())
+    }
+}
+
+/// Incremental builder accumulating sparse triplets into a [`Qubo`].
+///
+/// Duplicate `(i, j)` entries are summed; accumulation happens in `i32`
+/// and overflow of the final 16-bit weight is reported, never wrapped.
+pub struct QuboBuilder {
+    n: usize,
+    acc: Vec<i32>,
+}
+
+impl QuboBuilder {
+    /// Creates a builder for an `n`-bit problem.
+    ///
+    /// # Errors
+    /// [`QuboError::BadSize`] if `n` is out of range.
+    pub fn new(n: usize) -> Result<Self, QuboError> {
+        if n == 0 || n > MAX_BITS {
+            return Err(QuboError::BadSize(n));
+        }
+        Ok(Self {
+            n,
+            acc: vec![0i32; n * n],
+        })
+    }
+
+    /// Number of bits.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `v` to `W_ij` (and `W_ji`).
+    ///
+    /// # Errors
+    /// [`QuboError::IndexOutOfRange`] for a bad index.
+    pub fn add(&mut self, i: usize, j: usize, v: i16) -> Result<(), QuboError> {
+        if i >= self.n {
+            return Err(QuboError::IndexOutOfRange(i));
+        }
+        if j >= self.n {
+            return Err(QuboError::IndexOutOfRange(j));
+        }
+        self.acc[i * self.n + j] += i32::from(v);
+        if i != j {
+            self.acc[j * self.n + i] += i32::from(v);
+        }
+        Ok(())
+    }
+
+    /// Finalizes the builder into a [`Qubo`].
+    ///
+    /// # Errors
+    /// [`QuboError::WeightOverflow`] if any accumulated weight does not
+    /// fit in `i16`.
+    pub fn build(self) -> Result<Qubo, QuboError> {
+        let n = self.n;
+        let mut w = Vec::with_capacity(n * n);
+        for (idx, &v) in self.acc.iter().enumerate() {
+            match i16::try_from(v) {
+                Ok(v16) => w.push(v16),
+                Err(_) => return Err(QuboError::WeightOverflow(idx / n, idx % n)),
+            }
+        }
+        Qubo::from_dense(n, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The exact weight matrix of Fig. 1 in the paper (n = 4).
+    pub(crate) fn paper_fig1() -> Qubo {
+        Qubo::from_rows(
+            4,
+            &[[-5, 2, 0, 3], [2, -3, 1, 0], [0, 1, -8, 2], [3, 0, 2, -6]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig1_energies() {
+        let q = paper_fig1();
+        // E(0000) = 0; single-bit energies are the diagonal.
+        assert_eq!(q.energy(&BitVec::from_bit_str("0000").unwrap()), 0);
+        assert_eq!(q.energy(&BitVec::from_bit_str("1000").unwrap()), -5);
+        assert_eq!(q.energy(&BitVec::from_bit_str("0100").unwrap()), -3);
+        assert_eq!(q.energy(&BitVec::from_bit_str("0010").unwrap()), -8);
+        assert_eq!(q.energy(&BitVec::from_bit_str("0001").unwrap()), -6);
+        // Pairs count the coupler twice.
+        assert_eq!(
+            q.energy(&BitVec::from_bit_str("1100").unwrap()),
+            -5 - 3 + 2 * 2
+        );
+        // All ones.
+        let all = BitVec::from_bit_str("1111").unwrap();
+        assert_eq!(q.energy(&all), -5 - 3 - 8 - 6 + 2 * (2 + 0 + 3 + 1 + 0 + 2));
+    }
+
+    #[test]
+    fn delta_matches_energy_difference() {
+        let q = paper_fig1();
+        for bits in 0u32..16 {
+            let x = BitVec::from_bits(&[
+                (bits & 1) as u8,
+                ((bits >> 1) & 1) as u8,
+                ((bits >> 2) & 1) as u8,
+                ((bits >> 3) & 1) as u8,
+            ]);
+            for k in 0..4 {
+                let expect = q.energy(&x.flipped(k)) - q.energy(&x);
+                assert_eq!(q.delta(&x, k), expect, "bits={bits:04b} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_dense_rejects_asymmetry() {
+        let err = Qubo::from_dense(2, vec![0, 1, 2, 0]).unwrap_err();
+        assert_eq!(err, QuboError::NotSymmetric(0, 1));
+    }
+
+    #[test]
+    fn from_dense_rejects_bad_shape() {
+        let err = Qubo::from_dense(2, vec![0, 1, 1]).unwrap_err();
+        assert!(matches!(
+            err,
+            QuboError::BadShape {
+                got: 3,
+                expected: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        assert_eq!(Qubo::zero(0).unwrap_err(), QuboError::BadSize(0));
+        assert_eq!(
+            Qubo::zero(MAX_BITS + 1).unwrap_err(),
+            QuboError::BadSize(MAX_BITS + 1)
+        );
+        assert!(Qubo::zero(MAX_BITS).is_ok());
+    }
+
+    #[test]
+    fn builder_accumulates_and_symmetrizes() {
+        let mut b = QuboBuilder::new(3).unwrap();
+        b.add(0, 1, 5).unwrap();
+        b.add(1, 0, 2).unwrap();
+        b.add(2, 2, -7).unwrap();
+        let q = b.build().unwrap();
+        assert_eq!(q.get(0, 1), 7);
+        assert_eq!(q.get(1, 0), 7);
+        assert_eq!(q.diag(2), -7);
+    }
+
+    #[test]
+    fn builder_detects_overflow() {
+        let mut b = QuboBuilder::new(2).unwrap();
+        b.add(0, 0, i16::MAX).unwrap();
+        b.add(0, 0, 1).unwrap();
+        assert!(matches!(
+            b.build().unwrap_err(),
+            QuboError::WeightOverflow(0, 0)
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        let mut b = QuboBuilder::new(2).unwrap();
+        assert_eq!(b.add(2, 0, 1).unwrap_err(), QuboError::IndexOutOfRange(2));
+        assert_eq!(b.add(0, 5, 1).unwrap_err(), QuboError::IndexOutOfRange(5));
+    }
+
+    #[test]
+    fn random_is_symmetric_and_seed_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let a = Qubo::random(50, &mut r1);
+        let b = Qubo::random(50, &mut r2);
+        assert_eq!(a, b);
+        for i in 0..50 {
+            for j in 0..50 {
+                assert_eq!(a.get(i, j), a.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn energy_bound_bounds_all_energies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = Qubo::random(8, &mut rng);
+        let bound = q.energy_bound();
+        for bits in 0u32..256 {
+            let x = BitVec::from_bits(&(0..8).map(|i| ((bits >> i) & 1) as u8).collect::<Vec<_>>());
+            assert!(q.energy(&x).abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn row_is_contiguous_view() {
+        let q = paper_fig1();
+        assert_eq!(q.row(2), &[0, 1, -8, 2]);
+    }
+}

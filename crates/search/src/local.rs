@@ -1,0 +1,106 @@
+//! The forced-flip local search driver (second loop of Algorithm 4).
+
+use crate::policy::SelectionPolicy;
+use crate::tracker::DeltaTracker;
+
+/// Runs `steps` forced flips from the tracker's current solution, choosing
+/// each bit with `policy`. Returns the number of flips performed
+/// (always `steps`; the count is returned for symmetry with
+/// [`crate::straight_search`], whose length is data-dependent).
+///
+/// Best-solution tracking happens inside the tracker: every flip
+/// evaluates all `n` neighbours of the new solution (Theorem 1), so the
+/// search may discover — and record — solutions it never visits.
+///
+/// The device runs this with a *fixed* number of flips per bulk-search
+/// iteration (Step 4b), so that the resulting solution `C'` is a valid
+/// known starting point for the next straight search and the O(1) search
+/// efficiency is preserved across iterations (Fig. 4).
+pub fn local_search<P: SelectionPolicy + ?Sized>(
+    tracker: &mut DeltaTracker<'_>,
+    policy: &mut P,
+    steps: usize,
+) -> u64 {
+    for _ in 0..steps {
+        let k = policy.select(tracker.deltas(), tracker.x());
+        tracker.flip(k);
+    }
+    steps as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{GreedyPolicy, WindowMinPolicy};
+    use qubo::{BitVec, Qubo};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_qubo(n: usize, seed: u64) -> Qubo {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Qubo::random(n, &mut rng)
+    }
+
+    #[test]
+    fn runs_exactly_requested_steps() {
+        let q = random_qubo(24, 1);
+        let mut t = DeltaTracker::new(&q);
+        let mut p = WindowMinPolicy::new(4);
+        assert_eq!(local_search(&mut t, &mut p, 37), 37);
+        assert_eq!(t.flips(), 37);
+        t.verify();
+    }
+
+    #[test]
+    fn greedy_descent_reaches_a_one_flip_local_minimum() {
+        // Greedy forced flips oscillate at a local minimum (they must
+        // flip something), but the *best* recorded solution must be
+        // 1-flip optimal once enough steps have run.
+        let q = random_qubo(16, 2);
+        let mut t = DeltaTracker::new(&q);
+        let mut p = GreedyPolicy;
+        local_search(&mut t, &mut p, 400);
+        let (bx, be) = t.best();
+        assert_eq!(be, q.energy(bx));
+        for i in 0..16 {
+            assert!(
+                q.energy(&bx.flipped(i)) >= be,
+                "best is not 1-flip optimal at bit {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_search_improves_over_start() {
+        let q = random_qubo(64, 3);
+        let mut t = DeltaTracker::new(&q);
+        let e0 = t.energy();
+        let mut p = WindowMinPolicy::new(8);
+        local_search(&mut t, &mut p, 1000);
+        assert!(t.best().1 <= e0);
+        t.verify();
+    }
+
+    #[test]
+    fn deterministic_for_deterministic_policy() {
+        let q = random_qubo(32, 4);
+        let run = |steps: usize| -> (i64, BitVec) {
+            let mut t = DeltaTracker::new(&q);
+            let mut p = WindowMinPolicy::new(5);
+            local_search(&mut t, &mut p, steps);
+            let (bx, be) = t.best();
+            (be, bx.clone())
+        };
+        assert_eq!(run(500), run(500));
+    }
+
+    #[test]
+    fn zero_steps_is_a_no_op() {
+        let q = random_qubo(8, 5);
+        let mut t = DeltaTracker::new(&q);
+        let before = t.x().clone();
+        let mut p = GreedyPolicy;
+        assert_eq!(local_search(&mut t, &mut p, 0), 0);
+        assert_eq!(t.x(), &before);
+    }
+}

@@ -1,0 +1,310 @@
+//! Bit-selection policies for the forced-flip local search.
+//!
+//! Algorithm 4 flips exactly one bit per iteration and leaves the choice
+//! of *which* bit to an arbitrary policy. The paper's production policy
+//! (Fig. 2) is deterministic: extract `ℓ` consecutive bits starting at a
+//! moving offset, flip the one with minimum `Δ`, advance the offset by
+//! `ℓ` (mod n). The window length plays the role of an inverse
+//! temperature — `ℓ = n` is a greedy search, `ℓ = 1` is a blind sweep —
+//! and different search units run different `ℓ` like parallel tempering.
+
+use qubo::BitVec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A policy choosing the next bit to flip given the current Δ vector.
+///
+/// Implementations must return an index `< deltas.len()` and must always
+/// return *some* index: the forced flip is what keeps the flips-per-second
+/// (and therefore the search rate) constant even near local minima.
+pub trait SelectionPolicy: Send {
+    /// Selects the bit to flip.
+    fn select(&mut self, deltas: &[i64], x: &BitVec) -> usize;
+
+    /// Resets internal state (offset, RNG stream position is kept).
+    fn reset(&mut self) {}
+}
+
+/// The paper's deterministic sliding-window minimum policy (Fig. 2).
+///
+/// No random numbers are consumed, which the paper highlights as a
+/// throughput advantage over conventional SA on the device.
+#[derive(Clone, Debug)]
+pub struct WindowMinPolicy {
+    offset: usize,
+    window: usize,
+}
+
+impl WindowMinPolicy {
+    /// Creates a policy with window length `window` (clamped to `≥ 1`)
+    /// starting at offset 0.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        Self {
+            offset: 0,
+            window: window.max(1),
+        }
+    }
+
+    /// Creates a policy starting at a given offset (used to desynchronize
+    /// search units that share a window length).
+    #[must_use]
+    pub fn with_offset(window: usize, offset: usize) -> Self {
+        Self {
+            offset,
+            window: window.max(1),
+        }
+    }
+
+    /// The window length ℓ.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The current offset `a` (next window is `x_a … x_{a+ℓ−1}`, mod n).
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl SelectionPolicy for WindowMinPolicy {
+    fn select(&mut self, deltas: &[i64], _x: &BitVec) -> usize {
+        let n = deltas.len();
+        let l = self.window.min(n);
+        let a = self.offset % n;
+        let mut best_i = a;
+        let mut best_d = deltas[a];
+        for off in 1..l {
+            let i = (a + off) % n;
+            if deltas[i] < best_d {
+                best_d = deltas[i];
+                best_i = i;
+            }
+        }
+        self.offset = (a + l) % n;
+        best_i
+    }
+
+    fn reset(&mut self) {
+        self.offset = 0;
+    }
+}
+
+/// Greedy policy: always flips the global minimum-Δ bit
+/// (`WindowMinPolicy` with `ℓ = n`, written directly for clarity).
+#[derive(Clone, Debug, Default)]
+pub struct GreedyPolicy;
+
+impl SelectionPolicy for GreedyPolicy {
+    fn select(&mut self, deltas: &[i64], _x: &BitVec) -> usize {
+        deltas
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &d)| d)
+            .map(|(i, _)| i)
+            .expect("non-empty problem")
+    }
+}
+
+/// Uniformly random bit choice (the `ℓ = 1` temperature extreme, but with
+/// a random rather than sweeping position).
+#[derive(Clone, Debug)]
+pub struct RandomPolicy {
+    rng: SmallRng,
+}
+
+impl RandomPolicy {
+    /// Creates the policy with a deterministic seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl SelectionPolicy for RandomPolicy {
+    fn select(&mut self, deltas: &[i64], _x: &BitVec) -> usize {
+        self.rng.gen_range(0..deltas.len())
+    }
+}
+
+/// Metropolis acceptance adapted to the forced-flip framework: sample a
+/// random bit, accept it if `Δ ≤ 0` or with probability `exp(−Δ / t)`
+/// (Eq. (7)); retry up to `max_tries` times, then flip the last sample
+/// unconditionally (the framework must flip *something* every
+/// iteration — this deviation from classical SA is documented in
+/// DESIGN.md).
+#[derive(Clone, Debug)]
+pub struct MetropolisPolicy {
+    rng: SmallRng,
+    /// Temperature `k_B · t` in energy units.
+    pub temperature: f64,
+    /// Cooling multiplier applied once per selection (geometric schedule);
+    /// set to 1.0 for a constant temperature.
+    pub cooling: f64,
+    max_tries: u32,
+}
+
+impl MetropolisPolicy {
+    /// Creates the policy with the given temperature and seed.
+    #[must_use]
+    pub fn new(temperature: f64, cooling: f64, seed: u64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            temperature,
+            cooling,
+            max_tries: 16,
+        }
+    }
+}
+
+impl SelectionPolicy for MetropolisPolicy {
+    fn select(&mut self, deltas: &[i64], _x: &BitVec) -> usize {
+        let n = deltas.len();
+        let mut k = 0;
+        for _ in 0..self.max_tries {
+            k = self.rng.gen_range(0..n);
+            let d = deltas[k];
+            if d <= 0 {
+                break;
+            }
+            let p = (-(d as f64) / self.temperature.max(f64::MIN_POSITIVE)).exp();
+            if self.rng.gen::<f64>() < p {
+                break;
+            }
+        }
+        self.temperature *= self.cooling;
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(n: usize) -> BitVec {
+        BitVec::zeros(n)
+    }
+
+    /// Reproduces the walkthrough of Fig. 2: a 16-bit vector, offset 4,
+    /// window 4 — the minimum of (Δ4, Δ5, Δ6, Δ7) is Δ5, so bit 5 is
+    /// flipped and the offset advances to 8.
+    #[test]
+    fn paper_fig2() {
+        let mut deltas = vec![100i64; 16];
+        deltas[4] = 7;
+        deltas[5] = -3;
+        deltas[6] = 2;
+        deltas[7] = 9;
+        let mut p = WindowMinPolicy::with_offset(4, 4);
+        let k = p.select(&deltas, &bv(16));
+        assert_eq!(k, 5);
+        assert_eq!(p.offset(), 8);
+    }
+
+    #[test]
+    fn window_wraps_around() {
+        let mut deltas = vec![10i64; 8];
+        deltas[1] = -5; // inside the wrapped window [6, 7, 0, 1]
+        let mut p = WindowMinPolicy::with_offset(4, 6);
+        assert_eq!(p.select(&deltas, &bv(8)), 1);
+        assert_eq!(p.offset(), 2);
+    }
+
+    #[test]
+    fn window_covers_all_bits_over_a_sweep() {
+        // With ℓ | n, n/ℓ selections visit n/ℓ disjoint windows.
+        let deltas = vec![0i64; 12];
+        let mut p = WindowMinPolicy::new(3);
+        let mut offsets = Vec::new();
+        for _ in 0..4 {
+            offsets.push(p.offset());
+            p.select(&deltas, &bv(12));
+        }
+        assert_eq!(offsets, vec![0, 3, 6, 9]);
+        assert_eq!(p.offset(), 0); // full sweep returns to start
+    }
+
+    #[test]
+    fn window_one_is_a_plain_sweep() {
+        let deltas = vec![5i64; 4];
+        let mut p = WindowMinPolicy::new(1);
+        let picks: Vec<usize> = (0..6).map(|_| p.select(&deltas, &bv(4))).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn window_larger_than_n_acts_greedy() {
+        let mut deltas = vec![9i64; 5];
+        deltas[3] = -1;
+        let mut p = WindowMinPolicy::new(100);
+        assert_eq!(p.select(&deltas, &bv(5)), 3);
+    }
+
+    #[test]
+    fn greedy_finds_global_min() {
+        let deltas = vec![4i64, -2, 7, -9, 0];
+        let mut p = GreedyPolicy;
+        assert_eq!(p.select(&deltas, &bv(5)), 3);
+    }
+
+    #[test]
+    fn greedy_ties_break_to_lowest_index() {
+        let deltas = vec![1i64, -2, -2];
+        let mut p = GreedyPolicy;
+        assert_eq!(p.select(&deltas, &bv(3)), 1);
+    }
+
+    #[test]
+    fn random_policy_is_seed_deterministic_and_in_range() {
+        let deltas = vec![0i64; 10];
+        let mut a = RandomPolicy::new(5);
+        let mut b = RandomPolicy::new(5);
+        for _ in 0..50 {
+            let ka = a.select(&deltas, &bv(10));
+            assert_eq!(ka, b.select(&deltas, &bv(10)));
+            assert!(ka < 10);
+        }
+    }
+
+    #[test]
+    fn metropolis_prefers_downhill_at_low_temperature() {
+        let mut deltas = vec![1_000_000i64; 64];
+        deltas[7] = -1;
+        let mut p = MetropolisPolicy::new(1e-9, 1.0, 3);
+        // With a tiny temperature, uphill samples are rejected, so the
+        // policy keeps resampling (up to its retry budget) and lands on
+        // the lone downhill bit far more often than the uniform rate of
+        // 200/64 ≈ 3 (≈ 22 % per selection with 16 tries over 64 bits).
+        let mut hits = 0;
+        for _ in 0..200 {
+            if p.select(&deltas, &bv(64)) == 7 {
+                hits += 1;
+            }
+        }
+        assert!(hits > 20, "downhill picked only {hits}/200 times");
+    }
+
+    #[test]
+    fn metropolis_accepts_everything_at_huge_temperature() {
+        let deltas = vec![1i64; 16];
+        let mut p = MetropolisPolicy::new(1e12, 1.0, 4);
+        // Every first sample is accepted: behaves like RandomPolicy.
+        for _ in 0..50 {
+            assert!(p.select(&deltas, &bv(16)) < 16);
+        }
+    }
+
+    #[test]
+    fn reset_rewinds_window_offset() {
+        let deltas = vec![0i64; 6];
+        let mut p = WindowMinPolicy::new(2);
+        p.select(&deltas, &bv(6));
+        assert_eq!(p.offset(), 2);
+        p.reset();
+        assert_eq!(p.offset(), 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Incremental energy and Δ-vector maintenance (the O(1)-efficiency core).
+
+use qubo::{BitVec, Energy, Qubo};
+
+/// Incremental search state for one search unit (one "CUDA block" in the
+/// paper's implementation).
+///
+/// The tracker owns the current solution `X`, its energy `E(X)`, and the
+/// difference vector `d_i = Δ_i(X) = E(flip_i(X)) − E(X)` for every bit.
+/// [`DeltaTracker::flip`] applies the update rule of Eq. (16),
+///
+/// ```text
+/// Δ_i(flip_k(X)) = Δ_i(X) + 2·W_ik·φ(x_i)·φ(x_k)   (i ≠ k)
+/// Δ_k(flip_k(X)) = −Δ_k(X)
+/// ```
+///
+/// with a single contiguous scan of row `W_k` (symmetry turns the column
+/// access of the formula into a row access). After each flip, the tracker
+/// checks the energies of all `n` single-flip neighbours of the *new*
+/// solution against the best energy seen so far, so every flip evaluates
+/// `n` solutions at O(n) cost: O(1) search efficiency (Theorem 1).
+///
+/// The search starts at the zero vector `X = 0`, where `E(0) = 0` and
+/// `Δ_i(0) = W_ii` (the GPU kernel initializes this way for the same
+/// reason — no O(n²) energy evaluation is ever needed).
+///
+/// Note on the paper's pseudocode: Algorithm 4 writes the best-solution
+/// check as `E(X) + d_i < E(B)` *inside* the update loop, before `E(X)`
+/// itself is advanced. At that point `d_i` already refers to the post-flip
+/// state, so the exact neighbour energy is `E(flip_k(X)) + d_i`. We use
+/// the exact form: candidates are `e_new` and `e_new + d_i` for all `i`.
+#[derive(Clone)]
+pub struct DeltaTracker<'a> {
+    qubo: &'a Qubo,
+    x: BitVec,
+    /// φ(x_i) ∈ {+1, −1}, kept in sync with `x` — the sign array makes
+    /// the hot update loop branch-free and auto-vectorizable.
+    sign: Vec<i8>,
+    e: Energy,
+    d: Vec<i64>,
+    best: BitVec,
+    best_e: Energy,
+    flips: u64,
+}
+
+impl<'a> DeltaTracker<'a> {
+    /// Creates a tracker at the canonical start `X = 0`, `E = 0`,
+    /// `Δ_i = W_ii` (O(n), reading only the diagonal).
+    #[must_use]
+    pub fn new(qubo: &'a Qubo) -> Self {
+        let n = qubo.n();
+        let d: Vec<i64> = (0..n).map(|i| i64::from(qubo.diag(i))).collect();
+        let x = BitVec::zeros(n);
+        let mut t = Self {
+            qubo,
+            best: x.clone(),
+            x,
+            sign: vec![1i8; n],
+            e: 0,
+            d,
+            best_e: 0,
+            flips: 0,
+        };
+        // The initialization evaluates E(0) = 0 and its n neighbours
+        // (E(flip_i(0)) = W_ii) — record the best among them.
+        if let Some((i, &min_d)) = t.d.iter().enumerate().min_by_key(|&(_, &v)| v) {
+            if min_d < 0 {
+                t.best.flip(i);
+                t.best_e = min_d;
+            }
+        }
+        t
+    }
+
+    /// Creates a tracker positioned at an arbitrary solution `x`.
+    ///
+    /// This costs O(|ones|·n) (one flip per set bit) and exists for tests
+    /// and baselines; the ABS device never uses it — it reaches arbitrary
+    /// solutions through straight searches to stay at O(1) efficiency.
+    #[must_use]
+    pub fn at(qubo: &'a Qubo, x: &BitVec) -> Self {
+        let mut t = Self::new(qubo);
+        // Collect first: flipping mutates `t.x` while we iterate `x`.
+        let ones: Vec<usize> = x.iter_ones().collect();
+        for k in ones {
+            t.flip(k);
+        }
+        t.reset_best();
+        t
+    }
+
+    /// The problem being searched.
+    #[must_use]
+    pub fn qubo(&self) -> &'a Qubo {
+        self.qubo
+    }
+
+    /// Number of bits `n`.
+    #[must_use]
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.d.len()
+    }
+
+    /// The current solution `X`.
+    #[must_use]
+    pub fn x(&self) -> &BitVec {
+        &self.x
+    }
+
+    /// The current energy `E(X)`.
+    #[must_use]
+    #[inline]
+    pub fn energy(&self) -> Energy {
+        self.e
+    }
+
+    /// The difference vector: `deltas()[i] = Δ_i(X)`.
+    #[must_use]
+    #[inline]
+    pub fn deltas(&self) -> &[i64] {
+        &self.d
+    }
+
+    /// Best solution recorded since the last [`reset_best`].
+    ///
+    /// [`reset_best`]: DeltaTracker::reset_best
+    #[must_use]
+    pub fn best(&self) -> (&BitVec, Energy) {
+        (&self.best, self.best_e)
+    }
+
+    /// Total flips performed. Each flip evaluates `n + 1` solutions (the
+    /// new solution and its `n` neighbours), which is what the paper's
+    /// *search rate* counts.
+    #[must_use]
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// Number of solutions whose energy has been evaluated so far:
+    /// `flips · (n + 1)` plus the `n + 1` evaluated at initialization
+    /// (`E(0)` and its neighbours `Δ_i(0) = W_ii`).
+    #[must_use]
+    pub fn evaluated(&self) -> u64 {
+        (self.flips + 1) * (self.n() as u64 + 1)
+    }
+
+    /// Resets the best-solution record to the current solution
+    /// (device Step 3: "reset the best solution `B` and its energy
+    /// `E_B`" between bulk-search iterations, to avoid premature
+    /// convergence and keep stored solutions diverse).
+    pub fn reset_best(&mut self) {
+        self.best.copy_from(&self.x);
+        self.best_e = self.e;
+    }
+
+    /// Flips bit `k`, updating `X`, `E(X)`, all `Δ_i`, and the best
+    /// record, in one O(n) pass over row `W_k`.
+    pub fn flip(&mut self, k: usize) {
+        let n = self.n();
+        assert!(k < n, "bit index {k} out of range {n}");
+        let row = self.qubo.row(k);
+        let d_k_old = self.d[k];
+        let e_new = self.e + d_k_old;
+
+        // Update pass (Eq. (16)), branch-free:
+        //   d_i += 2 · W_ik · φ(x_i) · φ(x_k)
+        // `two_pk = 2·φ(x_k)` is hoisted; i = k is included (it adds
+        // 2·W_kk since φ(x_k)² = 1) and then overwritten with −Δ_k.
+        let two_pk = i32::from(self.sign[k]) * 2;
+        for ((di, &w), &s) in self.d.iter_mut().zip(row).zip(&self.sign) {
+            *di += i64::from(i32::from(w) * i32::from(s) * two_pk);
+        }
+        self.d[k] = -d_k_old;
+
+        self.sign[k] = -self.sign[k];
+        self.x.flip(k);
+        self.e = e_new;
+        self.flips += 1;
+
+        // Evaluation pass (Theorem 1): the energies of the new solution
+        // and all n of its neighbours are now known as e_new and
+        // e_new + d_i. Track the best. A plain value-min scan
+        // auto-vectorizes; the index is only located on improvement.
+        if e_new < self.best_e {
+            self.best.copy_from(&self.x);
+            self.best_e = e_new;
+        }
+        let min_d = self.d.iter().copied().min().unwrap_or(0);
+        if e_new + min_d < self.best_e {
+            // Rare path: find the argmin and materialize the neighbour.
+            let i = self.d.iter().position(|&v| v == min_d).expect("min exists");
+            self.best.copy_from(&self.x);
+            self.best.flip(i);
+            self.best_e = e_new + min_d;
+        }
+    }
+
+    /// Verifies internal invariants against O(n²) reference computations.
+    /// Test/debug helper — never called on the hot path.
+    ///
+    /// # Panics
+    /// Panics if `E(X)` or any `Δ_i` disagrees with the reference.
+    pub fn verify(&self) {
+        assert_eq!(self.e, self.qubo.energy(&self.x), "energy drifted");
+        for i in 0..self.n() {
+            assert_eq!(self.d[i], self.qubo.delta(&self.x, i), "delta {i} drifted");
+            let expect_sign = if self.x.get(i) { -1 } else { 1 };
+            assert_eq!(i32::from(self.sign[i]), expect_sign, "sign {i} drifted");
+        }
+        assert_eq!(self.best_e, self.qubo.energy(&self.best), "best drifted");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_qubo(n: usize, seed: u64) -> Qubo {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Qubo::random(n, &mut rng)
+    }
+
+    #[test]
+    fn starts_at_zero_vector() {
+        let q = random_qubo(10, 1);
+        let t = DeltaTracker::new(&q);
+        assert_eq!(t.energy(), 0);
+        assert_eq!(t.x().count_ones(), 0);
+        for i in 0..10 {
+            assert_eq!(t.deltas()[i], i64::from(q.diag(i)));
+        }
+        t.verify();
+    }
+
+    #[test]
+    fn single_flip_matches_reference() {
+        let q = random_qubo(16, 2);
+        let mut t = DeltaTracker::new(&q);
+        t.flip(5);
+        assert_eq!(t.energy(), i64::from(q.diag(5)));
+        t.verify();
+    }
+
+    #[test]
+    fn random_walk_keeps_invariants() {
+        let q = random_qubo(33, 3); // crosses a word boundary
+        let mut t = DeltaTracker::new(&q);
+        let mut rng = StdRng::seed_from_u64(99);
+        for step in 0..200 {
+            t.flip(rng.gen_range(0..33));
+            if step % 17 == 0 {
+                t.verify();
+            }
+        }
+        t.verify();
+        assert_eq!(t.flips(), 200);
+    }
+
+    #[test]
+    fn double_flip_is_identity_on_state() {
+        let q = random_qubo(20, 4);
+        let mut t = DeltaTracker::new(&q);
+        for k in [3, 11, 19] {
+            let e0 = t.energy();
+            let d0 = t.deltas().to_vec();
+            t.flip(k);
+            t.flip(k);
+            assert_eq!(t.energy(), e0);
+            assert_eq!(t.deltas(), &d0[..]);
+        }
+    }
+
+    #[test]
+    fn best_tracks_neighbour_improvements() {
+        // A neighbour of a visited solution is strictly better than every
+        // *visited* solution: the diagonal is non-negative, but the strong
+        // negative coupler W_12 makes flip_1(001) = 011 excellent. The
+        // tracker must catch E(011) without ever visiting it.
+        let q = Qubo::from_rows(3, &[[0, 0, 0], [0, 10, -100], [0, -100, 5]]).unwrap();
+        let mut t = DeltaTracker::new(&q);
+        assert_eq!(t.best().1, 0); // init neighbourhood has no improvement
+        t.flip(2); // X = 001, E = 5; neighbour 011 has E = 10 + 5 − 200 = −185
+        let (bx, be) = t.best();
+        assert_eq!(be, -185);
+        assert_eq!(bx.to_string(), "011");
+        assert_eq!(be, q.energy(bx));
+    }
+
+    #[test]
+    fn new_records_best_initial_neighbour() {
+        let q = Qubo::from_rows(2, &[[4, 0], [0, -7]]).unwrap();
+        let t = DeltaTracker::new(&q);
+        assert_eq!(t.best().1, -7);
+        assert_eq!(t.best().0.to_string(), "01");
+    }
+
+    #[test]
+    fn reset_best_forgets_history() {
+        let q = Qubo::from_rows(2, &[[-10, 0], [0, 1]]).unwrap();
+        let mut t = DeltaTracker::new(&q);
+        t.flip(0); // E = -10, best = -10
+        assert_eq!(t.best().1, -10);
+        t.flip(0); // back to 0
+        assert_eq!(t.best().1, -10); // still remembers
+        t.reset_best();
+        assert_eq!(t.best().1, 0);
+        assert_eq!(t.best().0, t.x());
+    }
+
+    #[test]
+    fn at_positions_tracker_exactly() {
+        let q = random_qubo(40, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = BitVec::random(40, &mut rng);
+        let t = DeltaTracker::at(&q, &x);
+        assert_eq!(t.x(), &x);
+        assert_eq!(t.energy(), q.energy(&x));
+        t.verify();
+    }
+
+    #[test]
+    fn evaluated_counts_theorem1_accounting() {
+        let q = random_qubo(8, 9);
+        let mut t = DeltaTracker::new(&q);
+        assert_eq!(t.evaluated(), 9); // init: solution + 8 neighbours
+        t.flip(0);
+        t.flip(1);
+        assert_eq!(t.evaluated(), 3 * 9);
+    }
+
+    #[test]
+    fn best_equals_exhaustive_min_over_visited_neighbourhood() {
+        // After a walk, best() must equal the min energy over every
+        // visited solution and every neighbour of every visited solution.
+        let q = random_qubo(12, 10);
+        let mut t = DeltaTracker::new(&q);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen_min = 0i64; // E(0) = 0 and its neighbourhood:
+        for i in 0..12 {
+            seen_min = seen_min.min(q.energy(&BitVec::zeros(12).flipped(i)));
+        }
+        for _ in 0..60 {
+            t.flip(rng.gen_range(0..12));
+            let x = t.x().clone();
+            seen_min = seen_min.min(q.energy(&x));
+            for i in 0..12 {
+                seen_min = seen_min.min(q.energy(&x.flipped(i)));
+            }
+            assert_eq!(t.best().1, seen_min);
+        }
+    }
+}

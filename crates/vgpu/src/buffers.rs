@@ -1,0 +1,220 @@
+//! The "global memory" region shared by the host and one device.
+//!
+//! Host and device never talk directly: the host writes target solutions
+//! into the target buffer and polls a monotonically increasing counter to
+//! learn that the device has appended results to the solution buffer
+//! (§3, Fig. 5). Every block runs asynchronously — the only
+//! synchronization is the short critical section of each buffer, the
+//! analogue of a coalesced global-memory transaction.
+
+use parking_lot::Mutex;
+use qubo::{BitVec, Energy};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A best-found solution stored by a block (§3.2 Step 5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SolutionRecord {
+    /// The solution bits `B`.
+    pub x: BitVec,
+    /// Its energy `E_B` (always exact: devices track energies
+    /// incrementally and exactly).
+    pub energy: Energy,
+}
+
+/// Global memory of one device: target buffer, solution buffer, progress
+/// counter, and device-side statistics.
+#[derive(Debug, Default)]
+pub struct GlobalMem {
+    targets: Mutex<VecDeque<BitVec>>,
+    results: Mutex<Vec<SolutionRecord>>,
+    /// Total results ever stored (monotone; the host polls this).
+    counter: AtomicU64,
+    /// Total bit flips performed by the device (search-rate numerator is
+    /// `flips × (n + 1)` evaluated solutions).
+    flips: AtomicU64,
+    /// Bulk-search iterations completed by all blocks.
+    iterations: AtomicU64,
+    /// Stop flag raised by the host.
+    stop: AtomicBool,
+}
+
+impl GlobalMem {
+    /// Creates an empty region.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---- host side -----------------------------------------------------
+
+    /// Host: enqueue one target solution (§3.1 Step 4).
+    pub fn push_target(&self, t: BitVec) {
+        self.targets.lock().push_back(t);
+    }
+
+    /// Host: current value of the progress counter (the
+    /// `cudaMemcpyAsync` poll of §3.1 Step 2).
+    #[must_use]
+    pub fn counter(&self) -> u64 {
+        self.counter.load(Ordering::Acquire)
+    }
+
+    /// Host: drain all results currently in the solution buffer
+    /// (§3.1 Step 3).
+    #[must_use]
+    pub fn drain_results(&self) -> Vec<SolutionRecord> {
+        std::mem::take(&mut *self.results.lock())
+    }
+
+    /// Host: raise the stop flag; blocks exit at the next iteration
+    /// boundary.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Number of targets currently waiting (diagnostics / tests).
+    #[must_use]
+    pub fn pending_targets(&self) -> usize {
+        self.targets.lock().len()
+    }
+
+    // ---- device side ---------------------------------------------------
+
+    /// Device: dequeue the next target, if the host has provided one
+    /// (§3.2 Step 2).
+    #[must_use]
+    pub fn pop_target(&self) -> Option<BitVec> {
+        self.targets.lock().pop_front()
+    }
+
+    /// Device: append a best-found solution and bump the counter
+    /// (§3.2 Step 5).
+    pub fn push_result(&self, record: SolutionRecord) {
+        self.results.lock().push(record);
+        self.counter.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Device: account `flips` bit flips.
+    pub fn add_flips(&self, flips: u64) {
+        self.flips.fetch_add(flips, Ordering::Relaxed);
+    }
+
+    /// Device: account one completed bulk-search iteration.
+    pub fn add_iteration(&self) {
+        self.iterations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether the host has requested a stop.
+    #[must_use]
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Total flips performed by the device so far.
+    #[must_use]
+    pub fn total_flips(&self) -> u64 {
+        self.flips.load(Ordering::Relaxed)
+    }
+
+    /// Total bulk iterations completed by the device so far.
+    #[must_use]
+    pub fn total_iterations(&self) -> u64 {
+        self.iterations.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn bv(s: &str) -> BitVec {
+        BitVec::from_bit_str(s).unwrap()
+    }
+
+    #[test]
+    fn targets_are_fifo() {
+        let m = GlobalMem::new();
+        m.push_target(bv("01"));
+        m.push_target(bv("10"));
+        assert_eq!(m.pending_targets(), 2);
+        assert_eq!(m.pop_target(), Some(bv("01")));
+        assert_eq!(m.pop_target(), Some(bv("10")));
+        assert_eq!(m.pop_target(), None);
+    }
+
+    #[test]
+    fn counter_tracks_results() {
+        let m = GlobalMem::new();
+        assert_eq!(m.counter(), 0);
+        m.push_result(SolutionRecord {
+            x: bv("11"),
+            energy: -4,
+        });
+        m.push_result(SolutionRecord {
+            x: bv("00"),
+            energy: 0,
+        });
+        assert_eq!(m.counter(), 2);
+        let drained = m.drain_results();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].energy, -4);
+        // Counter is monotone: draining does not reset it.
+        assert_eq!(m.counter(), 2);
+        assert!(m.drain_results().is_empty());
+    }
+
+    #[test]
+    fn stop_flag_roundtrip() {
+        let m = GlobalMem::new();
+        assert!(!m.stopped());
+        m.request_stop();
+        assert!(m.stopped());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let m = GlobalMem::new();
+        m.add_flips(10);
+        m.add_flips(5);
+        m.add_iteration();
+        assert_eq!(m.total_flips(), 15);
+        assert_eq!(m.total_iterations(), 1);
+    }
+
+    #[test]
+    fn concurrent_producers_and_host_poll() {
+        // Many device threads pushing results while the host polls and
+        // drains must never lose a record.
+        let m = Arc::new(GlobalMem::new());
+        let producers = 8;
+        let per = 500;
+        std::thread::scope(|s| {
+            for t in 0..producers {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..per {
+                        m.push_result(SolutionRecord {
+                            x: bv("1"),
+                            energy: (t * per + i) as i64,
+                        });
+                    }
+                });
+            }
+            let m2 = Arc::clone(&m);
+            s.spawn(move || {
+                let mut got = 0usize;
+                while got < producers * per {
+                    let seen = m2.counter();
+                    if seen as usize > got {
+                        got += m2.drain_results().len();
+                    }
+                    std::hint::spin_loop();
+                }
+                assert_eq!(got, producers * per);
+            });
+        });
+        assert_eq!(m.counter(), (producers * per) as u64);
+    }
+}

@@ -1,0 +1,249 @@
+//! One virtual GPU: a scheduler multiplexing logical blocks onto worker
+//! OS threads.
+
+use crate::block::{AdaptiveConfig, BlockConfig, BlockRunner, PolicyKind, WindowSchedule};
+use crate::buffers::GlobalMem;
+use crate::occupancy::{full_occupancy_configs, occupancy};
+use crate::spec::DeviceSpec;
+use qubo::Qubo;
+use std::sync::Arc;
+
+/// Configuration of one virtual device.
+#[derive(Clone, Debug)]
+pub struct DeviceConfig {
+    /// Hardware resource model (defaults to the RTX 2080 Ti).
+    pub spec: DeviceSpec,
+    /// Bits per thread `p`; `None` selects the 100 %-occupancy
+    /// configuration with the most active blocks (the paper's best-
+    /// performing choice for most sizes).
+    pub bits_per_thread: Option<u32>,
+    /// Overrides the number of logical blocks (tests and small problems;
+    /// `None` derives the count from the occupancy calculator).
+    pub blocks_override: Option<usize>,
+    /// Worker OS threads simulating the SMs of this device.
+    pub workers: usize,
+    /// Local-search flips per bulk iteration (§3.2 Step 4b).
+    pub local_steps: usize,
+    /// Window-length assignment across blocks.
+    pub windows: WindowSchedule,
+    /// Optional future-work adaptive window switching, applied to every
+    /// block (see [`AdaptiveConfig`]).
+    pub adaptive: Option<AdaptiveConfig>,
+    /// Selection algorithms cycled across blocks (§5 future work:
+    /// heterogeneous devices). Empty = every block runs the paper's
+    /// window policy.
+    pub policy_mix: Vec<PolicyKind>,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self {
+            spec: DeviceSpec::default(),
+            bits_per_thread: None,
+            blocks_override: None,
+            workers: 1,
+            local_steps: 256,
+            windows: WindowSchedule::PowersOfTwo,
+            adaptive: None,
+            policy_mix: Vec::new(),
+        }
+    }
+}
+
+/// One virtual GPU: its global memory plus the scheduler state.
+pub struct Device {
+    config: DeviceConfig,
+    mem: Arc<GlobalMem>,
+}
+
+impl Device {
+    /// Creates a device with fresh (empty) global memory.
+    #[must_use]
+    pub fn new(config: DeviceConfig) -> Self {
+        Self {
+            config,
+            mem: Arc::new(GlobalMem::new()),
+        }
+    }
+
+    /// The device's global memory region (shared with the host).
+    #[must_use]
+    pub fn mem(&self) -> &Arc<GlobalMem> {
+        &self.mem
+    }
+
+    /// The device configuration.
+    #[must_use]
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Number of logical blocks this device runs for an `n`-bit problem.
+    ///
+    /// # Panics
+    /// Panics if an explicit `bits_per_thread` is infeasible for `n`, or
+    /// if no 100 %-occupancy configuration exists (n > 32 k on Turing).
+    #[must_use]
+    pub fn resolve_blocks(&self, n: usize) -> usize {
+        if let Some(b) = self.config.blocks_override {
+            return b.max(1);
+        }
+        let occ = match self.config.bits_per_thread {
+            Some(p) => occupancy(&self.config.spec, n, p)
+                .unwrap_or_else(|e| panic!("infeasible bits_per_thread={p} for n={n}: {e}")),
+            None => full_occupancy_configs(&self.config.spec, n)
+                .into_iter()
+                .max_by_key(|o| o.blocks_per_gpu)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "no 100% occupancy configuration for n={n} on {}",
+                        self.config.spec.name
+                    )
+                }),
+        };
+        occ.blocks_per_gpu as usize
+    }
+
+    /// Runs the device until the host raises the stop flag in its global
+    /// memory. Blocks are distributed round-robin over `workers` OS
+    /// threads; each worker cycles through its blocks, running one bulk
+    /// iteration at a time, so all logical blocks make progress
+    /// regardless of how few OS threads back them.
+    pub fn run(&self, qubo: &Qubo) {
+        let n = qubo.n();
+        let total_blocks = self.resolve_blocks(n);
+        let workers = self.config.workers.max(1).min(total_blocks);
+        let mem = &self.mem;
+        let cfg = &self.config;
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                s.spawn(move || {
+                    let mut blocks: Vec<BlockRunner<'_>> = (w..total_blocks)
+                        .step_by(workers)
+                        .map(|b| {
+                            BlockRunner::new(
+                                qubo,
+                                BlockConfig {
+                                    local_steps: cfg.local_steps,
+                                    window: cfg.windows.window_for(b, n),
+                                    // Prime-stride offsets desynchronize
+                                    // blocks that share a window length.
+                                    offset: (b * 97) % n,
+                                    adaptive: cfg.adaptive,
+                                    policy: if cfg.policy_mix.is_empty() {
+                                        PolicyKind::Window
+                                    } else {
+                                        cfg.policy_mix[b % cfg.policy_mix.len()].clone()
+                                    },
+                                },
+                            )
+                        })
+                        .collect();
+                    'outer: while !mem.stopped() {
+                        for blk in &mut blocks {
+                            blk.bulk_iteration(mem);
+                            if mem.stopped() {
+                                break 'outer;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qubo::BitVec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_qubo(n: usize, seed: u64) -> Qubo {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Qubo::random(n, &mut rng)
+    }
+
+    fn small_config(blocks: usize, workers: usize) -> DeviceConfig {
+        DeviceConfig {
+            blocks_override: Some(blocks),
+            workers,
+            local_steps: 50,
+            ..DeviceConfig::default()
+        }
+    }
+
+    #[test]
+    fn resolve_blocks_uses_occupancy_when_not_overridden() {
+        let cfg = DeviceConfig {
+            bits_per_thread: Some(1),
+            ..DeviceConfig::default()
+        };
+        let d = Device::new(cfg);
+        assert_eq!(d.resolve_blocks(1024), 68);
+        let auto = Device::new(DeviceConfig::default());
+        // Auto picks the max-block 100% configuration: p = 16 → 1088.
+        assert_eq!(auto.resolve_blocks(1024), 1088);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible bits_per_thread")]
+    fn resolve_blocks_panics_on_infeasible_p() {
+        let cfg = DeviceConfig {
+            bits_per_thread: Some(1),
+            ..DeviceConfig::default()
+        };
+        Device::new(cfg).resolve_blocks(4096);
+    }
+
+    #[test]
+    fn device_runs_until_stopped_and_produces_results() {
+        let q = random_qubo(32, 1);
+        let d = Device::new(small_config(4, 2));
+        let mem = Arc::clone(d.mem());
+        std::thread::scope(|s| {
+            s.spawn(|| d.run(&q));
+            // Host: feed some targets, wait for results, stop.
+            let mut rng = StdRng::seed_from_u64(2);
+            for _ in 0..8 {
+                mem.push_target(BitVec::random(32, &mut rng));
+            }
+            while mem.counter() < 8 {
+                std::thread::yield_now();
+            }
+            mem.request_stop();
+        });
+        let results = mem.drain_results();
+        assert!(results.len() >= 8);
+        for r in &results {
+            assert_eq!(r.energy, q.energy(&r.x));
+        }
+        assert!(mem.total_flips() > 0);
+    }
+
+    #[test]
+    fn all_blocks_progress_with_fewer_workers_than_blocks() {
+        let q = random_qubo(16, 3);
+        let d = Device::new(small_config(6, 2));
+        let mem = Arc::clone(d.mem());
+        std::thread::scope(|s| {
+            s.spawn(|| d.run(&q));
+            // 2 rounds of 6 blocks each → ≥ 12 iterations before stop.
+            while mem.total_iterations() < 12 {
+                std::thread::yield_now();
+            }
+            mem.request_stop();
+        });
+        assert!(mem.total_iterations() >= 12);
+    }
+
+    #[test]
+    fn stop_before_start_exits_immediately() {
+        let q = random_qubo(16, 4);
+        let d = Device::new(small_config(4, 1));
+        d.mem().request_stop();
+        d.run(&q); // must return promptly
+        assert_eq!(d.mem().total_iterations(), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! A multi-GPU machine: several devices running concurrently for one
+//! host (Fig. 5).
+
+use crate::buffers::GlobalMem;
+use crate::device::{Device, DeviceConfig};
+use qubo::Qubo;
+use std::sync::Arc;
+
+/// Configuration of the whole machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of virtual GPUs (the paper uses 1–4).
+    pub num_devices: usize,
+    /// Per-device configuration template (each device gets a copy).
+    pub device: DeviceConfig,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            num_devices: 1,
+            device: DeviceConfig::default(),
+        }
+    }
+}
+
+/// A set of virtual devices plus the plumbing to run them together with
+/// a host loop.
+pub struct Machine {
+    devices: Vec<Device>,
+}
+
+impl Machine {
+    /// Creates the machine.
+    ///
+    /// # Panics
+    /// Panics if `num_devices == 0`.
+    #[must_use]
+    pub fn new(config: &MachineConfig) -> Self {
+        assert!(config.num_devices > 0, "machine needs at least one device");
+        Self {
+            devices: (0..config.num_devices)
+                .map(|_| Device::new(config.device.clone()))
+                .collect(),
+        }
+    }
+
+    /// The devices.
+    #[must_use]
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Global memories of all devices, in device order (the host's view).
+    #[must_use]
+    pub fn mems(&self) -> Vec<Arc<GlobalMem>> {
+        self.devices.iter().map(|d| Arc::clone(d.mem())).collect()
+    }
+
+    /// Runs all devices on `qubo` concurrently while executing `host` on
+    /// the calling thread. When `host` returns, the stop flag is raised
+    /// on every device and the call joins them before returning the
+    /// host's result.
+    ///
+    /// The host closure receives the device memories and is expected to
+    /// implement §3.1: poll counters, drain solution buffers, push
+    /// targets — and, if it wants to stop early, call
+    /// [`GlobalMem::request_stop`] itself (returning has the same
+    /// effect).
+    pub fn run<F, R>(&self, qubo: &Qubo, host: F) -> R
+    where
+        F: FnOnce(&[Arc<GlobalMem>]) -> R,
+    {
+        /// Raises every stop flag when dropped — including during an
+        /// unwind out of the host closure, so a panicking host can never
+        /// deadlock the scope on still-running devices.
+        struct StopGuard<'a>(&'a [Arc<GlobalMem>]);
+        impl Drop for StopGuard<'_> {
+            fn drop(&mut self) {
+                for m in self.0 {
+                    m.request_stop();
+                }
+            }
+        }
+
+        let mems = self.mems();
+        std::thread::scope(|s| {
+            for d in &self.devices {
+                s.spawn(move || d.run(qubo));
+            }
+            let _guard = StopGuard(&mems);
+            host(&mems)
+        })
+    }
+
+    /// Total flips across all devices.
+    #[must_use]
+    pub fn total_flips(&self) -> u64 {
+        self.devices.iter().map(|d| d.mem().total_flips()).sum()
+    }
+
+    /// Total solutions evaluated across all devices for an `n`-bit
+    /// problem (each flip evaluates `n + 1` solutions — the search-rate
+    /// numerator of §4.3).
+    #[must_use]
+    pub fn total_evaluated(&self, n: usize) -> u64 {
+        self.total_flips() * (n as u64 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qubo::BitVec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_machine(devices: usize) -> Machine {
+        Machine::new(&MachineConfig {
+            num_devices: devices,
+            device: DeviceConfig {
+                blocks_override: Some(3),
+                workers: 1,
+                local_steps: 40,
+                ..DeviceConfig::default()
+            },
+        })
+    }
+
+    #[test]
+    fn all_devices_produce_results() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = Qubo::random(24, &mut rng);
+        let m = test_machine(3);
+        let counts = m.run(&q, |mems| {
+            // Feed two targets to each device, wait for 2 results each.
+            let mut rng = StdRng::seed_from_u64(2);
+            for mem in mems {
+                mem.push_target(BitVec::random(24, &mut rng));
+                mem.push_target(BitVec::random(24, &mut rng));
+            }
+            loop {
+                let counts: Vec<u64> = mems.iter().map(|m| m.counter()).collect();
+                if counts.iter().all(|&c| c >= 2) {
+                    return counts;
+                }
+                std::thread::yield_now();
+            }
+        });
+        assert_eq!(counts.len(), 3);
+        assert!(m.total_flips() > 0);
+        assert_eq!(m.total_evaluated(24), m.total_flips() * 25);
+    }
+
+    #[test]
+    fn host_result_is_propagated() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = Qubo::random(16, &mut rng);
+        let m = test_machine(1);
+        let out = m.run(&q, |_mems| 42usize);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_panics() {
+        let _ = Machine::new(&MachineConfig {
+            num_devices: 0,
+            device: DeviceConfig::default(),
+        });
+    }
+
+    #[test]
+    fn panicking_host_does_not_deadlock_devices() {
+        // The StopGuard must raise stop flags during unwind, so the
+        // scope joins promptly and the panic propagates.
+        let mut rng = StdRng::seed_from_u64(4);
+        let q = Qubo::random(16, &mut rng);
+        let m = test_machine(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.run(&q, |_mems| panic!("host exploded"));
+        }));
+        assert!(result.is_err(), "panic must propagate");
+        // Devices exited: their memories show the stop flag.
+        for mem in m.mems() {
+            assert!(mem.stopped());
+        }
+    }
+
+    #[test]
+    fn devices_have_independent_memories() {
+        let m = test_machine(2);
+        m.mems()[0].push_target(BitVec::zeros(8));
+        assert_eq!(m.mems()[0].pending_targets(), 1);
+        assert_eq!(m.mems()[1].pending_targets(), 0);
+    }
+}

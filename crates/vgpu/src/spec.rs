@@ -1,0 +1,84 @@
+//! Hardware resource descriptions of the simulated devices.
+
+/// Static resource limits of one simulated GPU, in CUDA terms.
+///
+/// The defaults model the NVIDIA GeForce RTX 2080 Ti (Turing TU102,
+/// compute capability 7.5) the paper uses: 68 SMs, 64 K 32-bit registers
+/// and 64 KB shared memory per SM, at most 1024 resident threads
+/// (32 warps) and 16 resident blocks per SM.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeviceSpec {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sms: u32,
+    /// Maximum threads in one block.
+    pub max_threads_per_block: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: u32,
+    /// Shared memory per SM, in bytes.
+    pub shared_mem_per_sm: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+}
+
+impl DeviceSpec {
+    /// The RTX 2080 Ti configuration used throughout the paper.
+    #[must_use]
+    pub fn rtx_2080_ti() -> Self {
+        Self {
+            name: "NVIDIA GeForce RTX 2080 Ti (virtual)".to_owned(),
+            sms: 68,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 1024,
+            max_warps_per_sm: 32,
+            max_blocks_per_sm: 16,
+            registers_per_sm: 64 * 1024,
+            shared_mem_per_sm: 64 * 1024,
+            warp_size: 32,
+        }
+    }
+
+    /// A deliberately tiny device for fast unit tests (4 SMs).
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self {
+            name: "tiny test device".to_owned(),
+            sms: 4,
+            ..Self::rtx_2080_ti()
+        }
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        Self::rtx_2080_ti()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn turing_numbers_match_the_paper() {
+        let s = DeviceSpec::rtx_2080_ti();
+        // §3.2: "64-KB shared memory, 1024 threads (32 warps), 64K 32-bit
+        // registers per multiprocessor … and 68 multiprocessors".
+        assert_eq!(s.sms, 68);
+        assert_eq!(s.max_threads_per_sm, 1024);
+        assert_eq!(s.max_warps_per_sm, 32);
+        assert_eq!(s.registers_per_sm, 65536);
+        assert_eq!(s.shared_mem_per_sm, 65536);
+        assert_eq!(s.warp_size, 32);
+        // 64 registers per thread at full occupancy — the budget that
+        // limits the system to 32 k-bit problems.
+        assert_eq!(s.registers_per_sm / s.max_threads_per_sm, 64);
+    }
+}

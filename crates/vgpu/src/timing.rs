@@ -1,0 +1,225 @@
+//! Analytic GPU timing model calibrated against Table 2.
+//!
+//! The CPU workers of this crate execute the same *algorithms* as the
+//! paper's CUDA kernel, but cannot reproduce its absolute throughput.
+//! To reproduce the *shape* of the paper's throughput results (Table 2
+//! and Fig. 8) we model one block's flip latency with a roofline:
+//!
+//! ```text
+//! t_flip = c_red·log2(T) + c_seq·p² + c_lin·p + c_fix + B·2n / BW(n)
+//! ```
+//!
+//! * `c_red·log2(T)` — the block-wide argmin reduction over `T` threads
+//!   (the paper notes "computing the minimum value between threads takes
+//!   less time" as `p` grows and `T` shrinks);
+//! * `c_seq·p²` — super-linear per-thread sequential work (register
+//!   pressure and lost latency-hiding as each thread owns more bits);
+//! * `B·2n / BW` — every flip streams row `W_k` (2n bytes of 16-bit
+//!   weights) from memory, shared by all `B` resident blocks;
+//!   `BW` is the L2 bandwidth when the whole matrix (2n² bytes) fits in
+//!   the 5.5 MB L2 cache, and DRAM bandwidth otherwise.
+//!
+//! Fitting the five constants to the twenty rows of Table 2 yields
+//! physically sensible values: DRAM bandwidth 578 GB/s (the 2080 Ti's
+//! spec sheet says 616 GB/s), L2 bandwidth 2.6 TB/s, and a reduction
+//! cost of ~124 ns per log₂ step. The model reproduces every row within
+//! ±45 % (most within ±20 %), the optimum `p` for five of the six
+//! problem sizes (for n = 1 k it rates p = 8 and p = 16 within 0.5 % of
+//! each other, as the paper's own 1.12 vs 1.24 T/s near-tie suggests),
+//! and the characteristic rise-then-fall of the search rate in `p`.
+//!
+//! The headline observation the model encodes: at its best
+//! configuration the kernel is *memory-bandwidth-bound* —
+//! 1.24 T solutions/s at n = 1 k is 1.24 T / 1024 × 2048 B ÷ 4 GPUs
+//! ≈ 620 GB/s per GPU, i.e. exactly saturated GDDR6.
+
+use crate::occupancy::{occupancy, Occupancy};
+use crate::spec::DeviceSpec;
+
+/// Calibrated cost constants (seconds and bytes/second).
+#[derive(Clone, Copy, Debug)]
+pub struct TimingModel {
+    /// Cost per log₂ step of the block-wide argmin reduction (s).
+    pub c_reduction: f64,
+    /// Quadratic per-thread sequential cost (s per p²).
+    pub c_seq: f64,
+    /// Linear per-thread sequential cost (s per p).
+    pub c_lin: f64,
+    /// Fixed per-flip overhead (s).
+    pub c_fix: f64,
+    /// DRAM bandwidth (B/s).
+    pub bw_dram: f64,
+    /// L2 bandwidth (B/s), used when the weight matrix fits in L2.
+    pub bw_l2: f64,
+    /// L2 capacity (bytes).
+    pub l2_bytes: f64,
+}
+
+impl Default for TimingModel {
+    /// Constants fitted to Table 2 by least squares on log rate.
+    fn default() -> Self {
+        Self {
+            c_reduction: 123.9e-9,
+            c_seq: 7.87e-9,
+            c_lin: 0.0,
+            c_fix: 0.0,
+            bw_dram: 577.8e9,
+            bw_l2: 2_619.9e9,
+            l2_bytes: 5.5e6,
+        }
+    }
+}
+
+impl TimingModel {
+    /// Modeled flip latency of one block, in seconds, for a resolved
+    /// launch configuration on an `n`-bit problem.
+    #[must_use]
+    pub fn flip_latency(&self, n: usize, occ: &Occupancy) -> f64 {
+        let p = f64::from(occ.bits_per_thread);
+        let t = f64::from(occ.threads_per_block);
+        let b = f64::from(occ.blocks_per_gpu);
+        let bytes_per_flip = 2.0 * n as f64;
+        let matrix_bytes = 2.0 * (n as f64) * (n as f64);
+        let bw = if matrix_bytes <= self.l2_bytes {
+            self.bw_l2
+        } else {
+            self.bw_dram
+        };
+        self.c_reduction * t.log2()
+            + self.c_seq * p * p
+            + self.c_lin * p
+            + self.c_fix
+            + b * bytes_per_flip / bw
+    }
+
+    /// Modeled search rate in solutions per second for `gpus` devices
+    /// (each flip evaluates `n` neighbour solutions, the counting used
+    /// by Table 2 / the FPGA system of the paper's ref. 22).
+    #[must_use]
+    pub fn search_rate(&self, n: usize, occ: &Occupancy, gpus: usize) -> f64 {
+        let b = f64::from(occ.blocks_per_gpu);
+        gpus as f64 * (b / self.flip_latency(n, occ)) * n as f64
+    }
+
+    /// Convenience: modeled search rate from `(n, p)` on a device spec.
+    ///
+    /// # Panics
+    /// Panics if the configuration is infeasible.
+    #[must_use]
+    pub fn search_rate_for(&self, spec: &DeviceSpec, n: usize, p: u32, gpus: usize) -> f64 {
+        let occ = occupancy(spec, n, p).expect("feasible configuration");
+        self.search_rate(n, &occ, gpus)
+    }
+}
+
+/// The paper's measured Table 2: `(n, bits_per_thread, search rate in
+/// units of 10¹² solutions/s on 4 GPUs)`. Embedded for benchmark
+/// reports to print paper-vs-model/measured comparisons.
+pub const PAPER_TABLE2: &[(usize, u32, f64)] = &[
+    (1024, 1, 0.221),
+    (1024, 2, 0.480),
+    (1024, 4, 0.924),
+    (1024, 8, 1.12),
+    (1024, 16, 1.24),
+    (2048, 2, 0.304),
+    (2048, 4, 0.564),
+    (2048, 8, 0.821),
+    (2048, 16, 1.01),
+    (2048, 32, 0.807),
+    (4096, 4, 0.407),
+    (4096, 8, 0.590),
+    (4096, 16, 0.732),
+    (4096, 32, 0.495),
+    (8192, 8, 0.421),
+    (8192, 16, 0.537),
+    (8192, 32, 0.427),
+    (16384, 16, 0.578),
+    (16384, 32, 0.513),
+    (32768, 32, 0.439),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn turing() -> DeviceSpec {
+        DeviceSpec::rtx_2080_ti()
+    }
+
+    #[test]
+    fn model_matches_every_table2_row_within_45_percent() {
+        let m = TimingModel::default();
+        for &(n, p, obs_t) in PAPER_TABLE2 {
+            let rate = m.search_rate_for(&turing(), n, p, 4) / 1e12;
+            let rel = (rate - obs_t) / obs_t;
+            assert!(
+                rel.abs() < 0.45,
+                "n={n} p={p}: model {rate:.3} T/s vs paper {obs_t} T/s ({:+.0}%)",
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn model_reproduces_optimum_p_shape() {
+        // For every n, the paper's rate rises with p and then falls (or
+        // peaks at the largest p for n = 32 k). The model must place its
+        // optimum at the paper's optimum, or at a p whose paper rate is
+        // within 10 % of the paper's optimum (the n = 1 k near-tie).
+        let m = TimingModel::default();
+        for n in [1024usize, 2048, 4096, 8192, 16384, 32768] {
+            let rows: Vec<&(usize, u32, f64)> = PAPER_TABLE2.iter().filter(|r| r.0 == n).collect();
+            let paper_best = rows.iter().max_by(|a, b| a.2.total_cmp(&b.2)).unwrap();
+            let model_best = rows
+                .iter()
+                .max_by(|a, b| {
+                    m.search_rate_for(&turing(), n, a.1, 4)
+                        .total_cmp(&m.search_rate_for(&turing(), n, b.1, 4))
+                })
+                .unwrap();
+            let paper_rate_at_model_best = rows.iter().find(|r| r.1 == model_best.1).unwrap().2;
+            assert!(
+                model_best.1 == paper_best.1 || paper_rate_at_model_best >= 0.9 * paper_best.2,
+                "n={n}: model picks p={}, paper optimum p={}",
+                model_best.1,
+                paper_best.1
+            );
+        }
+    }
+
+    #[test]
+    fn best_config_exceeds_dram_bandwidth_via_l2() {
+        // At n = 1 k, p = 16 the modeled per-GPU byte demand (~617 GB/s)
+        // exceeds DRAM bandwidth — the configuration is only feasible
+        // because the 2 MB weight matrix fits in L2, which is how the
+        // paper's 1.24 T/s headline gets past the GDDR6 roofline.
+        let m = TimingModel::default();
+        let occ = occupancy(&turing(), 1024, 16).unwrap();
+        let flips_per_sec = f64::from(occ.blocks_per_gpu) / m.flip_latency(1024, &occ);
+        let bytes_per_sec = flips_per_sec * 2.0 * 1024.0;
+        assert!(
+            bytes_per_sec > m.bw_dram,
+            "byte rate {bytes_per_sec:.3e} below DRAM bandwidth"
+        );
+        assert!(bytes_per_sec <= m.bw_l2 * 1.01);
+    }
+
+    #[test]
+    fn rate_scales_linearly_with_gpus() {
+        let m = TimingModel::default();
+        let r1 = m.search_rate_for(&turing(), 4096, 16, 1);
+        let r4 = m.search_rate_for(&turing(), 4096, 16, 4);
+        assert!((r4 / r1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn headline_rate_is_about_1_24_tera() {
+        // The abstract's headline: 1.24 × 10¹² solutions/s with 4 GPUs.
+        let m = TimingModel::default();
+        let best = PAPER_TABLE2
+            .iter()
+            .map(|&(n, p, _)| m.search_rate_for(&turing(), n, p, 4))
+            .fold(0.0f64, f64::max);
+        assert!((1.0e12..1.5e12).contains(&best), "best modeled {best:.3e}");
+    }
+}

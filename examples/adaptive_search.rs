@@ -1,0 +1,61 @@
+//! The paper's future-work ideas (§5), implemented and compared:
+//! heterogeneous per-block algorithms and automatic algorithm switching.
+//!
+//! ```sh
+//! cargo run --release -p abs-examples --example adaptive_search
+//! ```
+
+use abs::{Abs, AbsConfig, StopCondition};
+use vgpu::{AdaptiveConfig, PolicyKind};
+
+fn run(label: &str, mut cfg: AbsConfig, q: &qubo::Qubo) {
+    cfg.stop = StopCondition::flips(400_000);
+    let r = Abs::new(cfg).solve(q);
+    println!(
+        "  {label:<44} best energy {:>12}   ({} improvements)",
+        r.best_energy,
+        r.history.len()
+    );
+}
+
+fn main() {
+    let n = 512;
+    let q = qubo_problems::random::generate(n, 99);
+    println!("512-bit synthetic random instance, 400k-flip budget each:\n");
+
+    // 1. The paper's configuration: every block runs the deterministic
+    //    window policy on a static powers-of-two ladder.
+    run("paper: static window ladder", AbsConfig::small(), &q);
+
+    // 2. Future work, part 1: a heterogeneous device — blocks cycle
+    //    through four different algorithms.
+    let mut hetero = AbsConfig::small();
+    hetero.machine.device.policy_mix = vec![
+        PolicyKind::Window,
+        PolicyKind::Greedy,
+        PolicyKind::Random,
+        PolicyKind::Metropolis {
+            temperature: q.energy_bound() as f64 / n as f64,
+            cooling: 0.9999,
+        },
+    ];
+    run("future work: heterogeneous algorithms", hetero, &q);
+
+    // 3. Future work, part 2: blocks re-tune their own window length
+    //    when they stagnate ("changed automatically").
+    let mut adaptive = AbsConfig::small();
+    adaptive.machine.device.adaptive = Some(AdaptiveConfig { patience: 8 });
+    run("future work: adaptive window switching", adaptive, &q);
+
+    // 4. Both at once.
+    let mut both = AbsConfig::small();
+    both.machine.device.policy_mix = vec![PolicyKind::Window, PolicyKind::Greedy];
+    both.machine.device.adaptive = Some(AdaptiveConfig { patience: 8 });
+    run("future work: mixed + adaptive", both, &q);
+
+    println!(
+        "\nall four reach similar energies on this easy dense family; the \
+         adaptive variants shine on long runs that stagnate (see the \
+         `report ablation` tables for measured sweeps)."
+    );
+}

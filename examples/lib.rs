@@ -1,0 +1,1 @@
+//! Examples live as example targets; see the `[[example]]` entries in Cargo.toml.

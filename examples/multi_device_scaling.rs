@@ -1,0 +1,50 @@
+//! Multi-device scaling (the paper's Fig. 8).
+//!
+//! Runs the same problem on 1–4 virtual devices (one worker thread
+//! each, so devices map to distinct cores) and reports the measured
+//! search rate, alongside the calibrated GPU timing model's prediction
+//! for real RTX 2080 Ti hardware.
+//!
+//! ```sh
+//! cargo run --release -p abs-examples --example multi_device_scaling
+//! ```
+
+use abs::{Abs, AbsConfig, StopCondition};
+use std::time::Duration;
+use vgpu::{occupancy, DeviceSpec, TimingModel};
+
+fn main() {
+    let n = 1024;
+    let problem = qubo_problems::random::generate(n, 7);
+    let model = TimingModel::default();
+    let spec = DeviceSpec::rtx_2080_ti();
+    let occ = occupancy(&spec, n, 16).expect("Table 2 config");
+
+    println!("search-rate scaling, n = {n} (cf. paper Fig. 8)\n");
+    println!("devices | measured CPU (sol/s) | speedup | modeled GPU (sol/s)");
+    println!("--------+----------------------+---------+--------------------");
+    let mut base = None;
+    for devices in 1..=4usize {
+        let mut config = AbsConfig::small();
+        config.machine.num_devices = devices;
+        config.machine.device.workers = 1;
+        config.machine.device.blocks_override = Some(8);
+        config.stop = StopCondition::timeout(Duration::from_millis(600));
+        let r = Abs::new(config).solve(&problem);
+        let rate = r.search_rate;
+        let speedup = rate / *base.get_or_insert(rate);
+        let gpu = model.search_rate(n, &occ, devices);
+        println!("   {devices}    |      {rate:.3e}       |  {speedup:.2}×  |     {gpu:.3e}");
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!(
+        "\nthe paper reports linear scaling to 4 GPUs and 1.24e12 sol/s \
+         peak; the model column reproduces that shape exactly. The \
+         measured column scales with the host's physical cores (this \
+         machine has {cores}): with ≥ 5 cores (one per device plus the \
+         polling host) it is linear too; below that, devices time-share \
+         cores and the curve flattens."
+    );
+}

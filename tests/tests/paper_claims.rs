@@ -1,0 +1,130 @@
+//! Cross-crate checks of the paper's central quantitative claims.
+
+use qubo::{BitVec, Qubo};
+use qubo_search::naive::{algorithm1, algorithm2, algorithm3, Acceptor};
+use qubo_search::{local_search, straight_search, DeltaTracker, WindowMinPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vgpu::{full_occupancy_configs, DeviceSpec, TimingModel, PAPER_TABLE2};
+
+fn random_qubo(n: usize, seed: u64) -> Qubo {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Qubo::random(n, &mut rng)
+}
+
+/// Definition 1 / Lemmas 1–3 / Theorem 1: the measured search
+/// efficiencies of Algorithms 1–4 scale as n², n + n²/m, ≤ n, and O(1).
+#[test]
+fn search_efficiency_hierarchy() {
+    for n in [32usize, 64, 128] {
+        let m = 4 * n;
+        let q = random_qubo(n, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let start = BitVec::random(n, &mut rng);
+
+        let e1 = algorithm1(&q, &start, m, Acceptor::Greedy, 3)
+            .stats
+            .efficiency();
+        let e2 = algorithm2(&q, &start, m, Acceptor::Greedy, 3)
+            .stats
+            .efficiency();
+        let e3 = algorithm3(&q, &start, m, Acceptor::Greedy, 3)
+            .stats
+            .efficiency();
+
+        // Algorithm 4 = DeltaTracker: flips·n weight ops, flips·(n+1)+n+1
+        // evaluations.
+        let mut t = DeltaTracker::new(&q);
+        let mut p = WindowMinPolicy::new(n / 4);
+        local_search(&mut t, &mut p, m);
+        let e4 = (t.flips() * n as u64) as f64 / t.evaluated() as f64;
+
+        assert!((e1 / (n * n) as f64 - 1.0).abs() < 0.05, "e1={e1} n={n}");
+        let lemma2 = n as f64 + (n * n) as f64 / m as f64;
+        assert!((e2 / lemma2 - 1.0).abs() < 0.3, "e2={e2} vs {lemma2}");
+        assert!(e3 <= n as f64 + 1.0, "e3={e3}");
+        assert!(e4 < 1.0, "e4={e4} must be O(1), below one op/solution");
+        assert!(e1 > e2 && e2 > e3 && e3 > e4, "hierarchy broken");
+    }
+}
+
+/// Theorem 1's accounting is n-independent: Algorithm 4's efficiency
+/// stays flat as n quadruples while Algorithm 1's grows ~16×.
+#[test]
+fn o1_efficiency_is_n_independent() {
+    let eff4 = |n: usize| {
+        let q = random_qubo(n, 4);
+        let mut t = DeltaTracker::new(&q);
+        let mut p = WindowMinPolicy::new(8);
+        local_search(&mut t, &mut p, 200);
+        (t.flips() * n as u64) as f64 / t.evaluated() as f64
+    };
+    let small = eff4(64);
+    let large = eff4(512);
+    assert!((large / small - 1.0).abs() < 0.1, "{small} vs {large}");
+}
+
+/// §2.2.2: a straight search costs exactly the Hamming distance in
+/// flips and leaves the tracker exact, so chaining GA targets never
+/// requires an O(n²) re-evaluation.
+#[test]
+fn straight_search_chains_stay_exact() {
+    let q = random_qubo(200, 5);
+    let mut t = DeltaTracker::new(&q);
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut policy = WindowMinPolicy::new(16);
+    for _ in 0..6 {
+        let target = BitVec::random(200, &mut rng);
+        let hd = t.x().hamming(&target) as u64;
+        let flips = straight_search(&mut t, &target);
+        assert_eq!(flips, hd);
+        local_search(&mut t, &mut policy, 100);
+    }
+    t.verify(); // E and all Δ still exact after 6 bulk iterations
+}
+
+/// §3.2: the paper's stated limits — 1024 threads/block, 64 registers
+/// per thread at full occupancy — cap the system at 32 k bits, with
+/// Table 2's configuration set.
+#[test]
+fn hardware_limits_match_paper() {
+    let spec = DeviceSpec::rtx_2080_ti();
+    assert!(!full_occupancy_configs(&spec, 32 * 1024).is_empty());
+    assert!(full_occupancy_configs(&spec, 64 * 1024).is_empty());
+    // 20 configurations across the six sizes of Table 2.
+    let total: usize = [1024, 2048, 4096, 8192, 16384, 32768]
+        .iter()
+        .map(|&n| full_occupancy_configs(&spec, n).len())
+        .sum();
+    assert_eq!(total, PAPER_TABLE2.len());
+}
+
+/// Abstract: "up to 1.24 × 10¹² solutions per second" with 4 GPUs, and
+/// "60× faster" than the FPGA solver of ref. [22] (20.4 G/s).
+#[test]
+fn headline_throughput_claims() {
+    let model = TimingModel::default();
+    let spec = DeviceSpec::rtx_2080_ti();
+    let peak = PAPER_TABLE2
+        .iter()
+        .map(|&(n, p, _)| model.search_rate_for(&spec, n, p, 4))
+        .fold(0.0f64, f64::max);
+    assert!(peak > 1.0e12 && peak < 1.5e12, "peak {peak:.3e}");
+    let fpga = 20.4e9;
+    let speedup = peak / fpga;
+    assert!(speedup > 50.0 && speedup < 75.0, "speedup {speedup:.1}");
+}
+
+/// §1 / §2: the device needs no random numbers — the window policy is
+/// deterministic, so identical block state yields identical trajectories.
+#[test]
+fn device_side_is_deterministic() {
+    let q = random_qubo(96, 7);
+    let run = || {
+        let mut t = DeltaTracker::new(&q);
+        let mut p = WindowMinPolicy::new(12);
+        local_search(&mut t, &mut p, 500);
+        (t.energy(), t.best().1, t.x().clone())
+    };
+    assert_eq!(run(), run());
+}
