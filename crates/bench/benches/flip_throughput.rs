@@ -1,12 +1,131 @@
 //! The hot kernel: one forced flip = one row scan updating all Δ plus
 //! best tracking. Throughput here, times (n + 1), is the single-block
 //! CPU search rate (the per-block analogue of Table 2).
+//!
+//! Three kernels are compared on identical walks (window policy, ℓ =
+//! n/8):
+//!
+//! * `seed_i64` — the pre-fusion kernel: Eq. (16) update loop, then a
+//!   *separate* full-array min pass for best tracking, then a windowed
+//!   select with a per-element `% n`.
+//! * `fused_i64` — the fused single-pass kernel at the original width.
+//! * `fused_i32` — the fused kernel with narrow accumulators.
+//!
+//! After measuring, `main` writes the means and fused-vs-seed speedups
+//! to `BENCH_flip.json` at the repo root (override with
+//! `BENCH_FLIP_OUT`). The perf gate is fused_i32 ≥ 1.3× seed at
+//! n ∈ {1024, 4096}.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{Bencher, BenchmarkId, Criterion, Throughput};
+use qubo::{BitVec, Qubo};
 use qubo_problems::random;
-use qubo_search::{DeltaTracker, SelectionPolicy, WindowMinPolicy};
+use qubo_search::{DeltaAcc, DeltaTracker, SelectionPolicy, WindowMinPolicy};
 use std::hint::black_box;
 use std::time::Duration;
+
+/// Faithful reproduction of the pre-fusion flip path: the Δ update, the
+/// best-neighbour min, and the window selection each traverse the Δ
+/// vector (or window) separately, and the window scan indexes with a
+/// per-element `% n`. Kept inline here as the benchmark baseline.
+struct SeedKernel<'a> {
+    qubo: &'a Qubo,
+    x: BitVec,
+    sign: Vec<i8>,
+    e: i64,
+    d: Vec<i64>,
+    best: BitVec,
+    best_e: i64,
+    offset: usize,
+    window: usize,
+}
+
+impl<'a> SeedKernel<'a> {
+    fn new(qubo: &'a Qubo, window: usize) -> Self {
+        let n = qubo.n();
+        let d: Vec<i64> = (0..n).map(|i| i64::from(qubo.diag(i))).collect();
+        let x = BitVec::zeros(n);
+        let mut k = Self {
+            qubo,
+            best: x.clone(),
+            x,
+            sign: vec![1i8; n],
+            e: 0,
+            d,
+            best_e: 0,
+            offset: 0,
+            window: window.max(1),
+        };
+        if let Some((i, &min_d)) = k.d.iter().enumerate().min_by_key(|&(_, &v)| v) {
+            if min_d < 0 {
+                k.best.flip(i);
+                k.best_e = min_d;
+            }
+        }
+        k
+    }
+
+    fn select(&mut self) -> usize {
+        let n = self.d.len();
+        let l = self.window.min(n);
+        let a = self.offset % n;
+        let mut best_i = a;
+        let mut best_d = self.d[a];
+        for off in 1..l {
+            let i = (a + off) % n;
+            if self.d[i] < best_d {
+                best_d = self.d[i];
+                best_i = i;
+            }
+        }
+        self.offset = (a + l) % n;
+        best_i
+    }
+
+    fn flip(&mut self, k: usize) {
+        let row = self.qubo.row(k);
+        let d_k_old = self.d[k];
+        let e_new = self.e + d_k_old;
+        let two_pk = i32::from(self.sign[k]) * 2;
+        for ((di, &w), &s) in self.d.iter_mut().zip(row).zip(&self.sign) {
+            *di += i64::from(i32::from(w) * i32::from(s) * two_pk);
+        }
+        self.d[k] = -d_k_old;
+        self.sign[k] = -self.sign[k];
+        self.x.flip(k);
+        self.e = e_new;
+        if e_new < self.best_e {
+            self.best.copy_from(&self.x);
+            self.best_e = e_new;
+        }
+        let min_d = self.d.iter().copied().min().expect("non-empty");
+        if e_new + min_d < self.best_e {
+            let i = self.d.iter().position(|&v| v == min_d).expect("exists");
+            self.best.copy_from(&self.x);
+            self.best.flip(i);
+            self.best_e = e_new + min_d;
+        }
+    }
+}
+
+fn bench_seed(b: &mut Bencher<'_>, q: &Qubo, window: usize) {
+    let mut kern = SeedKernel::new(q, window);
+    b.iter(|| {
+        let k = kern.select();
+        kern.flip(black_box(k));
+    });
+}
+
+fn bench_fused<A: DeltaAcc>(b: &mut Bencher<'_>, q: &Qubo, window: usize) {
+    let n = q.n();
+    let mut t = DeltaTracker::<A>::with_width(q);
+    let mut p = WindowMinPolicy::new(window);
+    let (a, l) = SelectionPolicy::<A>::next_window(&mut p, n).expect("window policy");
+    let mut k = t.select_in_window(a, l);
+    b.iter(|| {
+        let (a, l) = SelectionPolicy::<A>::next_window(&mut p, n).expect("window policy");
+        k = t.flip_select(black_box(k), (a, l));
+    });
+}
 
 fn bench_flip(c: &mut Criterion) {
     let mut g = c.benchmark_group("tracker_flip");
@@ -15,14 +134,16 @@ fn bench_flip(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(800));
     for n in [256usize, 1024, 4096] {
         let q = random::generate(n, 1);
+        let window = n / 8;
         g.throughput(Throughput::Elements((n as u64) + 1)); // solutions evaluated per flip
-        g.bench_with_input(BenchmarkId::new("window_policy", n), &n, |b, _| {
-            let mut t = DeltaTracker::new(&q);
-            let mut p = WindowMinPolicy::new(n / 8);
-            b.iter(|| {
-                let k = p.select(t.deltas(), t.x());
-                t.flip(black_box(k));
-            });
+        g.bench_with_input(BenchmarkId::new("seed_i64", n), &n, |b, _| {
+            bench_seed(b, &q, window);
+        });
+        g.bench_with_input(BenchmarkId::new("fused_i64", n), &n, |b, _| {
+            bench_fused::<i64>(b, &q, window);
+        });
+        g.bench_with_input(BenchmarkId::new("fused_i32", n), &n, |b, _| {
+            bench_fused::<i32>(b, &q, window);
         });
     }
     g.finish();
@@ -48,7 +169,7 @@ fn bench_straight_step(c: &mut Criterion) {
                 let mut best: Option<(usize, i64)> = None;
                 for i in t.x().iter_diff(&target) {
                     let d = t.deltas()[i];
-                    if best.map_or(true, |(_, bd)| d < bd) {
+                    if best.is_none_or(|(_, bd)| d < bd) {
                         best = Some((i, d));
                     }
                 }
@@ -63,5 +184,89 @@ fn bench_straight_step(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_flip, bench_straight_step);
-criterion_main!(benches);
+/// The three kernels must walk the same trajectory — compare end states
+/// after a few thousand flips before trusting the timings.
+fn sanity_check() {
+    let n = 256;
+    let q = random::generate(n, 1);
+    let window = n / 8;
+    let flips = 5_000usize;
+
+    let mut seed = SeedKernel::new(&q, window);
+    for _ in 0..flips {
+        let k = seed.select();
+        seed.flip(k);
+    }
+
+    fn run_fused<A: DeltaAcc>(q: &Qubo, window: usize, flips: usize) -> (i64, i64, BitVec) {
+        let mut t = DeltaTracker::<A>::with_width(q);
+        let mut p = WindowMinPolicy::new(window);
+        for _ in 0..flips {
+            let (a, l) = SelectionPolicy::<A>::next_window(&mut p, q.n()).expect("window");
+            let k = t.select_in_window(a, l);
+            t.flip(k);
+        }
+        (t.energy(), t.best().1, t.x().clone())
+    }
+
+    let (e64, b64, x64) = run_fused::<i64>(&q, window, flips);
+    let (e32, b32, x32) = run_fused::<i32>(&q, window, flips);
+    assert_eq!(seed.e, e64, "fused i64 diverged from the seed kernel");
+    assert_eq!(seed.best_e, b64, "fused i64 best diverged");
+    assert_eq!(seed.x, x64, "fused i64 solution diverged");
+    assert_eq!(e64, e32, "i32 energy diverged from i64");
+    assert_eq!(b64, b32, "i32 best diverged from i64");
+    assert_eq!(x64, x32, "i32 solution diverged from i64");
+    println!("sanity: seed, fused_i64, fused_i32 agree after {flips} flips (E = {e64})");
+}
+
+fn mean_ns(c: &Criterion, name: &str) -> f64 {
+    c.results
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, m)| m.mean_ns)
+        .unwrap_or(f64::NAN)
+}
+
+fn write_report(c: &Criterion) {
+    const GATE: f64 = 1.3;
+    let gate_sizes = [1024usize, 4096];
+    let mut rows = Vec::new();
+    let mut pass = true;
+    for n in [256usize, 1024, 4096] {
+        let seed = mean_ns(c, &format!("tracker_flip/seed_i64/{n}"));
+        let f64_ns = mean_ns(c, &format!("tracker_flip/fused_i64/{n}"));
+        let f32_ns = mean_ns(c, &format!("tracker_flip/fused_i32/{n}"));
+        let s64 = seed / f64_ns;
+        let s32 = seed / f32_ns;
+        if gate_sizes.contains(&n) && s32 < GATE {
+            pass = false;
+        }
+        rows.push(format!(
+            "    {{\"n\": {n}, \"window\": {w}, \"seed_i64_ns\": {seed:.1}, \
+             \"fused_i64_ns\": {f64_ns:.1}, \"fused_i32_ns\": {f32_ns:.1}, \
+             \"speedup_fused_i64\": {s64:.3}, \"speedup_fused_i32\": {s32:.3}}}",
+            w = n / 8
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"flip_throughput\",\n  \"policy\": \"window(n/8)\",\n  \
+         \"metric\": \"mean ns per flip (one flip evaluates n+1 solutions)\",\n  \
+         \"sizes\": [\n{rows}\n  ],\n  \
+         \"gate\": {{\"min_speedup_fused_i32\": {GATE}, \"sizes\": [1024, 4096], \
+         \"pass\": {pass}}}\n}}\n",
+        rows = rows.join(",\n")
+    );
+    let path = std::env::var("BENCH_FLIP_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_flip.json").into());
+    std::fs::write(&path, &json).expect("write BENCH_flip.json");
+    println!("wrote {path} (gate pass = {pass})");
+}
+
+fn main() {
+    sanity_check();
+    let mut c = Criterion::default();
+    bench_flip(&mut c);
+    bench_straight_step(&mut c);
+    write_report(&c);
+}

@@ -83,7 +83,6 @@ pub fn sk_ground_state_estimate(n: usize) -> f64 {
 mod tests {
     use super::*;
     use qubo::BitVec;
-    use rand::Rng;
 
     #[test]
     fn catalog_matches_paper_sizes() {

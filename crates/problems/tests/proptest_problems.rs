@@ -59,11 +59,7 @@ proptest! {
         let mut t: Vec<usize> = tour.into_iter().filter(|&v| v < c).collect();
         let mut seen = vec![false; c];
         t.retain(|&v| !std::mem::replace(&mut seen[v], true));
-        for v in 0..c {
-            if !seen[v] {
-                t.push(v);
-            }
-        }
+        t.extend(seen.iter().enumerate().filter(|(_, &s)| !s).map(|(v, _)| v));
         prop_assert_eq!(t[0], 0);
         let x = tq.encode(&t);
         let decoded = tq.decode(&x);

@@ -1,0 +1,132 @@
+//! Δ-accumulator widths for the fused flip kernel.
+//!
+//! The difference vector `d_i = Δ_i(X)` is the hottest data of the whole
+//! search: every flip reads and writes all `n` entries. Its values are
+//! bounded by [`Qubo::delta_bound`] — `|Δ_i(X)| ≤ 2·Σ_j |W_ij| + |W_ii|
+//! ≤ 2·n·max|W|` for every reachable state — so whenever that bound fits
+//! in 32 bits the accumulators can be narrowed from `i64` to `i32`,
+//! halving the memory traffic of the update loop and doubling its SIMD
+//! lane count. [`DeltaAcc`] abstracts the width; the checked `i64`
+//! fallback is chosen at tracker construction
+//! ([`crate::DeltaTracker::fits`]).
+//!
+//! Energies (`E(X)`, best energies) always stay `i64`: they are sums
+//! over up to `n²` weights and are bounded only by
+//! [`Qubo::energy_bound`], which does not fit 32 bits in general.
+//!
+//! [`Qubo::delta_bound`]: qubo::Qubo::delta_bound
+//! [`Qubo::energy_bound`]: qubo::Qubo::energy_bound
+
+use qubo::Energy;
+
+/// An integer width for Δ accumulators (`i32` or `i64`).
+///
+/// Implementations must be lossless for every value up to [`LIMIT`] in
+/// magnitude; the tracker never constructs one for a problem whose
+/// [`Qubo::delta_bound`] exceeds it.
+///
+/// [`LIMIT`]: DeltaAcc::LIMIT
+/// [`Qubo::delta_bound`]: qubo::Qubo::delta_bound
+pub trait DeltaAcc:
+    Copy + Ord + Eq + Send + Sync + std::fmt::Debug + std::fmt::Display + 'static
+{
+    /// Largest `|Δ|` bound this width holds without overflow.
+    const LIMIT: Energy;
+
+    /// Width name for diagnostics and benchmark output.
+    const NAME: &'static str;
+
+    /// Converts an in-range energy difference into the accumulator.
+    fn from_energy(v: Energy) -> Self;
+
+    /// Widens the accumulator back to an energy difference.
+    fn to_energy(self) -> Energy;
+
+    /// The Eq. (16) update step: `self + W_ik·φ(x_i)·(2·φ(x_k))`, with
+    /// `two_pk = 2·φ(x_k) ∈ {−2, +2}` hoisted by the caller.
+    fn add_coupling(self, w: i16, s: i8, two_pk: i32) -> Self;
+
+    /// `Δ_k ↦ −Δ_k` (the flipped bit's own entry).
+    fn neg(self) -> Self;
+}
+
+impl DeltaAcc for i64 {
+    const LIMIT: Energy = i64::MAX;
+    const NAME: &'static str = "i64";
+
+    #[inline]
+    fn from_energy(v: Energy) -> Self {
+        v
+    }
+
+    #[inline]
+    fn to_energy(self) -> Energy {
+        self
+    }
+
+    #[inline]
+    fn add_coupling(self, w: i16, s: i8, two_pk: i32) -> Self {
+        self + i64::from(i32::from(w) * i32::from(s) * two_pk)
+    }
+
+    #[inline]
+    fn neg(self) -> Self {
+        -self
+    }
+}
+
+impl DeltaAcc for i32 {
+    const LIMIT: Energy = i32::MAX as Energy;
+    const NAME: &'static str = "i32";
+
+    #[inline]
+    fn from_energy(v: Energy) -> Self {
+        debug_assert!(
+            i32::try_from(v).is_ok(),
+            "Δ value {v} exceeds the i32 accumulator"
+        );
+        v as i32
+    }
+
+    #[inline]
+    fn to_energy(self) -> Energy {
+        Energy::from(self)
+    }
+
+    #[inline]
+    fn add_coupling(self, w: i16, s: i8, two_pk: i32) -> Self {
+        // |product| ≤ 2·32767 and the sum is the next state's Δ, which
+        // is within the construction-checked bound: no overflow.
+        self + i32::from(w) * i32::from(s) * two_pk
+    }
+
+    #[inline]
+    fn neg(self) -> Self {
+        -self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_agree_on_the_update_step() {
+        for (d, w, s, two_pk) in [
+            (0i64, 5i16, 1i8, 2i32),
+            (-1000, -32768, -1, -2),
+            (123_456, 32767, 1, -2),
+        ] {
+            let wide = d.add_coupling(w, s, two_pk);
+            let narrow = i32::from_energy(d).add_coupling(w, s, two_pk);
+            assert_eq!(narrow.to_energy(), wide);
+        }
+    }
+
+    #[test]
+    fn limits_are_ordered() {
+        let limits = [<i32 as DeltaAcc>::LIMIT, <i64 as DeltaAcc>::LIMIT];
+        assert!(limits.is_sorted());
+        assert_eq!(limits[0], i64::from(i32::MAX));
+    }
+}

@@ -19,6 +19,17 @@
 //! * [`naive`] — instrumented reference implementations of Algorithms
 //!   1–3, used to reproduce the search-efficiency analysis
 //!   (Lemmas 1–3) experimentally.
+//! * [`acc`] — Δ accumulator widths. The flip kernel is generic over
+//!   [`DeltaAcc`] (`i32`/`i64`): when [`qubo::Qubo::delta_bound`] fits 32
+//!   bits the narrow width halves the hot loop's memory traffic. Use
+//!   [`DeltaTracker::fits`] to pick, [`DeltaTracker::with_width`] to
+//!   build.
+//!
+//! The flip hot path is *fused* (one Δ-vector traversal per flip): the
+//! Eq. (16) update, the Theorem 1 best-neighbour min, and — through
+//! [`DeltaTracker::flip_select`] — the next window selection all run in
+//! the same pass. [`local_search`] uses the fused path automatically for
+//! any policy implementing [`SelectionPolicy::next_window`].
 //!
 //! # Example
 //!
@@ -47,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod acc;
 pub mod local;
 pub mod naive;
 pub mod policy;
@@ -54,8 +66,11 @@ pub mod sparse;
 pub mod straight;
 pub mod tracker;
 
+pub use acc::DeltaAcc;
 pub use local::local_search;
-pub use policy::{GreedyPolicy, MetropolisPolicy, RandomPolicy, SelectionPolicy, WindowMinPolicy};
+pub use policy::{
+    window_argmin, GreedyPolicy, MetropolisPolicy, RandomPolicy, SelectionPolicy, WindowMinPolicy,
+};
 pub use sparse::SparseDeltaTracker;
 pub use straight::straight_search;
 pub use tracker::DeltaTracker;

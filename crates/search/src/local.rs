@@ -1,5 +1,6 @@
 //! The forced-flip local search driver (second loop of Algorithm 4).
 
+use crate::acc::DeltaAcc;
 use crate::policy::SelectionPolicy;
 use crate::tracker::DeltaTracker;
 
@@ -12,26 +13,53 @@ use crate::tracker::DeltaTracker;
 /// evaluates all `n` neighbours of the new solution (Theorem 1), so the
 /// search may discover — and record — solutions it never visits.
 ///
+/// When the policy exposes its windows via
+/// [`SelectionPolicy::next_window`] (the paper's window policy and the
+/// greedy policy do), the loop runs *fused*: each step is one
+/// [`DeltaTracker::flip_select`] call, so the flip's Δ-update pass and
+/// the next selection's window scan touch the Δ vector while it is hot,
+/// and no full second traversal happens per flip. Policies without
+/// windows (random, Metropolis) fall back to the classic
+/// select-then-flip pair. The chosen flip sequence is bit-for-bit
+/// identical either way.
+///
 /// The device runs this with a *fixed* number of flips per bulk-search
 /// iteration (Step 4b), so that the resulting solution `C'` is a valid
 /// known starting point for the next straight search and the O(1) search
 /// efficiency is preserved across iterations (Fig. 4).
-pub fn local_search<P: SelectionPolicy + ?Sized>(
-    tracker: &mut DeltaTracker<'_>,
+pub fn local_search<A: DeltaAcc, P: SelectionPolicy<A> + ?Sized>(
+    tracker: &mut DeltaTracker<'_, A>,
     policy: &mut P,
     steps: usize,
 ) -> u64 {
-    for _ in 0..steps {
-        let k = policy.select(tracker.deltas(), tracker.x());
-        tracker.flip(k);
+    if steps == 0 {
+        return 0;
     }
+    let n = tracker.n();
+    // Steady state holds one *pending* flip `k`: each iteration commits
+    // it fused with the next selection. The first selection has no
+    // pending flip and the last flip has no next selection.
+    let mut k = match policy.next_window(n) {
+        Some((a, l)) => tracker.select_in_window(a, l),
+        None => policy.select(tracker.deltas(), tracker.x()),
+    };
+    for _ in 1..steps {
+        k = match policy.next_window(n) {
+            Some((a, l)) => tracker.flip_select(k, (a, l)),
+            None => {
+                tracker.flip(k);
+                policy.select(tracker.deltas(), tracker.x())
+            }
+        };
+    }
+    tracker.flip(k);
     steps as u64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{GreedyPolicy, WindowMinPolicy};
+    use crate::policy::{GreedyPolicy, MetropolisPolicy, RandomPolicy, WindowMinPolicy};
     use qubo::{BitVec, Qubo};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -102,5 +130,80 @@ mod tests {
         let mut p = GreedyPolicy;
         assert_eq!(local_search(&mut t, &mut p, 0), 0);
         assert_eq!(t.x(), &before);
+    }
+
+    /// The seed-era driver, kept as the reference for trajectory
+    /// equivalence: select with the policy's two-call API, then flip.
+    fn reference_local_search<A: DeltaAcc, P: SelectionPolicy<A>>(
+        tracker: &mut DeltaTracker<'_, A>,
+        policy: &mut P,
+        steps: usize,
+    ) {
+        for _ in 0..steps {
+            let k = policy.select(tracker.deltas(), tracker.x());
+            tracker.flip(k);
+        }
+    }
+
+    #[test]
+    fn fused_driver_matches_select_then_flip_reference() {
+        for seed in 0..4u64 {
+            let q = random_qubo(48, 10 + seed);
+            for window in [1usize, 3, 8, 48, 100] {
+                let mut tf = DeltaTracker::new(&q);
+                let mut pf = WindowMinPolicy::new(window);
+                local_search(&mut tf, &mut pf, 333);
+
+                let mut tr = DeltaTracker::new(&q);
+                let mut pr = WindowMinPolicy::new(window);
+                reference_local_search(&mut tr, &mut pr, 333);
+
+                assert_eq!(tf.x(), tr.x(), "window={window}");
+                assert_eq!(tf.energy(), tr.energy());
+                assert_eq!(tf.best().0, tr.best().0);
+                assert_eq!(tf.best().1, tr.best().1);
+                assert_eq!(tf.flips(), tr.flips());
+                assert_eq!(pf.offset(), pr.offset());
+                tf.verify();
+            }
+        }
+    }
+
+    #[test]
+    fn fused_driver_matches_reference_for_greedy() {
+        let q = random_qubo(32, 20);
+        let mut tf = DeltaTracker::new(&q);
+        local_search(&mut tf, &mut GreedyPolicy, 200);
+        let mut tr = DeltaTracker::new(&q);
+        reference_local_search(&mut tr, &mut GreedyPolicy, 200);
+        assert_eq!(tf.x(), tr.x());
+        assert_eq!(tf.best().1, tr.best().1);
+    }
+
+    #[test]
+    fn windowless_policies_still_run_and_verify() {
+        let q = random_qubo(24, 30);
+        let mut t = DeltaTracker::new(&q);
+        assert_eq!(local_search(&mut t, &mut RandomPolicy::new(9), 100), 100);
+        t.verify();
+        let mut t2 = DeltaTracker::new(&q);
+        let mut mp = MetropolisPolicy::new(50.0, 0.99, 9);
+        assert_eq!(local_search(&mut t2, &mut mp, 100), 100);
+        t2.verify();
+    }
+
+    #[test]
+    fn narrow_tracker_follows_the_same_trajectory() {
+        let q = random_qubo(40, 40);
+        let mut wide = DeltaTracker::new(&q);
+        let mut narrow = DeltaTracker::<'_, i32>::with_width(&q);
+        let mut pw = WindowMinPolicy::new(6);
+        let mut pn = WindowMinPolicy::new(6);
+        local_search(&mut wide, &mut pw, 500);
+        local_search(&mut narrow, &mut pn, 500);
+        assert_eq!(wide.x(), narrow.x());
+        assert_eq!(wide.energy(), narrow.energy());
+        assert_eq!(wide.best().1, narrow.best().1);
+        narrow.verify();
     }
 }

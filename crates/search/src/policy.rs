@@ -7,7 +7,14 @@
 //! `ℓ` (mod n). The window length plays the role of an inverse
 //! temperature — `ℓ = n` is a greedy search, `ℓ = 1` is a blind sweep —
 //! and different search units run different `ℓ` like parallel tempering.
+//!
+//! Policies whose choice is "the min-Δ index in some window" can expose
+//! the window itself through [`SelectionPolicy::next_window`] instead of
+//! scanning; the fused driver then folds the scan into the flip
+//! ([`crate::DeltaTracker::flip_select`]) so each local-search step
+//! traverses the Δ vector exactly once.
 
+use crate::acc::DeltaAcc;
 use qubo::BitVec;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -17,12 +24,77 @@ use rand::{Rng, SeedableRng};
 /// Implementations must return an index `< deltas.len()` and must always
 /// return *some* index: the forced flip is what keeps the flips-per-second
 /// (and therefore the search rate) constant even near local minima.
-pub trait SelectionPolicy: Send {
+///
+/// The parameter `A` is the Δ accumulator width of the tracker being
+/// driven (default `i64`); deterministic policies are width-oblivious and
+/// implement the trait for every width.
+pub trait SelectionPolicy<A: DeltaAcc = i64>: Send {
     /// Selects the bit to flip.
-    fn select(&mut self, deltas: &[i64], x: &BitVec) -> usize;
+    fn select(&mut self, deltas: &[A], x: &BitVec) -> usize;
 
-    /// Resets internal state (offset, RNG stream position is kept).
+    /// If the next selection is "argmin Δ over a circular window", returns
+    /// that window as `(start, len)` and advances internal state as if
+    /// [`select`] had run. The caller then owes exactly one selection,
+    /// performed via [`crate::DeltaTracker::flip_select`] or
+    /// [`crate::DeltaTracker::select_in_window`] — i.e. this *replaces*
+    /// the next `select` call, it does not precede one.
+    ///
+    /// Returns `None` (the default) for policies that need the Δ values
+    /// or randomness to decide; those keep the two-call select-then-flip
+    /// protocol.
+    ///
+    /// [`select`]: SelectionPolicy::select
+    fn next_window(&mut self, _n: usize) -> Option<(usize, usize)> {
+        None
+    }
+
+    /// Resets internal state (offset; RNG stream position is kept).
     fn reset(&mut self) {}
+}
+
+/// Index of the minimum value inside the circular window of length `len`
+/// starting at `start`, over `deltas` of length `n`.
+///
+/// This is the scan both [`WindowMinPolicy`] and the fused tracker kernel
+/// share. It runs as at most two contiguous slice scans — `[start,
+/// min(start+len, n))` and the wrapped prefix `[0, start+len−n)` — with
+/// no per-element `% n`, so each scan is a straight-line min-reduction
+/// the compiler vectorizes. Ties break to the first index in scan order
+/// from `start` (the wrapped slice wins only on a strictly smaller
+/// value), matching the pre-fusion modular scan exactly.
+///
+/// `len` is clamped to `[1, n]`.
+///
+/// # Panics
+/// Panics if `deltas` is empty or `start >= n`.
+#[must_use]
+pub fn window_argmin<A: DeltaAcc>(deltas: &[A], start: usize, len: usize) -> usize {
+    let n = deltas.len();
+    assert!(start < n, "window start {start} out of range {n}");
+    let l = len.clamp(1, n);
+    let first_len = l.min(n - start);
+    let (i1, v1) = slice_min_first(&deltas[start..start + first_len]);
+    let rest = l - first_len;
+    if rest > 0 {
+        let (i2, v2) = slice_min_first(&deltas[..rest]);
+        if v2 < v1 {
+            return i2;
+        }
+    }
+    start + i1
+}
+
+/// First-occurrence minimum of a non-empty slice: a branch-light value
+/// reduction, then one equality scan to locate the index (the reduction
+/// auto-vectorizes; the locate pass is rarely the bottleneck at window
+/// sizes).
+fn slice_min_first<A: DeltaAcc>(s: &[A]) -> (usize, A) {
+    let mut min_v = s[0];
+    for &v in &s[1..] {
+        min_v = min_v.min(v);
+    }
+    let i = s.iter().position(|&v| v == min_v).expect("min exists");
+    (i, min_v)
 }
 
 /// The paper's deterministic sliding-window minimum policy (Fig. 2).
@@ -67,28 +139,35 @@ impl WindowMinPolicy {
     pub fn offset(&self) -> usize {
         self.offset
     }
-}
 
-impl SelectionPolicy for WindowMinPolicy {
-    fn select(&mut self, deltas: &[i64], _x: &BitVec) -> usize {
-        let n = deltas.len();
+    /// Rewinds the offset to 0 (inherent mirror of the trait `reset`, so
+    /// concrete call sites need no width annotation).
+    pub fn reset(&mut self) {
+        self.offset = 0;
+    }
+
+    /// The shared advance step: normalizes `(a, ℓ)` for an `n`-bit
+    /// problem and moves the offset past the window.
+    fn advance(&mut self, n: usize) -> (usize, usize) {
         let l = self.window.min(n);
         let a = self.offset % n;
-        let mut best_i = a;
-        let mut best_d = deltas[a];
-        for off in 1..l {
-            let i = (a + off) % n;
-            if deltas[i] < best_d {
-                best_d = deltas[i];
-                best_i = i;
-            }
-        }
         self.offset = (a + l) % n;
-        best_i
+        (a, l)
+    }
+}
+
+impl<A: DeltaAcc> SelectionPolicy<A> for WindowMinPolicy {
+    fn select(&mut self, deltas: &[A], _x: &BitVec) -> usize {
+        let (a, l) = self.advance(deltas.len());
+        window_argmin(deltas, a, l)
+    }
+
+    fn next_window(&mut self, n: usize) -> Option<(usize, usize)> {
+        Some(self.advance(n))
     }
 
     fn reset(&mut self) {
-        self.offset = 0;
+        WindowMinPolicy::reset(self);
     }
 }
 
@@ -97,14 +176,20 @@ impl SelectionPolicy for WindowMinPolicy {
 #[derive(Clone, Debug, Default)]
 pub struct GreedyPolicy;
 
-impl SelectionPolicy for GreedyPolicy {
-    fn select(&mut self, deltas: &[i64], _x: &BitVec) -> usize {
+impl<A: DeltaAcc> SelectionPolicy<A> for GreedyPolicy {
+    fn select(&mut self, deltas: &[A], _x: &BitVec) -> usize {
         deltas
             .iter()
             .enumerate()
             .min_by_key(|&(_, &d)| d)
             .map(|(i, _)| i)
             .expect("non-empty problem")
+    }
+
+    fn next_window(&mut self, n: usize) -> Option<(usize, usize)> {
+        // Full-vector window: `min_by_key` and `window_argmin` both take
+        // the first occurrence on ties.
+        Some((0, n))
     }
 }
 
@@ -125,8 +210,8 @@ impl RandomPolicy {
     }
 }
 
-impl SelectionPolicy for RandomPolicy {
-    fn select(&mut self, deltas: &[i64], _x: &BitVec) -> usize {
+impl<A: DeltaAcc> SelectionPolicy<A> for RandomPolicy {
+    fn select(&mut self, deltas: &[A], _x: &BitVec) -> usize {
         self.rng.gen_range(0..deltas.len())
     }
 }
@@ -161,13 +246,13 @@ impl MetropolisPolicy {
     }
 }
 
-impl SelectionPolicy for MetropolisPolicy {
-    fn select(&mut self, deltas: &[i64], _x: &BitVec) -> usize {
+impl<A: DeltaAcc> SelectionPolicy<A> for MetropolisPolicy {
+    fn select(&mut self, deltas: &[A], _x: &BitVec) -> usize {
         let n = deltas.len();
         let mut k = 0;
         for _ in 0..self.max_tries {
             k = self.rng.gen_range(0..n);
-            let d = deltas[k];
+            let d = deltas[k].to_energy();
             if d <= 0 {
                 break;
             }
@@ -306,5 +391,100 @@ mod tests {
         assert_eq!(p.offset(), 2);
         p.reset();
         assert_eq!(p.offset(), 0);
+    }
+
+    #[test]
+    fn window_argmin_matches_modular_reference() {
+        fn reference(d: &[i64], a: usize, l: usize) -> usize {
+            let n = d.len();
+            let l = l.min(n);
+            let mut best_i = a;
+            let mut best_d = d[a];
+            for off in 1..l {
+                let i = (a + off) % n;
+                if d[i] < best_d {
+                    best_d = d[i];
+                    best_i = i;
+                }
+            }
+            best_i
+        }
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in [1usize, 2, 3, 7, 16, 33] {
+            for _ in 0..200 {
+                let d: Vec<i64> = (0..n).map(|_| rng.gen_range(-4i64..4)).collect();
+                let a = rng.gen_range(0..n);
+                let l = rng.gen_range(1..=n + 2); // over-length clamps
+                assert_eq!(
+                    window_argmin(&d, a, l),
+                    reference(&d, a, l),
+                    "n={n} a={a} l={l} d={d:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_argmin_ties_break_in_scan_order() {
+        // Window [3, 0, 1] with a tie between wrapped index 0 and
+        // in-slice index 3: the earlier scan position (3) must win.
+        let d = vec![-7i64, 5, 5, -7];
+        assert_eq!(window_argmin(&d, 3, 3), 3);
+        // But a strictly smaller wrapped value wins.
+        let d = vec![-9i64, 5, 5, -7];
+        assert_eq!(window_argmin(&d, 3, 3), 0);
+    }
+
+    #[test]
+    fn next_window_replaces_select_exactly() {
+        let deltas = vec![3i64, -1, 4, -1, 5, 9, -2, 6];
+        let mut by_select = WindowMinPolicy::with_offset(3, 5);
+        let mut by_window = by_select.clone();
+        for _ in 0..20 {
+            let k1 = by_select.select(&deltas, &bv(8));
+            let (a, l) = SelectionPolicy::<i64>::next_window(&mut by_window, 8).unwrap();
+            assert_eq!(window_argmin(&deltas, a, l), k1);
+            assert_eq!(by_select.offset(), by_window.offset());
+        }
+    }
+
+    #[test]
+    fn greedy_window_is_the_full_vector() {
+        let deltas = vec![4i64, -2, 7, -9, 0];
+        let mut g = GreedyPolicy;
+        let (a, l) = SelectionPolicy::<i64>::next_window(&mut g, 5).unwrap();
+        assert_eq!((a, l), (0, 5));
+        assert_eq!(
+            window_argmin(&deltas, a, l),
+            SelectionPolicy::<i64>::select(&mut g, &deltas, &bv(5))
+        );
+    }
+
+    #[test]
+    fn randomized_policies_expose_no_window() {
+        assert_eq!(
+            SelectionPolicy::<i64>::next_window(&mut RandomPolicy::new(1), 8),
+            None
+        );
+        assert_eq!(
+            SelectionPolicy::<i64>::next_window(&mut MetropolisPolicy::new(1.0, 1.0, 2), 8),
+            None
+        );
+    }
+
+    #[test]
+    fn policies_are_width_oblivious() {
+        let wide = vec![9i64, -3, 5, 0];
+        let narrow: Vec<i32> = wide.iter().map(|&v| v as i32).collect();
+        let mut pw = WindowMinPolicy::new(3);
+        let mut pn = WindowMinPolicy::new(3);
+        for _ in 0..8 {
+            assert_eq!(
+                pw.select(&wide, &bv(4)),
+                pn.select(&narrow, &bv(4)),
+                "widths diverged"
+            );
+        }
     }
 }

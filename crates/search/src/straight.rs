@@ -12,6 +12,7 @@
 //! legitimate search point (best-tracking stays on), and revisiting is
 //! impossible because the Hamming distance to `T` strictly decreases.
 
+use crate::acc::DeltaAcc;
 use crate::tracker::DeltaTracker;
 use qubo::BitVec;
 
@@ -19,9 +20,12 @@ use qubo::BitVec;
 /// flipping the minimum-`Δ` differing bit at each step. Returns the
 /// number of flips performed (the initial Hamming distance).
 ///
+/// Works for either Δ accumulator width; the walk is width-oblivious
+/// because only comparisons of in-bound Δ values are involved.
+///
 /// # Panics
 /// Panics if `target.len()` differs from the tracker's problem size.
-pub fn straight_search(tracker: &mut DeltaTracker<'_>, target: &BitVec) -> u64 {
+pub fn straight_search<A: DeltaAcc>(tracker: &mut DeltaTracker<'_, A>, target: &BitVec) -> u64 {
     assert_eq!(
         target.len(),
         tracker.n(),
@@ -30,7 +34,7 @@ pub fn straight_search(tracker: &mut DeltaTracker<'_>, target: &BitVec) -> u64 {
     let mut flips = 0u64;
     loop {
         // Greedily select the differing bit with minimum Δ.
-        let mut best: Option<(usize, i64)> = None;
+        let mut best: Option<(usize, A)> = None;
         for i in tracker.x().iter_diff(target) {
             let d = tracker.deltas()[i];
             if best.is_none_or(|(_, bd)| d < bd) {

@@ -1,5 +1,7 @@
 //! Incremental energy and Δ-vector maintenance (the O(1)-efficiency core).
 
+use crate::acc::DeltaAcc;
+use crate::policy::window_argmin;
 use qubo::{BitVec, Energy, Qubo};
 
 /// Incremental search state for one search unit (one "CUDA block" in the
@@ -15,10 +17,18 @@ use qubo::{BitVec, Energy, Qubo};
 /// ```
 ///
 /// with a single contiguous scan of row `W_k` (symmetry turns the column
-/// access of the formula into a row access). After each flip, the tracker
-/// checks the energies of all `n` single-flip neighbours of the *new*
-/// solution against the best energy seen so far, so every flip evaluates
-/// `n` solutions at O(n) cost: O(1) search efficiency (Theorem 1).
+/// access of the formula into a row access). The scan is *fused*: the
+/// same traversal that applies the update also tracks the minimum of the
+/// new Δ vector, so best-neighbour recording (Theorem 1: every flip
+/// evaluates the new solution and all `n` of its neighbours at O(n)
+/// cost) needs no second pass. [`DeltaTracker::flip_select`] extends the
+/// fusion to the next selection: it flips, and returns the min-Δ index
+/// inside the next policy window in the same call.
+///
+/// The accumulator width `A` is `i64` by default; when
+/// [`Qubo::delta_bound`] fits, [`DeltaTracker::with_width`] can build an
+/// `i32` tracker with identical behaviour and roughly half the hot-loop
+/// memory traffic (see [`crate::acc`]).
 ///
 /// The search starts at the zero vector `X = 0`, where `E(0) = 0` and
 /// `Δ_i(0) = W_ii` (the GPU kernel initializes this way for the same
@@ -30,26 +40,65 @@ use qubo::{BitVec, Energy, Qubo};
 /// state, so the exact neighbour energy is `E(flip_k(X)) + d_i`. We use
 /// the exact form: candidates are `e_new` and `e_new + d_i` for all `i`.
 #[derive(Clone)]
-pub struct DeltaTracker<'a> {
+pub struct DeltaTracker<'a, A: DeltaAcc = Energy> {
     qubo: &'a Qubo,
     x: BitVec,
     /// φ(x_i) ∈ {+1, −1}, kept in sync with `x` — the sign array makes
     /// the hot update loop branch-free and auto-vectorizable.
     sign: Vec<i8>,
     e: Energy,
-    d: Vec<i64>,
+    d: Vec<A>,
     best: BitVec,
     best_e: Energy,
     flips: u64,
 }
 
-impl<'a> DeltaTracker<'a> {
-    /// Creates a tracker at the canonical start `X = 0`, `E = 0`,
-    /// `Δ_i = W_ii` (O(n), reading only the diagonal).
+impl<'a> DeltaTracker<'a, Energy> {
+    /// Creates a default-width (`i64`) tracker at the canonical start
+    /// `X = 0`, `E = 0`, `Δ_i = W_ii` (O(n), reading only the diagonal).
     #[must_use]
     pub fn new(qubo: &'a Qubo) -> Self {
+        Self::with_width(qubo)
+    }
+
+    /// Creates a default-width (`i64`) tracker positioned at an
+    /// arbitrary solution `x`.
+    ///
+    /// This costs O(|ones|·n) (one flip per set bit) and exists for tests
+    /// and baselines; the ABS device never uses it — it reaches arbitrary
+    /// solutions through straight searches to stay at O(1) efficiency.
+    #[must_use]
+    pub fn at(qubo: &'a Qubo, x: &BitVec) -> Self {
+        Self::at_width(qubo, x)
+    }
+}
+
+impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
+    /// Whether accumulator width `A` is safe for `qubo`: its
+    /// [`Qubo::delta_bound`] must fit in `A`.
+    #[must_use]
+    pub fn fits(qubo: &Qubo) -> bool {
+        qubo.delta_bound() <= A::LIMIT
+    }
+
+    /// Creates a tracker with accumulator width `A` at the canonical
+    /// start `X = 0` (see [`DeltaTracker::new`]).
+    ///
+    /// # Panics
+    /// Panics if `qubo`'s Δ bound does not fit width `A` — callers pick
+    /// the width with [`DeltaTracker::fits`] and fall back to `i64`.
+    #[must_use]
+    pub fn with_width(qubo: &'a Qubo) -> Self {
+        assert!(
+            Self::fits(qubo),
+            "Δ bound {} exceeds the {} accumulator",
+            qubo.delta_bound(),
+            A::NAME
+        );
         let n = qubo.n();
-        let d: Vec<i64> = (0..n).map(|i| i64::from(qubo.diag(i))).collect();
+        let d: Vec<A> = (0..n)
+            .map(|i| A::from_energy(Energy::from(qubo.diag(i))))
+            .collect();
         let x = BitVec::zeros(n);
         let mut t = Self {
             qubo,
@@ -64,22 +113,19 @@ impl<'a> DeltaTracker<'a> {
         // The initialization evaluates E(0) = 0 and its n neighbours
         // (E(flip_i(0)) = W_ii) — record the best among them.
         if let Some((i, &min_d)) = t.d.iter().enumerate().min_by_key(|&(_, &v)| v) {
-            if min_d < 0 {
+            if min_d.to_energy() < 0 {
                 t.best.flip(i);
-                t.best_e = min_d;
+                t.best_e = min_d.to_energy();
             }
         }
         t
     }
 
-    /// Creates a tracker positioned at an arbitrary solution `x`.
-    ///
-    /// This costs O(|ones|·n) (one flip per set bit) and exists for tests
-    /// and baselines; the ABS device never uses it — it reaches arbitrary
-    /// solutions through straight searches to stay at O(1) efficiency.
+    /// Creates a width-`A` tracker positioned at an arbitrary solution
+    /// `x` (see [`DeltaTracker::at`] for cost and caveats).
     #[must_use]
-    pub fn at(qubo: &'a Qubo, x: &BitVec) -> Self {
-        let mut t = Self::new(qubo);
+    pub fn at_width(qubo: &'a Qubo, x: &BitVec) -> Self {
+        let mut t = Self::with_width(qubo);
         // Collect first: flipping mutates `t.x` while we iterate `x`.
         let ones: Vec<usize> = x.iter_ones().collect();
         for k in ones {
@@ -118,7 +164,7 @@ impl<'a> DeltaTracker<'a> {
     /// The difference vector: `deltas()[i] = Δ_i(X)`.
     #[must_use]
     #[inline]
-    pub fn deltas(&self) -> &[i64] {
+    pub fn deltas(&self) -> &[A] {
         &self.d
     }
 
@@ -140,7 +186,9 @@ impl<'a> DeltaTracker<'a> {
 
     /// Number of solutions whose energy has been evaluated so far:
     /// `flips · (n + 1)` plus the `n + 1` evaluated at initialization
-    /// (`E(0)` and its neighbours `Δ_i(0) = W_ii`).
+    /// (`E(0)` and its neighbours `Δ_i(0) = W_ii`). Device-level
+    /// aggregation mirrors this: `GlobalMem::total_evaluated` adds one
+    /// unit of `n + 1` per registered search unit.
     #[must_use]
     pub fn evaluated(&self) -> u64 {
         (self.flips + 1) * (self.n() as u64 + 1)
@@ -156,44 +204,89 @@ impl<'a> DeltaTracker<'a> {
     }
 
     /// Flips bit `k`, updating `X`, `E(X)`, all `Δ_i`, and the best
-    /// record, in one O(n) pass over row `W_k`.
+    /// record, in one fused O(n) pass over row `W_k`.
     pub fn flip(&mut self, k: usize) {
+        self.flip_fused(k);
+    }
+
+    /// Min-Δ index inside the circular window of length `len` starting
+    /// at `start` (at most two contiguous slice scans; ties break to the
+    /// first index in scan order from `start`, exactly like
+    /// [`crate::WindowMinPolicy`]).
+    ///
+    /// # Panics
+    /// Panics if `start >= n`.
+    #[must_use]
+    pub fn select_in_window(&self, start: usize, len: usize) -> usize {
+        window_argmin(&self.d, start, len)
+    }
+
+    /// The fused hot-path step: flips bit `k` and returns the min-Δ
+    /// index inside the *next* selection window `(start, len)` — i.e.
+    /// `self.flip(k)` followed by [`DeltaTracker::select_in_window`],
+    /// with the window scan running on just-written (cache-resident)
+    /// entries. [`crate::local_search`] drives this; policies that
+    /// cannot express their choice as a window (random, Metropolis) keep
+    /// the two-call `select` + `flip` API.
+    pub fn flip_select(&mut self, k: usize, window: (usize, usize)) -> usize {
+        self.flip_fused(k);
+        window_argmin(&self.d, window.0, window.1)
+    }
+
+    /// The fused kernel: one traversal of row `W_k` that applies the
+    /// Eq. (16) update *and* computes `min_i Δ_i` of the new state for
+    /// best-neighbour recording (no separate min pass).
+    ///
+    /// The row is processed as the two contiguous halves `[0, k)` and
+    /// `(k, n)`; the flipped bit's own entry is `−Δ_k` by Eq. (16) and
+    /// seeds the running minimum.
+    fn flip_fused(&mut self, k: usize) {
         let n = self.n();
         assert!(k < n, "bit index {k} out of range {n}");
         let row = self.qubo.row(k);
         let d_k_old = self.d[k];
-        let e_new = self.e + d_k_old;
+        let d_k_new = d_k_old.neg();
+        let e_new = self.e + d_k_old.to_energy();
 
-        // Update pass (Eq. (16)), branch-free:
+        // Update half-loops (Eq. (16)), branch-free:
         //   d_i += 2 · W_ik · φ(x_i) · φ(x_k)
-        // `two_pk = 2·φ(x_k)` is hoisted; i = k is included (it adds
-        // 2·W_kk since φ(x_k)² = 1) and then overwritten with −Δ_k.
+        // `two_pk = 2·φ(x_k)` is hoisted. Each half is a plain
+        // add + min over contiguous slices, which auto-vectorizes; with
+        // `A = i32` the lanes are twice as wide as the i64 seed kernel.
         let two_pk = i32::from(self.sign[k]) * 2;
-        for ((di, &w), &s) in self.d.iter_mut().zip(row).zip(&self.sign) {
-            *di += i64::from(i32::from(w) * i32::from(s) * two_pk);
+        let mut min_d = d_k_new;
+        let (d_lo, d_rest) = self.d.split_at_mut(k);
+        let (d_k_slot, d_hi) = d_rest.split_first_mut().expect("k < n");
+        for ((di, &w), &s) in d_lo.iter_mut().zip(&row[..k]).zip(&self.sign[..k]) {
+            let v = di.add_coupling(w, s, two_pk);
+            *di = v;
+            min_d = min_d.min(v);
         }
-        self.d[k] = -d_k_old;
+        for ((di, &w), &s) in d_hi.iter_mut().zip(&row[k + 1..]).zip(&self.sign[k + 1..]) {
+            let v = di.add_coupling(w, s, two_pk);
+            *di = v;
+            min_d = min_d.min(v);
+        }
+        *d_k_slot = d_k_new;
 
         self.sign[k] = -self.sign[k];
         self.x.flip(k);
         self.e = e_new;
         self.flips += 1;
 
-        // Evaluation pass (Theorem 1): the energies of the new solution
-        // and all n of its neighbours are now known as e_new and
-        // e_new + d_i. Track the best. A plain value-min scan
-        // auto-vectorizes; the index is only located on improvement.
+        // Evaluation fusion (Theorem 1): the energies of the new
+        // solution and all n of its neighbours are now known as e_new
+        // and e_new + d_i, and min_d was folded into the update loops.
+        // The argmin index is only located on improvement (rare path).
         if e_new < self.best_e {
             self.best.copy_from(&self.x);
             self.best_e = e_new;
         }
-        let min_d = self.d.iter().copied().min().unwrap_or(0);
-        if e_new + min_d < self.best_e {
-            // Rare path: find the argmin and materialize the neighbour.
+        if e_new + min_d.to_energy() < self.best_e {
             let i = self.d.iter().position(|&v| v == min_d).expect("min exists");
             self.best.copy_from(&self.x);
             self.best.flip(i);
-            self.best_e = e_new + min_d;
+            self.best_e = e_new + min_d.to_energy();
         }
     }
 
@@ -205,7 +298,11 @@ impl<'a> DeltaTracker<'a> {
     pub fn verify(&self) {
         assert_eq!(self.e, self.qubo.energy(&self.x), "energy drifted");
         for i in 0..self.n() {
-            assert_eq!(self.d[i], self.qubo.delta(&self.x, i), "delta {i} drifted");
+            assert_eq!(
+                self.d[i].to_energy(),
+                self.qubo.delta(&self.x, i),
+                "delta {i} drifted"
+            );
             let expect_sign = if self.x.get(i) { -1 } else { 1 };
             assert_eq!(i32::from(self.sign[i]), expect_sign, "sign {i} drifted");
         }
@@ -258,6 +355,40 @@ mod tests {
         }
         t.verify();
         assert_eq!(t.flips(), 200);
+    }
+
+    #[test]
+    fn narrow_random_walk_keeps_invariants() {
+        let q = random_qubo(33, 3);
+        assert!(DeltaTracker::<i32>::fits(&q));
+        let mut t = DeltaTracker::<'_, i32>::with_width(&q);
+        let mut rng = StdRng::seed_from_u64(99);
+        for step in 0..200 {
+            t.flip(rng.gen_range(0..33));
+            if step % 17 == 0 {
+                t.verify();
+            }
+        }
+        t.verify();
+    }
+
+    #[test]
+    fn narrow_and_wide_walks_are_identical() {
+        let q = random_qubo(48, 21);
+        let mut wide = DeltaTracker::new(&q);
+        let mut narrow = DeltaTracker::<'_, i32>::with_width(&q);
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..300 {
+            let k = rng.gen_range(0..48);
+            wide.flip(k);
+            narrow.flip(k);
+        }
+        assert_eq!(wide.x(), narrow.x());
+        assert_eq!(wide.energy(), narrow.energy());
+        assert_eq!(wide.best().0, narrow.best().0);
+        assert_eq!(wide.best().1, narrow.best().1);
+        let widened: Vec<i64> = narrow.deltas().iter().map(|&v| i64::from(v)).collect();
+        assert_eq!(wide.deltas(), &widened[..]);
     }
 
     #[test]
@@ -352,5 +483,69 @@ mod tests {
             }
             assert_eq!(t.best().1, seen_min);
         }
+    }
+
+    #[test]
+    fn select_in_window_matches_policy_scan_order() {
+        // Reference: the pre-fusion per-element `% n` scan.
+        fn reference(d: &[i64], a: usize, l: usize) -> usize {
+            let n = d.len();
+            let l = l.min(n);
+            let mut best_i = a;
+            let mut best_d = d[a];
+            for off in 1..l {
+                let i = (a + off) % n;
+                if d[i] < best_d {
+                    best_d = d[i];
+                    best_i = i;
+                }
+            }
+            best_i
+        }
+        let q = random_qubo(37, 12);
+        let mut t = DeltaTracker::new(&q);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..200 {
+            t.flip(rng.gen_range(0..37));
+            let a = rng.gen_range(0..37);
+            let l = rng.gen_range(1..=37);
+            assert_eq!(
+                t.select_in_window(a, l),
+                reference(t.deltas(), a, l),
+                "a={a} l={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn flip_select_equals_flip_then_select() {
+        let q = random_qubo(29, 14);
+        let mut fused = DeltaTracker::new(&q);
+        let mut twocall = DeltaTracker::new(&q);
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut k = 3usize;
+        for _ in 0..150 {
+            let a = rng.gen_range(0..29);
+            let l = rng.gen_range(1..=29);
+            let next_fused = fused.flip_select(k, (a, l));
+            twocall.flip(k);
+            let next_two = twocall.select_in_window(a, l);
+            assert_eq!(next_fused, next_two);
+            assert_eq!(fused.x(), twocall.x());
+            assert_eq!(fused.best().1, twocall.best().1);
+            k = next_fused;
+        }
+        fused.verify();
+        twocall.verify();
+    }
+
+    #[test]
+    fn fits_reflects_delta_bound() {
+        let q = random_qubo(16, 16);
+        assert!(DeltaTracker::<i32>::fits(&q));
+        assert!(DeltaTracker::<i64>::fits(&q));
+        // With i16 weights and n ≤ 32768 the i32 bound always holds:
+        // max Δ bound is 32767·(2·32767 + 1) < 2³¹ − 1.
+        assert!(32767i64 * (2 * 32767 + 1) < i64::from(i32::MAX));
     }
 }

@@ -3,8 +3,8 @@
 use crate::buffers::{GlobalMem, SolutionRecord};
 use qubo::Qubo;
 use qubo_search::{
-    straight_search, DeltaTracker, GreedyPolicy, MetropolisPolicy, RandomPolicy, SelectionPolicy,
-    WindowMinPolicy,
+    local_search, straight_search, DeltaAcc, DeltaTracker, GreedyPolicy, MetropolisPolicy,
+    RandomPolicy, SelectionPolicy, WindowMinPolicy,
 };
 
 /// How window lengths (the temperature analogue of the selection policy,
@@ -87,13 +87,37 @@ impl RuntimePolicy {
             } => Self::Metropolis(MetropolisPolicy::new(*temperature, *cooling, seed)),
         }
     }
+}
 
-    fn select(&mut self, deltas: &[i64], x: &qubo::BitVec) -> usize {
+/// Enum dispatch of the policy trait, generic over the Δ accumulator
+/// width so one block type drives both i32 and i64 trackers. The window
+/// and greedy variants expose their windows, letting [`local_search`]
+/// run the fused flip+select kernel.
+impl<A: DeltaAcc> SelectionPolicy<A> for RuntimePolicy {
+    fn select(&mut self, deltas: &[A], x: &qubo::BitVec) -> usize {
         match self {
             Self::Window(p) => p.select(deltas, x),
-            Self::Greedy(p) => p.select(deltas, x),
-            Self::Random(p) => p.select(deltas, x),
-            Self::Metropolis(p) => p.select(deltas, x),
+            Self::Greedy(p) => SelectionPolicy::<A>::select(p, deltas, x),
+            Self::Random(p) => SelectionPolicy::<A>::select(p, deltas, x),
+            Self::Metropolis(p) => SelectionPolicy::<A>::select(p, deltas, x),
+        }
+    }
+
+    fn next_window(&mut self, n: usize) -> Option<(usize, usize)> {
+        match self {
+            Self::Window(p) => SelectionPolicy::<A>::next_window(p, n),
+            Self::Greedy(p) => SelectionPolicy::<A>::next_window(p, n),
+            Self::Random(p) => SelectionPolicy::<A>::next_window(p, n),
+            Self::Metropolis(p) => SelectionPolicy::<A>::next_window(p, n),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            Self::Window(p) => SelectionPolicy::<A>::reset(p),
+            Self::Greedy(p) => SelectionPolicy::<A>::reset(p),
+            Self::Random(p) => SelectionPolicy::<A>::reset(p),
+            Self::Metropolis(p) => SelectionPolicy::<A>::reset(p),
         }
     }
 }
@@ -140,8 +164,13 @@ pub struct BlockConfig {
 /// If the host has not provided a target (the buffer is empty), the
 /// block skips the straight search and keeps local-searching from where
 /// it stands — it never blocks and never synchronizes with other blocks.
-pub struct BlockRunner<'q> {
-    tracker: DeltaTracker<'q>,
+///
+/// The Δ accumulator width `A` defaults to `i64`; devices build
+/// [`BlockRunner::with_width`] blocks with `A = i32` whenever the
+/// problem's Δ bound fits (`DeltaTracker::<i32>::fits`), halving the
+/// memory traffic of the flip kernel.
+pub struct BlockRunner<'q, A: DeltaAcc = qubo::Energy> {
+    tracker: DeltaTracker<'q, A>,
     policy: RuntimePolicy,
     config: BlockConfig,
     /// Best energy this block has ever reported (adaptive switching
@@ -153,10 +182,22 @@ pub struct BlockRunner<'q> {
     switches: u32,
 }
 
-impl<'q> BlockRunner<'q> {
-    /// Creates a block at the canonical zero start.
+impl<'q> BlockRunner<'q, qubo::Energy> {
+    /// Creates a default-width (`i64`) block at the canonical zero start.
     #[must_use]
     pub fn new(qubo: &'q Qubo, config: BlockConfig) -> Self {
+        Self::with_width(qubo, config)
+    }
+}
+
+impl<'q, A: DeltaAcc> BlockRunner<'q, A> {
+    /// Creates a block with Δ accumulator width `A` at the canonical
+    /// zero start.
+    ///
+    /// # Panics
+    /// Panics if the problem's Δ bound does not fit width `A`.
+    #[must_use]
+    pub fn with_width(qubo: &'q Qubo, config: BlockConfig) -> Self {
         let seed = config.offset as u64 ^ 0x5851_f42d_4c95_7f2d;
         let policy = RuntimePolicy::build(
             &config.policy,
@@ -165,7 +206,7 @@ impl<'q> BlockRunner<'q> {
             seed,
         );
         Self {
-            tracker: DeltaTracker::new(qubo),
+            tracker: DeltaTracker::with_width(qubo),
             policy,
             config,
             all_time_best: qubo::Energy::MAX,
@@ -176,7 +217,7 @@ impl<'q> BlockRunner<'q> {
 
     /// The block's tracker (tests and diagnostics).
     #[must_use]
-    pub fn tracker(&self) -> &DeltaTracker<'q> {
+    pub fn tracker(&self) -> &DeltaTracker<'q, A> {
         &self.tracker
     }
 
@@ -205,11 +246,9 @@ impl<'q> BlockRunner<'q> {
         if let Some(t) = target {
             flips += straight_search(&mut self.tracker, &t);
         }
-        for _ in 0..self.config.local_steps {
-            let k = self.policy.select(self.tracker.deltas(), self.tracker.x());
-            self.tracker.flip(k);
-        }
-        flips += self.config.local_steps as u64;
+        // Fused driver: window/greedy policies collapse each
+        // select-then-flip pair into one Δ-vector traversal.
+        flips += local_search(&mut self.tracker, &mut self.policy, self.config.local_steps);
         let (bx, be) = self.tracker.best();
         mem.push_result(SolutionRecord {
             x: bx.clone(),
@@ -482,6 +521,47 @@ mod tests {
             b.bulk_iteration(&mem);
         }
         assert_eq!(b.switches(), 0);
+    }
+
+    #[test]
+    fn device_accounting_matches_tracker_evaluated() {
+        // Satellite invariant: GlobalMem's Theorem 1 accounting
+        // (flips + units)·(n+1) must agree exactly with the tracker's
+        // own `evaluated()` once the block registers itself as a unit.
+        let q = random_qubo(24, 15);
+        let mem = GlobalMem::new();
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut b = BlockRunner::new(&q, cfg(6, 75));
+        mem.add_units(1);
+        for _ in 0..3 {
+            mem.push_target(BitVec::random(24, &mut rng));
+            b.bulk_iteration(&mem);
+            assert_eq!(mem.total_evaluated(24), b.tracker().evaluated());
+        }
+        assert_eq!(mem.total_flips(), b.tracker().flips());
+    }
+
+    #[test]
+    fn narrow_block_matches_wide_block_exactly() {
+        // Same config, same targets: the i32 block must follow the i64
+        // block bit-for-bit (no behavioral change from narrowing).
+        let q = random_qubo(32, 17);
+        let mut rng = StdRng::seed_from_u64(18);
+        let targets: Vec<BitVec> = (0..4).map(|_| BitVec::random(32, &mut rng)).collect();
+        let mem_w = GlobalMem::new();
+        let mem_n = GlobalMem::new();
+        let mut bw = BlockRunner::new(&q, cfg(8, 90));
+        let mut bn = BlockRunner::<'_, i32>::with_width(&q, cfg(8, 90));
+        for t in &targets {
+            mem_w.push_target(t.clone());
+            mem_n.push_target(t.clone());
+            bw.bulk_iteration(&mem_w);
+            bn.bulk_iteration(&mem_n);
+        }
+        assert_eq!(bw.tracker().x(), bn.tracker().x());
+        assert_eq!(bw.tracker().energy(), bn.tracker().energy());
+        assert_eq!(mem_w.drain_results(), mem_n.drain_results());
+        bn.tracker().verify();
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub struct GlobalMem {
     /// Total bit flips performed by the device (search-rate numerator is
     /// `flips × (n + 1)` evaluated solutions).
     flips: AtomicU64,
+    /// Search units (blocks) registered on this device. Each unit's
+    /// tracker evaluates `n + 1` solutions at initialization (the start
+    /// solution and its `n` neighbours) before its first flip; counting
+    /// them keeps device totals consistent with
+    /// `DeltaTracker::evaluated`.
+    units: AtomicU64,
     /// Bulk-search iterations completed by all blocks.
     iterations: AtomicU64,
     /// Stop flag raised by the host.
@@ -105,6 +111,13 @@ impl GlobalMem {
         self.iterations.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Device: register `units` search units (blocks) whose trackers were
+    /// just initialized. Called once per block construction, not per
+    /// iteration.
+    pub fn add_units(&self, units: u64) {
+        self.units.fetch_add(units, Ordering::Relaxed);
+    }
+
     /// Whether the host has requested a stop.
     #[must_use]
     pub fn stopped(&self) -> bool {
@@ -121,6 +134,22 @@ impl GlobalMem {
     #[must_use]
     pub fn total_iterations(&self) -> u64 {
         self.iterations.load(Ordering::Relaxed)
+    }
+
+    /// Total search units registered on this device so far.
+    #[must_use]
+    pub fn total_units(&self) -> u64 {
+        self.units.load(Ordering::Relaxed)
+    }
+
+    /// Total solutions whose energy this device has evaluated, by the
+    /// paper's Theorem 1 accounting: each flip evaluates `n + 1`
+    /// solutions, and each registered unit evaluated `n + 1` more at
+    /// tracker initialization. Agrees exactly with summing
+    /// `DeltaTracker::evaluated` over the device's blocks.
+    #[must_use]
+    pub fn total_evaluated(&self, n: usize) -> u64 {
+        (self.total_flips() + self.total_units()) * (n as u64 + 1)
     }
 }
 
@@ -181,6 +210,17 @@ mod tests {
         m.add_iteration();
         assert_eq!(m.total_flips(), 15);
         assert_eq!(m.total_iterations(), 1);
+    }
+
+    #[test]
+    fn evaluated_counts_flips_and_unit_initializations() {
+        let m = GlobalMem::new();
+        assert_eq!(m.total_evaluated(10), 0);
+        m.add_units(3); // three blocks initialized: 3·(n+1)
+        assert_eq!(m.total_evaluated(10), 33);
+        m.add_flips(7); // plus 7·(n+1)
+        assert_eq!(m.total_units(), 3);
+        assert_eq!(m.total_evaluated(10), (7 + 3) * 11);
     }
 
     #[test]

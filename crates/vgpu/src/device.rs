@@ -6,6 +6,7 @@ use crate::buffers::GlobalMem;
 use crate::occupancy::{full_occupancy_configs, occupancy};
 use crate::spec::DeviceSpec;
 use qubo::Qubo;
+use qubo_search::{DeltaAcc, DeltaTracker};
 use std::sync::Arc;
 
 /// Configuration of one virtual device.
@@ -109,7 +110,20 @@ impl Device {
     /// threads; each worker cycles through its blocks, running one bulk
     /// iteration at a time, so all logical blocks make progress
     /// regardless of how few OS threads back them.
+    ///
+    /// The Δ accumulator width is picked once per run: blocks use narrow
+    /// `i32` accumulators whenever the problem's Δ bound fits (always
+    /// true for i16 weights at the supported sizes), falling back to
+    /// `i64` otherwise. The flip trajectories are identical either way.
     pub fn run(&self, qubo: &Qubo) {
+        if DeltaTracker::<i32>::fits(qubo) {
+            self.run_width::<i32>(qubo);
+        } else {
+            self.run_width::<i64>(qubo);
+        }
+    }
+
+    fn run_width<A: DeltaAcc>(&self, qubo: &Qubo) {
         let n = qubo.n();
         let total_blocks = self.resolve_blocks(n);
         let workers = self.config.workers.max(1).min(total_blocks);
@@ -118,10 +132,10 @@ impl Device {
         std::thread::scope(|s| {
             for w in 0..workers {
                 s.spawn(move || {
-                    let mut blocks: Vec<BlockRunner<'_>> = (w..total_blocks)
+                    let mut blocks: Vec<BlockRunner<'_, A>> = (w..total_blocks)
                         .step_by(workers)
                         .map(|b| {
-                            BlockRunner::new(
+                            BlockRunner::with_width(
                                 qubo,
                                 BlockConfig {
                                     local_steps: cfg.local_steps,
@@ -139,6 +153,7 @@ impl Device {
                             )
                         })
                         .collect();
+                    mem.add_units(blocks.len() as u64);
                     'outer: while !mem.stopped() {
                         for blk in &mut blocks {
                             blk.bulk_iteration(mem);
@@ -194,7 +209,7 @@ mod tests {
             bits_per_thread: Some(1),
             ..DeviceConfig::default()
         };
-        Device::new(cfg).resolve_blocks(4096);
+        let _ = Device::new(cfg).resolve_blocks(4096);
     }
 
     #[test]

@@ -100,11 +100,17 @@ impl Machine {
     }
 
     /// Total solutions evaluated across all devices for an `n`-bit
-    /// problem (each flip evaluates `n + 1` solutions — the search-rate
-    /// numerator of §4.3).
+    /// problem (the search-rate numerator of §4.3). Delegates to
+    /// [`GlobalMem::total_evaluated`], which counts `n + 1` evaluations
+    /// per flip *and* per initialized search unit — the same accounting
+    /// as `DeltaTracker::evaluated`, so per-tracker and machine-level
+    /// totals agree exactly.
     #[must_use]
     pub fn total_evaluated(&self, n: usize) -> u64 {
-        self.total_flips() * (n as u64 + 1)
+        self.devices
+            .iter()
+            .map(|d| d.mem().total_evaluated(n))
+            .sum()
     }
 }
 
@@ -149,7 +155,11 @@ mod tests {
         });
         assert_eq!(counts.len(), 3);
         assert!(m.total_flips() > 0);
-        assert_eq!(m.total_evaluated(24), m.total_flips() * 25);
+        // 3 devices × 3 blocks initialized one tracker each: the machine
+        // counts their n+1 init evaluations on top of the flip total.
+        let units: u64 = m.mems().iter().map(|mem| mem.total_units()).sum();
+        assert_eq!(units, 9);
+        assert_eq!(m.total_evaluated(24), (m.total_flips() + 9) * 25);
     }
 
     #[test]

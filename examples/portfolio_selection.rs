@@ -47,11 +47,7 @@ fn synthetic_market(seed: u64) -> Market {
     let mut sigma = vec![vec![0i64; ASSETS]; ASSETS];
     for i in 0..ASSETS {
         for j in 0..ASSETS {
-            let mut s = 0;
-            for k in 0..factors {
-                s += f[i][k] * f[j][k];
-            }
-            sigma[i][j] = s;
+            sigma[i][j] = f[i].iter().zip(&f[j]).map(|(a, b)| a * b).sum();
         }
         sigma[i][i] += rng.gen_range(5..15);
     }

@@ -1,0 +1,269 @@
+//! Offline shim for the subset of the `criterion` API this workspace
+//! uses. It is a real measuring harness — warm-up, timed measurement,
+//! mean/min ns-per-iteration and derived element throughput — just
+//! without criterion's statistics, plotting, or baseline storage.
+//!
+//! Honors `CRITERION_SHIM_SCALE` (a float) to shrink warm-up and
+//! measurement windows, so CI can smoke-run benches in milliseconds.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        Self {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// The per-benchmark measurement driver.
+pub struct Bencher<'a> {
+    warm_up: Duration,
+    measurement: Duration,
+    result: &'a mut Option<Measurement>,
+}
+
+/// One benchmark's measured numbers.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest observed batch, in ns per iteration.
+    pub min_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly: warm-up, then timed batches until the
+    /// measurement window is filled.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, also calibrating a batch size that runs ≈ 1 ms.
+        let warm_start = Instant::now();
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if warm_start.elapsed() >= self.warm_up {
+                if dt < Duration::from_micros(500) && batch < (1 << 40) {
+                    batch *= 2;
+                    continue;
+                }
+                break;
+            }
+            if dt < Duration::from_micros(500) && batch < (1 << 40) {
+                batch *= 2;
+            }
+        }
+
+        let mut total_iters = 0u64;
+        let mut total_time = Duration::ZERO;
+        let mut min_ns = f64::INFINITY;
+        while total_time < self.measurement {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            total_iters += batch;
+            total_time += dt;
+            let per = dt.as_nanos() as f64 / batch as f64;
+            if per < min_ns {
+                min_ns = per;
+            }
+        }
+        *self.result = Some(Measurement {
+            mean_ns: total_time.as_nanos() as f64 / total_iters.max(1) as f64,
+            min_ns,
+            iterations: total_iters,
+        });
+    }
+}
+
+fn shim_scale() -> f64 {
+    std::env::var("CRITERION_SHIM_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample count — accepted for API compatibility (the shim sizes
+    /// batches by time, not count).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d.mul_f64(shim_scale());
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d.mul_f64(shim_scale());
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut result = None;
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: &mut result,
+        };
+        f(&mut b, input);
+        self.report(&id.name, result);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut result = None;
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: &mut result,
+        };
+        f(&mut b);
+        self.report(name, result);
+        self
+    }
+
+    fn report(&mut self, name: &str, result: Option<Measurement>) {
+        let full = format!("{}/{name}", self.name);
+        let Some(m) = result else {
+            println!("{full:<50} (no measurement)");
+            return;
+        };
+        let mut line = format!("{full:<50} {:>12.1} ns/iter", m.mean_ns);
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(e) => (e, "elem"),
+                Throughput::Bytes(b) => (b, "B"),
+            };
+            let per_s = count as f64 / (m.mean_ns * 1e-9);
+            let _ = write!(line, "  {per_s:>12.3e} {unit}/s");
+        }
+        println!("{line}");
+        self.criterion.results.push((full, m));
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    /// All measurements recorded so far, in run order.
+    pub results: Vec<(String, Measurement)>,
+}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("── group: {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            warm_up: Duration::from_millis(300).mul_f64(shim_scale()),
+            measurement: Duration::from_secs(1).mul_f64(shim_scale()),
+            throughput: None,
+            criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_sane() {
+        std::env::set_var("CRITERION_SHIM_SCALE", "0.02");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("t");
+            g.throughput(Throughput::Elements(1)).bench_with_input(
+                BenchmarkId::new("noop", 1),
+                &1,
+                |b, _| {
+                    b.iter(|| std::hint::black_box(1 + 1));
+                },
+            );
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 1);
+        let (_, m) = &c.results[0];
+        assert!(m.mean_ns > 0.0 && m.mean_ns < 1e6);
+        assert!(m.iterations > 0);
+        std::env::remove_var("CRITERION_SHIM_SCALE");
+    }
+}

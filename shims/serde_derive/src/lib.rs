@@ -1,0 +1,190 @@
+//! Offline shim for `#[derive(Serialize)]`.
+//!
+//! Supports plain structs with named fields (optionally generic over
+//! lifetimes or unbounded type parameters) — exactly the shapes used in
+//! this workspace. Fields are serialized in declaration order as a JSON
+//! object, matching real serde_json output for attribute-free structs.
+//! No `syn`/`quote`: the input is parsed directly from the token stream.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` trait (JSON object, declaration
+/// field order).
+///
+/// # Panics
+/// Panics (a compile error) on enums, tuple structs, or bounded type
+/// parameters, none of which appear in this workspace.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => i += 1,
+        other => panic!("derive(Serialize) shim supports only structs, got {other:?}"),
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => panic!("expected struct name, got {other:?}"),
+    };
+
+    // Optional generics: collect raw tokens between the outermost <>.
+    let mut generic_params: Vec<String> = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            let mut current = String::new();
+            while depth > 0 {
+                let t = tokens
+                    .get(i)
+                    .unwrap_or_else(|| panic!("unclosed generics on struct {name}"));
+                i += 1;
+                if let TokenTree::Punct(p) = t {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ',' if depth == 1 => {
+                            generic_params.push(current.trim().to_string());
+                            current = String::new();
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                current.push_str(&t.to_string());
+                // No space after a lifetime tick: `' a` would not lex.
+                if !matches!(t, TokenTree::Punct(p) if p.as_char() == '\'') {
+                    current.push(' ');
+                }
+            }
+            if !current.trim().is_empty() {
+                generic_params.push(current.trim().to_string());
+            }
+        }
+    }
+
+    // Find the brace-delimited field list (skips any `where` clause,
+    // which this shim rejects implicitly by not supporting bounds).
+    let fields_group = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("derive(Serialize) shim does not support tuple struct {name}")
+            }
+            Some(_) => i += 1,
+            None => panic!("derive(Serialize) shim: no field block on struct {name}"),
+        }
+    };
+    let fields = parse_field_names(fields_group.stream());
+
+    // `impl<'a, T> ... for Name<'a, T>`: params without bounds on the type.
+    let impl_generics = if generic_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", generic_params.join(", "))
+    };
+    let type_generics = if generic_params.is_empty() {
+        String::new()
+    } else {
+        let names: Vec<String> = generic_params
+            .iter()
+            .map(|p| p.split(':').next().unwrap_or(p).trim().replace(' ', ""))
+            .collect();
+        format!("<{}>", names.join(", "))
+    };
+
+    let mut body = String::new();
+    body.push_str("out.push('{');\n");
+    for (idx, f) in fields.iter().enumerate() {
+        if idx > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!("out.push_str(\"\\\"{f}\\\":\");\n"));
+        body.push_str(&format!(
+            "::serde::Serialize::serialize_json(&self.{f}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');\n");
+
+    let code = format!(
+        "impl{impl_generics} ::serde::Serialize for {name}{type_generics} {{\n\
+         fn serialize_json(&self, out: &mut String) {{\n{body}}}\n}}\n"
+    );
+    code.parse().expect("generated impl parses")
+}
+
+/// Extracts field names (in order) from the tokens inside a struct body.
+fn parse_field_names(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility before the field name.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => panic!("expected ':' after field, got {other:?}"),
+                }
+                // Skip the type: everything until a comma at angle depth 0.
+                let mut depth = 0i32;
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            ',' if depth == 0 => {
+                                i += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("unexpected token in struct body: {other:?}"),
+        }
+    }
+    fields
+}

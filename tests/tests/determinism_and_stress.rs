@@ -125,12 +125,7 @@ fn sparse_and_dense_paths_agree_end_to_end() {
     // on a solution the dense reference scores identically, and the two
     // trackers agree along any common walk (unit-level agreement is
     // tested in qubo-search; this exercises the full conversion path).
-    let g = qubo_problems::gset::generate(
-        200,
-        800,
-        qubo_problems::gset::GsetFamily::RandomPm1,
-        9,
-    );
+    let g = qubo_problems::gset::generate(200, 800, qubo_problems::gset::GsetFamily::RandomPm1, 9);
     let dense = qubo_problems::maxcut::to_qubo(&g).expect("encodes");
     let sparse = qubo::SparseQubo::from_dense(&dense);
     assert_eq!(sparse.nnz(), 2 * 800); // both triangles
