@@ -26,7 +26,10 @@ pub fn report_config(blocks: usize, timeout_ms: u64) -> AbsConfig {
 /// Runs ABS and returns the result.
 #[must_use]
 pub fn run(q: &Qubo, cfg: AbsConfig) -> SolveResult {
-    Abs::new(cfg).solve(q)
+    Abs::new(cfg)
+        .expect("valid config")
+        .solve(q)
+        .expect("solve")
 }
 
 /// The paper's target protocol, applied to our own run: the first time
@@ -75,6 +78,11 @@ mod tests {
                     energy: e,
                 })
                 .collect(),
+            degraded: false,
+            rejected_records: 0,
+            requeued_targets: 0,
+            search_units: 1,
+            devices: vec![],
         }
     }
 

@@ -20,7 +20,10 @@ OPTIONS:
     --seed <S>         master seed                         [default: 0]
     --preset <P>       family preset: maxcut | tsp | random
     --save <PATH>      write the best solution to a .sol file
-    --json             machine-readable output";
+    --json             machine-readable output
+    --fault-seed <S>   inject a seeded deterministic fault plan (testing)
+    --hard-timeout-ms <N>  watchdog wall-clock ceiling on the whole solve
+    --audit-stride <K> host re-checks every K-th record's energy (0 = improvements only)";
 
 /// Parsed subcommand.
 #[derive(Debug, PartialEq, Eq)]
@@ -70,6 +73,9 @@ pub struct Options {
     pub preset: Option<String>,
     pub save: Option<String>,
     pub json: bool,
+    pub fault_seed: Option<u64>,
+    pub hard_timeout_ms: Option<u64>,
+    pub audit_stride: Option<u64>,
 }
 
 impl Default for Options {
@@ -83,6 +89,9 @@ impl Default for Options {
             preset: None,
             save: None,
             json: false,
+            fault_seed: None,
+            hard_timeout_ms: None,
+            audit_stride: None,
         }
     }
 }
@@ -175,6 +184,27 @@ pub fn parse(argv: &[String]) -> Result<Option<(Command, Options)>, String> {
             }
             "--save" => opts.save = Some(value("path")?.clone()),
             "--json" => opts.json = true,
+            "--fault-seed" => {
+                opts.fault_seed = Some(
+                    value("seed")?
+                        .parse()
+                        .map_err(|_| format!("{flag}: expected an integer"))?,
+                );
+            }
+            "--hard-timeout-ms" => {
+                opts.hard_timeout_ms = Some(
+                    value("milliseconds")?
+                        .parse()
+                        .map_err(|_| format!("{flag}: expected an integer"))?,
+                );
+            }
+            "--audit-stride" => {
+                opts.audit_stride = Some(
+                    value("stride")?
+                        .parse()
+                        .map_err(|_| format!("{flag}: expected an integer"))?,
+                );
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -255,6 +285,26 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(opts.save.as_deref(), Some("out.sol"));
+    }
+
+    #[test]
+    fn robustness_options_parse() {
+        let (_, opts) = parse(&v(&[
+            "random",
+            "8",
+            "--fault-seed",
+            "7",
+            "--hard-timeout-ms",
+            "9000",
+            "--audit-stride",
+            "10",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.fault_seed, Some(7));
+        assert_eq!(opts.hard_timeout_ms, Some(9000));
+        assert_eq!(opts.audit_stride, Some(10));
+        assert!(parse(&v(&["random", "8", "--fault-seed", "x"])).is_err());
     }
 
     #[test]

@@ -14,15 +14,51 @@
 
 #![forbid(unsafe_code)]
 
-use abs::{Abs, AbsConfig, StopCondition};
+use abs::{Abs, AbsConfig, AbsError, StopCondition};
 use qubo::{format, Qubo};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
+use vgpu::FaultPlan;
 
 mod args;
 mod output;
 
 use args::{Command, Options};
+
+/// A CLI failure with its exit code: usage errors (bad flags, invalid
+/// configurations, mismatched inputs) exit 2, runtime failures (I/O,
+/// all devices dead) exit 1.
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl CliError {
+    fn message(&self) -> &str {
+        match self {
+            Self::Usage(m) | Self::Runtime(m) => m,
+        }
+    }
+
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            Self::Usage(_) => ExitCode::from(2),
+            Self::Runtime(_) => ExitCode::FAILURE,
+        }
+    }
+}
+
+impl From<AbsError> for CliError {
+    fn from(e: AbsError) -> Self {
+        if e.is_usage() {
+            Self::Usage(e.to_string())
+        } else {
+            Self::Runtime(e.to_string())
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -38,20 +74,26 @@ fn main() -> ExitCode {
         }
         Ok(Some((cmd, opts))) => match run(cmd, &opts) {
             Ok(()) => ExitCode::SUCCESS,
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                ExitCode::FAILURE
+            Err(e) => {
+                eprintln!("error: {}", e.message());
+                e.exit_code()
             }
         },
     }
 }
 
-fn run(cmd: Command, opts: &Options) -> Result<(), String> {
+/// Wraps a plain message as a runtime error (the default severity for
+/// pre-solve failures like unreadable files and unknown instances).
+fn rt(msg: impl Into<String>) -> CliError {
+    CliError::Runtime(msg.into())
+}
+
+fn run(cmd: Command, opts: &Options) -> Result<(), CliError> {
     match cmd {
         Command::Info { path } => {
-            let text =
-                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let q = format::parse(&text).map_err(|e| e.to_string())?;
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| rt(format!("cannot read {path}: {e}")))?;
+            let q = format::parse(&text).map_err(|e| rt(e.to_string()))?;
             let s = qubo::InstanceStats::of(&q);
             println!("file:         {path}");
             println!("bits:         {}", s.bits);
@@ -71,17 +113,17 @@ fn run(cmd: Command, opts: &Options) -> Result<(), String> {
         }
         Command::Verify { problem, solution } => {
             let ptext = std::fs::read_to_string(&problem)
-                .map_err(|e| format!("cannot read {problem}: {e}"))?;
-            let q = format::parse(&ptext).map_err(|e| e.to_string())?;
+                .map_err(|e| rt(format!("cannot read {problem}: {e}")))?;
+            let q = format::parse(&ptext).map_err(|e| rt(e.to_string()))?;
             let stext = std::fs::read_to_string(&solution)
-                .map_err(|e| format!("cannot read {solution}: {e}"))?;
-            let (x, claimed) = format::parse_solution(&stext).map_err(|e| e.to_string())?;
+                .map_err(|e| rt(format!("cannot read {solution}: {e}")))?;
+            let (x, claimed) = format::parse_solution(&stext).map_err(|e| rt(e.to_string()))?;
             if x.len() != q.n() {
-                return Err(format!(
+                return Err(CliError::Usage(format!(
                     "solution has {} bits, instance has {}",
                     x.len(),
                     q.n()
-                ));
+                )));
             }
             let actual = q.energy(&x);
             println!("claimed energy: {claimed}");
@@ -90,13 +132,13 @@ fn run(cmd: Command, opts: &Options) -> Result<(), String> {
                 println!("VERIFIED");
                 Ok(())
             } else {
-                Err("energy mismatch".to_owned())
+                Err(rt("energy mismatch"))
             }
         }
         Command::Solve { path } => {
-            let text =
-                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let q = format::parse(&text).map_err(|e| e.to_string())?;
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| rt(format!("cannot read {path}: {e}")))?;
+            let q = format::parse(&text).map_err(|e| rt(e.to_string()))?;
             solve_and_report(&q, opts, &path)
         }
         Command::Random { bits } => {
@@ -105,22 +147,22 @@ fn run(cmd: Command, opts: &Options) -> Result<(), String> {
         }
         Command::Gset { name } => {
             let inst = qubo_problems::gset::instance(&name)
-                .ok_or_else(|| format!("unknown G-set instance {name:?}"))?;
+                .ok_or_else(|| CliError::Usage(format!("unknown G-set instance {name:?}")))?;
             let g = qubo_problems::gset::generate_instance(inst, opts.seed);
-            let q = qubo_problems::maxcut::to_qubo(&g).map_err(|e| e.to_string())?;
+            let q = qubo_problems::maxcut::to_qubo(&g).map_err(|e| rt(e.to_string()))?;
             solve_and_report(&q, opts, &format!("gset-{name}"))
         }
         Command::Tsp { name } => {
             let inst = qubo_problems::tsplib::entry(&name)
-                .ok_or_else(|| format!("unknown TSPLIB instance {name:?}"))?;
+                .ok_or_else(|| CliError::Usage(format!("unknown TSPLIB instance {name:?}")))?;
             let tsp = qubo_problems::tsplib::instance(inst.name);
-            let tq = qubo_problems::tsp::to_qubo(&tsp).map_err(|e| e.to_string())?;
+            let tq = qubo_problems::tsp::to_qubo(&tsp).map_err(|e| rt(e.to_string()))?;
             solve_and_report(tq.qubo(), opts, &format!("tsp-{name}"))
         }
     }
 }
 
-fn solve_and_report(q: &Qubo, opts: &Options, label: &str) -> Result<(), String> {
+fn solve_and_report(q: &Qubo, opts: &Options, label: &str) -> Result<(), CliError> {
     let mut config = match opts.preset.as_deref() {
         Some("maxcut") => abs::presets::maxcut(),
         Some("tsp") => abs::presets::tsp(q.n()),
@@ -139,13 +181,24 @@ fn solve_and_report(q: &Qubo, opts: &Options, label: &str) -> Result<(), String>
         stop = stop.with_target(t);
     }
     config.stop = stop;
-    let result = Abs::new(config).solve(q);
+    if let Some(ms) = opts.hard_timeout_ms {
+        config.watchdog.hard_timeout = Some(Duration::from_millis(ms));
+    }
+    if let Some(k) = opts.audit_stride {
+        config.watchdog.audit_stride = k;
+    }
+    if let Some(seed) = opts.fault_seed {
+        let devices = config.machine.num_devices;
+        let blocks = config.machine.device.blocks_override.unwrap_or(8);
+        config.machine.device.fault = Some(Arc::new(FaultPlan::scatter(seed, devices, blocks)));
+    }
+    let result = Abs::new(config)?.solve(q)?;
     if let Some(path) = &opts.save {
         std::fs::write(
             path,
             format::solution_to_string(&result.best, result.best_energy),
         )
-        .map_err(|e| format!("cannot write {path}: {e}"))?;
+        .map_err(|e| rt(format!("cannot write {path}: {e}")))?;
     }
     if opts.json {
         println!("{}", output::to_json(label, q, &result));

@@ -5,6 +5,16 @@ use qubo::Qubo;
 use serde::Serialize;
 
 #[derive(Serialize)]
+struct JsonDevice {
+    device: usize,
+    status: String,
+    dead_blocks: u64,
+    total_blocks: u64,
+    rejected_records: u64,
+    requeued_targets: u64,
+}
+
+#[derive(Serialize)]
 struct JsonResult<'a> {
     label: &'a str,
     bits: usize,
@@ -16,6 +26,10 @@ struct JsonResult<'a> {
     evaluated: u64,
     search_rate_per_s: f64,
     iterations: u64,
+    degraded: bool,
+    rejected_records: u64,
+    requeued_targets: u64,
+    devices: Vec<JsonDevice>,
     solution: String,
 }
 
@@ -32,6 +46,21 @@ pub fn to_json(label: &str, q: &Qubo, r: &SolveResult) -> String {
         evaluated: r.evaluated,
         search_rate_per_s: r.search_rate,
         iterations: r.iterations,
+        degraded: r.degraded,
+        rejected_records: r.rejected_records,
+        requeued_targets: r.requeued_targets,
+        devices: r
+            .devices
+            .iter()
+            .map(|d| JsonDevice {
+                device: d.device,
+                status: d.status.label().to_owned(),
+                dead_blocks: d.dead_blocks,
+                total_blocks: d.total_blocks,
+                rejected_records: d.rejected_records,
+                requeued_targets: d.requeued_targets,
+            })
+            .collect(),
         solution: r.best.to_string(),
     };
     serde_json::to_string(&j).expect("serializable")
@@ -54,6 +83,23 @@ pub fn print_human(label: &str, q: &Qubo, r: &SolveResult) {
         r.total_flips,
         r.search_rate
     );
+    if r.degraded {
+        println!(
+            "health:       DEGRADED ({} rejected records, {} requeued targets)",
+            r.rejected_records, r.requeued_targets
+        );
+        for d in &r.devices {
+            if !d.status.is_healthy() {
+                println!(
+                    "  device {}:   {} ({}/{} blocks dead)",
+                    d.device,
+                    d.status.label(),
+                    d.dead_blocks,
+                    d.total_blocks
+                );
+            }
+        }
+    }
     if q.n() <= 256 {
         println!("solution:     {}", r.best);
     }
@@ -69,12 +115,32 @@ mod tests {
         let q = qubo_problems::random::generate(16, 0);
         let mut cfg = AbsConfig::small();
         cfg.stop = StopCondition::flips(5_000);
-        let r = Abs::new(cfg).solve(&q);
+        let r = Abs::new(cfg).unwrap().solve(&q).unwrap();
         let json = to_json("t", &q, &r);
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["bits"], 16);
         assert_eq!(v["label"], "t");
         assert!(v["best_energy"].is_i64());
         assert_eq!(v["solution"].as_str().unwrap().len(), 16);
+        assert_eq!(v["degraded"], false);
+        assert_eq!(v["devices"][0]["status"], "healthy");
+        assert_eq!(v["rejected_records"], 0);
+    }
+
+    #[test]
+    fn degraded_run_reports_device_health_in_json() {
+        use std::sync::Arc;
+        use vgpu::FaultPlan;
+        let q = qubo_problems::random::generate(24, 1);
+        let mut cfg = AbsConfig::small();
+        cfg.machine.device.blocks_override = Some(4);
+        cfg.machine.device.fault = Some(Arc::new(FaultPlan::new().panic_block(0, 2, 1)));
+        cfg.stop = StopCondition::flips(20_000);
+        let r = Abs::new(cfg).unwrap().solve(&q).unwrap();
+        let json = to_json("f", &q, &r);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["degraded"], true);
+        assert_eq!(v["devices"][0]["status"], "degraded");
+        assert_eq!(v["devices"][0]["dead_blocks"], 1);
     }
 }

@@ -108,8 +108,9 @@ fn gset_subcommand_knows_the_catalog() {
         .output()
         .expect("run");
     assert!(ok.status.success());
+    // Unknown catalog names are usage errors: exit 2.
     let bad = bin().args(["gset", "G999"]).output().expect("run");
-    assert_eq!(bad.status.code(), Some(1));
+    assert_eq!(bad.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown G-set instance"));
 }
 
@@ -153,7 +154,7 @@ fn verify_rejects_tampered_solutions() {
         .expect("run");
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("energy mismatch"));
-    // Wrong bit-length is rejected too.
+    // Wrong bit-length is caller input — a usage error, exit 2.
     let sol2 = tmp_qubo_file("tamper2.sol", "s -3 101\n");
     let out2 = bin()
         .arg("verify")
@@ -161,7 +162,7 @@ fn verify_rejects_tampered_solutions() {
         .arg(&sol2)
         .output()
         .expect("run");
-    assert_eq!(out2.status.code(), Some(1));
+    assert_eq!(out2.status.code(), Some(2));
 }
 
 #[test]
@@ -174,5 +175,64 @@ fn tsp_subcommand_knows_the_catalog() {
     let v: serde_json::Value = serde_json::from_slice(&ok.stdout).expect("json");
     assert_eq!(v["bits"], 225);
     let bad = bin().args(["tsp", "nowhere99"]).output().expect("run");
-    assert_eq!(bad.status.code(), Some(1));
+    assert_eq!(bad.status.code(), Some(2));
+}
+
+#[test]
+fn fault_seed_runs_degraded_but_still_answers() {
+    // A scattered fault plan spares device 0, so the solve completes;
+    // the JSON must carry the health report.
+    let out = bin()
+        .args([
+            "random",
+            "32",
+            "--devices",
+            "3",
+            "--blocks",
+            "4",
+            "--timeout-ms",
+            "400",
+            "--fault-seed",
+            "42",
+            "--json",
+        ])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("json");
+    assert_eq!(v["bits"], 32);
+    assert_eq!(v["devices"].as_array().unwrap().len(), 3);
+    assert_eq!(v["devices"][0]["status"], "healthy");
+    assert!(v["degraded"].as_bool().is_some());
+    assert!(v["best_energy"].as_i64().unwrap() < 0);
+}
+
+#[test]
+fn degraded_health_appears_in_human_output() {
+    let out = bin()
+        .args([
+            "random",
+            "24",
+            "--devices",
+            "2",
+            "--blocks",
+            "2",
+            "--timeout-ms",
+            "400",
+            "--fault-seed",
+            "3",
+        ])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("best energy:"));
 }

@@ -1,9 +1,54 @@
 //! Configuration of an ABS run.
 
+use crate::error::AbsError;
 use qubo::{BitVec, Energy};
 use qubo_ga::GaConfig;
 use std::time::Duration;
 use vgpu::{DeviceConfig, MachineConfig, WindowSchedule};
+
+/// Host-side fault tolerance: how the solve loop detects devices that
+/// stop making progress and how much it distrusts device-reported
+/// energies.
+///
+/// The health region in [`vgpu::GlobalMem`] reports *loud* failures
+/// (quarantined blocks, dead devices). Silent stalls — a device whose
+/// counter simply stops moving — are invisible there, so the host
+/// watchdog compares progress across devices: a device accrues one
+/// *stale round* for each poll round in which some other device made
+/// counter progress while it did not, and is declared stalled when the
+/// deadline is exceeded. Its in-flight targets are requeued to healthy
+/// devices and the solve completes in degraded mode.
+#[derive(Clone, Debug)]
+pub struct WatchdogConfig {
+    /// Stale poll rounds (rounds where *other* devices progressed but
+    /// this one did not) before a device is declared stalled. `0`
+    /// disables stall detection. The default is deliberately large so
+    /// healthy-but-slow devices on loaded CI machines are never
+    /// misdiagnosed.
+    pub stall_poll_rounds: u64,
+    /// Absolute wall-clock ceiling on the solve, checked even while
+    /// waiting for a first result. `None` means no ceiling. This is a
+    /// backstop against total device failure, not a tuning knob — use
+    /// [`StopCondition::timeout`] for ordinary time budgets.
+    pub hard_timeout: Option<Duration>,
+    /// Host-side energy audit stride: `0` audits only records that
+    /// would improve the incumbent best (the default — the reported
+    /// best is always exact); `k > 0` additionally re-computes the
+    /// energy of every `k`-th received record. A deliberate deviation
+    /// from the paper's "host never computes the energy" rule; see
+    /// DESIGN.md.
+    pub audit_stride: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            stall_poll_rounds: 100_000,
+            hard_timeout: None,
+            audit_stride: 0,
+        }
+    }
+}
 
 /// When the host stops the search. Conditions compose: the run stops as
 /// soon as *any* active condition is met. At least one condition must be
@@ -90,6 +135,8 @@ pub struct AbsConfig {
     /// targets, so devices evaluate them exactly via straight search.
     /// Lengths must match the problem's bit count.
     pub initial_solutions: Vec<BitVec>,
+    /// Stall detection, hard timeout, and host-side energy auditing.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for AbsConfig {
@@ -102,6 +149,7 @@ impl Default for AbsConfig {
             stop: StopCondition::default(),
             seed: 0,
             initial_solutions: Vec::new(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -132,17 +180,24 @@ impl AbsConfig {
 
     /// Validates the configuration.
     ///
-    /// # Panics
-    /// Panics on an unbounded stop condition, an empty pool, or an
-    /// invalid GA mix.
-    pub fn validate(&self) {
-        assert!(self.stop.is_bounded(), "stop condition must be bounded");
-        assert!(self.pool_size > 0, "pool must hold at least one solution");
-        self.ga.validate();
-        assert!(
-            self.machine.num_devices > 0,
-            "machine needs at least one device"
-        );
+    /// # Errors
+    /// Returns [`AbsError::InvalidConfig`] on an unbounded stop
+    /// condition, an empty pool, an invalid GA mix, or a device-less
+    /// machine.
+    pub fn validate(&self) -> Result<(), AbsError> {
+        if !self.stop.is_bounded() {
+            return Err(AbsError::InvalidConfig("stop condition must be bounded"));
+        }
+        if self.pool_size == 0 {
+            return Err(AbsError::InvalidConfig(
+                "pool must hold at least one solution",
+            ));
+        }
+        self.ga.check().map_err(AbsError::InvalidConfig)?;
+        if self.machine.num_devices == 0 {
+            return Err(AbsError::InvalidConfig("machine needs at least one device"));
+        }
+        Ok(())
     }
 }
 
@@ -161,15 +216,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "stop condition must be bounded")]
     fn unbounded_stop_rejected() {
-        AbsConfig::default().validate();
+        assert_eq!(
+            AbsConfig::default().validate(),
+            Err(AbsError::InvalidConfig("stop condition must be bounded"))
+        );
+    }
+
+    #[test]
+    fn empty_pool_and_deviceless_machine_rejected() {
+        let mut c = AbsConfig::small();
+        c.stop = StopCondition::flips(100);
+        c.pool_size = 0;
+        assert!(matches!(c.validate(), Err(AbsError::InvalidConfig(_))));
+        let mut c = AbsConfig::small();
+        c.stop = StopCondition::flips(100);
+        c.machine.num_devices = 0;
+        assert!(matches!(c.validate(), Err(AbsError::InvalidConfig(_))));
     }
 
     #[test]
     fn small_preset_is_valid_once_bounded() {
         let mut c = AbsConfig::small();
         c.stop = StopCondition::flips(100);
-        c.validate();
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn watchdog_defaults_are_conservative() {
+        let w = WatchdogConfig::default();
+        assert_eq!(w.stall_poll_rounds, 100_000);
+        assert!(w.hard_timeout.is_none());
+        assert_eq!(w.audit_stride, 0);
     }
 }

@@ -1,0 +1,109 @@
+//! Recoverable errors of the ABS host.
+//!
+//! User-input problems (invalid configuration, mismatched warm starts,
+//! infeasible launch configurations) and total hardware failure are
+//! reported as values rather than panics, so callers — the CLI in
+//! particular — can turn them into clear messages and exit codes.
+
+use std::fmt;
+use vgpu::ResolveError;
+
+/// Everything that can go wrong constructing or running [`crate::Abs`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbsError {
+    /// The configuration failed validation (see
+    /// [`crate::AbsConfig::validate`]).
+    InvalidConfig(&'static str),
+    /// A warm-start solution's bit-length does not match the problem.
+    WarmStartLength {
+        /// The problem's bit count.
+        expected: usize,
+        /// The offending warm start's bit count.
+        got: usize,
+    },
+    /// A device cannot derive a launch configuration for this problem
+    /// size.
+    Occupancy {
+        /// Index of the device that failed to resolve.
+        device: usize,
+        /// The occupancy calculator's refusal.
+        source: ResolveError,
+    },
+    /// Every device died or stalled before producing a single result;
+    /// there is no solution to report.
+    AllDevicesFailed,
+    /// The watchdog's hard timeout expired before any device produced a
+    /// result.
+    NoResult,
+}
+
+impl AbsError {
+    /// `true` for errors caused by caller input (configuration, warm
+    /// starts, problem size) rather than by the run itself — the CLI
+    /// maps these to exit code 2 (usage) and the rest to 1 (runtime).
+    #[must_use]
+    pub fn is_usage(&self) -> bool {
+        matches!(
+            self,
+            Self::InvalidConfig(_) | Self::WarmStartLength { .. } | Self::Occupancy { .. }
+        )
+    }
+}
+
+impl fmt::Display for AbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::WarmStartLength { expected, got } => write!(
+                f,
+                "warm-start solution has {got} bits, the problem has {expected}"
+            ),
+            Self::Occupancy { device, source } => {
+                write!(f, "device {device} cannot launch: {source}")
+            }
+            Self::AllDevicesFailed => {
+                write!(f, "all devices failed before producing a result")
+            }
+            Self::NoResult => write!(
+                f,
+                "watchdog hard timeout expired before any device produced a result"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AbsError {}
+
+impl From<AbsError> for String {
+    fn from(e: AbsError) -> Self {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_classification_matches_cli_exit_codes() {
+        assert!(AbsError::InvalidConfig("x").is_usage());
+        assert!(AbsError::WarmStartLength {
+            expected: 8,
+            got: 4
+        }
+        .is_usage());
+        assert!(!AbsError::AllDevicesFailed.is_usage());
+        assert!(!AbsError::NoResult.is_usage());
+    }
+
+    #[test]
+    fn messages_name_the_offending_numbers() {
+        let e = AbsError::WarmStartLength {
+            expected: 16,
+            got: 8,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("8 bits"));
+        assert!(msg.contains("16"));
+    }
+}

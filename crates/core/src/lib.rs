@@ -21,20 +21,26 @@
 //!
 //! let mut config = AbsConfig::small(); // modest CPU preset
 //! config.stop = StopCondition::flips(200_000);
-//! let result = Abs::new(config).solve(&problem);
+//! let result = Abs::new(config)
+//!     .expect("valid config")
+//!     .solve(&problem)
+//!     .expect("solve");
 //!
 //! assert_eq!(result.best_energy, problem.energy(&result.best));
 //! assert!(result.best_energy < 0);
+//! assert!(!result.degraded);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod presets;
 pub mod solver;
 pub mod stats;
 
-pub use config::{AbsConfig, StopCondition};
+pub use config::{AbsConfig, StopCondition, WatchdogConfig};
+pub use error::AbsError;
 pub use solver::Abs;
-pub use stats::{HistoryPoint, SolveResult};
+pub use stats::{DeviceReport, DeviceStatus, HistoryPoint, SolveResult};

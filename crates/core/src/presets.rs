@@ -106,11 +106,11 @@ mod tests {
     fn presets_validate_once_bounded() {
         for mut cfg in [cpu_base(), maxcut(), tsp(225), random(1024)] {
             cfg.stop = StopCondition::flips(10);
-            cfg.validate();
+            cfg.validate().unwrap();
         }
         let mut pm = paper_machine();
         pm.stop = StopCondition::flips(10);
-        pm.validate();
+        pm.validate().unwrap();
     }
 
     #[test]
@@ -127,7 +127,7 @@ mod tests {
         assert!(cfg.machine.device.blocks_override.is_none());
         // Resolution happens per problem size; verify via a device.
         let d = vgpu::Device::new(cfg.machine.device.clone());
-        assert_eq!(d.resolve_blocks(1024), 1088);
+        assert_eq!(d.resolve_blocks(1024), Ok(1088));
     }
 
     #[test]
@@ -137,7 +137,7 @@ mod tests {
         let q = qubo_problems::maxcut::to_qubo(&g).unwrap();
         let mut cfg = maxcut();
         cfg.stop = StopCondition::flips(60_000);
-        let r = Abs::new(cfg).solve(&q);
+        let r = Abs::new(cfg).unwrap().solve(&q).unwrap();
         assert!(-r.best_energy > 0, "no cut found");
         assert_eq!(r.best_energy, q.energy(&r.best));
     }

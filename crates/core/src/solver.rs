@@ -1,15 +1,18 @@
 //! The ABS host: GA bookkeeping plus the asynchronous polling loop of
-//! §3.1, driving a [`vgpu::Machine`].
+//! §3.1, driving a [`vgpu::Machine`] — hardened with a watchdog that
+//! survives dead blocks, dead devices, silent stalls, and malformed
+//! records (see DESIGN.md, "Fault model and degraded mode").
 
 use crate::config::AbsConfig;
-use crate::stats::{HistoryPoint, SolveResult};
+use crate::error::AbsError;
+use crate::stats::{DeviceReport, DeviceStatus, HistoryPoint, SolveResult};
 use qubo::{BitVec, Energy, Qubo};
 use qubo_ga::{InsertOutcome, SolutionPool, TargetGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::Instant;
-use vgpu::{GlobalMem, Machine};
+use std::time::{Duration, Instant};
+use vgpu::{GlobalMem, HealthStatus, Machine};
 
 /// The Adaptive Bulk Search solver.
 ///
@@ -17,20 +20,55 @@ use vgpu::{GlobalMem, Machine};
 /// number of problems; each [`Abs::solve`] call builds a fresh virtual
 /// machine, runs the host loop on the calling thread, and joins all
 /// device threads before returning.
+#[derive(Debug)]
 pub struct Abs {
     config: AbsConfig,
+}
+
+/// Host-side view of one device during the polling loop.
+struct DeviceState {
+    /// Counter value at the last poll.
+    last_counter: u64,
+    /// Consecutive poll rounds in which *other* devices progressed but
+    /// this one did not (the watchdog's staleness clock).
+    stale_rounds: u64,
+    /// The watchdog excluded this device (stalled or dead): its targets
+    /// were requeued and it receives no new work.
+    excluded: bool,
+    /// Status to report if excluded (`Stalled` or `Dead`).
+    excluded_as: DeviceStatus,
+    /// Targets moved *from* this device to healthy ones.
+    requeued: u64,
+    /// Records the host rejected from this device (wrong length seen
+    /// host-side, or failed energy audit).
+    host_rejected: u64,
+}
+
+/// What the host loop hands to [`Abs::finish`]: everything the final
+/// [`SolveResult`] needs that is *not* read from the device memories.
+/// The memory-derived counters are read only after the machine joins
+/// its device threads.
+struct HostOutcome {
+    start: Instant,
+    best: BitVec,
+    best_energy: Energy,
+    reached_target: bool,
+    time_to_target: Option<Duration>,
+    history: Vec<HistoryPoint>,
+    received: u64,
+    inserted: u64,
+    devs: Vec<DeviceState>,
 }
 
 impl Abs {
     /// Creates a solver.
     ///
-    /// # Panics
-    /// Panics if the configuration is invalid (see
-    /// [`AbsConfig::validate`]).
-    #[must_use]
-    pub fn new(config: AbsConfig) -> Self {
-        config.validate();
-        Self { config }
+    /// # Errors
+    /// Returns [`AbsError::InvalidConfig`] if the configuration fails
+    /// [`AbsConfig::validate`].
+    pub fn new(config: AbsConfig) -> Result<Self, AbsError> {
+        config.validate()?;
+        Ok(Self { config })
     }
 
     /// The configuration.
@@ -45,20 +83,52 @@ impl Abs {
     /// from a random pool, then loops — polling each device's counter,
     /// draining new solutions into the sorted distinct pool, and pushing
     /// exactly as many freshly bred targets as solutions arrived. The
-    /// host never evaluates the energy function.
-    #[must_use]
-    pub fn solve(&self, qubo: &Qubo) -> SolveResult {
+    /// watchdog of [`crate::WatchdogConfig`] runs alongside: devices
+    /// whose health region reports death, or whose counter stalls while
+    /// others progress, are excluded and their in-flight targets
+    /// requeued, so the solve completes in degraded mode instead of
+    /// hanging.
+    ///
+    /// # Errors
+    /// [`AbsError::WarmStartLength`] if a warm start's bit-length does
+    /// not match `qubo`; [`AbsError::Occupancy`] if a device cannot
+    /// derive a launch configuration for this problem size;
+    /// [`AbsError::AllDevicesFailed`] if every device fails before a
+    /// single result arrives; [`AbsError::NoResult`] if the watchdog's
+    /// hard timeout expires first.
+    pub fn solve(&self, qubo: &Qubo) -> Result<SolveResult, AbsError> {
         let n = qubo.n();
+        for warm in &self.config.initial_solutions {
+            if warm.len() != n {
+                return Err(AbsError::WarmStartLength {
+                    expected: n,
+                    got: warm.len(),
+                });
+            }
+        }
         let machine = Machine::new(&self.config.machine);
         let blocks: Vec<usize> = machine
             .devices()
             .iter()
-            .map(|d| d.resolve_blocks(n))
-            .collect();
-        machine.run(qubo, |mems| self.host_loop(qubo, mems, &blocks))
+            .enumerate()
+            .map(|(i, d)| {
+                d.resolve_blocks(n)
+                    .map_err(|source| AbsError::Occupancy { device: i, source })
+            })
+            .collect::<Result<_, _>>()?;
+        // `machine.run` joins every device thread before returning, so
+        // the accounting in `finish` reads quiescent counters — reading
+        // them inside the host closure would race late-starting workers.
+        let outcome = machine.run(qubo, |mems| self.host_loop(qubo, mems, &blocks))?;
+        Ok(Self::finish(n, outcome, &machine.mems()))
     }
 
-    fn host_loop(&self, qubo: &Qubo, mems: &[Arc<GlobalMem>], blocks: &[usize]) -> SolveResult {
+    fn host_loop(
+        &self,
+        qubo: &Qubo,
+        mems: &[Arc<GlobalMem>],
+        blocks: &[usize],
+    ) -> Result<HostOutcome, AbsError> {
         let n = qubo.n();
         let cfg = &self.config;
         let start = Instant::now();
@@ -67,14 +137,10 @@ impl Abs {
         let mut pool = SolutionPool::random(cfg.pool_size, n, &mut rng);
         let mut gen = TargetGenerator::new(n, cfg.ga, cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
 
-        // Warm starts: into the pool as unevaluated parents, and to the
-        // front of every target queue so devices price them exactly.
+        // Warm starts (lengths already checked in `solve`): into the
+        // pool as unevaluated parents, and to the front of every target
+        // queue so devices price them exactly.
         for warm in &cfg.initial_solutions {
-            assert_eq!(
-                warm.len(),
-                n,
-                "initial solution length does not match the problem"
-            );
             let _ = pool.insert(warm.clone(), qubo::energy::UNEVALUATED);
         }
 
@@ -88,7 +154,17 @@ impl Abs {
             }
         }
 
-        let mut last_counter = vec![0u64; mems.len()];
+        let mut devs: Vec<DeviceState> = mems
+            .iter()
+            .map(|_| DeviceState {
+                last_counter: 0,
+                stale_rounds: 0,
+                excluded: false,
+                excluded_as: DeviceStatus::Healthy,
+                requeued: 0,
+                host_rejected: 0,
+            })
+            .collect();
         let mut best: Option<BitVec> = None;
         let mut best_energy = Energy::MAX;
         let mut history = Vec::new();
@@ -99,21 +175,39 @@ impl Abs {
 
         let total_flips =
             |mems: &[Arc<GlobalMem>]| -> u64 { mems.iter().map(|m| m.total_flips()).sum() };
+        let hard_deadline = cfg.watchdog.hard_timeout.map(|d| start + d);
 
-        loop {
+        'poll: loop {
+            // Watchdog: loud failures first. A device whose health
+            // region says Dead will never move its counter again.
+            for i in 0..mems.len() {
+                if !devs[i].excluded && mems[i].health().status() == HealthStatus::Dead {
+                    Self::fail_device(i, DeviceStatus::Dead, mems, &mut devs);
+                }
+            }
+
             // Steps 2–4: poll counters, drain, insert, re-target.
-            let mut progressed = false;
+            let mut progressed_any = false;
             for (i, mem) in mems.iter().enumerate() {
-                let c = mem.counter();
-                if c == last_counter[i] {
+                if devs[i].excluded {
                     continue;
                 }
-                last_counter[i] = c;
-                progressed = true;
+                let c = mem.counter();
+                if c == devs[i].last_counter {
+                    continue;
+                }
+                devs[i].last_counter = c;
+                devs[i].stale_rounds = 0;
+                progressed_any = true;
                 let records = mem.drain_results();
-                let arrived = records.len();
+                let mut arrived = 0usize;
                 for rec in records {
                     received += 1;
+                    if !self.accept_record(qubo, &rec.x, rec.energy, best_energy, received) {
+                        devs[i].host_rejected += 1;
+                        continue;
+                    }
+                    arrived += 1;
                     if rec.energy < best_energy {
                         best_energy = rec.energy;
                         best = Some(rec.x.clone());
@@ -139,6 +233,21 @@ impl Abs {
                 }
             }
 
+            // Watchdog: silent stalls. Staleness accrues only in rounds
+            // where some *other* device progressed, so a globally slow
+            // machine (loaded CI box) never trips it.
+            if progressed_any && cfg.watchdog.stall_poll_rounds > 0 {
+                for i in 0..mems.len() {
+                    if devs[i].excluded || mems[i].counter() != devs[i].last_counter {
+                        continue;
+                    }
+                    devs[i].stale_rounds += 1;
+                    if devs[i].stale_rounds > cfg.watchdog.stall_poll_rounds {
+                        Self::fail_device(i, DeviceStatus::Stalled, mems, &mut devs);
+                    }
+                }
+            }
+
             // Stop checks.
             if reached_target {
                 break;
@@ -153,48 +262,183 @@ impl Abs {
                     break;
                 }
             }
-            if !progressed {
+            if let Some(deadline) = hard_deadline {
+                if Instant::now() >= deadline {
+                    if best.is_some() {
+                        break;
+                    }
+                    return Err(AbsError::NoResult);
+                }
+            }
+            if devs.iter().all(|d| d.excluded) {
+                if best.is_some() {
+                    break 'poll;
+                }
+                return Err(AbsError::AllDevicesFailed);
+            }
+            if !progressed_any {
                 std::thread::yield_now();
             }
         }
 
         // Degenerate budgets can stop before any result arrived; the
-        // devices are still running (the stop flag is raised only when
-        // this closure returns), so one result is guaranteed to come.
+        // surviving devices are still running (the stop flag is raised
+        // only when this closure returns), so a result will come —
+        // unless every device has failed, which the wait must detect
+        // instead of spinning forever (the pre-hardening host hung
+        // here).
         if best.is_none() {
             'wait: loop {
-                for mem in mems {
+                for (i, mem) in mems.iter().enumerate() {
                     for rec in mem.drain_results() {
                         received += 1;
+                        if !self.accept_record(qubo, &rec.x, rec.energy, best_energy, received) {
+                            devs[i].host_rejected += 1;
+                            continue;
+                        }
                         if rec.energy < best_energy {
                             best_energy = rec.energy;
                             best = Some(rec.x);
                         }
                     }
+                    if !devs[i].excluded && mems[i].health().status() == HealthStatus::Dead {
+                        Self::fail_device(i, DeviceStatus::Dead, mems, &mut devs);
+                    }
                 }
                 if best.is_some() {
                     break 'wait;
+                }
+                if let Some(deadline) = hard_deadline {
+                    if Instant::now() >= deadline {
+                        return Err(AbsError::NoResult);
+                    }
+                }
+                if devs.iter().all(|d| d.excluded) {
+                    return Err(AbsError::AllDevicesFailed);
                 }
                 std::thread::yield_now();
             }
         }
 
-        let elapsed = start.elapsed();
-        let flips = total_flips(mems);
-        let evaluated = flips * (n as u64 + 1);
-        SolveResult {
+        Ok(HostOutcome {
+            start,
             best: best.expect("at least one device result"),
             best_energy,
             reached_target,
             time_to_target,
+            history,
+            received,
+            inserted,
+            devs,
+        })
+    }
+
+    /// Final accounting, run after every device thread has been joined:
+    /// only then are the per-device counters (units, flips, health)
+    /// guaranteed quiescent — a fast stop can otherwise beat a device's
+    /// workers to their first `add_units`.
+    fn finish(n: usize, o: HostOutcome, mems: &[Arc<GlobalMem>]) -> SolveResult {
+        let elapsed = o.start.elapsed();
+        let flips: u64 = mems.iter().map(|m| m.total_flips()).sum();
+        let units: u64 = mems.iter().map(|m| m.total_units()).sum();
+        let evaluated: u64 = mems.iter().map(|m| m.total_evaluated(n)).sum();
+        let devices: Vec<DeviceReport> = mems
+            .iter()
+            .zip(&o.devs)
+            .enumerate()
+            .map(|(i, (mem, d))| {
+                let health = mem.health();
+                let status = if d.excluded {
+                    d.excluded_as
+                } else {
+                    match health.status() {
+                        HealthStatus::Healthy => DeviceStatus::Healthy,
+                        HealthStatus::Degraded { .. } => DeviceStatus::Degraded,
+                        HealthStatus::Dead => DeviceStatus::Dead,
+                    }
+                };
+                DeviceReport {
+                    device: i,
+                    status,
+                    dead_blocks: health.dead_blocks(),
+                    total_blocks: health.total_blocks(),
+                    rejected_records: mem.rejected_records() + d.host_rejected,
+                    requeued_targets: d.requeued,
+                }
+            })
+            .collect();
+        SolveResult {
+            best: o.best,
+            best_energy: o.best_energy,
+            reached_target: o.reached_target,
+            time_to_target: o.time_to_target,
             elapsed,
             total_flips: flips,
             evaluated,
             search_rate: evaluated as f64 / elapsed.as_secs_f64().max(1e-12),
             iterations: mems.iter().map(|m| m.total_iterations()).sum(),
-            results_received: received,
-            results_inserted: inserted,
-            history,
+            results_received: o.received,
+            results_inserted: o.inserted,
+            history: o.history,
+            degraded: devices.iter().any(|d| !d.status.is_healthy()),
+            rejected_records: devices.iter().map(|d| d.rejected_records).sum(),
+            requeued_targets: devices.iter().map(|d| d.requeued_targets).sum(),
+            search_units: units,
+            devices,
+        }
+    }
+
+    /// Host-side record validation: a defensive length check on every
+    /// record, plus the energy audit of [`crate::WatchdogConfig`] — a
+    /// record is audited when it would improve the incumbent best (so
+    /// the reported best is always exact) or when the audit stride
+    /// samples it. Returns `false` for records that must be discarded.
+    ///
+    /// This is the documented deviation from the paper's "host never
+    /// computes the energy" rule: with real hardware the device is
+    /// trusted; here the fault model explicitly includes corrupted
+    /// records, so claimed improvements are re-priced before they can
+    /// displace the best.
+    fn accept_record(
+        &self,
+        qubo: &Qubo,
+        x: &BitVec,
+        claimed: Energy,
+        best_energy: Energy,
+        received: u64,
+    ) -> bool {
+        if x.len() != qubo.n() {
+            return false;
+        }
+        let stride = self.config.watchdog.audit_stride;
+        let improves = claimed < best_energy;
+        let sampled = stride > 0 && received.is_multiple_of(stride);
+        if improves || sampled {
+            return qubo.energy(x) == claimed;
+        }
+        true
+    }
+
+    /// Excludes device `i`: stops it, drains its in-flight targets and
+    /// deals them round-robin to the remaining devices (counted on the
+    /// failed device's report), and records the status it failed as.
+    fn fail_device(
+        i: usize,
+        status: DeviceStatus,
+        mems: &[Arc<GlobalMem>],
+        devs: &mut [DeviceState],
+    ) {
+        devs[i].excluded = true;
+        devs[i].excluded_as = status;
+        mems[i].request_stop();
+        let orphans = mems[i].drain_targets();
+        let healthy: Vec<usize> = (0..mems.len()).filter(|&j| !devs[j].excluded).collect();
+        if healthy.is_empty() {
+            return;
+        }
+        for (k, t) in orphans.into_iter().enumerate() {
+            mems[healthy[k % healthy.len()]].push_target(t);
+            devs[i].requeued += 1;
         }
     }
 }
@@ -221,6 +465,13 @@ mod tests {
         (best, best_e)
     }
 
+    fn solve(cfg: AbsConfig, q: &Qubo) -> SolveResult {
+        Abs::new(cfg)
+            .expect("valid config")
+            .solve(q)
+            .expect("solve")
+    }
+
     #[test]
     fn finds_exact_optimum_of_small_problem() {
         let mut rng = StdRng::seed_from_u64(1);
@@ -228,7 +479,7 @@ mod tests {
         let (_, opt) = brute_force(&q);
         let mut cfg = AbsConfig::small();
         cfg.stop = StopCondition::target(opt).with_timeout(Duration::from_secs(30));
-        let r = Abs::new(cfg).solve(&q);
+        let r = solve(cfg, &q);
         assert!(
             r.reached_target,
             "optimum {opt} not reached, got {}",
@@ -237,6 +488,8 @@ mod tests {
         assert_eq!(r.best_energy, opt);
         assert_eq!(r.best_energy, q.energy(&r.best));
         assert!(r.time_to_target.is_some());
+        assert!(!r.degraded);
+        assert!(r.devices.iter().all(|d| d.status.is_healthy()));
     }
 
     #[test]
@@ -245,12 +498,17 @@ mod tests {
         let q = Qubo::random(64, &mut rng);
         let mut cfg = AbsConfig::small();
         cfg.stop = StopCondition::flips(50_000);
-        let r = Abs::new(cfg).solve(&q);
+        let r = solve(cfg, &q);
         assert!(r.total_flips >= 50_000);
-        assert_eq!(r.evaluated, r.total_flips * 65);
+        // Healthy run: every block keeps its init unit, so the machine
+        // total is (flips + units) × (n + 1).
+        assert_eq!(r.search_units, 8);
+        assert_eq!(r.evaluated, (r.total_flips + r.search_units) * 65);
         assert!(!r.reached_target);
         assert!(r.search_rate > 0.0);
         assert_eq!(r.best_energy, q.energy(&r.best));
+        assert_eq!(r.rejected_records, 0);
+        assert_eq!(r.requeued_targets, 0);
     }
 
     #[test]
@@ -260,7 +518,7 @@ mod tests {
         let mut cfg = AbsConfig::small();
         cfg.stop = StopCondition::timeout(Duration::from_millis(200));
         let t0 = Instant::now();
-        let r = Abs::new(cfg).solve(&q);
+        let r = solve(cfg, &q);
         assert!(t0.elapsed() < Duration::from_secs(20));
         assert!(r.elapsed >= Duration::from_millis(200));
         assert!(r.results_received > 0);
@@ -272,7 +530,7 @@ mod tests {
         let q = Qubo::random(96, &mut rng);
         let mut cfg = AbsConfig::small();
         cfg.stop = StopCondition::flips(200_000);
-        let r = Abs::new(cfg).solve(&q);
+        let r = solve(cfg, &q);
         assert!(!r.history.is_empty());
         for w in r.history.windows(2) {
             assert!(w[1].energy < w[0].energy, "history must strictly improve");
@@ -288,10 +546,12 @@ mod tests {
         let mut cfg = AbsConfig::small();
         cfg.machine.num_devices = 3;
         cfg.stop = StopCondition::flips(60_000);
-        let r = Abs::new(cfg).solve(&q);
+        let r = solve(cfg, &q);
         assert!(r.iterations > 0);
         assert!(r.results_received >= r.results_inserted);
         assert!(r.insertion_ratio() <= 1.0);
+        assert_eq!(r.devices.len(), 3);
+        assert_eq!(r.search_units, 24);
     }
 
     #[test]
@@ -300,7 +560,7 @@ mod tests {
         let q = Qubo::random(32, &mut rng);
         let mut cfg = AbsConfig::small();
         cfg.stop = StopCondition::flips(1); // stops before first poll sees much
-        let r = Abs::new(cfg).solve(&q);
+        let r = solve(cfg, &q);
         assert_eq!(r.best_energy, q.energy(&r.best));
     }
 
@@ -312,7 +572,7 @@ mod tests {
         let q = Qubo::random(128, &mut rng);
         let mut cfg = AbsConfig::small();
         cfg.stop = StopCondition::flips(100_000);
-        let r = Abs::new(cfg).solve(&q);
+        let r = solve(cfg, &q);
         let mut rand_best = Energy::MAX;
         for _ in 0..2_000 {
             let x = BitVec::random(128, &mut rng);
@@ -335,7 +595,7 @@ mod tests {
         let mut cfg = AbsConfig::small();
         cfg.machine.device.adaptive = Some(vgpu::AdaptiveConfig { patience: 3 });
         cfg.stop = StopCondition::target(opt).with_timeout(Duration::from_secs(30));
-        let r = Abs::new(cfg).solve(&q);
+        let r = solve(cfg, &q);
         assert!(r.reached_target);
         assert_eq!(r.best_energy, q.energy(&r.best));
     }
@@ -350,20 +610,50 @@ mod tests {
         let mut cfg = AbsConfig::small();
         cfg.initial_solutions = vec![opt_x.clone()];
         cfg.stop = StopCondition::target(opt_e).with_timeout(Duration::from_secs(20));
-        let r = Abs::new(cfg).solve(&q);
+        let r = solve(cfg, &q);
         assert!(r.reached_target);
         assert_eq!(r.best_energy, opt_e);
     }
 
     #[test]
-    #[should_panic(expected = "initial solution length")]
-    fn warm_start_length_mismatch_panics() {
+    fn warm_start_length_mismatch_is_an_error() {
         let mut rng = StdRng::seed_from_u64(10);
         let q = Qubo::random(16, &mut rng);
         let mut cfg = AbsConfig::small();
         cfg.initial_solutions = vec![BitVec::zeros(8)];
         cfg.stop = StopCondition::flips(100);
-        let _ = Abs::new(cfg).solve(&q);
+        let err = Abs::new(cfg).unwrap().solve(&q).unwrap_err();
+        assert_eq!(
+            err,
+            AbsError::WarmStartLength {
+                expected: 16,
+                got: 8
+            }
+        );
+        assert!(err.is_usage());
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_a_panic() {
+        let cfg = AbsConfig::default(); // unbounded stop
+        let err = Abs::new(cfg).unwrap_err();
+        assert!(matches!(err, AbsError::InvalidConfig(_)));
+        assert!(err.is_usage());
+    }
+
+    #[test]
+    fn infeasible_problem_size_is_an_occupancy_error() {
+        // Without a blocks override, the occupancy calculator cannot map
+        // n = 7 onto full warps, so resolve_blocks refuses — the solver
+        // must surface that as an error before spawning threads.
+        let mut rng = StdRng::seed_from_u64(12);
+        let q = Qubo::random(7, &mut rng);
+        let mut cfg = AbsConfig::small();
+        cfg.machine.device.blocks_override = None;
+        cfg.stop = StopCondition::flips(100);
+        let err = Abs::new(cfg).unwrap().solve(&q).unwrap_err();
+        assert!(matches!(err, AbsError::Occupancy { device: 0, .. }));
+        assert!(err.is_usage());
     }
 
     #[test]
@@ -371,7 +661,112 @@ mod tests {
         let mut cfg = AbsConfig::small();
         cfg.stop = StopCondition::flips(10);
         cfg.pool_size = 11;
-        let solver = Abs::new(cfg);
+        let solver = Abs::new(cfg).unwrap();
         assert_eq!(solver.config().pool_size, 11);
+    }
+
+    #[test]
+    fn dead_device_fails_the_solve_instead_of_hanging() {
+        // Satellite 1 regression: one device, every block dead on
+        // arrival. The pre-hardening host would spin forever in the
+        // final wait; the watchdog now reports AllDevicesFailed.
+        use vgpu::FaultPlan;
+        let mut rng = StdRng::seed_from_u64(13);
+        let q = Qubo::random(16, &mut rng);
+        let mut cfg = AbsConfig::small();
+        cfg.machine.device.blocks_override = Some(2);
+        cfg.machine.device.fault = Some(Arc::new(
+            FaultPlan::new().panic_block(0, 0, 0).panic_block(0, 1, 0),
+        ));
+        cfg.stop = StopCondition::timeout(Duration::from_secs(30));
+        let err = Abs::new(cfg).unwrap().solve(&q).unwrap_err();
+        assert_eq!(err, AbsError::AllDevicesFailed);
+        assert!(!err.is_usage());
+    }
+
+    #[test]
+    fn quarantined_block_degrades_but_does_not_fail_the_solve() {
+        use vgpu::FaultPlan;
+        let mut rng = StdRng::seed_from_u64(14);
+        let q = Qubo::random(32, &mut rng);
+        let mut cfg = AbsConfig::small();
+        cfg.machine.device.blocks_override = Some(4);
+        cfg.machine.device.fault = Some(Arc::new(FaultPlan::new().panic_block(0, 1, 2)));
+        cfg.stop = StopCondition::flips(30_000);
+        let r = solve(cfg, &q);
+        assert!(r.degraded);
+        assert_eq!(r.devices[0].status, DeviceStatus::Degraded);
+        assert_eq!(r.devices[0].dead_blocks, 1);
+        assert_eq!(r.search_units, 3, "dead block retires its unit");
+        assert_eq!(r.evaluated, (r.total_flips + 3) * 33);
+        assert_eq!(r.best_energy, q.energy(&r.best));
+    }
+
+    #[test]
+    fn hard_timeout_returns_no_result_when_nothing_arrives() {
+        use vgpu::FaultPlan;
+        let mut rng = StdRng::seed_from_u64(15);
+        let q = Qubo::random(16, &mut rng);
+        let mut cfg = AbsConfig::small();
+        cfg.machine.device.blocks_override = Some(1);
+        // The only device stalls immediately and never produces; health
+        // stays Healthy (a stall is silent), so only the hard timeout
+        // can end the run.
+        cfg.machine.device.fault = Some(Arc::new(FaultPlan::new().stall_device(0, 0)));
+        cfg.stop = StopCondition::timeout(Duration::from_secs(60));
+        cfg.watchdog.hard_timeout = Some(Duration::from_millis(300));
+        let t0 = Instant::now();
+        let err = Abs::new(cfg).unwrap().solve(&q).unwrap_err();
+        assert_eq!(err, AbsError::NoResult);
+        assert!(t0.elapsed() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn stalled_device_is_excluded_and_its_targets_requeued() {
+        use vgpu::FaultPlan;
+        let mut rng = StdRng::seed_from_u64(16);
+        let q = Qubo::random(32, &mut rng);
+        let mut cfg = AbsConfig::small();
+        cfg.machine.num_devices = 2;
+        cfg.machine.device.blocks_override = Some(2);
+        // Device 1 stalls before consuming anything; device 0 keeps
+        // producing, so the watchdog's relative-progress clock runs.
+        cfg.machine.device.fault = Some(Arc::new(FaultPlan::new().stall_device(1, 0)));
+        // The host drains results in bulk, so a run needs enough poll
+        // rounds for staleness to accrue: use a wall-clock stop.
+        cfg.watchdog.stall_poll_rounds = 10;
+        cfg.stop = StopCondition::timeout(Duration::from_millis(400));
+        let r = solve(cfg, &q);
+        assert!(r.degraded);
+        assert_eq!(r.devices[1].status, DeviceStatus::Stalled);
+        // Everything seeded to device 1 was still in its queue:
+        // 2 blocks × initial_targets_per_block (2).
+        assert_eq!(r.devices[1].requeued_targets, 4);
+        assert_eq!(r.requeued_targets, 4);
+        assert_eq!(r.best_energy, q.energy(&r.best));
+    }
+
+    #[test]
+    fn corrupted_improvement_is_audited_and_rejected() {
+        use vgpu::{Corruption, FaultPlan};
+        let mut rng = StdRng::seed_from_u64(17);
+        let q = Qubo::random(32, &mut rng);
+        let mut cfg = AbsConfig::small();
+        cfg.machine.device.blocks_override = Some(2);
+        // Block 0 emits a record claiming an impossibly good energy for
+        // the all-zeros solution; the host audit must re-price it and
+        // throw it out.
+        cfg.machine.device.fault = Some(Arc::new(FaultPlan::new().corrupt_record(
+            0,
+            0,
+            1,
+            Corruption::WrongEnergy,
+        )));
+        cfg.stop = StopCondition::flips(30_000);
+        let r = solve(cfg, &q);
+        assert_eq!(r.rejected_records, 1);
+        assert_eq!(r.devices[0].rejected_records, 1);
+        assert_eq!(r.best_energy, q.energy(&r.best), "best stays exact");
+        assert!(r.best_energy > Energy::MIN / 2);
     }
 }

@@ -14,6 +14,60 @@ pub struct HistoryPoint {
     pub energy: Energy,
 }
 
+/// Health of one device as observed by the host at the end of a solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceStatus {
+    /// All blocks ran to the end.
+    Healthy,
+    /// Some blocks were quarantined but the device kept producing.
+    Degraded,
+    /// Every block died (or the device exited early); nothing more will
+    /// come from it.
+    Dead,
+    /// The device's counter stopped moving while other devices kept
+    /// progressing; the watchdog excluded it and requeued its targets.
+    Stalled,
+}
+
+impl DeviceStatus {
+    /// Stable lower-case label for logs and JSON output (the CLI
+    /// serializes this string — the serde shim cannot derive enums).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Healthy => "healthy",
+            Self::Degraded => "degraded",
+            Self::Dead => "dead",
+            Self::Stalled => "stalled",
+        }
+    }
+
+    /// `true` only for [`DeviceStatus::Healthy`].
+    #[must_use]
+    pub fn is_healthy(self) -> bool {
+        self == Self::Healthy
+    }
+}
+
+/// Per-device fault accounting for one solve.
+#[derive(Clone, Debug)]
+pub struct DeviceReport {
+    /// Device index within the machine.
+    pub device: usize,
+    /// Final status as seen by the host.
+    pub status: DeviceStatus,
+    /// Blocks quarantined after panicking.
+    pub dead_blocks: u64,
+    /// Blocks the device launched.
+    pub total_blocks: u64,
+    /// Malformed records this device's buffer rejected (wrong
+    /// bit-length) plus records the host's energy audit rejected.
+    pub rejected_records: u64,
+    /// In-flight targets the watchdog moved from this device to healthy
+    /// ones after declaring it stalled or dead.
+    pub requeued_targets: u64,
+}
+
 /// Outcome of [`crate::Abs::solve`].
 #[derive(Clone, Debug)]
 pub struct SolveResult {
@@ -31,7 +85,9 @@ pub struct SolveResult {
     pub elapsed: Duration,
     /// Total device flips.
     pub total_flips: u64,
-    /// Total solutions evaluated (`flips × (n + 1)`).
+    /// Total solutions evaluated (`(flips + live search units) × (n+1)`;
+    /// quarantined blocks retire their init unit, so only surviving
+    /// blocks contribute — see DESIGN.md's fault model).
     pub evaluated: u64,
     /// Solutions evaluated per second — the paper's *search rate* (§4.3).
     pub search_rate: f64,
@@ -44,6 +100,18 @@ pub struct SolveResult {
     pub results_inserted: u64,
     /// Best-energy improvement trace.
     pub history: Vec<HistoryPoint>,
+    /// `true` when any device ended the run in a non-healthy state.
+    pub degraded: bool,
+    /// Records rejected machine-wide: wrong bit-length at the device
+    /// buffer, wrong length or failed energy audit at the host.
+    pub rejected_records: u64,
+    /// In-flight targets requeued from failed devices to healthy ones.
+    pub requeued_targets: u64,
+    /// Search units still live at the end of the run (blocks that
+    /// initialized a tracker and were never quarantined).
+    pub search_units: u64,
+    /// Per-device health and fault accounting, in device order.
+    pub devices: Vec<DeviceReport>,
 }
 
 impl SolveResult {
@@ -96,6 +164,11 @@ mod tests {
             results_received: received,
             results_inserted: inserted,
             history: vec![],
+            degraded: false,
+            rejected_records: 0,
+            requeued_targets: 0,
+            search_units: 1,
+            devices: vec![],
         }
     }
 
@@ -124,6 +197,16 @@ mod tests {
         r.write_history_csv(&path).unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), csv);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn device_status_labels_are_stable() {
+        assert_eq!(DeviceStatus::Healthy.label(), "healthy");
+        assert_eq!(DeviceStatus::Degraded.label(), "degraded");
+        assert_eq!(DeviceStatus::Dead.label(), "dead");
+        assert_eq!(DeviceStatus::Stalled.label(), "stalled");
+        assert!(DeviceStatus::Healthy.is_healthy());
+        assert!(!DeviceStatus::Stalled.is_healthy());
     }
 
     #[test]

@@ -45,23 +45,33 @@ impl Default for GaConfig {
 }
 
 impl GaConfig {
+    /// Checks that the probabilities form a distribution, reporting the
+    /// first violation instead of panicking.
+    ///
+    /// # Errors
+    /// Returns a static description of the violated constraint.
+    pub fn check(&self) -> Result<(), &'static str> {
+        if !(self.p_mutate >= 0.0 && self.p_crossover >= 0.0 && self.p_immigrant >= 0.0) {
+            return Err("operator probabilities must be non-negative");
+        }
+        if self.p_mutate + self.p_crossover + self.p_immigrant > 1.0 + 1e-9 {
+            return Err("operator probabilities exceed 1");
+        }
+        if self.mutation_flips == 0 {
+            return Err("mutation must flip at least one bit");
+        }
+        Ok(())
+    }
+
     /// Validates that the probabilities form a distribution.
     ///
     /// # Panics
-    /// Panics when probabilities are negative or sum above 1.
+    /// Panics when probabilities are negative or sum above 1; see
+    /// [`GaConfig::check`] for the recoverable form.
     pub fn validate(&self) {
-        assert!(
-            self.p_mutate >= 0.0 && self.p_crossover >= 0.0 && self.p_immigrant >= 0.0,
-            "operator probabilities must be non-negative"
-        );
-        assert!(
-            self.p_mutate + self.p_crossover + self.p_immigrant <= 1.0 + 1e-9,
-            "operator probabilities exceed 1"
-        );
-        assert!(
-            self.mutation_flips > 0,
-            "mutation must flip at least one bit"
-        );
+        if let Err(msg) = self.check() {
+            panic!("{msg}");
+        }
     }
 }
 
@@ -316,6 +326,24 @@ mod tests {
         let mut g = TargetGenerator::new(16, GaConfig::default(), 10);
         let t = g.generate(&pool);
         assert_eq!(t.len(), 16);
+    }
+
+    #[test]
+    fn check_reports_each_violation() {
+        assert!(GaConfig::default().check().is_ok());
+        let negative = GaConfig {
+            p_mutate: -0.1,
+            ..GaConfig::default()
+        };
+        assert_eq!(
+            negative.check(),
+            Err("operator probabilities must be non-negative")
+        );
+        let no_flip = GaConfig {
+            mutation_flips: 0,
+            ..GaConfig::default()
+        };
+        assert_eq!(no_flip.check(), Err("mutation must flip at least one bit"));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! One "CUDA block": an independent bulk-search unit (§3.2).
 
 use crate::buffers::{GlobalMem, SolutionRecord};
+use crate::fault::InjectedPanic;
 use qubo::Qubo;
 use qubo_search::{
     local_search, straight_search, DeltaAcc, DeltaTracker, GreedyPolicy, MetropolisPolicy,
@@ -240,17 +241,35 @@ impl<'q, A: DeltaAcc> BlockRunner<'q, A> {
     /// Runs one bulk iteration against the device's global memory.
     /// Returns the number of flips performed.
     pub fn bulk_iteration(&mut self, mem: &GlobalMem) -> u64 {
+        self.bulk_iteration_injected(mem, None)
+    }
+
+    /// [`BlockRunner::bulk_iteration`] with an optional injected
+    /// mid-iteration panic (fault rehearsal): the panic fires after the
+    /// straight search and before the local search, so the straight-walk
+    /// flips have happened in the tracker but were never reported to
+    /// `mem` — exactly the partial-work loss a real kernel assert causes.
+    pub fn bulk_iteration_injected(
+        &mut self,
+        mem: &GlobalMem,
+        mid_panic: Option<InjectedPanic>,
+    ) -> u64 {
         let target = mem.pop_target();
         self.tracker.reset_best();
         let mut flips = 0u64;
         if let Some(t) = target {
             flips += straight_search(&mut self.tracker, &t);
         }
+        if let Some(injected) = mid_panic {
+            std::panic::panic_any(injected);
+        }
         // Fused driver: window/greedy policies collapse each
         // select-then-flip pair into one Δ-vector traversal.
         flips += local_search(&mut self.tracker, &mut self.policy, self.config.local_steps);
         let (bx, be) = self.tracker.best();
-        mem.push_result(SolutionRecord {
+        // A block's own record is always well-formed; validation exists
+        // for the corrupted-transfer case.
+        let _ = mem.push_result(SolutionRecord {
             x: bx.clone(),
             energy: be,
         });

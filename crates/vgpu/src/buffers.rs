@@ -6,11 +6,38 @@
 //! (§3, Fig. 5). Every block runs asynchronously — the only
 //! synchronization is the short critical section of each buffer, the
 //! analogue of a coalesced global-memory transaction.
+//!
+//! Unlike the paper's idealized buffers, both queues are **bounded** and
+//! the result path is **validated**:
+//!
+//! * The target buffer holds at most `target_capacity` entries. On
+//!   overflow the *oldest* pending target is evicted (ring-buffer
+//!   semantics: GA offspring are freshest-first, and a device that fell
+//!   behind should not chew through stale targets) and counted in
+//!   [`GlobalMem::dropped_targets`].
+//! * The result buffer holds at most `result_capacity` records. On
+//!   overflow an incoming record replaces the *worst* buffered record if
+//!   it is strictly better, otherwise it is discarded; either way one
+//!   record is lost and counted in [`GlobalMem::overflow_results`]. The
+//!   progress counter counts **accepted** records only.
+//! * [`GlobalMem::push_result`] rejects records whose bit-length
+//!   disagrees with the problem size registered by the device at run
+//!   start ([`GlobalMem::set_expected_len`]); rejections are counted in
+//!   [`GlobalMem::rejected_records`] and never reach the host.
+//!
+//! The region also carries the [`DeviceHealth`] sub-region (see
+//! [`crate::health`]) so the host can observe quarantined blocks and
+//! dead devices from its poll loop.
 
+use crate::health::DeviceHealth;
 use parking_lot::Mutex;
 use qubo::{BitVec, Energy};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Default capacity of the target and result buffers — generous enough
+/// that a healthy host draining at poll cadence never sees an overflow.
+pub const DEFAULT_BUFFER_CAPACITY: usize = 65_536;
 
 /// A best-found solution stored by a block (§3.2 Step 5).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -23,13 +50,24 @@ pub struct SolutionRecord {
 }
 
 /// Global memory of one device: target buffer, solution buffer, progress
-/// counter, and device-side statistics.
-#[derive(Debug, Default)]
+/// counter, health region, and device-side statistics.
+#[derive(Debug)]
 pub struct GlobalMem {
     targets: Mutex<VecDeque<BitVec>>,
     results: Mutex<Vec<SolutionRecord>>,
-    /// Total results ever stored (monotone; the host polls this).
+    target_capacity: usize,
+    result_capacity: usize,
+    /// Problem bit-length the device registered; 0 = not yet registered
+    /// (validation is skipped until the device run starts).
+    expected_len: AtomicUsize,
+    /// Total results ever accepted (monotone; the host polls this).
     counter: AtomicU64,
+    /// Malformed records rejected by [`GlobalMem::push_result`].
+    rejected: AtomicU64,
+    /// Pending targets evicted by target-buffer overflow.
+    dropped_targets: AtomicU64,
+    /// Records lost to result-buffer overflow.
+    overflow_results: AtomicU64,
     /// Total bit flips performed by the device (search-rate numerator is
     /// `flips × (n + 1)` evaluated solutions).
     flips: AtomicU64,
@@ -37,26 +75,63 @@ pub struct GlobalMem {
     /// tracker evaluates `n + 1` solutions at initialization (the start
     /// solution and its `n` neighbours) before its first flip; counting
     /// them keeps device totals consistent with
-    /// `DeltaTracker::evaluated`.
+    /// `DeltaTracker::evaluated`. Quarantined blocks retire their unit
+    /// (see [`GlobalMem::retire_unit`]).
     units: AtomicU64,
     /// Bulk-search iterations completed by all blocks.
     iterations: AtomicU64,
     /// Stop flag raised by the host.
     stop: AtomicBool,
+    /// Health sub-region written by device workers, read by the host.
+    health: DeviceHealth,
+}
+
+impl Default for GlobalMem {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_BUFFER_CAPACITY, DEFAULT_BUFFER_CAPACITY)
+    }
 }
 
 impl GlobalMem {
-    /// Creates an empty region.
+    /// Creates an empty region with the default buffer capacities.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty region with explicit buffer capacities (both are
+    /// clamped to at least 1).
+    #[must_use]
+    pub fn with_capacity(target_capacity: usize, result_capacity: usize) -> Self {
+        Self {
+            targets: Mutex::new(VecDeque::new()),
+            results: Mutex::new(Vec::new()),
+            target_capacity: target_capacity.max(1),
+            result_capacity: result_capacity.max(1),
+            expected_len: AtomicUsize::new(0),
+            counter: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            dropped_targets: AtomicU64::new(0),
+            overflow_results: AtomicU64::new(0),
+            flips: AtomicU64::new(0),
+            units: AtomicU64::new(0),
+            iterations: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            health: DeviceHealth::new(),
+        }
+    }
+
     // ---- host side -----------------------------------------------------
 
-    /// Host: enqueue one target solution (§3.1 Step 4).
+    /// Host: enqueue one target solution (§3.1 Step 4). On a full buffer
+    /// the oldest pending target is evicted and counted.
     pub fn push_target(&self, t: BitVec) {
-        self.targets.lock().push_back(t);
+        let mut targets = self.targets.lock();
+        if targets.len() >= self.target_capacity {
+            targets.pop_front();
+            self.dropped_targets.fetch_add(1, Ordering::Relaxed);
+        }
+        targets.push_back(t);
     }
 
     /// Host: current value of the progress counter (the
@@ -73,6 +148,14 @@ impl GlobalMem {
         std::mem::take(&mut *self.results.lock())
     }
 
+    /// Host: take over every pending target (watchdog requeue path —
+    /// orphaned work of a dead or stalled device is redistributed to
+    /// healthy devices).
+    #[must_use]
+    pub fn drain_targets(&self) -> Vec<BitVec> {
+        self.targets.lock().drain(..).collect()
+    }
+
     /// Host: raise the stop flag; blocks exit at the next iteration
     /// boundary.
     pub fn request_stop(&self) {
@@ -85,7 +168,19 @@ impl GlobalMem {
         self.targets.lock().len()
     }
 
+    /// The health sub-region of this device.
+    #[must_use]
+    pub fn health(&self) -> &DeviceHealth {
+        &self.health
+    }
+
     // ---- device side ---------------------------------------------------
+
+    /// Device: registers the problem bit-length at run start; from then
+    /// on [`GlobalMem::push_result`] rejects records of any other length.
+    pub fn set_expected_len(&self, n: usize) {
+        self.expected_len.store(n, Ordering::Release);
+    }
 
     /// Device: dequeue the next target, if the host has provided one
     /// (§3.2 Step 2).
@@ -95,10 +190,39 @@ impl GlobalMem {
     }
 
     /// Device: append a best-found solution and bump the counter
-    /// (§3.2 Step 5).
-    pub fn push_result(&self, record: SolutionRecord) {
-        self.results.lock().push(record);
+    /// (§3.2 Step 5). Returns `false` (and counts the rejection) for a
+    /// record whose bit-length disagrees with the registered problem
+    /// size, or a record discarded by result-buffer overflow.
+    pub fn push_result(&self, record: SolutionRecord) -> bool {
+        let want = self.expected_len.load(Ordering::Acquire);
+        if want != 0 && record.x.len() != want {
+            self.rejected.fetch_add(1, Ordering::AcqRel);
+            return false;
+        }
+        let mut results = self.results.lock();
+        if results.len() >= self.result_capacity {
+            self.overflow_results.fetch_add(1, Ordering::AcqRel);
+            // Keep-best overflow: replace the worst buffered record if
+            // the newcomer beats it, else discard the newcomer.
+            let worst = results
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, r)| r.energy)
+                .map(|(i, _)| i);
+            match worst {
+                Some(i) if record.energy < results[i].energy => {
+                    results[i] = record;
+                    drop(results);
+                    self.counter.fetch_add(1, Ordering::AcqRel);
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+        results.push(record);
+        drop(results);
         self.counter.fetch_add(1, Ordering::AcqRel);
+        true
     }
 
     /// Device: account `flips` bit flips.
@@ -118,11 +242,29 @@ impl GlobalMem {
         self.units.fetch_add(units, Ordering::Relaxed);
     }
 
+    /// Device: retire one search unit — a block was quarantined, so its
+    /// initialization evaluations no longer project into
+    /// [`GlobalMem::total_evaluated`]. (Flips from its *completed*
+    /// iterations stay counted; the partial flips of the failing
+    /// iteration were never reported and are lost, which keeps the
+    /// throughput numerator honest on degraded runs.)
+    pub fn retire_unit(&self) {
+        // Saturating: a retire can never make the count negative even if
+        // racing registrations have not landed yet.
+        let _ = self
+            .units
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |u| {
+                Some(u.saturating_sub(1))
+            });
+    }
+
     /// Whether the host has requested a stop.
     #[must_use]
     pub fn stopped(&self) -> bool {
         self.stop.load(Ordering::Acquire)
     }
+
+    // ---- statistics ----------------------------------------------------
 
     /// Total flips performed by the device so far.
     #[must_use]
@@ -136,17 +278,36 @@ impl GlobalMem {
         self.iterations.load(Ordering::Relaxed)
     }
 
-    /// Total search units registered on this device so far.
+    /// Live search units registered on this device (registered minus
+    /// retired).
     #[must_use]
     pub fn total_units(&self) -> u64 {
         self.units.load(Ordering::Relaxed)
     }
 
+    /// Malformed records rejected by [`GlobalMem::push_result`].
+    #[must_use]
+    pub fn rejected_records(&self) -> u64 {
+        self.rejected.load(Ordering::Acquire)
+    }
+
+    /// Pending targets evicted by target-buffer overflow.
+    #[must_use]
+    pub fn dropped_targets(&self) -> u64 {
+        self.dropped_targets.load(Ordering::Relaxed)
+    }
+
+    /// Records lost to result-buffer overflow.
+    #[must_use]
+    pub fn overflow_results(&self) -> u64 {
+        self.overflow_results.load(Ordering::Relaxed)
+    }
+
     /// Total solutions whose energy this device has evaluated, by the
     /// paper's Theorem 1 accounting: each flip evaluates `n + 1`
-    /// solutions, and each registered unit evaluated `n + 1` more at
+    /// solutions, and each live registered unit evaluated `n + 1` more at
     /// tracker initialization. Agrees exactly with summing
-    /// `DeltaTracker::evaluated` over the device's blocks.
+    /// `DeltaTracker::evaluated` over the device's surviving blocks.
     #[must_use]
     pub fn total_evaluated(&self, n: usize) -> u64 {
         (self.total_flips() + self.total_units()) * (n as u64 + 1)
@@ -160,6 +321,10 @@ mod tests {
 
     fn bv(s: &str) -> BitVec {
         BitVec::from_bit_str(s).unwrap()
+    }
+
+    fn rec(s: &str, energy: Energy) -> SolutionRecord {
+        SolutionRecord { x: bv(s), energy }
     }
 
     #[test]
@@ -177,14 +342,8 @@ mod tests {
     fn counter_tracks_results() {
         let m = GlobalMem::new();
         assert_eq!(m.counter(), 0);
-        m.push_result(SolutionRecord {
-            x: bv("11"),
-            energy: -4,
-        });
-        m.push_result(SolutionRecord {
-            x: bv("00"),
-            energy: 0,
-        });
+        assert!(m.push_result(rec("11", -4)));
+        assert!(m.push_result(rec("00", 0)));
         assert_eq!(m.counter(), 2);
         let drained = m.drain_results();
         assert_eq!(drained.len(), 2);
@@ -224,9 +383,100 @@ mod tests {
     }
 
     #[test]
+    fn retired_units_leave_the_evaluated_projection() {
+        let m = GlobalMem::new();
+        m.add_units(3);
+        m.add_flips(5);
+        m.retire_unit();
+        assert_eq!(m.total_units(), 2);
+        assert_eq!(m.total_evaluated(10), (5 + 2) * 11);
+        m.retire_unit();
+        m.retire_unit();
+        m.retire_unit(); // over-retire saturates at zero
+        assert_eq!(m.total_units(), 0);
+        assert_eq!(m.total_evaluated(10), 5 * 11);
+    }
+
+    #[test]
+    fn wrong_length_records_are_rejected_and_counted() {
+        let m = GlobalMem::new();
+        // Before the device registers a length, anything goes.
+        assert!(m.push_result(rec("101", -1)));
+        m.set_expected_len(2);
+        assert!(!m.push_result(rec("101", -1)));
+        assert!(!m.push_result(rec("1", -1)));
+        assert!(m.push_result(rec("10", -1)));
+        assert_eq!(m.rejected_records(), 2);
+        // Rejections never bump the counter or reach the buffer.
+        assert_eq!(m.counter(), 2);
+        assert_eq!(m.drain_results().len(), 2);
+    }
+
+    #[test]
+    fn target_overflow_evicts_oldest_and_counts() {
+        let m = GlobalMem::with_capacity(2, 8);
+        m.push_target(bv("00"));
+        m.push_target(bv("01"));
+        m.push_target(bv("10")); // evicts "00"
+        assert_eq!(m.pending_targets(), 2);
+        assert_eq!(m.dropped_targets(), 1);
+        assert_eq!(m.pop_target(), Some(bv("01")));
+        assert_eq!(m.pop_target(), Some(bv("10")));
+    }
+
+    #[test]
+    fn result_overflow_keeps_the_best_records() {
+        let m = GlobalMem::with_capacity(8, 2);
+        assert!(m.push_result(rec("00", -1)));
+        assert!(m.push_result(rec("01", -5)));
+        // Full. A better record replaces the worst (-1)...
+        assert!(m.push_result(rec("10", -9)));
+        // ...and a worse one is discarded.
+        assert!(!m.push_result(rec("11", 7)));
+        assert_eq!(m.overflow_results(), 2);
+        let mut energies: Vec<Energy> = m.drain_results().iter().map(|r| r.energy).collect();
+        energies.sort_unstable();
+        assert_eq!(energies, vec![-9, -5]);
+    }
+
+    #[test]
+    fn bounded_results_enforce_cap_under_concurrent_producers() {
+        // Satellite: the cap must hold at every instant with many
+        // producers racing, and accounting must be exact:
+        // accepted + discarded == attempted.
+        let cap = 64;
+        let m = Arc::new(GlobalMem::with_capacity(8, cap));
+        let producers = 8;
+        let per = 500;
+        let accepted = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..producers {
+                let m = Arc::clone(&m);
+                let accepted = &accepted;
+                s.spawn(move || {
+                    for i in 0..per {
+                        if m.push_result(rec("1", (t * per + i) as Energy)) {
+                            accepted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let buffered = m.drain_results().len();
+        assert!(buffered <= cap, "cap violated: {buffered} > {cap}");
+        let accepted = accepted.load(Ordering::Relaxed);
+        // Every accepted record either still sits in the buffer or was
+        // evicted by a keep-best replacement; every push either accepted
+        // or discarded.
+        let discarded = (producers * per) as u64 - accepted;
+        assert_eq!(m.overflow_results(), accepted - buffered as u64 + discarded);
+        assert_eq!(m.counter(), accepted);
+    }
+
+    #[test]
     fn concurrent_producers_and_host_poll() {
         // Many device threads pushing results while the host polls and
-        // drains must never lose a record.
+        // drains must never lose a record (capacity ample here).
         let m = Arc::new(GlobalMem::new());
         let producers = 8;
         let per = 500;
@@ -235,10 +485,7 @@ mod tests {
                 let m = Arc::clone(&m);
                 s.spawn(move || {
                     for i in 0..per {
-                        m.push_result(SolutionRecord {
-                            x: bv("1"),
-                            energy: (t * per + i) as i64,
-                        });
+                        assert!(m.push_result(rec("1", (t * per + i) as Energy)));
                     }
                 });
             }
@@ -256,5 +503,15 @@ mod tests {
             });
         });
         assert_eq!(m.counter(), (producers * per) as u64);
+    }
+
+    #[test]
+    fn drain_targets_takes_over_pending_work() {
+        let m = GlobalMem::new();
+        m.push_target(bv("01"));
+        m.push_target(bv("10"));
+        let orphans = m.drain_targets();
+        assert_eq!(orphans, vec![bv("01"), bv("10")]);
+        assert_eq!(m.pending_targets(), 0);
     }
 }

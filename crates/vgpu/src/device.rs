@@ -1,12 +1,26 @@
 //! One virtual GPU: a scheduler multiplexing logical blocks onto worker
 //! OS threads.
+//!
+//! The scheduler is fault-tolerant: every block iteration runs inside
+//! `catch_unwind`, and a panicking block is **quarantined** — removed
+//! from the schedule, its search unit retired from the evaluated-count
+//! projection, and its death recorded in the device's
+//! [`crate::health::DeviceHealth`] region — while the remaining blocks
+//! keep searching. A device whose blocks all die (or whose run exits
+//! while the host is still polling) shows up as
+//! [`crate::health::HealthStatus::Dead`], which the host watchdog reads
+//! to requeue the device's work instead of polling a frozen counter
+//! forever.
 
 use crate::block::{AdaptiveConfig, BlockConfig, BlockRunner, PolicyKind, WindowSchedule};
-use crate::buffers::GlobalMem;
-use crate::occupancy::{full_occupancy_configs, occupancy};
+use crate::buffers::{GlobalMem, SolutionRecord, DEFAULT_BUFFER_CAPACITY};
+use crate::fault::{self, Corruption, FaultPlan, InjectedPanic};
+use crate::occupancy::{full_occupancy_configs, occupancy, OccupancyError};
 use crate::spec::DeviceSpec;
-use qubo::Qubo;
+use qubo::{BitVec, Qubo};
 use qubo_search::{DeltaAcc, DeltaTracker};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Configuration of one virtual device.
@@ -34,6 +48,16 @@ pub struct DeviceConfig {
     /// heterogeneous devices). Empty = every block runs the paper's
     /// window policy.
     pub policy_mix: Vec<PolicyKind>,
+    /// Capacity of the host→device target buffer (overflow evicts the
+    /// oldest pending target).
+    pub target_capacity: usize,
+    /// Capacity of the device→host result buffer (overflow keeps the
+    /// best records).
+    pub result_capacity: usize,
+    /// Deterministic fault plan for failure rehearsal; `None` (the
+    /// production default) injects nothing and costs one `Option` check
+    /// per block iteration.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for DeviceConfig {
@@ -47,24 +71,80 @@ impl Default for DeviceConfig {
             windows: WindowSchedule::PowersOfTwo,
             adaptive: None,
             policy_mix: Vec::new(),
+            target_capacity: DEFAULT_BUFFER_CAPACITY,
+            result_capacity: DEFAULT_BUFFER_CAPACITY,
+            fault: None,
         }
     }
 }
 
+/// Reasons a device cannot derive a block count for a problem size.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResolveError {
+    /// The explicitly requested `bits_per_thread` cannot be launched for
+    /// this `n`.
+    Infeasible {
+        /// The requested bits per thread.
+        bits_per_thread: u32,
+        /// The problem size.
+        n: usize,
+        /// Why the occupancy calculator refused it.
+        cause: OccupancyError,
+    },
+    /// No 100 %-occupancy configuration exists for this `n` on this
+    /// hardware (n > 32 k on Turing).
+    NoFullOccupancy {
+        /// The problem size.
+        n: usize,
+        /// The device model name.
+        device: String,
+    },
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Infeasible {
+                bits_per_thread,
+                n,
+                cause,
+            } => write!(
+                f,
+                "infeasible bits_per_thread={bits_per_thread} for n={n}: {cause}"
+            ),
+            Self::NoFullOccupancy { n, device } => {
+                write!(f, "no 100% occupancy configuration for n={n} on {device}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
 /// One virtual GPU: its global memory plus the scheduler state.
 pub struct Device {
     config: DeviceConfig,
+    /// Index of this device within its machine (scopes fault plans).
+    index: usize,
     mem: Arc<GlobalMem>,
 }
 
 impl Device {
-    /// Creates a device with fresh (empty) global memory.
+    /// Creates a device with fresh (empty) global memory, as device 0.
     #[must_use]
     pub fn new(config: DeviceConfig) -> Self {
-        Self {
-            config,
-            mem: Arc::new(GlobalMem::new()),
-        }
+        Self::with_index(config, 0)
+    }
+
+    /// Creates a device with fresh global memory and an explicit machine
+    /// index (the index scopes [`FaultPlan`] entries).
+    #[must_use]
+    pub fn with_index(config: DeviceConfig, index: usize) -> Self {
+        let mem = Arc::new(GlobalMem::with_capacity(
+            config.target_capacity,
+            config.result_capacity,
+        ));
+        Self { config, index, mem }
     }
 
     /// The device's global memory region (shared with the host).
@@ -79,30 +159,39 @@ impl Device {
         &self.config
     }
 
+    /// This device's index within its machine.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
     /// Number of logical blocks this device runs for an `n`-bit problem.
     ///
-    /// # Panics
-    /// Panics if an explicit `bits_per_thread` is infeasible for `n`, or
-    /// if no 100 %-occupancy configuration exists (n > 32 k on Turing).
-    #[must_use]
-    pub fn resolve_blocks(&self, n: usize) -> usize {
+    /// # Errors
+    /// [`ResolveError`] if an explicit `bits_per_thread` is infeasible
+    /// for `n`, or if no 100 %-occupancy configuration exists
+    /// (n > 32 k on Turing).
+    pub fn resolve_blocks(&self, n: usize) -> Result<usize, ResolveError> {
         if let Some(b) = self.config.blocks_override {
-            return b.max(1);
+            return Ok(b.max(1));
         }
         let occ = match self.config.bits_per_thread {
-            Some(p) => occupancy(&self.config.spec, n, p)
-                .unwrap_or_else(|e| panic!("infeasible bits_per_thread={p} for n={n}: {e}")),
+            Some(p) => {
+                occupancy(&self.config.spec, n, p).map_err(|cause| ResolveError::Infeasible {
+                    bits_per_thread: p,
+                    n,
+                    cause,
+                })?
+            }
             None => full_occupancy_configs(&self.config.spec, n)
                 .into_iter()
                 .max_by_key(|o| o.blocks_per_gpu)
-                .unwrap_or_else(|| {
-                    panic!(
-                        "no 100% occupancy configuration for n={n} on {}",
-                        self.config.spec.name
-                    )
-                }),
+                .ok_or_else(|| ResolveError::NoFullOccupancy {
+                    n,
+                    device: self.config.spec.name.to_string(),
+                })?,
         };
-        occ.blocks_per_gpu as usize
+        Ok(occ.blocks_per_gpu as usize)
     }
 
     /// Runs the device until the host raises the stop flag in its global
@@ -110,6 +199,13 @@ impl Device {
     /// threads; each worker cycles through its blocks, running one bulk
     /// iteration at a time, so all logical blocks make progress
     /// regardless of how few OS threads back them.
+    ///
+    /// Fault tolerance: a block whose iteration panics is quarantined
+    /// (removed from the schedule, unit retired, death recorded in the
+    /// health region) and the worker moves on. If the run ends while the
+    /// host has not requested a stop — all blocks dead, or the launch
+    /// configuration is infeasible — the health region reports the
+    /// device as dead so the host watchdog can take over its work.
     ///
     /// The Δ accumulator width is picked once per run: blocks use narrow
     /// `i32` accumulators whenever the problem's Δ bound fits (always
@@ -121,21 +217,41 @@ impl Device {
         } else {
             self.run_width::<i64>(qubo);
         }
+        if !self.mem.stopped() {
+            self.mem.health().record_dead_exit();
+        }
     }
 
     fn run_width<A: DeltaAcc>(&self, qubo: &Qubo) {
         let n = qubo.n();
-        let total_blocks = self.resolve_blocks(n);
+        let Ok(total_blocks) = self.resolve_blocks(n) else {
+            // Callers that want the cause use `resolve_blocks` up front
+            // (the `abs` host does); here the device just reports itself
+            // dead through the health region and parks.
+            return;
+        };
+        self.mem.set_expected_len(n);
+        self.mem.health().set_total_blocks(total_blocks as u64);
+        if self.config.fault.is_some() {
+            fault::install_quiet_panic_hook();
+        }
         let workers = self.config.workers.max(1).min(total_blocks);
         let mem = &self.mem;
         let cfg = &self.config;
+        let device = self.index;
         std::thread::scope(|s| {
             for w in 0..workers {
                 s.spawn(move || {
-                    let mut blocks: Vec<BlockRunner<'_, A>> = (w..total_blocks)
+                    /// A scheduled block plus its identity and progress.
+                    struct Slot<'q, A: DeltaAcc> {
+                        runner: BlockRunner<'q, A>,
+                        block: usize,
+                        iters: u64,
+                    }
+                    let mut slots: Vec<Slot<'_, A>> = (w..total_blocks)
                         .step_by(workers)
-                        .map(|b| {
-                            BlockRunner::with_width(
+                        .map(|b| Slot {
+                            runner: BlockRunner::with_width(
                                 qubo,
                                 BlockConfig {
                                     local_steps: cfg.local_steps,
@@ -150,15 +266,70 @@ impl Device {
                                         cfg.policy_mix[b % cfg.policy_mix.len()].clone()
                                     },
                                 },
-                            )
+                            ),
+                            block: b,
+                            iters: 0,
                         })
                         .collect();
-                    mem.add_units(blocks.len() as u64);
+                    mem.add_units(slots.len() as u64);
+                    let plan = cfg.fault.as_deref();
                     'outer: while !mem.stopped() {
-                        for blk in &mut blocks {
-                            blk.bulk_iteration(mem);
+                        if slots.is_empty() {
+                            break;
+                        }
+                        let mut i = 0;
+                        while i < slots.len() {
                             if mem.stopped() {
                                 break 'outer;
+                            }
+                            if let Some(plan) = plan {
+                                if plan.stalled(device, mem.total_iterations()) {
+                                    // Simulated hang: frozen, but still
+                                    // responsive to the stop flag so the
+                                    // machine's join completes.
+                                    while !mem.stopped() {
+                                        std::thread::yield_now();
+                                    }
+                                    break 'outer;
+                                }
+                                if let Some(count) = plan.take_drop(device, mem.total_iterations())
+                                {
+                                    for _ in 0..count {
+                                        let _ = mem.pop_target();
+                                    }
+                                }
+                            }
+                            let (block, iters) = (slots[i].block, slots[i].iters);
+                            let mid_panic = plan.and_then(|p| {
+                                p.take_panic(device, block, iters)
+                                    .then_some(InjectedPanic { device, block })
+                            });
+                            let outcome = {
+                                let slot = &mut slots[i];
+                                catch_unwind(AssertUnwindSafe(|| {
+                                    slot.runner.bulk_iteration_injected(mem, mid_panic)
+                                }))
+                            };
+                            match outcome {
+                                Ok(_flips) => {
+                                    if let Some(plan) = plan {
+                                        if let Some(c) = plan.take_corruption(device, block, iters)
+                                        {
+                                            push_corrupted(mem, n, c);
+                                        }
+                                    }
+                                    slots[i].iters += 1;
+                                    i += 1;
+                                }
+                                Err(_payload) => {
+                                    // Quarantine: the block leaves the
+                                    // schedule; its init unit leaves the
+                                    // evaluated projection; its death is
+                                    // visible to the host.
+                                    let _ = slots.swap_remove(i);
+                                    mem.retire_unit();
+                                    mem.health().record_dead_block();
+                                }
                             }
                         }
                     }
@@ -168,10 +339,29 @@ impl Device {
     }
 }
 
+/// Pushes a deliberately malformed record, rehearsing a corrupted
+/// device→host transfer.
+fn push_corrupted(mem: &GlobalMem, n: usize, corruption: Corruption) {
+    let record = match corruption {
+        // Wrong bit-length: rejected by `GlobalMem::push_result`.
+        Corruption::WrongLength => SolutionRecord {
+            x: BitVec::zeros(n + 1),
+            energy: 0,
+        },
+        // Right length, absurd energy claim: `E(0…0) = 0` exactly, and
+        // the claim is impossibly good, so the host's improvement audit
+        // always catches it.
+        Corruption::WrongEnergy => SolutionRecord {
+            x: BitVec::zeros(n),
+            energy: qubo::Energy::MIN / 2,
+        },
+    };
+    let _ = mem.push_result(record);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qubo::BitVec;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -196,20 +386,29 @@ mod tests {
             ..DeviceConfig::default()
         };
         let d = Device::new(cfg);
-        assert_eq!(d.resolve_blocks(1024), 68);
+        assert_eq!(d.resolve_blocks(1024), Ok(68));
         let auto = Device::new(DeviceConfig::default());
         // Auto picks the max-block 100% configuration: p = 16 → 1088.
-        assert_eq!(auto.resolve_blocks(1024), 1088);
+        assert_eq!(auto.resolve_blocks(1024), Ok(1088));
     }
 
     #[test]
-    #[should_panic(expected = "infeasible bits_per_thread")]
-    fn resolve_blocks_panics_on_infeasible_p() {
+    fn resolve_blocks_reports_infeasible_p_as_error() {
         let cfg = DeviceConfig {
             bits_per_thread: Some(1),
             ..DeviceConfig::default()
         };
-        let _ = Device::new(cfg).resolve_blocks(4096);
+        let err = Device::new(cfg).resolve_blocks(4096).unwrap_err();
+        assert!(matches!(err, ResolveError::Infeasible { .. }));
+        assert!(err.to_string().contains("infeasible bits_per_thread=1"));
+    }
+
+    #[test]
+    fn resolve_blocks_reports_oversized_n_as_error() {
+        let d = Device::new(DeviceConfig::default());
+        let err = d.resolve_blocks(1 << 20).unwrap_err();
+        assert!(matches!(err, ResolveError::NoFullOccupancy { .. }));
+        assert!(err.to_string().contains("no 100% occupancy"));
     }
 
     #[test]
@@ -235,6 +434,8 @@ mod tests {
             assert_eq!(r.energy, q.energy(&r.x));
         }
         assert!(mem.total_flips() > 0);
+        use crate::health::HealthStatus;
+        assert_eq!(mem.health().status(), HealthStatus::Healthy);
     }
 
     #[test]
@@ -260,5 +461,103 @@ mod tests {
         d.mem().request_stop();
         d.run(&q); // must return promptly
         assert_eq!(d.mem().total_iterations(), 0);
+        use crate::health::HealthStatus;
+        assert_eq!(d.mem().health().status(), HealthStatus::Healthy);
+    }
+
+    #[test]
+    fn panicking_block_is_quarantined_and_the_rest_keep_running() {
+        let q = random_qubo(24, 5);
+        let mut cfg = small_config(4, 2);
+        cfg.fault = Some(Arc::new(FaultPlan::new().panic_block(0, 1, 2)));
+        let d = Device::new(cfg);
+        let mem = Arc::clone(d.mem());
+        std::thread::scope(|s| {
+            s.spawn(|| d.run(&q));
+            // Long past the injected death, results keep flowing.
+            while mem.counter() < 40 {
+                std::thread::yield_now();
+            }
+            mem.request_stop();
+        });
+        use crate::health::HealthStatus;
+        assert_eq!(
+            mem.health().status(),
+            HealthStatus::Degraded {
+                dead_blocks: 1,
+                total_blocks: 4
+            }
+        );
+        // Evaluated accounting counts surviving units only.
+        assert_eq!(mem.total_units(), 3);
+        assert_eq!(
+            mem.total_evaluated(24),
+            (mem.total_flips() + 3) * 25,
+            "dead block's init unit must leave the projection"
+        );
+        for r in &mem.drain_results() {
+            assert_eq!(r.energy, q.energy(&r.x), "survivors stay exact");
+        }
+    }
+
+    #[test]
+    fn device_with_all_blocks_dead_exits_and_reports_dead() {
+        let q = random_qubo(16, 6);
+        let mut cfg = small_config(2, 1);
+        cfg.fault = Some(Arc::new(
+            FaultPlan::new().panic_block(0, 0, 0).panic_block(0, 1, 0),
+        ));
+        let d = Device::new(cfg);
+        // No host stop: the run must terminate on its own.
+        d.run(&q);
+        use crate::health::HealthStatus;
+        assert_eq!(d.mem().health().status(), HealthStatus::Dead);
+        assert_eq!(d.mem().health().dead_blocks(), 2);
+        assert_eq!(d.mem().total_units(), 0);
+    }
+
+    #[test]
+    fn stalled_device_freezes_but_honours_stop() {
+        let q = random_qubo(16, 7);
+        let mut cfg = small_config(3, 2);
+        cfg.fault = Some(Arc::new(FaultPlan::new().stall_device(0, 5)));
+        let d = Device::new(cfg);
+        let mem = Arc::clone(d.mem());
+        std::thread::scope(|s| {
+            s.spawn(|| d.run(&q));
+            while mem.total_iterations() < 5 {
+                std::thread::yield_now();
+            }
+            // Stalled: the counter stops moving; stop still works.
+            mem.request_stop();
+        });
+        // Health shows nothing wrong — stalls are watchdog territory.
+        use crate::health::HealthStatus;
+        assert_eq!(mem.health().status(), HealthStatus::Healthy);
+    }
+
+    #[test]
+    fn corrupted_records_are_rejected_on_device_side() {
+        let q = random_qubo(16, 8);
+        let mut cfg = small_config(2, 1);
+        cfg.fault = Some(Arc::new(FaultPlan::new().corrupt_record(
+            0,
+            0,
+            1,
+            Corruption::WrongLength,
+        )));
+        let d = Device::new(cfg);
+        let mem = Arc::clone(d.mem());
+        std::thread::scope(|s| {
+            s.spawn(|| d.run(&q));
+            while mem.total_iterations() < 8 {
+                std::thread::yield_now();
+            }
+            mem.request_stop();
+        });
+        assert_eq!(mem.rejected_records(), 1);
+        for r in &mem.drain_results() {
+            assert_eq!(r.x.len(), 16, "malformed record never reached the host");
+        }
     }
 }

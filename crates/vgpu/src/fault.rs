@@ -1,0 +1,438 @@
+//! Deterministic fault injection for the virtual machine.
+//!
+//! Long multi-GPU campaigns (the week-long DABS runs of the follow-up
+//! paper) meet partial hardware failure as a matter of course: a block
+//! hits an assert, a device hangs, a transfer corrupts a record. The
+//! virtual substrate lets us *rehearse* those failures deterministically:
+//! a [`FaultPlan`] is a fixed list of faults keyed on device index,
+//! block index and iteration number — no wall clock, no global RNG — so
+//! the same plan produces the same failure sequence on every run.
+//!
+//! The plan is injected through [`crate::DeviceConfig::fault`]. When it
+//! is `None` (the production default) the device hot loop performs no
+//! plan lookups at all; the only cost is one `Option` check per block
+//! iteration.
+//!
+//! Fault vocabulary (one variant per failure class the tolerance
+//! machinery must survive):
+//!
+//! * [`FaultKind::BlockPanic`] — the chosen block panics *mid-iteration*
+//!   (after its straight search, before its local search). The worker's
+//!   `catch_unwind` quarantines it; remaining blocks keep running.
+//! * [`FaultKind::CorruptRecord`] — a malformed [`crate::SolutionRecord`]
+//!   is pushed after the chosen block's iteration: wrong bit-length
+//!   (caught by device-side validation in `GlobalMem::push_result`) or
+//!   wrong energy (caught by the host's audit).
+//! * [`FaultKind::StallDevice`] — once the device completes the given
+//!   number of bulk iterations, all its workers freeze (they stay
+//!   responsive to the stop flag, so joins still complete). The health
+//!   region shows nothing; only the host watchdog can notice.
+//! * [`FaultKind::DropTargets`] — targets vanish from the device's queue,
+//!   simulating lost host→device transfers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+/// How a [`FaultKind::CorruptRecord`] fault malforms the record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Corruption {
+    /// The record's bit-length disagrees with the problem size
+    /// (rejected by `GlobalMem::push_result`).
+    WrongLength,
+    /// The record claims an absurdly good energy for a solution whose
+    /// true energy differs (rejected by the host's improvement audit).
+    WrongEnergy,
+}
+
+/// One injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic `block` on `device` during its `at_iteration`-th bulk
+    /// iteration (0-based, counted per block).
+    BlockPanic {
+        /// Device index within the machine.
+        device: usize,
+        /// Global block index within the device.
+        block: usize,
+        /// The block-local iteration during which the panic fires.
+        at_iteration: u64,
+    },
+    /// Push a corrupted record after `block`'s `at_iteration`-th
+    /// iteration on `device`.
+    CorruptRecord {
+        /// Device index within the machine.
+        device: usize,
+        /// Global block index within the device.
+        block: usize,
+        /// The block-local iteration after which the record is pushed.
+        at_iteration: u64,
+        /// What is wrong with the record.
+        corruption: Corruption,
+    },
+    /// Freeze every worker of `device` once its global-memory iteration
+    /// counter reaches `after_iterations`.
+    StallDevice {
+        /// Device index within the machine.
+        device: usize,
+        /// Device-wide bulk iterations completed before the stall.
+        after_iterations: u64,
+    },
+    /// Silently discard up to `count` pending targets of `device` once
+    /// its iteration counter reaches `at_iteration`.
+    DropTargets {
+        /// Device index within the machine.
+        device: usize,
+        /// Device-wide bulk iterations completed before the drop.
+        at_iteration: u64,
+        /// Targets discarded.
+        count: usize,
+    },
+}
+
+/// The panic payload used by injected block panics, so the quiet panic
+/// hook can tell rehearsed failures from real bugs.
+#[derive(Clone, Copy, Debug)]
+pub struct InjectedPanic {
+    /// Device whose block panicked.
+    pub device: usize,
+    /// The panicking block's global index.
+    pub block: usize,
+}
+
+#[derive(Debug)]
+struct Slot {
+    kind: FaultKind,
+    fired: AtomicBool,
+}
+
+/// A reproducible set of faults shared (via `Arc`) by every worker of a
+/// machine. One-shot faults (panics, corruptions, drops) fire exactly
+/// once even when several workers race on the lookup; stalls are latches
+/// that stay active forever after triggering.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    slots: Vec<Slot>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a block panic.
+    #[must_use]
+    pub fn panic_block(mut self, device: usize, block: usize, at_iteration: u64) -> Self {
+        self.push(FaultKind::BlockPanic {
+            device,
+            block,
+            at_iteration,
+        });
+        self
+    }
+
+    /// Adds a corrupted record.
+    #[must_use]
+    pub fn corrupt_record(
+        mut self,
+        device: usize,
+        block: usize,
+        at_iteration: u64,
+        corruption: Corruption,
+    ) -> Self {
+        self.push(FaultKind::CorruptRecord {
+            device,
+            block,
+            at_iteration,
+            corruption,
+        });
+        self
+    }
+
+    /// Adds a device stall.
+    #[must_use]
+    pub fn stall_device(mut self, device: usize, after_iterations: u64) -> Self {
+        self.push(FaultKind::StallDevice {
+            device,
+            after_iterations,
+        });
+        self
+    }
+
+    /// Adds a target drop.
+    #[must_use]
+    pub fn drop_targets(mut self, device: usize, at_iteration: u64, count: usize) -> Self {
+        self.push(FaultKind::DropTargets {
+            device,
+            at_iteration,
+            count,
+        });
+        self
+    }
+
+    /// Adds one raw fault.
+    pub fn push(&mut self, kind: FaultKind) {
+        self.slots.push(Slot {
+            kind,
+            fired: AtomicBool::new(false),
+        });
+    }
+
+    /// The planned faults, in insertion order.
+    #[must_use]
+    pub fn kinds(&self) -> Vec<FaultKind> {
+        self.slots.iter().map(|s| s.kind).collect()
+    }
+
+    /// Derives a reproducible mixed-fault plan from a seed: for each
+    /// device except device 0 (kept fault-free so a degraded solve can
+    /// always finish), a seeded choice of block panics, corrupted
+    /// records, target drops and — on at most one device — a stall.
+    /// Purely a function of `(seed, devices, blocks_per_device)`.
+    #[must_use]
+    pub fn scatter(seed: u64, devices: usize, blocks_per_device: usize) -> Self {
+        let mut plan = Self::new();
+        let mut rng = SplitMix64::new(seed);
+        let blocks = blocks_per_device.max(1);
+        let mut stalled_one = false;
+        for device in 1..devices {
+            // 0–2 block panics, early in the run.
+            for _ in 0..rng.below(3) {
+                let block = rng.below(blocks as u64) as usize;
+                let at = rng.below(4);
+                plan.push(FaultKind::BlockPanic {
+                    device,
+                    block,
+                    at_iteration: at,
+                });
+            }
+            // 0–2 corrupted records of either flavour.
+            for _ in 0..rng.below(3) {
+                let corruption = if rng.below(2) == 0 {
+                    Corruption::WrongLength
+                } else {
+                    Corruption::WrongEnergy
+                };
+                plan.push(FaultKind::CorruptRecord {
+                    device,
+                    block: rng.below(blocks as u64) as usize,
+                    at_iteration: rng.below(4),
+                    corruption,
+                });
+            }
+            // Occasionally lose some targets.
+            if rng.below(2) == 0 {
+                plan.push(FaultKind::DropTargets {
+                    device,
+                    at_iteration: rng.below(4),
+                    count: 1 + rng.below(3) as usize,
+                });
+            }
+            // At most one stalled device per plan.
+            if !stalled_one && rng.below(3) == 0 {
+                stalled_one = true;
+                plan.push(FaultKind::StallDevice {
+                    device,
+                    after_iterations: rng.below(8),
+                });
+            }
+        }
+        plan
+    }
+
+    // ---- lookups used by the device hot loop ---------------------------
+
+    /// Fires (once) a panic planned for `(device, block)` at block-local
+    /// iteration `iteration`.
+    #[must_use]
+    pub fn take_panic(&self, device: usize, block: usize, iteration: u64) -> bool {
+        self.take(|k| {
+            matches!(k, FaultKind::BlockPanic { device: d, block: b, at_iteration: i }
+                if *d == device && *b == block && *i == iteration)
+        })
+        .is_some()
+    }
+
+    /// Fires (once) a record corruption planned for `(device, block)` at
+    /// block-local iteration `iteration`.
+    #[must_use]
+    pub fn take_corruption(
+        &self,
+        device: usize,
+        block: usize,
+        iteration: u64,
+    ) -> Option<Corruption> {
+        self.take(|k| {
+            matches!(k, FaultKind::CorruptRecord { device: d, block: b, at_iteration: i, .. }
+                if *d == device && *b == block && *i == iteration)
+        })
+        .map(|k| match k {
+            FaultKind::CorruptRecord { corruption, .. } => corruption,
+            _ => unreachable!("filter admits only CorruptRecord"),
+        })
+    }
+
+    /// Fires (once) a target drop planned for `device` at or after
+    /// device iteration `iterations`; returns how many targets to drop.
+    #[must_use]
+    pub fn take_drop(&self, device: usize, iterations: u64) -> Option<usize> {
+        self.take(|k| {
+            matches!(k, FaultKind::DropTargets { device: d, at_iteration: i, .. }
+                if *d == device && iterations >= *i)
+        })
+        .map(|k| match k {
+            FaultKind::DropTargets { count, .. } => count,
+            _ => unreachable!("filter admits only DropTargets"),
+        })
+    }
+
+    /// Whether `device` is stalled at device iteration `iterations`
+    /// (a latch: once true, true forever).
+    #[must_use]
+    pub fn stalled(&self, device: usize, iterations: u64) -> bool {
+        self.slots.iter().any(|s| {
+            matches!(s.kind, FaultKind::StallDevice { device: d, after_iterations: a }
+                if d == device && iterations >= a)
+        })
+    }
+
+    fn take(&self, matches: impl Fn(&FaultKind) -> bool) -> Option<FaultKind> {
+        for slot in &self.slots {
+            if matches(&slot.kind)
+                && slot
+                    .fired
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                return Some(slot.kind);
+            }
+        }
+        None
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses the
+/// default report for [`InjectedPanic`] payloads and delegates every
+/// other panic to the previously installed hook. Devices call this when
+/// configured with a fault plan, so rehearsed failures do not spam
+/// stderr while real bugs still print normally.
+pub fn install_quiet_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// splitmix64 — the tiny seeded generator behind [`FaultPlan::scatter`].
+/// Kept local so production builds take no RNG dependency.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `[0, bound)`; `bound` must be ≥ 1.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_faults_fire_exactly_once() {
+        let plan = FaultPlan::new().panic_block(0, 2, 3);
+        assert!(!plan.take_panic(0, 2, 2), "wrong iteration");
+        assert!(!plan.take_panic(0, 1, 3), "wrong block");
+        assert!(!plan.take_panic(1, 2, 3), "wrong device");
+        assert!(plan.take_panic(0, 2, 3));
+        assert!(!plan.take_panic(0, 2, 3), "must not fire twice");
+    }
+
+    #[test]
+    fn corruption_and_drop_lookups_return_payloads() {
+        let plan = FaultPlan::new()
+            .corrupt_record(1, 0, 2, Corruption::WrongEnergy)
+            .drop_targets(1, 5, 3);
+        assert_eq!(plan.take_corruption(1, 0, 2), Some(Corruption::WrongEnergy));
+        assert_eq!(plan.take_corruption(1, 0, 2), None);
+        assert_eq!(plan.take_drop(1, 4), None, "too early");
+        assert_eq!(plan.take_drop(1, 7), Some(3), "fires at or after");
+        assert_eq!(plan.take_drop(1, 8), None, "one-shot");
+    }
+
+    #[test]
+    fn stall_is_a_latch_not_a_one_shot() {
+        let plan = FaultPlan::new().stall_device(2, 10);
+        assert!(!plan.stalled(2, 9));
+        assert!(plan.stalled(2, 10));
+        assert!(plan.stalled(2, 10_000), "stays stalled");
+        assert!(!plan.stalled(1, 10_000), "other devices unaffected");
+    }
+
+    #[test]
+    fn concurrent_takers_fire_each_fault_once() {
+        use std::sync::atomic::AtomicU64;
+        let plan = std::sync::Arc::new(FaultPlan::new().panic_block(0, 0, 0));
+        let fired = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let plan = std::sync::Arc::clone(&plan);
+                let fired = &fired;
+                s.spawn(move || {
+                    if plan.take_panic(0, 0, 0) {
+                        fired.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(fired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn scatter_is_a_pure_function_of_its_inputs() {
+        let a = FaultPlan::scatter(42, 4, 8);
+        let b = FaultPlan::scatter(42, 4, 8);
+        assert_eq!(a.kinds(), b.kinds());
+        let c = FaultPlan::scatter(43, 4, 8);
+        assert_ne!(a.kinds(), c.kinds(), "different seed, different plan");
+    }
+
+    #[test]
+    fn scatter_spares_device_zero_and_stalls_at_most_one() {
+        for seed in 0..64 {
+            let plan = FaultPlan::scatter(seed, 4, 8);
+            let mut stalls = 0;
+            for k in plan.kinds() {
+                let device = match k {
+                    FaultKind::BlockPanic { device, .. }
+                    | FaultKind::CorruptRecord { device, .. }
+                    | FaultKind::StallDevice { device, .. }
+                    | FaultKind::DropTargets { device, .. } => device,
+                };
+                assert_ne!(device, 0, "device 0 must stay fault-free (seed {seed})");
+                if matches!(k, FaultKind::StallDevice { .. }) {
+                    stalls += 1;
+                }
+            }
+            assert!(stalls <= 1, "at most one stalled device (seed {seed})");
+        }
+    }
+}

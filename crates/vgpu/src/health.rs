@@ -1,0 +1,174 @@
+//! Per-device health accounting — the `DeviceHealth` region of global
+//! memory.
+//!
+//! The paper's host/device contract (§3.1, Fig. 5) has no failure
+//! vocabulary: a device is assumed to make progress forever. Real
+//! long-running multi-GPU campaigns lose blocks (ECC faults, kernel
+//! asserts) and whole devices (driver resets, hangs). This module gives
+//! the host a way to *observe* such failures without any new
+//! synchronization: a handful of atomics living next to the result
+//! counter, written by device workers and read by the host's poll loop.
+//!
+//! What the region can and cannot express:
+//!
+//! * A **quarantined block** (its iteration panicked and it was removed
+//!   from the schedule) is visible immediately via `dead_blocks`.
+//! * A **dead device** (every block quarantined, or the device run exited
+//!   while the host had not requested a stop) is visible via
+//!   [`HealthStatus::Dead`].
+//! * A **silent stall** (workers alive but frozen) is *not* visible here
+//!   — by definition nothing gets written. Detecting it is the job of the
+//!   host-side watchdog, which compares result-counter progress across
+//!   devices (`abs`'s `WatchdogConfig`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Health of one device as derivable from its shared-memory region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// All registered blocks are running (or the device has not started).
+    Healthy,
+    /// Some blocks were quarantined; the rest keep searching.
+    Degraded {
+        /// Blocks quarantined so far.
+        dead_blocks: u64,
+        /// Blocks registered at device start.
+        total_blocks: u64,
+    },
+    /// Every block is gone, or the device run exited while the host was
+    /// still running (a device thread death the host would otherwise
+    /// discover only when `Machine::run` joins — i.e. never, if the host
+    /// loop is polling a frozen counter).
+    Dead,
+}
+
+/// The health sub-region of one device's [`crate::GlobalMem`].
+///
+/// All fields are monotone counters or latches; readers need no lock and
+/// writers never block each other.
+#[derive(Debug, Default)]
+pub struct DeviceHealth {
+    /// Blocks registered when the device run started.
+    total_blocks: AtomicU64,
+    /// Blocks quarantined after a panicking iteration.
+    dead_blocks: AtomicU64,
+    /// Latch: the device run returned while the stop flag was *not*
+    /// raised — the device died rather than being retired by the host.
+    dead_exit: AtomicBool,
+}
+
+impl DeviceHealth {
+    /// Creates a healthy, not-yet-started region.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Device: registers `total` blocks at run start.
+    pub fn set_total_blocks(&self, total: u64) {
+        self.total_blocks.store(total, Ordering::Release);
+    }
+
+    /// Device: records one quarantined block.
+    pub fn record_dead_block(&self) {
+        self.dead_blocks.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Device: records that the run exited without a host stop request.
+    pub fn record_dead_exit(&self) {
+        self.dead_exit.store(true, Ordering::Release);
+    }
+
+    /// Blocks registered at device start (0 before the run starts).
+    #[must_use]
+    pub fn total_blocks(&self) -> u64 {
+        self.total_blocks.load(Ordering::Acquire)
+    }
+
+    /// Blocks quarantined so far.
+    #[must_use]
+    pub fn dead_blocks(&self) -> u64 {
+        self.dead_blocks.load(Ordering::Acquire)
+    }
+
+    /// Host: derives the device status from the counters.
+    #[must_use]
+    pub fn status(&self) -> HealthStatus {
+        if self.dead_exit.load(Ordering::Acquire) {
+            return HealthStatus::Dead;
+        }
+        let total = self.total_blocks();
+        let dead = self.dead_blocks();
+        if dead == 0 {
+            HealthStatus::Healthy
+        } else if dead >= total {
+            HealthStatus::Dead
+        } else {
+            HealthStatus::Degraded {
+                dead_blocks: dead,
+                total_blocks: total,
+            }
+        }
+    }
+}
+
+impl HealthStatus {
+    /// `true` unless the device is [`HealthStatus::Dead`].
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        !matches!(self, Self::Dead)
+    }
+
+    /// Short lowercase label (`healthy` / `degraded` / `dead`) for logs
+    /// and machine-readable output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Healthy => "healthy",
+            Self::Degraded { .. } => "degraded",
+            Self::Dead => "dead",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_region_is_healthy() {
+        let h = DeviceHealth::new();
+        assert_eq!(h.status(), HealthStatus::Healthy);
+        assert!(h.status().is_alive());
+        assert_eq!(h.status().label(), "healthy");
+    }
+
+    #[test]
+    fn block_deaths_walk_healthy_degraded_dead() {
+        let h = DeviceHealth::new();
+        h.set_total_blocks(3);
+        assert_eq!(h.status(), HealthStatus::Healthy);
+        h.record_dead_block();
+        assert_eq!(
+            h.status(),
+            HealthStatus::Degraded {
+                dead_blocks: 1,
+                total_blocks: 3
+            }
+        );
+        assert!(h.status().is_alive());
+        h.record_dead_block();
+        h.record_dead_block();
+        assert_eq!(h.status(), HealthStatus::Dead);
+        assert!(!h.status().is_alive());
+        assert_eq!(h.status().label(), "dead");
+    }
+
+    #[test]
+    fn dead_exit_overrides_block_counts() {
+        let h = DeviceHealth::new();
+        h.set_total_blocks(8);
+        h.record_dead_exit();
+        assert_eq!(h.status(), HealthStatus::Dead);
+    }
+}

@@ -72,14 +72,18 @@
 pub mod block;
 pub mod buffers;
 pub mod device;
+pub mod fault;
+pub mod health;
 pub mod machine;
 pub mod occupancy;
 pub mod spec;
 pub mod timing;
 
 pub use block::{AdaptiveConfig, BlockConfig, BlockRunner, PolicyKind, WindowSchedule};
-pub use buffers::{GlobalMem, SolutionRecord};
-pub use device::{Device, DeviceConfig};
+pub use buffers::{GlobalMem, SolutionRecord, DEFAULT_BUFFER_CAPACITY};
+pub use device::{Device, DeviceConfig, ResolveError};
+pub use fault::{Corruption, FaultKind, FaultPlan, InjectedPanic};
+pub use health::{DeviceHealth, HealthStatus};
 pub use machine::{Machine, MachineConfig};
 pub use occupancy::{full_occupancy_configs, occupancy, Occupancy, OccupancyError};
 pub use spec::DeviceSpec;

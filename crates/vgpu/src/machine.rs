@@ -40,7 +40,7 @@ impl Machine {
         assert!(config.num_devices > 0, "machine needs at least one device");
         Self {
             devices: (0..config.num_devices)
-                .map(|_| Device::new(config.device.clone()))
+                .map(|i| Device::with_index(config.device.clone(), i))
                 .collect(),
         }
     }
@@ -203,5 +203,48 @@ mod tests {
         m.mems()[0].push_target(BitVec::zeros(8));
         assert_eq!(m.mems()[0].pending_targets(), 1);
         assert_eq!(m.mems()[1].pending_targets(), 0);
+    }
+
+    #[test]
+    fn devices_are_indexed_in_order() {
+        let m = test_machine(3);
+        let indices: Vec<usize> = m.devices().iter().map(Device::index).collect();
+        assert_eq!(indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dead_on_arrival_device_is_visible_to_a_health_aware_host() {
+        // Regression for the host-hang bug: a device that dies leaves
+        // its counter frozen forever, so a host that only polls counters
+        // never returns. A host that also reads the health region sees
+        // the death and can stop — this run must terminate.
+        use crate::fault::FaultPlan;
+        use crate::health::HealthStatus;
+        let mut rng = StdRng::seed_from_u64(11);
+        let q = Qubo::random(16, &mut rng);
+        let mut device = DeviceConfig {
+            blocks_override: Some(2),
+            workers: 1,
+            local_steps: 20,
+            ..DeviceConfig::default()
+        };
+        // Every block of the only device dies on its first iteration.
+        device.fault = Some(Arc::new(
+            FaultPlan::new().panic_block(0, 0, 0).panic_block(0, 1, 0),
+        ));
+        let m = Machine::new(&MachineConfig {
+            num_devices: 1,
+            device,
+        });
+        let saw_dead = m.run(&q, |mems| loop {
+            if mems[0].health().status() == HealthStatus::Dead {
+                return true;
+            }
+            if mems[0].counter() > 0 {
+                return false;
+            }
+            std::thread::yield_now();
+        });
+        assert!(saw_dead, "host must observe the device death");
     }
 }

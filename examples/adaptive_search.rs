@@ -10,7 +10,10 @@ use vgpu::{AdaptiveConfig, PolicyKind};
 
 fn run(label: &str, mut cfg: AbsConfig, q: &qubo::Qubo) {
     cfg.stop = StopCondition::flips(400_000);
-    let r = Abs::new(cfg).solve(q);
+    let r = Abs::new(cfg)
+        .expect("valid config")
+        .solve(q)
+        .expect("solve");
     println!(
         "  {label:<44} best energy {:>12}   ({} improvements)",
         r.best_energy,

@@ -33,7 +33,10 @@ fn main() {
     let mut config = AbsConfig::small();
     config.machine.device.blocks_override = Some(32);
     config.stop = StopCondition::timeout(Duration::from_secs(2));
-    let result = Abs::new(config).solve(&q);
+    let result = Abs::new(config)
+        .expect("valid config")
+        .solve(&q)
+        .expect("solve");
     let abs_cut = -result.best_energy;
     println!("\nABS (2 s):        cut = {abs_cut}");
     println!(

@@ -30,7 +30,10 @@ fn main() {
         config.machine.device.workers = 1;
         config.machine.device.blocks_override = Some(8);
         config.stop = StopCondition::timeout(Duration::from_millis(600));
-        let r = Abs::new(config).solve(&problem);
+        let r = Abs::new(config)
+            .expect("valid config")
+            .solve(&problem)
+            .expect("solve");
         let rate = r.search_rate;
         let speedup = rate / *base.get_or_insert(rate);
         let gpu = model.search_rate(n, &occ, devices);

@@ -84,7 +84,10 @@ fn main() {
 
     let mut config = AbsConfig::small();
     config.stop = StopCondition::timeout(Duration::from_millis(800));
-    let result = Abs::new(config).solve(&q);
+    let result = Abs::new(config)
+        .expect("valid config")
+        .solve(&q)
+        .expect("solve");
 
     let chosen: Vec<usize> = result.best.iter_ones().collect();
     let ret: i64 = chosen.iter().map(|&i| market.mu[i]).sum();
@@ -119,7 +122,10 @@ fn main() {
     let truth = qubo_baselines::exact::solve(&small);
     let mut cfg2 = AbsConfig::small();
     cfg2.stop = StopCondition::target(truth.best_energy).with_timeout(Duration::from_secs(5));
-    let r2 = Abs::new(cfg2).solve(&small);
+    let r2 = Abs::new(cfg2)
+        .expect("valid config")
+        .solve(&small)
+        .expect("solve");
     println!(
         "\n22-asset cross-check: exact optimum {} — ABS found {}{}",
         truth.best_energy,

@@ -28,7 +28,10 @@ fn main() {
     config.stop = StopCondition::timeout(Duration::from_millis(500));
     config.seed = 42;
 
-    let result = Abs::new(config).solve(&problem);
+    let result = Abs::new(config)
+        .expect("valid config")
+        .solve(&problem)
+        .expect("solve");
 
     println!("\n256-bit synthetic random problem, 500 ms budget:");
     println!("  best energy : {}", result.best_energy);

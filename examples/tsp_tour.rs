@@ -48,7 +48,10 @@ fn main() {
     config.machine.device.blocks_override = Some(32);
     config.machine.device.local_steps = 512;
     config.stop = StopCondition::target(target_energy).with_timeout(Duration::from_secs(10));
-    let result = Abs::new(config).solve(tq.qubo());
+    let result = Abs::new(config)
+        .expect("valid config")
+        .solve(tq.qubo())
+        .expect("solve");
 
     println!(
         "\nABS: best energy {} after {:.2} s ({} flips)",

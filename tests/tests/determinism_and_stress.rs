@@ -86,7 +86,10 @@ fn stress_full_system_many_blocks_many_devices() {
     cfg.machine.device.workers = 2;
     cfg.machine.device.local_steps = 64;
     cfg.stop = StopCondition::flips(150_000);
-    let r = Abs::new(cfg).solve(&q);
+    let r = Abs::new(cfg)
+        .expect("valid config")
+        .solve(&q)
+        .expect("solve");
     assert!(
         r.results_received > 50,
         "only {} results",
@@ -146,14 +149,20 @@ fn solver_handles_trivial_problems() {
     let q = Qubo::zero(32).unwrap();
     let mut cfg = AbsConfig::small();
     cfg.stop = StopCondition::flips(10_000);
-    let r = Abs::new(cfg).solve(&q);
+    let r = Abs::new(cfg)
+        .expect("valid config")
+        .solve(&q)
+        .expect("solve");
     assert_eq!(r.best_energy, 0);
     // 1-bit problems work end to end.
     let mut tiny = Qubo::zero(1).unwrap();
     tiny.set(0, 0, -5);
     let mut cfg = AbsConfig::small();
     cfg.stop = StopCondition::target(-5).with_timeout(std::time::Duration::from_secs(10));
-    let r = Abs::new(cfg).solve(&tiny);
+    let r = Abs::new(cfg)
+        .expect("valid config")
+        .solve(&tiny)
+        .expect("solve");
     assert_eq!(r.best_energy, -5);
     assert!(r.best.get(0));
 }

@@ -18,7 +18,10 @@ fn maxcut_gset_standin_solves_and_decodes() {
     let q = maxcut::to_qubo(&g).expect("encodes");
     let mut cfg = AbsConfig::small();
     cfg.stop = StopCondition::flips(300_000);
-    let r = Abs::new(cfg).solve(&q);
+    let r = Abs::new(cfg)
+        .expect("valid config")
+        .solve(&q)
+        .expect("solve");
     let cut = maxcut::cut_value(&g, &r.best);
     assert_eq!(-r.best_energy, cut, "energy must be the negated cut");
     // Must beat a random partition by a clear margin.
@@ -32,7 +35,10 @@ fn tsp_small_reaches_exact_optimum() {
     let (_, opt) = tsp::held_karp(&inst);
     let tq = tsp::to_qubo(&inst).expect("encodes");
     let cfg = quick_config(tq.length_to_energy(opt as i64), 30);
-    let r = Abs::new(cfg).solve(tq.qubo());
+    let r = Abs::new(cfg)
+        .expect("valid config")
+        .solve(tq.qubo())
+        .expect("solve");
     assert!(r.reached_target, "optimum tour {opt} not reached");
     let tour = tq.decode(&r.best).expect("valid tour");
     assert_eq!(inst.tour_length(&tour), opt);
@@ -48,7 +54,10 @@ fn tsp_ulysses16_standin_reaches_optimum_within_budget() {
     let mut cfg = quick_config(tq.length_to_energy(opt as i64), 60);
     cfg.machine.device.blocks_override = Some(16);
     cfg.machine.device.local_steps = 256;
-    let r = Abs::new(cfg).solve(tq.qubo());
+    let r = Abs::new(cfg)
+        .expect("valid config")
+        .solve(tq.qubo())
+        .expect("solve");
     assert!(
         r.reached_target,
         "got {} want {}",
@@ -66,7 +75,10 @@ fn number_partitioning_finds_perfect_split() {
     values.extend(values.clone()); // duplicating guarantees difference 0
     let q = partition::to_qubo(&values).expect("encodes");
     let target = partition::difference_to_energy(&values, 0);
-    let r = Abs::new(quick_config(target, 30)).solve(&q);
+    let r = Abs::new(quick_config(target, 30))
+        .expect("valid config")
+        .solve(&q)
+        .expect("solve");
     assert!(r.reached_target, "no perfect partition found");
     assert_eq!(partition::difference(&values, &r.best), 0);
 }
@@ -79,7 +91,10 @@ fn vertex_cover_of_a_ring_is_half() {
     let g = Graph::from_edges(n, &edges);
     let q = cover::to_qubo(&g, cover::DEFAULT_PENALTY).expect("encodes");
     let target = cover::cover_to_energy(&g, cover::DEFAULT_PENALTY, 15);
-    let r = Abs::new(quick_config(target, 30)).solve(&q);
+    let r = Abs::new(quick_config(target, 30))
+        .expect("valid config")
+        .solve(&q)
+        .expect("solve");
     assert!(r.reached_target, "minimum cover not found");
     assert!(cover::is_cover(&g, &r.best));
     assert_eq!(r.best.count_ones(), 15);
@@ -95,7 +110,10 @@ fn graph_coloring_finds_a_proper_coloring() {
     }
     let g = Graph::from_edges(n, &edges);
     let cq = coloring::to_qubo(&g, 4, coloring::DEFAULT_PENALTY).expect("encodes");
-    let r = Abs::new(quick_config(cq.proper_energy(), 30)).solve(cq.qubo());
+    let r = Abs::new(quick_config(cq.proper_energy(), 30))
+        .expect("valid config")
+        .solve(cq.qubo())
+        .expect("solve");
     assert!(r.reached_target, "no proper 4-coloring found");
     let colors = cq.decode(&r.best).expect("one-hot");
     assert_eq!(coloring::conflicts(&g, &colors), 0);
@@ -108,7 +126,10 @@ fn max_independent_set_of_a_path() {
     let edges: Vec<(usize, usize, i32)> = (0..n - 1).map(|i| (i, i + 1, 1)).collect();
     let g = Graph::from_edges(n, &edges);
     let q = mis::to_qubo(&g, mis::DEFAULT_PENALTY).expect("encodes");
-    let r = Abs::new(quick_config(mis::set_size_to_energy(5), 30)).solve(&q);
+    let r = Abs::new(quick_config(mis::set_size_to_energy(5), 30))
+        .expect("valid config")
+        .solve(&q)
+        .expect("solve");
     assert!(r.reached_target, "maximum independent set not found");
     assert!(mis::is_independent(&g, &r.best));
     assert_eq!(r.best.count_ones(), 5);
@@ -130,7 +151,10 @@ fn heterogeneous_device_solves_problems_too() {
             cooling: 0.9999,
         },
     ];
-    let r = Abs::new(cfg).solve(&q);
+    let r = Abs::new(cfg)
+        .expect("valid config")
+        .solve(&q)
+        .expect("solve");
     assert!(r.reached_target);
     assert_eq!(r.best_energy, truth.best_energy);
 }
@@ -144,7 +168,10 @@ fn max2sat_satisfiable_instance_is_satisfied() {
         .collect();
     clauses.push(sat::Clause::unit(sat::Lit::pos(0)));
     let enc = sat::to_qubo(10, &clauses).expect("encodes");
-    let r = Abs::new(quick_config(enc.satisfying_energy(), 30)).solve(enc.qubo());
+    let r = Abs::new(quick_config(enc.satisfying_energy(), 30))
+        .expect("valid config")
+        .solve(enc.qubo())
+        .expect("solve");
     assert!(r.reached_target, "satisfying assignment not found");
     assert_eq!(enc.violated(&r.best), 0);
 }
@@ -155,7 +182,10 @@ fn max2sat_overconstrained_instance_minimizes_violations() {
     let clauses = sat::random_instance(12, 80, 3);
     let enc = sat::to_qubo(12, &clauses).expect("encodes");
     let truth = qubo_baselines::exact::solve(enc.qubo());
-    let r = Abs::new(quick_config(truth.best_energy, 30)).solve(enc.qubo());
+    let r = Abs::new(quick_config(truth.best_energy, 30))
+        .expect("valid config")
+        .solve(enc.qubo())
+        .expect("solve");
     assert!(r.reached_target, "minimum violation count not reached");
     assert_eq!(
         enc.energy_to_violations(r.best_energy),
@@ -174,6 +204,9 @@ fn qubo_file_roundtrip_preserves_abs_result_semantics() {
     assert_eq!(q, q2);
     let mut cfg = AbsConfig::small();
     cfg.stop = StopCondition::flips(50_000);
-    let r = Abs::new(cfg).solve(&q2);
+    let r = Abs::new(cfg)
+        .expect("valid config")
+        .solve(&q2)
+        .expect("solve");
     assert_eq!(q.energy(&r.best), r.best_energy);
 }

@@ -20,7 +20,10 @@ fn abs_reaches_exact_optimum_on_18_bits() {
     let truth = qubo_baselines::exact::solve(&q);
     let mut cfg = AbsConfig::small();
     cfg.stop = StopCondition::target(truth.best_energy).with_timeout(Duration::from_secs(30));
-    let r = Abs::new(cfg).solve(&q);
+    let r = Abs::new(cfg)
+        .expect("valid config")
+        .solve(&q)
+        .expect("solve");
     assert!(r.reached_target, "ABS missed optimum {}", truth.best_energy);
     assert_eq!(r.best_energy, truth.best_energy);
     assert_eq!(r.best_energy, q.energy(&r.best));
@@ -33,7 +36,10 @@ fn abs_beats_every_baseline_at_matched_budget() {
     let q = random_qubo(192, 2);
     let mut cfg = AbsConfig::small();
     cfg.stop = StopCondition::flips(400_000);
-    let abs_r = Abs::new(cfg).solve(&q);
+    let abs_r = Abs::new(cfg)
+        .expect("valid config")
+        .solve(&q)
+        .expect("solve");
 
     let sa = qubo_baselines::sa::solve(
         &q,
@@ -101,7 +107,10 @@ fn multi_device_results_all_flow_to_one_pool() {
     cfg.machine.num_devices = 4;
     cfg.machine.device.blocks_override = Some(2);
     cfg.stop = StopCondition::flips(80_000);
-    let r = Abs::new(cfg).solve(&q);
+    let r = Abs::new(cfg)
+        .expect("valid config")
+        .solve(&q)
+        .expect("solve");
     assert!(r.results_received >= 8, "every device must report");
     assert_eq!(r.best_energy, q.energy(&r.best));
 }
@@ -112,8 +121,17 @@ fn search_rate_accounting_is_consistent() {
     let q = random_qubo(n, 7);
     let mut cfg = AbsConfig::small();
     cfg.stop = StopCondition::flips(30_000);
-    let r = Abs::new(cfg).solve(&q);
-    assert_eq!(r.evaluated, r.total_flips * (n as u64 + 1));
+    let r = Abs::new(cfg)
+        .expect("valid config")
+        .solve(&q)
+        .expect("solve");
+    // n + 1 evaluations per flip *and* per initialized search unit —
+    // the same projection as `GlobalMem::total_evaluated`, so a
+    // quarantined unit would leave the numerator (none here).
+    assert_eq!(
+        r.evaluated,
+        (r.total_flips + r.search_units) * (n as u64 + 1)
+    );
     let implied = r.evaluated as f64 / r.elapsed.as_secs_f64();
     let rel = (r.search_rate - implied).abs() / implied;
     assert!(
@@ -128,9 +146,9 @@ fn repeated_solves_with_one_solver_are_independent() {
     let q2 = random_qubo(32, 9);
     let mut cfg = AbsConfig::small();
     cfg.stop = StopCondition::flips(20_000);
-    let solver = Abs::new(cfg);
-    let r1 = solver.solve(&q1);
-    let r2 = solver.solve(&q2);
+    let solver = Abs::new(cfg).expect("valid config");
+    let r1 = solver.solve(&q1).expect("solve");
+    let r2 = solver.solve(&q2).expect("solve");
     assert_eq!(r1.best_energy, q1.energy(&r1.best));
     assert_eq!(r2.best_energy, q2.energy(&r2.best));
 }
