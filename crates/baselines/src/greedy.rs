@@ -22,15 +22,10 @@ pub fn solve(q: &Qubo, restarts: u64, seed: u64) -> BaselineResult {
     for _ in 0..restarts {
         let start = BitVec::random(n, &mut rng);
         let mut t = DeltaTracker::at(q, &start);
-        loop {
-            let (k, &d) = t
-                .deltas()
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &d)| d)
-                .expect("non-empty");
+        // Exits on n == 0 (no deltas) or at a 1-flip local minimum.
+        while let Some((k, &d)) = t.deltas().iter().enumerate().min_by_key(|&(_, &d)| d) {
             if d >= 0 {
-                break; // 1-flip local minimum
+                break;
             }
             t.flip(k);
             steps += 1;
@@ -40,6 +35,7 @@ pub fn solve(q: &Qubo, restarts: u64, seed: u64) -> BaselineResult {
             best = Some((t.x().clone(), e));
         }
     }
+    // abs-lint: allow(no-unwrap) -- restarts > 0 asserted at entry; every restart records a best
     let (bx, be) = best.expect("restarts > 0");
     BaselineResult {
         best: bx,

@@ -66,6 +66,7 @@ fn solve_width<A: DeltaAcc>(q: &Qubo, cfg: &TabuConfig) -> BaselineResult {
                 chosen = Some((i, d));
             }
         }
+        // abs-lint: allow(no-unwrap) -- documented contract: tenure < n leaves ≥ 1 non-tabu bit
         let (k, _) = chosen.expect("tenure < n guarantees a candidate");
         t.flip(k);
         tabu_until[k] = it + 1 + cfg.tenure;

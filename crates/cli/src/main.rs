@@ -13,6 +13,7 @@
 //! Exit code 0 on success, 2 on usage errors, 1 on runtime errors.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use abs::{Abs, AbsConfig, AbsError, StopCondition};
 use qubo::{format, Qubo};
@@ -201,7 +202,7 @@ fn solve_and_report(q: &Qubo, opts: &Options, label: &str) -> Result<(), CliErro
         .map_err(|e| rt(format!("cannot write {path}: {e}")))?;
     }
     if opts.json {
-        println!("{}", output::to_json(label, q, &result));
+        println!("{}", output::to_json(label, q, &result).map_err(rt)?);
     } else {
         output::print_human(label, q, &result);
     }

@@ -34,7 +34,11 @@ struct JsonResult<'a> {
 }
 
 /// Serializes a solve result as one JSON object.
-pub fn to_json(label: &str, q: &Qubo, r: &SolveResult) -> String {
+///
+/// # Errors
+/// Returns the serializer's message if encoding fails (should not happen
+/// for this fixed schema, but the CLI must not panic on output).
+pub fn to_json(label: &str, q: &Qubo, r: &SolveResult) -> Result<String, String> {
     let j = JsonResult {
         label,
         bits: q.n(),
@@ -63,7 +67,7 @@ pub fn to_json(label: &str, q: &Qubo, r: &SolveResult) -> String {
             .collect(),
         solution: r.best.to_string(),
     };
-    serde_json::to_string(&j).expect("serializable")
+    serde_json::to_string(&j).map_err(|e| format!("cannot serialize result: {e}"))
 }
 
 /// Prints a human-readable report.
@@ -116,7 +120,7 @@ mod tests {
         let mut cfg = AbsConfig::small();
         cfg.stop = StopCondition::flips(5_000);
         let r = Abs::new(cfg).unwrap().solve(&q).unwrap();
-        let json = to_json("t", &q, &r);
+        let json = to_json("t", &q, &r).unwrap();
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["bits"], 16);
         assert_eq!(v["label"], "t");
@@ -137,7 +141,7 @@ mod tests {
         cfg.machine.device.fault = Some(Arc::new(FaultPlan::new().panic_block(0, 2, 1)));
         cfg.stop = StopCondition::flips(20_000);
         let r = Abs::new(cfg).unwrap().solve(&q).unwrap();
-        let json = to_json("f", &q, &r);
+        let json = to_json("f", &q, &r).unwrap();
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["degraded"], true);
         assert_eq!(v["devices"][0]["status"], "degraded");

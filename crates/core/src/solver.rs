@@ -320,9 +320,15 @@ impl Abs {
             }
         }
 
+        // The wait loop above only exits with a result or an early
+        // `Err`, so `best` is always populated here; `NoResult` keeps the
+        // path panic-free if that ever changes.
+        let Some(best) = best else {
+            return Err(AbsError::NoResult);
+        };
         Ok(HostOutcome {
             start,
-            best: best.expect("at least one device result"),
+            best,
             best_energy,
             reached_target,
             time_to_target,

@@ -1,0 +1,488 @@
+//! A minimal Rust lexer — just enough fidelity for invariant linting.
+//!
+//! The linter must not be a regex-over-lines tool: `f64` inside a string
+//! literal, `unwrap()` inside a doc comment, and `rand` inside a
+//! `#[cfg(test)]` module are all fine, and only a tokenizer that
+//! understands comments, strings (including raw strings), char literals
+//! vs. lifetimes, and float literals can tell the difference. This lexer
+//! produces a flat token stream plus the comment list (comments carry the
+//! allow-markers and `// ordering:` justifications the rules look for).
+//!
+//! It does not aim to be a full Rust lexer: tokens the rules never
+//! inspect (operators, numeric suffixes) are kept as single-character
+//! punctuation or folded into the literal text.
+
+/// The kind of one lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Integer literal (any base, any suffix except `f32`/`f64`).
+    Int,
+    /// Floating-point literal, including suffixed forms like `1f64`.
+    Float,
+    /// String, raw-string, byte-string, or char literal.
+    Literal,
+    /// Any other single character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Source text (single char for punctuation).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` if this token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// `true` if this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One comment with the line span it covers: a block comment, or a
+/// maximal run of consecutive `//` lines merged into one entry.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based first line.
+    pub line: u32,
+    /// 1-based last line (equals `line` for a single `//` comment).
+    pub end_line: u32,
+    /// Full comment text including the `//` / `/*` sigils; merged `//`
+    /// runs are newline-joined.
+    pub text: String,
+}
+
+/// Lexer output: the token stream and every comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub toks: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// `true` if any comment overlapping lines `[from, to]` contains
+    /// `needle` (used for `// ordering:` and `// invariant:` lookups).
+    #[must_use]
+    pub fn comment_near(&self, from: u32, to: u32, needle: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.end_line >= from && c.line <= to && c.text.contains(needle))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`. Never fails: malformed input degrades to punctuation
+/// tokens, which at worst produces a spurious finding on a file that
+/// would not compile anyway.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Lexed::default();
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            // Runs of consecutive `//` lines merge into one comment
+            // block, so a multi-line justification whose keyword sits on
+            // the first line still counts as "near" the code below it.
+            if let Some(prev) = out.comments.last_mut() {
+                if prev.end_line + 1 == line && prev.text.starts_with("//") {
+                    prev.end_line = line;
+                    prev.text.push('\n');
+                    prev.text.push_str(&text);
+                    continue;
+                }
+            }
+            out.comments.push(Comment {
+                line,
+                end_line: line,
+                text,
+            });
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let (start, start_line) = (i, line);
+            i += 2;
+            let mut depth = 1u32;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                end_line: line,
+                text: b[start..i.min(n)].iter().collect(),
+            });
+            continue;
+        }
+        // Raw / byte strings: r"...", r#"..."#, br"...", b"...".
+        if (c == 'r' || c == 'b') && raw_or_byte_string_start(&b, i) {
+            let start = i;
+            let start_line = line;
+            if b[i] == 'b' {
+                i += 1;
+            }
+            let raw = i < n && b[i] == 'r';
+            if raw {
+                i += 1;
+            }
+            let mut hashes = 0usize;
+            while raw && i < n && b[i] == '#' {
+                hashes += 1;
+                i += 1;
+            }
+            // Opening quote.
+            i += 1;
+            if raw {
+                // Scan for `"` followed by `hashes` hashes; no escapes.
+                'raw: while i < n {
+                    if b[i] == '\n' {
+                        line += 1;
+                    } else if b[i] == '"' {
+                        let mut j = i + 1;
+                        let mut k = 0;
+                        while k < hashes && j < n && b[j] == '#' {
+                            j += 1;
+                            k += 1;
+                        }
+                        if k == hashes {
+                            i = j;
+                            break 'raw;
+                        }
+                    }
+                    i += 1;
+                }
+            } else {
+                while i < n && b[i] != '"' {
+                    if b[i] == '\\' {
+                        i += 1;
+                    } else if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i += 1; // closing quote
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: b[start..i.min(n)].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Plain string literal.
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < n && b[i] != '"' {
+                if b[i] == '\\' {
+                    i += 1;
+                } else if b[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i += 1;
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: b[start..i.min(n)].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if char_literal_start(&b, i) {
+                let start = i;
+                i += 1;
+                if i < n && b[i] == '\\' {
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                while i < n && b[i] != '\'' {
+                    // Only reachable on malformed input; resync at quote.
+                    i += 1;
+                }
+                i += 1;
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: b[start..i.min(n)].iter().collect(),
+                    line,
+                });
+            } else {
+                let start = i;
+                i += 1;
+                while i < n && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut kind = TokKind::Int;
+            if c == '0' && i + 1 < n && matches!(b[i + 1], 'x' | 'o' | 'b') {
+                i += 2;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                    i += 1;
+                }
+                // Fractional part: `.` followed by a digit, or a
+                // trailing `1.` (not `1..` and not `1.method()`).
+                if i < n && b[i] == '.' {
+                    let next = b.get(i + 1).copied();
+                    let frac = match next {
+                        Some(d) if d.is_ascii_digit() => true,
+                        Some(d) if is_ident_start(d) || d == '.' => false,
+                        _ => true,
+                    };
+                    if frac {
+                        kind = TokKind::Float;
+                        i += 1;
+                        while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                            i += 1;
+                        }
+                    }
+                }
+                // Exponent.
+                if i < n
+                    && matches!(b[i], 'e' | 'E')
+                    && b.get(i + 1)
+                        .is_some_and(|&d| d.is_ascii_digit() || d == '+' || d == '-')
+                {
+                    kind = TokKind::Float;
+                    i += 1;
+                    if matches!(b.get(i), Some('+') | Some('-')) {
+                        i += 1;
+                    }
+                    while i < n && (b[i].is_ascii_digit() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+                // Suffix: `1f64` is a float; `1u32` stays Int.
+                if i < n && is_ident_start(b[i]) {
+                    let sfx_start = i;
+                    while i < n && is_ident_cont(b[i]) {
+                        i += 1;
+                    }
+                    let sfx: String = b[sfx_start..i].iter().collect();
+                    if sfx == "f32" || sfx == "f64" {
+                        kind = TokKind::Float;
+                    }
+                }
+            }
+            out.toks.push(Tok {
+                kind,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Everything else: single-char punctuation.
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Does position `i` (at `r` or `b`) start a raw or byte string?
+fn raw_or_byte_string_start(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        // b'x' byte char: handled by the char-literal path via Ident 'b'.
+        if b.get(j) == Some(&'\'') {
+            return false;
+        }
+        if b.get(j) == Some(&'"') {
+            return true;
+        }
+    }
+    if b.get(j) == Some(&'r') {
+        j += 1;
+        while b.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return b.get(j) == Some(&'"');
+    }
+    false
+}
+
+/// Does the `'` at position `i` start a char literal (vs a lifetime)?
+fn char_literal_start(b: &[char], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some('\\') => true,
+        Some(&c) if is_ident_cont(c) => b.get(i + 2) == Some(&'\''),
+        Some(_) => true, // `' '`, `'('`, ...
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "f64 unwrap() rand"; // f64 in comment
+            /* Instant::now() in /* nested */ block */
+            let b = r#"SystemTime "quoted" inside raw"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"f64".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text.starts_with('\''))
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'x'");
+    }
+
+    #[test]
+    fn float_literal_forms() {
+        for (src, want) in [
+            ("1.5", TokKind::Float),
+            ("1.", TokKind::Float),
+            ("1e9", TokKind::Float),
+            ("2.5e-3", TokKind::Float),
+            ("1f64", TokKind::Float),
+            ("3f32", TokKind::Float),
+            ("1", TokKind::Int),
+            ("1u64", TokKind::Int),
+            ("0xff", TokKind::Int),
+            ("1_000", TokKind::Int),
+        ] {
+            let l = lex(src);
+            assert_eq!(l.toks[0].kind, want, "{src}");
+        }
+        // Method call on an int and a range are not floats.
+        let l = lex("1.max(2); 0..8");
+        assert_eq!(l.toks[0].kind, TokKind::Int);
+        assert!(l.toks.iter().all(|t| t.kind != TokKind::Float));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_tokens() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;";
+        let l = lex(src);
+        let b = l.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn comment_near_window() {
+        let src = "// ordering: pairs with counter()\nx.store(1, Release);\ny.store(2, Release);\n";
+        let l = lex(src);
+        assert!(l.comment_near(1, 2, "ordering:"));
+        assert!(!l.comment_near(3, 3, "ordering:"));
+    }
+}

@@ -1,0 +1,154 @@
+//! `abs-lint` — the ABS workspace invariant checker.
+//!
+//! The paper's correctness story rests on structural invariants the
+//! compiler cannot see: the device kernel is deterministic (no RNG, no
+//! wall clock, no floats — the window length ℓ is the only
+//! "temperature", Fig. 2), the host GA never computes energy (§3), and
+//! host and device communicate only through `GlobalMem`'s
+//! atomic-counter protocol (Fig. 5). This crate enforces those
+//! invariants mechanically, on every push:
+//!
+//! * [`lexer`] — a small std-only Rust lexer (tokens + comments), so the
+//!   rules see code, not lines.
+//! * [`zones`] — the device / host-ga / host / neutral / harness zone
+//!   map, by path.
+//! * [`rules`] — deny-by-default diagnostics with inline
+//!   `// abs-lint: allow(<rule>) -- <reason>` exceptions, counted
+//!   against a pinned budget.
+//! * [`model`] — an exhaustive interleaving model check of the
+//!   `GlobalMem` counter/overflow/eviction protocol.
+//! * [`report`] — human and JSON rendering.
+//!
+//! See `DESIGN.md` §9 for the rule → paper-clause mapping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod model;
+pub mod report;
+pub mod rules;
+pub mod zones;
+
+use report::Report;
+use rules::{parse_markers, FileCtx};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Name of the allow-marker budget file at the workspace root.
+pub const BUDGET_FILE: &str = ".abs-lint-allow-budget";
+
+/// Collects every `crates/*/src/**/*.rs` file under `root`, sorted for
+/// deterministic reports. Test directories (`tests/`, `benches/`,
+/// `examples/`, `shims/`) are outside the scanned set by construction.
+pub fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    let mut files = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("readdir: {e}"))?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("readdir: {e}"))?;
+        let p = entry.path();
+        if p.is_dir() {
+            walk_rs(&p, out)?;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the workspace at `root`. `budget` is the marker budget to
+/// enforce (`None` disables the budget gate).
+pub fn lint_tree(root: &Path, budget: Option<usize>) -> Result<Report, String> {
+    let files = collect_sources(root)?;
+    let mut report = Report {
+        root: root.display().to_string(),
+        files_scanned: files.len(),
+        budget,
+        ..Report::default()
+    };
+    for path in &files {
+        let src =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let lexed = lexer::lex(&src);
+        report.allow_markers += parse_markers(&lexed).len();
+        let ctx = FileCtx {
+            rel_path: &rel,
+            zone: zones::classify(&rel),
+            lexed: &lexed,
+        };
+        for mut f in rules::check_file(&ctx) {
+            f.file = rel.clone();
+            report.findings.push(f);
+        }
+    }
+    if report.over_budget() {
+        report.findings.push(rules::Finding {
+            file: BUDGET_FILE.to_string(),
+            line: 1,
+            rule: "allow-budget",
+            zone: "neutral",
+            message: format!(
+                "{} allow markers in tree, budget is {} — raise the budget file in the same reviewed change",
+                report.allow_markers,
+                budget.unwrap_or(0)
+            ),
+            allowed: false,
+        });
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+/// Reads the budget file under `root`, if present.
+pub fn read_budget(root: &Path) -> Result<Option<usize>, String> {
+    let p = root.join(BUDGET_FILE);
+    match fs::read_to_string(&p) {
+        Ok(s) => s
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|e| format!("{}: not an integer: {e}", p.display())),
+        Err(_) => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_file_parsing() {
+        let dir = std::env::temp_dir().join(format!("abs-lint-budget-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(read_budget(&dir).unwrap(), None);
+        fs::write(dir.join(BUDGET_FILE), "14\n").unwrap();
+        assert_eq!(read_budget(&dir).unwrap(), Some(14));
+        fs::write(dir.join(BUDGET_FILE), "not-a-number").unwrap();
+        assert!(read_budget(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

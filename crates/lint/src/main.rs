@@ -1,0 +1,183 @@
+//! `abs-lint` binary: lint the workspace and/or run the buffer-protocol
+//! model check.
+//!
+//! ```text
+//! abs-lint [--root DIR] [--format human|json] [--no-budget]
+//!          [--model-check [DEPTH]] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations or model-check failure, 2 usage or
+//! I/O error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use abs_lint::{lint_tree, model, read_budget, report::json_str, rules::RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    budget: bool,
+    model_check: Option<usize>,
+    list_rules: bool,
+    lint: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        budget: true,
+        model_check: None,
+        list_rules: false,
+        lint: true,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--root" => {
+                i += 1;
+                let v = argv.get(i).ok_or("--root needs a value")?;
+                args.root = PathBuf::from(v);
+            }
+            "--format" => {
+                i += 1;
+                match argv.get(i).map(String::as_str) {
+                    Some("json") => args.json = true,
+                    Some("human") => args.json = false,
+                    other => return Err(format!("--format must be human|json, got {other:?}")),
+                }
+            }
+            "--no-budget" => args.budget = false,
+            "--list-rules" => {
+                args.list_rules = true;
+                args.lint = false;
+            }
+            "--model-check" => {
+                // Optional depth operand.
+                let depth = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .inspect(|_| i += 1)
+                    .unwrap_or(8);
+                args.model_check = Some(depth);
+                args.lint = false;
+            }
+            "--lint-and-model-check" => {
+                let depth = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .inspect(|_| i += 1)
+                    .unwrap_or(8);
+                args.model_check = Some(depth);
+                args.lint = true;
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("abs-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for (id, desc) in RULES {
+            println!("{id:28} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failed = false;
+
+    if args.lint {
+        let budget = if args.budget {
+            match read_budget(&args.root) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("abs-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            None
+        };
+        let report = match lint_tree(&args.root, budget) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("abs-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if args.json {
+            println!("{}", report.json());
+        } else {
+            print!("{}", report.human());
+        }
+        failed |= !report.ok();
+    }
+
+    if let Some(depth) = args.model_check {
+        match model::run_model_check(depth) {
+            Ok(runs) => {
+                if args.json {
+                    let mut s = String::from("{\"model_check\":{\"depth\":");
+                    s.push_str(&depth.to_string());
+                    s.push_str(",\"ok\":true,\"configs\":[");
+                    for (i, (name, st)) in runs.iter().enumerate() {
+                        if i > 0 {
+                            s.push(',');
+                        }
+                        s.push_str(&format!(
+                            "{{\"name\":{},\"schedules\":{},\"states\":{},\"evictions_seen\":{},\"discards_seen\":{},\"rejections_seen\":{},\"target_drops_seen\":{}}}",
+                            json_str(name),
+                            st.schedules,
+                            st.states,
+                            st.evictions_seen,
+                            st.discards_seen,
+                            st.rejections_seen,
+                            st.target_drops_seen
+                        ));
+                    }
+                    s.push_str("]}}");
+                    println!("{s}");
+                } else {
+                    for (name, st) in &runs {
+                        println!(
+                            "model-check [{name}]: {} schedules, {} states checked; coverage: {} evictions, {} discards, {} rejections, {} target drops",
+                            st.schedules,
+                            st.states,
+                            st.evictions_seen,
+                            st.discards_seen,
+                            st.rejections_seen,
+                            st.target_drops_seen
+                        );
+                    }
+                    println!(
+                        "model-check: counter monotone + exact accepted-record accounting hold on all enumerated schedules (depth {depth})"
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("abs-lint: model-check FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,162 @@
+//! Report assembly and rendering (human and machine-readable JSON).
+//!
+//! JSON is emitted by hand: the linter is std-only by policy, and the
+//! schema is flat enough that an escaping function and string pushes are
+//! clearer than pulling the serde shims into the checker that audits
+//! them.
+
+use crate::rules::Finding;
+
+/// The result of linting a tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Workspace root the paths are relative to.
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Every finding, allowed or not, sorted by (file, line).
+    pub findings: Vec<Finding>,
+    /// Total allow markers found in the tree.
+    pub allow_markers: usize,
+    /// The pinned marker budget, if a budget file was read.
+    pub budget: Option<usize>,
+}
+
+impl Report {
+    /// Findings that fail the build (not suppressed by a marker).
+    #[must_use]
+    pub fn violations(&self) -> usize {
+        self.findings.iter().filter(|f| !f.allowed).count()
+    }
+
+    /// `true` when the tree is clean: no live findings and the marker
+    /// count is within budget.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.violations() == 0 && !self.over_budget()
+    }
+
+    /// `true` when the marker count exceeds the pinned budget.
+    #[must_use]
+    pub fn over_budget(&self) -> bool {
+        self.budget.is_some_and(|b| self.allow_markers > b)
+    }
+
+    /// Renders the human-readable report.
+    #[must_use]
+    pub fn human(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            if f.allowed {
+                continue;
+            }
+            s.push_str(&format!(
+                "{}:{}: [{}] ({}) {}\n",
+                f.file, f.line, f.rule, f.zone, f.message
+            ));
+        }
+        let allowed = self.findings.len() - self.violations();
+        s.push_str(&format!(
+            "abs-lint: {} files, {} violation(s), {} allowed exception(s)",
+            self.files_scanned,
+            self.violations(),
+            allowed,
+        ));
+        match self.budget {
+            Some(b) => s.push_str(&format!(
+                ", {} marker(s) against a budget of {}{}\n",
+                self.allow_markers,
+                b,
+                if self.over_budget() {
+                    " — OVER BUDGET (raise .abs-lint-allow-budget in the same change, with review)"
+                } else {
+                    ""
+                }
+            )),
+            None => s.push_str(&format!(
+                ", {} marker(s) (no budget file)\n",
+                self.allow_markers
+            )),
+        }
+        s
+    }
+
+    /// Renders the report as one JSON object.
+    #[must_use]
+    pub fn json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"root\":{},", json_str(&self.root)));
+        s.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
+        s.push_str(&format!("\"allow_markers\":{},", self.allow_markers));
+        match self.budget {
+            Some(b) => s.push_str(&format!("\"allow_budget\":{b},")),
+            None => s.push_str("\"allow_budget\":null,"),
+        }
+        s.push_str(&format!("\"violations\":{},", self.violations()));
+        s.push_str(&format!("\"ok\":{},", self.ok()));
+        s.push_str("\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"file\":{},\"line\":{},\"rule\":{},\"zone\":{},\"allowed\":{},\"message\":{}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(f.rule),
+                json_str(f.zone),
+                f.allowed,
+                json_str(&f.message)
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+#[must_use]
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn budget_gate() {
+        let mut r = Report {
+            allow_markers: 5,
+            budget: Some(4),
+            ..Report::default()
+        };
+        assert!(r.over_budget());
+        assert!(!r.ok());
+        r.budget = Some(5);
+        assert!(r.ok());
+        r.budget = None;
+        assert!(r.ok());
+        assert!(r.json().contains("\"allow_budget\":null"));
+    }
+}

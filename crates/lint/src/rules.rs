@@ -1,0 +1,674 @@
+//! The rule engine: token-stream passes over one file.
+//!
+//! Every rule is deny-by-default; the only escape hatch is an inline
+//! `// abs-lint: allow(<rule>) -- <reason>` marker on the offending line
+//! or the line above it. Markers are counted and reported against the
+//! repo-wide budget so the exception list cannot grow silently.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::zones::{indexing_audited, Zone, HOT_FNS};
+
+/// All rule identifiers, in report order. `--list-rules` prints these.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "device-no-rand",
+        "device zone must not use the rand crate: the kernel is deterministic (Fig. 2)",
+    ),
+    (
+        "device-no-clock",
+        "device zone must not read Instant/SystemTime: no wall clock in the search path",
+    ),
+    (
+        "device-no-float",
+        "device zone must not use f32/f64: the window length is the only temperature",
+    ),
+    (
+        "device-no-alloc",
+        "per-flip hot path must not allocate (vec!/Box/String/collect/...)",
+    ),
+    (
+        "device-index-invariant",
+        "panicking [] indexing in tracker.rs/local.rs needs a neighbouring `invariant:` comment",
+    ),
+    (
+        "hostga-no-energy",
+        "host GA must never evaluate energies (§3: energies arrive from devices)",
+    ),
+    (
+        "ordering-seqcst-justified",
+        "Ordering::SeqCst needs a `// ordering:` justification comment",
+    ),
+    (
+        "ordering-pair-named",
+        "Ordering::Acquire/Release/AcqRel must name its pairing site in a `// ordering:` comment",
+    ),
+    (
+        "no-unwrap",
+        "unwrap()/expect() outside tests (device/host zones use guarded invariants or AbsError)",
+    ),
+    (
+        "crate-attrs",
+        "crate roots must carry #![forbid(unsafe_code)] and #![warn(missing_docs)]",
+    ),
+    (
+        "bad-allow-marker",
+        "abs-lint allow marker without a `-- <reason>` trailer",
+    ),
+    (
+        "allow-budget",
+        "allow-marker count exceeds the pinned budget file",
+    ),
+];
+
+/// How many lines above a site a justification comment may sit.
+const COMMENT_WINDOW: u32 = 2;
+
+/// One diagnostic.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule identifier from [`RULES`].
+    pub rule: &'static str,
+    /// Zone label of the file.
+    pub zone: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// `true` if an allow marker suppressed this finding.
+    pub allowed: bool,
+}
+
+/// One parsed `abs-lint: allow(...)` marker.
+#[derive(Clone, Debug)]
+pub struct AllowMarker {
+    /// Line the marker comment starts on.
+    pub line: u32,
+    /// Rules it allows.
+    pub rules: Vec<String>,
+    /// `true` if a non-empty reason follows `--`.
+    pub has_reason: bool,
+}
+
+/// Line spans (1-based, inclusive) of structural regions in one file.
+#[derive(Debug, Default)]
+struct Spans {
+    /// Items under `#[cfg(test)]` / `#[test]`.
+    test: Vec<(u32, u32)>,
+    /// Bodies of per-flip hot-path functions.
+    hot: Vec<(u32, u32)>,
+    /// Token-index ranges of attributes (`#[...]` / `#![...]`).
+    attr_tok: Vec<(usize, usize)>,
+}
+
+fn in_spans(line: u32, spans: &[(u32, u32)]) -> bool {
+    spans.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+fn in_tok_ranges(idx: usize, ranges: &[(usize, usize)]) -> bool {
+    ranges.iter().any(|&(a, b)| idx >= a && idx <= b)
+}
+
+/// Finds the token index of the `}` matching the `{` at `open`.
+fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct('{') {
+            depth += 1;
+        } else if toks[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Computes test-item spans, hot-function spans, and attribute ranges.
+fn find_spans(toks: &[Tok]) -> Spans {
+    let mut spans = Spans::default();
+    let mut i = 0usize;
+    let mut pending_test = false;
+    while i < toks.len() {
+        // Attribute: `#[...]` or `#![...]`.
+        if toks[i].is_punct('#') {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].is_punct('!') {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('[') {
+                // Bracket-match the attribute body.
+                let mut depth = 0i32;
+                let mut k = j;
+                while k < toks.len() {
+                    if toks[k].is_punct('[') {
+                        depth += 1;
+                    } else if toks[k].is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                let is_test_attr = toks[j..=k.min(toks.len() - 1)]
+                    .iter()
+                    .any(|t| t.is_ident("test"));
+                spans.attr_tok.push((i, k.min(toks.len() - 1)));
+                pending_test |= is_test_attr;
+                i = k + 1;
+                continue;
+            }
+        }
+        // First non-attribute token after a test attribute: the item.
+        if pending_test {
+            let start_line = toks[i].line;
+            // Item ends at the matching `}` of its first depth-0 `{`,
+            // or at the first depth-0 `;` (use decls, consts).
+            let mut k = i;
+            let mut pdepth = 0i32;
+            let end = loop {
+                if k >= toks.len() {
+                    break toks.len() - 1;
+                }
+                let t = &toks[k];
+                if t.is_punct('(') || t.is_punct('[') {
+                    pdepth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    pdepth -= 1;
+                } else if t.is_punct('{') && pdepth == 0 {
+                    break match_brace(toks, k);
+                } else if t.is_punct(';') && pdepth == 0 {
+                    break k;
+                }
+                k += 1;
+            };
+            spans.test.push((start_line, toks[end].line));
+            pending_test = false;
+            i = end + 1;
+            continue;
+        }
+        // Hot function body.
+        if toks[i].is_ident("fn")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokKind::Ident && HOT_FNS.contains(&t.text.as_str()))
+        {
+            let mut k = i + 2;
+            let mut pdepth = 0i32;
+            while k < toks.len() {
+                let t = &toks[k];
+                if t.is_punct('(') {
+                    pdepth += 1;
+                } else if t.is_punct(')') {
+                    pdepth -= 1;
+                } else if t.is_punct('{') && pdepth == 0 {
+                    break;
+                } else if t.is_punct(';') && pdepth == 0 {
+                    // Trait method declaration without a body.
+                    break;
+                }
+                k += 1;
+            }
+            if k < toks.len() && toks[k].is_punct('{') {
+                let end = match_brace(toks, k);
+                spans.hot.push((toks[i].line, toks[end].line));
+                // Do not skip: nested tokens are still rule-checked.
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Parses every `abs-lint: allow(rule, ...) -- reason` marker.
+#[must_use]
+pub fn parse_markers(lexed: &Lexed) -> Vec<AllowMarker> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        // Merged `//` runs are newline-joined: scan per source line so a
+        // marker keeps its own line number inside a block.
+        for (off, text) in c.text.lines().enumerate() {
+            let Some(pos) = text.find("abs-lint:") else {
+                continue;
+            };
+            // A marker must *start* its comment line (after the
+            // `//`/`/*` sigils): prose that merely mentions the syntax,
+            // e.g. rustdoc describing the marker format, is not an
+            // exception.
+            if !text[..pos]
+                .chars()
+                .all(|ch| matches!(ch, '/' | '*' | '!' | ' ' | '\t'))
+            {
+                continue;
+            }
+            let rest = &text[pos + "abs-lint:".len()..];
+            let Some(open) = rest.find("allow(") else {
+                continue;
+            };
+            if !rest[..open].trim().is_empty() {
+                continue;
+            }
+            let after = &rest[open + "allow(".len()..];
+            let Some(close) = after.find(')') else {
+                continue;
+            };
+            let rules: Vec<String> = after[..close]
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            let has_reason = after[close..]
+                .find("--")
+                .is_some_and(|d| !after[close + d + 2..].trim().is_empty());
+            out.push(AllowMarker {
+                line: c.line + off as u32,
+                rules,
+                has_reason,
+            });
+        }
+    }
+    out
+}
+
+/// Context for one file's rule pass.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path.
+    pub rel_path: &'a str,
+    /// Zone of the file.
+    pub zone: Zone,
+    /// Lexer output.
+    pub lexed: &'a Lexed,
+}
+
+/// Allocation markers on the hot path. `clone` is deliberately absent:
+/// cloning the best solution on an improvement is the rare path and is
+/// part of the protocol (records are owned by the buffer).
+const ALLOC_IDENTS: &[&str] = &[
+    "vec",
+    "Vec",
+    "Box",
+    "String",
+    "format",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "collect",
+    "with_capacity",
+];
+
+/// Runs every rule over one lexed file, returning raw findings with
+/// allow markers already applied (`allowed` set, not filtered).
+#[must_use]
+pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let toks = &ctx.lexed.toks;
+    let spans = find_spans(toks);
+    let markers = parse_markers(ctx.lexed);
+    let mut findings: Vec<Finding> = Vec::new();
+
+    let mut push = |rule: &'static str, line: u32, zone: Zone, message: String| {
+        findings.push(Finding {
+            file: String::new(), // filled by caller
+            line,
+            rule,
+            zone: zone.label(),
+            message,
+            allowed: false,
+        });
+    };
+
+    // Markers missing a reason are findings themselves.
+    for m in &markers {
+        if !m.has_reason {
+            push(
+                "bad-allow-marker",
+                m.line,
+                ctx.zone,
+                "allow marker lacks a `-- <reason>` trailer".to_string(),
+            );
+        }
+    }
+
+    // crate-attrs: crate roots must pin the two lint attributes.
+    let p = ctx.rel_path.replace('\\', "/");
+    if p.ends_with("/src/lib.rs") || p.ends_with("/src/main.rs") {
+        let has = |a: &str, b: &str| {
+            toks.windows(4).any(|w| {
+                w[0].is_ident(a) && w[1].is_punct('(') && w[2].is_ident(b) && w[3].is_punct(')')
+            })
+        };
+        if !has("forbid", "unsafe_code") {
+            push(
+                "crate-attrs",
+                1,
+                ctx.zone,
+                "crate root lacks #![forbid(unsafe_code)]".to_string(),
+            );
+        }
+        if !has("warn", "missing_docs") && !has("deny", "missing_docs") {
+            push(
+                "crate-attrs",
+                1,
+                ctx.zone,
+                "crate root lacks #![warn(missing_docs)]".to_string(),
+            );
+        }
+    }
+
+    for (i, t) in toks.iter().enumerate() {
+        let line = t.line;
+        if in_spans(line, &spans.test) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| &toks[j]);
+        let next = toks.get(i + 1);
+
+        // --- device-zone purity -----------------------------------------
+        if ctx.zone == Zone::Device {
+            if t.is_ident("rand") && next.is_some_and(|n| n.is_punct(':')) {
+                push(
+                    "device-no-rand",
+                    line,
+                    ctx.zone,
+                    "rand crate used in the deterministic device zone".to_string(),
+                );
+            }
+            if t.is_ident("Instant") || t.is_ident("SystemTime") {
+                push(
+                    "device-no-clock",
+                    line,
+                    ctx.zone,
+                    format!("wall-clock type `{}` in the device zone", t.text),
+                );
+            }
+            if t.is_ident("f32") || t.is_ident("f64") || t.kind == TokKind::Float {
+                push(
+                    "device-no-float",
+                    line,
+                    ctx.zone,
+                    format!("floating point (`{}`) in the device zone", t.text),
+                );
+            }
+            if in_spans(line, &spans.hot)
+                && t.kind == TokKind::Ident
+                && ALLOC_IDENTS.contains(&t.text.as_str())
+            {
+                // `vec`/`format` only as macros; the rest as path/method.
+                let is_macro = next.is_some_and(|n| n.is_punct('!'));
+                let flagged = match t.text.as_str() {
+                    "vec" | "format" => is_macro,
+                    _ => true,
+                };
+                if flagged {
+                    push(
+                        "device-no-alloc",
+                        line,
+                        ctx.zone,
+                        format!(
+                            "possible heap allocation (`{}`) on the per-flip path",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            // Panicking indexing in the audited kernel files.
+            if indexing_audited(ctx.rel_path)
+                && t.is_punct('[')
+                && prev.is_some_and(|p| {
+                    p.kind == TokKind::Ident && !is_keyword_before_bracket(&p.text)
+                        || p.is_punct(']')
+                        || p.is_punct(')')
+                })
+                && !in_tok_ranges(i, &spans.attr_tok)
+                && !ctx
+                    .lexed
+                    .comment_near(line.saturating_sub(COMMENT_WINDOW), line, "invariant")
+            {
+                push(
+                    "device-index-invariant",
+                    line,
+                    ctx.zone,
+                    "panicking [] indexing without a neighbouring `invariant:` comment".to_string(),
+                );
+            }
+        }
+
+        // --- host GA never computes energy ------------------------------
+        if ctx.zone == Zone::HostGa
+            && (t.is_ident("energy") || t.is_ident("delta") || t.is_ident("energy_of"))
+            && next.is_some_and(|n| n.is_punct('('))
+            && prev.is_some_and(|p| p.is_punct('.') || p.is_punct(':'))
+        {
+            push(
+                "hostga-no-energy",
+                line,
+                ctx.zone,
+                format!(
+                    "host GA calls `{}()` — energies must come from devices",
+                    t.text
+                ),
+            );
+        }
+
+        // --- atomic ordering audit (every zone) -------------------------
+        let is_ordering_path = prev.is_some_and(|p| p.is_punct(':'))
+            && i >= 2
+            && toks[i - 2].is_punct(':')
+            && toks
+                .get(i.wrapping_sub(3))
+                .is_some_and(|p| p.is_ident("Ordering"));
+        if t.is_ident("SeqCst")
+            && is_ordering_path
+            && !ctx
+                .lexed
+                .comment_near(line.saturating_sub(COMMENT_WINDOW), line, "ordering:")
+        {
+            push(
+                "ordering-seqcst-justified",
+                line,
+                ctx.zone,
+                "Ordering::SeqCst without an `// ordering:` justification".to_string(),
+            );
+        }
+        if (t.is_ident("Acquire") || t.is_ident("Release") || t.is_ident("AcqRel"))
+            && is_ordering_path
+            && !ctx
+                .lexed
+                .comment_near(line.saturating_sub(COMMENT_WINDOW), line, "ordering:")
+        {
+            push(
+                "ordering-pair-named",
+                line,
+                ctx.zone,
+                format!(
+                    "Ordering::{} without an `// ordering:` comment naming its pairing site",
+                    t.text
+                ),
+            );
+        }
+
+        // --- no-unwrap (all zones except the bench harness) -------------
+        if ctx.zone != Zone::Harness
+            && (t.is_ident("unwrap") || t.is_ident("expect"))
+            && prev.is_some_and(|p| p.is_punct('.'))
+            && next.is_some_and(|n| n.is_punct('('))
+        {
+            push(
+                "no-unwrap",
+                line,
+                ctx.zone,
+                format!(".{}() outside tests", t.text),
+            );
+        }
+    }
+
+    // Apply allow markers: a marker covers its own line and the next.
+    for f in &mut findings {
+        if f.rule == "bad-allow-marker" {
+            continue;
+        }
+        if markers.iter().any(|m| {
+            (m.line == f.line || m.line + 1 == f.line) && m.rules.iter().any(|r| r == f.rule)
+        }) {
+            f.allowed = true;
+        }
+    }
+    findings
+}
+
+/// Keywords that can directly precede `[` without it being an index
+/// expression (slice patterns, array types are preceded by punctuation
+/// and so never match; `mut`/`ref`/`in` precede slice patterns).
+fn is_keyword_before_bracket(s: &str) -> bool {
+    matches!(
+        s,
+        "mut" | "ref" | "in" | "return" | "break" | "else" | "match" | "impl" | "dyn"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let ctx = FileCtx {
+            rel_path: path,
+            zone: crate::zones::classify(path),
+            lexed: &lexed,
+        };
+        check_file(&ctx)
+    }
+
+    fn active<'f>(fs: &'f [Finding], rule: &str) -> Vec<&'f Finding> {
+        fs.iter().filter(|f| f.rule == rule && !f.allowed).collect()
+    }
+
+    #[test]
+    fn device_zone_forbids_rand_clock_float() {
+        let src = "use rand::Rng;\nfn f() -> f64 { let t = std::time::Instant::now(); 1.5 }\n";
+        let fs = run("crates/search/src/tracker.rs", src);
+        assert_eq!(active(&fs, "device-no-rand").len(), 1);
+        assert_eq!(active(&fs, "device-no-clock").len(), 1);
+        assert_eq!(active(&fs, "device-no-float").len(), 2); // f64 + 1.5
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n  use rand::Rng;\n  fn g() { x.unwrap(); }\n}\n";
+        let fs = run("crates/search/src/tracker.rs", src);
+        assert!(active(&fs, "device-no-rand").is_empty());
+        assert!(active(&fs, "no-unwrap").is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses_and_requires_reason() {
+        let src = "// abs-lint: allow(device-no-float) -- Metropolis config, not the kernel\npub temperature: f64,\n";
+        let fs = run("crates/search/src/policy.rs", src);
+        assert!(active(&fs, "device-no-float").is_empty());
+        assert_eq!(
+            fs.iter()
+                .filter(|f| f.rule == "device-no-float" && f.allowed)
+                .count(),
+            1
+        );
+
+        let bad = "// abs-lint: allow(device-no-float)\npub t: f64,\n";
+        let fs = run("crates/search/src/policy.rs", bad);
+        assert_eq!(active(&fs, "bad-allow-marker").len(), 1);
+        // Without a reason the marker still suppresses (the budget and
+        // the bad-marker finding police it).
+        assert!(active(&fs, "device-no-float").is_empty());
+    }
+
+    #[test]
+    fn hot_path_allocation_is_flagged_only_in_hot_fns() {
+        let src = "fn setup() { let v: Vec<u8> = Vec::new(); }\nfn flip(&mut self) { let v = vec![0u8; 4]; }\n";
+        let fs = run("crates/search/src/tracker.rs", src);
+        let allocs = active(&fs, "device-no-alloc");
+        assert_eq!(allocs.len(), 1);
+        assert_eq!(allocs[0].line, 2);
+    }
+
+    #[test]
+    fn indexing_needs_invariant_comment() {
+        let bare = "fn f(d: &[i32], k: usize) -> i32 { d[k] }\n";
+        let fs = run("crates/search/src/tracker.rs", bare);
+        assert_eq!(active(&fs, "device-index-invariant").len(), 1);
+
+        let ok = "fn f(d: &[i32], k: usize) -> i32 {\n  // invariant: k < d.len() asserted by caller\n  d[k]\n}\n";
+        let fs = run("crates/search/src/tracker.rs", ok);
+        assert!(active(&fs, "device-index-invariant").is_empty());
+
+        // Attributes and slice patterns are not index expressions.
+        let attr = "#[derive(Clone)]\nstruct S;\n";
+        let fs = run("crates/search/src/tracker.rs", attr);
+        assert!(active(&fs, "device-index-invariant").is_empty());
+    }
+
+    #[test]
+    fn hostga_energy_calls_are_flagged_but_constants_are_not() {
+        let call = "fn f(q: &Qubo, x: &BitVec) -> i64 { q.energy(x) }\n";
+        let fs = run("crates/ga/src/pool.rs", call);
+        assert_eq!(active(&fs, "hostga-no-energy").len(), 1);
+
+        let constant =
+            "use qubo::energy::UNEVALUATED;\nfn g(e: i64) -> bool { e == UNEVALUATED }\n";
+        let fs = run("crates/ga/src/pool.rs", constant);
+        assert!(active(&fs, "hostga-no-energy").is_empty());
+    }
+
+    #[test]
+    fn ordering_rules_demand_comments() {
+        let bare =
+            "fn f(a: &AtomicU64) { a.store(1, Ordering::SeqCst); a.load(Ordering::Acquire); }\n";
+        let fs = run("crates/vgpu/src/buffers.rs", bare);
+        assert_eq!(active(&fs, "ordering-seqcst-justified").len(), 1);
+        assert_eq!(active(&fs, "ordering-pair-named").len(), 1);
+
+        let ok = "// ordering: Release in push_result pairs with this Acquire\nfn f(a: &AtomicU64) { a.load(Ordering::Acquire); }\n";
+        let fs = run("crates/vgpu/src/buffers.rs", ok);
+        assert!(active(&fs, "ordering-pair-named").is_empty());
+
+        // Relaxed needs no comment.
+        let relaxed = "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n";
+        let fs = run("crates/vgpu/src/buffers.rs", relaxed);
+        assert!(active(&fs, "ordering-pair-named").is_empty());
+    }
+
+    #[test]
+    fn unwrap_outside_tests_is_flagged_everywhere_but_bench() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(
+            active(&run("crates/core/src/solver.rs", src), "no-unwrap").len(),
+            1
+        );
+        assert_eq!(
+            active(&run("crates/qubo/src/matrix.rs", src), "no-unwrap").len(),
+            1
+        );
+        assert!(active(&run("crates/bench/src/lib.rs", src), "no-unwrap").is_empty());
+        // unwrap_or_else is fine.
+        let src2 = "fn f(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 0) }\n";
+        assert!(active(&run("crates/core/src/solver.rs", src2), "no-unwrap").is_empty());
+    }
+
+    #[test]
+    fn crate_attrs_checked_on_roots_only() {
+        let bare = "pub mod x;\n";
+        let fs = run("crates/qubo/src/lib.rs", bare);
+        assert_eq!(active(&fs, "crate-attrs").len(), 2);
+        let fs = run("crates/qubo/src/matrix.rs", bare);
+        assert!(active(&fs, "crate-attrs").is_empty());
+        let ok = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub mod x;\n";
+        let fs = run("crates/qubo/src/lib.rs", ok);
+        assert!(active(&fs, "crate-attrs").is_empty());
+    }
+}

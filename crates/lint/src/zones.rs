@@ -1,0 +1,121 @@
+//! Zone classification: which invariant set applies to which module.
+//!
+//! The paper's architecture splits responsibilities sharply (Fig. 5):
+//! the device kernel is deterministic and integer-only, the host GA
+//! breeds targets but never evaluates energies, and the two sides meet
+//! only in global memory. The zones encode that split by path, so the
+//! rules stay deny-by-default and the mapping is auditable in one place.
+
+/// The invariant zone of one source file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Zone {
+    /// The device kernel: `qubo_search` (tracker / local / straight /
+    /// policy / acc), `vgpu::block`, and `qubo::energy`. Deterministic,
+    /// integer-only, allocation-free on the per-flip path.
+    Device,
+    /// The host GA (`crates/ga`): breeds targets, never computes energy.
+    HostGa,
+    /// The host orchestration side (`crates/core`, `crates/cli`):
+    /// panic-free error paths required.
+    Host,
+    /// Everything else in `crates/*/src`: global rules only.
+    Neutral,
+    /// The benchmark harness (`crates/bench`): an experiment driver
+    /// whose error handling *is* the panic, exempt from `no-unwrap`.
+    Harness,
+}
+
+impl Zone {
+    /// Stable lowercase label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Zone::Device => "device",
+            Zone::HostGa => "host-ga",
+            Zone::Host => "host",
+            Zone::Neutral => "neutral",
+            Zone::Harness => "harness",
+        }
+    }
+}
+
+/// Classifies a workspace-relative path (`/`-separated).
+#[must_use]
+pub fn classify(rel_path: &str) -> Zone {
+    let p = rel_path.replace('\\', "/");
+    // `naive.rs` holds the *instrumented reference implementations* of
+    // Algorithms 1–3 — host-side experiment oracles for the paper's
+    // search-efficiency analysis. They are never reachable from the
+    // device execution path (`vgpu::block` drives only the tracker), so
+    // they may use rand and floats like any other harness code.
+    if p == "crates/search/src/naive.rs" {
+        return Zone::Neutral;
+    }
+    if p.starts_with("crates/search/src/")
+        || p == "crates/qubo/src/energy.rs"
+        || p == "crates/vgpu/src/block.rs"
+    {
+        Zone::Device
+    } else if p.starts_with("crates/ga/src/") {
+        Zone::HostGa
+    } else if p.starts_with("crates/core/src/") || p.starts_with("crates/cli/src/") {
+        Zone::Host
+    } else if p.starts_with("crates/bench/src/") {
+        Zone::Harness
+    } else {
+        Zone::Neutral
+    }
+}
+
+/// Files whose panicking `[]` indexing must carry a bounds-invariant
+/// comment: the Δ-maintenance kernel and its driver, where an
+/// out-of-bounds panic would kill a whole search block mid-iteration.
+#[must_use]
+pub fn indexing_audited(rel_path: &str) -> bool {
+    let p = rel_path.replace('\\', "/");
+    p == "crates/search/src/tracker.rs" || p == "crates/search/src/local.rs"
+}
+
+/// Function names forming the per-flip hot path: one call per flip (or
+/// per selection), where a heap allocation would turn the O(n) kernel
+/// into an allocator benchmark. Matched by name within device files.
+pub const HOT_FNS: &[&str] = &[
+    "flip",
+    "flip_fused",
+    "flip_select",
+    "select_in_window",
+    "window_argmin",
+    "slice_min_first",
+    "local_search",
+    "straight_search",
+    "add_coupling",
+    "select",
+    "next_window",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zone_map_matches_the_paper_split() {
+        assert_eq!(classify("crates/search/src/tracker.rs"), Zone::Device);
+        assert_eq!(classify("crates/search/src/policy.rs"), Zone::Device);
+        assert_eq!(classify("crates/search/src/naive.rs"), Zone::Neutral);
+        assert_eq!(classify("crates/vgpu/src/block.rs"), Zone::Device);
+        assert_eq!(classify("crates/qubo/src/energy.rs"), Zone::Device);
+        assert_eq!(classify("crates/qubo/src/matrix.rs"), Zone::Neutral);
+        assert_eq!(classify("crates/vgpu/src/buffers.rs"), Zone::Neutral);
+        assert_eq!(classify("crates/ga/src/pool.rs"), Zone::HostGa);
+        assert_eq!(classify("crates/core/src/solver.rs"), Zone::Host);
+        assert_eq!(classify("crates/cli/src/main.rs"), Zone::Host);
+        assert_eq!(classify("crates/bench/src/lib.rs"), Zone::Harness);
+    }
+
+    #[test]
+    fn indexing_audit_covers_the_kernel_files() {
+        assert!(indexing_audited("crates/search/src/tracker.rs"));
+        assert!(indexing_audited("crates/search/src/local.rs"));
+        assert!(!indexing_audited("crates/search/src/policy.rs"));
+    }
+}

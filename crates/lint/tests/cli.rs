@@ -1,0 +1,204 @@
+//! End-to-end tests of the `abs-lint` binary: exit codes, JSON output,
+//! fixture trees with seeded violations, and the real workspace.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_abs-lint"))
+}
+
+/// Workspace root (this file lives at `crates/lint/tests/`).
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+/// Builds a throwaway fixture tree `root/crates/<krate>/src/<file>` with
+/// the given sources.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str, files: &[(&str, &str)]) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("abs-lint-fixture-{}-{}", name, std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        for (rel, src) in files {
+            let p = root.join(rel);
+            fs::create_dir_all(p.parent().unwrap()).unwrap();
+            fs::write(&p, src).unwrap();
+        }
+        Self { root }
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn clean_fixture_exits_zero() {
+    let f = Fixture::new(
+        "clean",
+        &[(
+            "crates/search/src/tracker.rs",
+            "fn helper(a: i64, b: i64) -> i64 { a + b }\n",
+        )],
+    );
+    let out = bin().args(["--root"]).arg(&f.root).output().unwrap();
+    assert!(
+        out.status.success(),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn seeded_device_violation_exits_nonzero_with_location() {
+    let f = Fixture::new(
+        "seeded",
+        &[(
+            "crates/search/src/tracker.rs",
+            "use rand::Rng;\nfn f() -> f64 { 1.5 }\n",
+        )],
+    );
+    let out = bin().args(["--root"]).arg(&f.root).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // file:line and rule id must both be present.
+    assert!(
+        stdout.contains("crates/search/src/tracker.rs:1:"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("device-no-rand"), "{stdout}");
+    assert!(stdout.contains("device-no-float"), "{stdout}");
+}
+
+#[test]
+fn json_format_reports_machine_readable_findings() {
+    let f = Fixture::new(
+        "json",
+        &[(
+            "crates/core/src/solver.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )],
+    );
+    let out = bin()
+        .args(["--format", "json", "--root"])
+        .arg(&f.root)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"ok\":false"), "{stdout}");
+    assert!(stdout.contains("\"rule\":\"no-unwrap\""), "{stdout}");
+    assert!(stdout.contains("\"zone\":\"host\""), "{stdout}");
+    assert!(stdout.starts_with('{') && stdout.trim_end().ends_with('}'));
+}
+
+#[test]
+fn allow_marker_suppresses_but_budget_gates() {
+    let src = "\
+// abs-lint: allow(device-no-float) -- fixture exception with a reason
+fn f() -> f64 { 0 as f64 }
+";
+    let files = [("crates/search/src/tracker.rs", src)];
+
+    // Marker suppresses the finding; without a budget file that is clean.
+    let f = Fixture::new("marker", &files);
+    let out = bin().args(["--root"]).arg(&f.root).output().unwrap();
+    assert!(out.status.success());
+
+    // A pinned budget of 0 turns the same tree into a violation.
+    fs::write(f.root.join(".abs-lint-allow-budget"), "0\n").unwrap();
+    let out = bin().args(["--root"]).arg(&f.root).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("allow-budget"),
+        "budget violation must be reported"
+    );
+}
+
+#[test]
+fn marker_without_reason_is_a_violation() {
+    let f = Fixture::new(
+        "badmarker",
+        &[(
+            "crates/search/src/tracker.rs",
+            "// abs-lint: allow(device-no-float)\nfn f() -> f64 { 0 as f64 }\n",
+        )],
+    );
+    let out = bin().args(["--root"]).arg(&f.root).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("bad-allow-marker"));
+}
+
+#[test]
+fn real_workspace_is_clean_and_within_budget() {
+    let root = workspace_root();
+    let out = bin()
+        .args(["--format", "json", "--root"])
+        .arg(&root)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "the workspace must lint clean:\n{stdout}"
+    );
+    assert!(stdout.contains("\"violations\":0"), "{stdout}");
+    // The budget file is pinned at the root; the lint must have found it.
+    assert!(!stdout.contains("\"allow_budget\":null"), "{stdout}");
+}
+
+#[test]
+fn model_check_passes_and_reports_coverage() {
+    let out = bin()
+        .args(["--model-check", "5", "--format", "json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"ok\":true"), "{stdout}");
+    assert!(stdout.contains("\"evictions_seen\""), "{stdout}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = bin().args(["--no-such-flag"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn list_rules_names_every_rule() {
+    let out = bin().args(["--list-rules"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "device-no-rand",
+        "device-no-clock",
+        "device-no-float",
+        "device-no-alloc",
+        "device-index-invariant",
+        "hostga-no-energy",
+        "ordering-seqcst-justified",
+        "ordering-pair-named",
+        "no-unwrap",
+        "crate-attrs",
+        "bad-allow-marker",
+        "allow-budget",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule}");
+    }
+}

@@ -352,14 +352,14 @@ pub fn two_opt(inst: &TspInstance) -> (Vec<usize>, u64) {
     let mut used = vec![false; c];
     tour.push(0);
     used[0] = true;
+    let mut cur = 0;
     for _ in 1..c {
-        let cur = *tour.last().expect("non-empty");
-        let next = (0..c)
-            .filter(|&v| !used[v])
-            .min_by_key(|&v| inst.d(cur, v))
-            .expect("unused city exists");
+        let Some(next) = (0..c).filter(|&v| !used[v]).min_by_key(|&v| inst.d(cur, v)) else {
+            break; // unreachable: each pass marks exactly one of c cities used
+        };
         used[next] = true;
         tour.push(next);
+        cur = next;
     }
     // 2-opt until local optimum.
     let mut improved = true;

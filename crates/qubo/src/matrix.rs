@@ -123,6 +123,7 @@ impl Qubo {
     /// Panics if `n` is out of range (synthetic generators are test/bench
     /// entry points where a panic is the right failure mode).
     pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        // abs-lint: allow(no-unwrap) -- documented Panics contract: synthetic generator entry point
         let mut q = Self::zero(n).expect("size in range");
         for i in 0..n {
             for j in i..n {

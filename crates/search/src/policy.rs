@@ -16,8 +16,8 @@
 
 use crate::acc::DeltaAcc;
 use qubo::BitVec;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+// abs-lint: allow(device-no-rand) -- RandomPolicy/MetropolisPolicy only: documented deviations from the Fig. 2 kernel (DESIGN.md); the window policies consume no randomness
+use rand::{rngs::SmallRng, Rng, SeedableRng};
 
 /// A policy choosing the next bit to flip given the current Δ vector.
 ///
@@ -93,6 +93,7 @@ fn slice_min_first<A: DeltaAcc>(s: &[A]) -> (usize, A) {
     for &v in &s[1..] {
         min_v = min_v.min(v);
     }
+    // abs-lint: allow(no-unwrap) -- min_v was read out of `s` above, so the locate scan cannot miss
     let i = s.iter().position(|&v| v == min_v).expect("min exists");
     (i, min_v)
 }
@@ -183,6 +184,7 @@ impl<A: DeltaAcc> SelectionPolicy<A> for GreedyPolicy {
             .enumerate()
             .min_by_key(|&(_, &d)| d)
             .map(|(i, _)| i)
+            // abs-lint: allow(no-unwrap) -- SelectionPolicy contract: deltas has n ≥ 1 entries
             .expect("non-empty problem")
     }
 
@@ -226,9 +228,11 @@ impl<A: DeltaAcc> SelectionPolicy<A> for RandomPolicy {
 pub struct MetropolisPolicy {
     rng: SmallRng,
     /// Temperature `k_B · t` in energy units.
+    // abs-lint: allow(device-no-float) -- Metropolis deviation (Eq. 7), not the window kernel
     pub temperature: f64,
     /// Cooling multiplier applied once per selection (geometric schedule);
     /// set to 1.0 for a constant temperature.
+    // abs-lint: allow(device-no-float) -- Metropolis deviation (Eq. 7), not the window kernel
     pub cooling: f64,
     max_tries: u32,
 }
@@ -236,6 +240,7 @@ pub struct MetropolisPolicy {
 impl MetropolisPolicy {
     /// Creates the policy with the given temperature and seed.
     #[must_use]
+    // abs-lint: allow(device-no-float) -- Metropolis deviation (Eq. 7), not the window kernel
     pub fn new(temperature: f64, cooling: f64, seed: u64) -> Self {
         Self {
             rng: SmallRng::seed_from_u64(seed),
@@ -256,7 +261,9 @@ impl<A: DeltaAcc> SelectionPolicy<A> for MetropolisPolicy {
             if d <= 0 {
                 break;
             }
+            // abs-lint: allow(device-no-float) -- Eq. (7) acceptance probability; Metropolis deviation
             let p = (-(d as f64) / self.temperature.max(f64::MIN_POSITIVE)).exp();
+            // abs-lint: allow(device-no-float) -- Eq. (7) acceptance sample; Metropolis deviation
             if self.rng.gen::<f64>() < p {
                 break;
             }

@@ -165,11 +165,10 @@ pub fn sparse_greedy_descent(q: &SparseQubo, start: &BitVec) -> (BitVec, Energy)
         t.flip(k);
     }
     loop {
-        let (k, &d) =
-            t.d.iter()
-                .enumerate()
-                .min_by_key(|&(_, &v)| v)
-                .expect("non-empty");
+        let Some((k, &d)) = t.d.iter().enumerate().min_by_key(|&(_, &v)| v) else {
+            // n == 0: the empty solution is trivially a local minimum.
+            return (t.x.clone(), t.e);
+        };
         if d >= 0 {
             return (t.x.clone(), t.e);
         }

@@ -244,6 +244,7 @@ impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
         let n = self.n();
         assert!(k < n, "bit index {k} out of range {n}");
         let row = self.qubo.row(k);
+        // invariant: k < n asserted above; d, sign, x and row(k) all have length n.
         let d_k_old = self.d[k];
         let d_k_new = d_k_old.neg();
         let e_new = self.e + d_k_old.to_energy();
@@ -253,15 +254,19 @@ impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
         // `two_pk = 2·φ(x_k)` is hoisted. Each half is a plain
         // add + min over contiguous slices, which auto-vectorizes; with
         // `A = i32` the lanes are twice as wide as the i64 seed kernel.
+        // invariant: sign[k] in bounds (k < n above).
         let two_pk = i32::from(self.sign[k]) * 2;
         let mut min_d = d_k_new;
         let (d_lo, d_rest) = self.d.split_at_mut(k);
+        // abs-lint: allow(no-unwrap) -- d_rest is non-empty: split_at_mut(k) with k < n
         let (d_k_slot, d_hi) = d_rest.split_first_mut().expect("k < n");
+        // invariant: ranges ..k and k+1.. are in bounds of row/sign (length n, k < n).
         for ((di, &w), &s) in d_lo.iter_mut().zip(&row[..k]).zip(&self.sign[..k]) {
             let v = di.add_coupling(w, s, two_pk);
             *di = v;
             min_d = min_d.min(v);
         }
+        // invariant: ranges k+1.. start at most at n (k < n), so both slices are valid.
         for ((di, &w), &s) in d_hi.iter_mut().zip(&row[k + 1..]).zip(&self.sign[k + 1..]) {
             let v = di.add_coupling(w, s, two_pk);
             *di = v;
@@ -269,6 +274,7 @@ impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
         }
         *d_k_slot = d_k_new;
 
+        // invariant: sign[k] in bounds (k < n asserted at entry).
         self.sign[k] = -self.sign[k];
         self.x.flip(k);
         self.e = e_new;
@@ -283,6 +289,7 @@ impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
             self.best_e = e_new;
         }
         if e_new + min_d.to_energy() < self.best_e {
+            // abs-lint: allow(no-unwrap) -- min_d was folded from d's own entries, the scan cannot miss
             let i = self.d.iter().position(|&v| v == min_d).expect("min exists");
             self.best.copy_from(&self.x);
             self.best.flip(i);
@@ -298,12 +305,14 @@ impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
     pub fn verify(&self) {
         assert_eq!(self.e, self.qubo.energy(&self.x), "energy drifted");
         for i in 0..self.n() {
+            // invariant: i < n = d.len() by the loop bound.
             assert_eq!(
                 self.d[i].to_energy(),
                 self.qubo.delta(&self.x, i),
                 "delta {i} drifted"
             );
             let expect_sign = if self.x.get(i) { -1 } else { 1 };
+            // invariant: i < n = sign.len() by the loop bound.
             assert_eq!(i32::from(self.sign[i]), expect_sign, "sign {i} drifted");
         }
         assert_eq!(self.best_e, self.qubo.energy(&self.best), "best drifted");

@@ -60,8 +60,10 @@ pub enum PolicyKind {
     /// Metropolis acceptance in the forced-flip framework (Eq. (7)).
     Metropolis {
         /// Temperature `k_B·t` in energy units.
+        // abs-lint: allow(device-no-float) -- Metropolis variant config; the Window kernel is float-free
         temperature: f64,
         /// Per-selection geometric cooling factor (1.0 = constant).
+        // abs-lint: allow(device-no-float) -- Metropolis variant config; the Window kernel is float-free
         cooling: f64,
     },
 }

@@ -138,6 +138,9 @@ impl GlobalMem {
     /// `cudaMemcpyAsync` poll of §3.1 Step 2).
     #[must_use]
     pub fn counter(&self) -> u64 {
+        // ordering: Acquire pairs with the Release fetch_add in
+        // push_result — observing an advanced count implies the record
+        // is already in the mutex-guarded results buffer.
         self.counter.load(Ordering::Acquire)
     }
 
@@ -159,6 +162,8 @@ impl GlobalMem {
     /// Host: raise the stop flag; blocks exit at the next iteration
     /// boundary.
     pub fn request_stop(&self) {
+        // ordering: Release pairs with the Acquire load in stopped() —
+        // host writes before the stop request are visible to exiting blocks.
         self.stop.store(true, Ordering::Release);
     }
 
@@ -179,6 +184,7 @@ impl GlobalMem {
     /// Device: registers the problem bit-length at run start; from then
     /// on [`GlobalMem::push_result`] rejects records of any other length.
     pub fn set_expected_len(&self, n: usize) {
+        // ordering: Release pairs with the Acquire load in push_result.
         self.expected_len.store(n, Ordering::Release);
     }
 
@@ -194,14 +200,17 @@ impl GlobalMem {
     /// record whose bit-length disagrees with the registered problem
     /// size, or a record discarded by result-buffer overflow.
     pub fn push_result(&self, record: SolutionRecord) -> bool {
+        // ordering: Acquire pairs with the Release store in set_expected_len.
         let want = self.expected_len.load(Ordering::Acquire);
         if want != 0 && record.x.len() != want {
-            self.rejected.fetch_add(1, Ordering::AcqRel);
+            // Pure statistics counter: nothing is published through it.
+            self.rejected.fetch_add(1, Ordering::Relaxed);
             return false;
         }
         let mut results = self.results.lock();
         if results.len() >= self.result_capacity {
-            self.overflow_results.fetch_add(1, Ordering::AcqRel);
+            // Pure statistics counter: nothing is published through it.
+            self.overflow_results.fetch_add(1, Ordering::Relaxed);
             // Keep-best overflow: replace the worst buffered record if
             // the newcomer beats it, else discard the newcomer.
             let worst = results
@@ -213,7 +222,8 @@ impl GlobalMem {
                 Some(i) if record.energy < results[i].energy => {
                     results[i] = record;
                     drop(results);
-                    self.counter.fetch_add(1, Ordering::AcqRel);
+                    // ordering: Release pairs with the Acquire in counter().
+                    self.counter.fetch_add(1, Ordering::Release);
                     return true;
                 }
                 _ => return false,
@@ -221,7 +231,8 @@ impl GlobalMem {
         }
         results.push(record);
         drop(results);
-        self.counter.fetch_add(1, Ordering::AcqRel);
+        // ordering: Release pairs with the Acquire in counter().
+        self.counter.fetch_add(1, Ordering::Release);
         true
     }
 
@@ -250,10 +261,11 @@ impl GlobalMem {
     /// throughput numerator honest on degraded runs.)
     pub fn retire_unit(&self) {
         // Saturating: a retire can never make the count negative even if
-        // racing registrations have not landed yet.
+        // racing registrations have not landed yet. Pure statistics
+        // counter (read Relaxed in total_units), so no ordering needed.
         let _ = self
             .units
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |u| {
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| {
                 Some(u.saturating_sub(1))
             });
     }
@@ -261,6 +273,7 @@ impl GlobalMem {
     /// Whether the host has requested a stop.
     #[must_use]
     pub fn stopped(&self) -> bool {
+        // ordering: Acquire pairs with the Release store in request_stop.
         self.stop.load(Ordering::Acquire)
     }
 
@@ -288,7 +301,7 @@ impl GlobalMem {
     /// Malformed records rejected by [`GlobalMem::push_result`].
     #[must_use]
     pub fn rejected_records(&self) -> u64 {
-        self.rejected.load(Ordering::Acquire)
+        self.rejected.load(Ordering::Relaxed)
     }
 
     /// Pending targets evicted by target-buffer overflow.
@@ -351,6 +364,44 @@ mod tests {
         // Counter is monotone: draining does not reset it.
         assert_eq!(m.counter(), 2);
         assert!(m.drain_results().is_empty());
+    }
+
+    #[test]
+    fn capacity_one_result_buffer_eviction_accounting() {
+        let m = GlobalMem::with_capacity(1, 1);
+        m.set_expected_len(2);
+        assert!(m.push_result(rec("11", 5)));
+        assert_eq!(m.counter(), 1);
+        // Worse than the buffered record: discarded, counter unchanged.
+        assert!(!m.push_result(rec("00", 9)));
+        assert_eq!(m.counter(), 1);
+        assert_eq!(m.overflow_results(), 1);
+        // Equal energy: still discarded (replacement needs a strict win).
+        assert!(!m.push_result(rec("01", 5)));
+        assert_eq!(m.counter(), 1);
+        assert_eq!(m.overflow_results(), 2);
+        // Strictly better: evicts the buffered record and counts.
+        assert!(m.push_result(rec("10", -7)));
+        assert_eq!(m.counter(), 2);
+        assert_eq!(m.overflow_results(), 3);
+        let drained = m.drain_results();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].energy, -7);
+        // counter == delivered (1) + buffered (0) + evicted (1).
+        assert_eq!(m.counter(), 2);
+    }
+
+    #[test]
+    fn capacity_one_target_ring_evicts_oldest() {
+        let m = GlobalMem::with_capacity(1, 1);
+        m.push_target(bv("01"));
+        m.push_target(bv("10"));
+        assert_eq!(m.pending_targets(), 1);
+        assert_eq!(m.dropped_targets(), 1);
+        // The *newest* target survives the ring eviction.
+        assert_eq!(m.pop_target(), Some(bv("10")));
+        assert_eq!(m.pop_target(), None);
+        assert_eq!(m.dropped_targets(), 1);
     }
 
     #[test]

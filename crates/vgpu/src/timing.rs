@@ -107,6 +107,7 @@ impl TimingModel {
     /// Panics if the configuration is infeasible.
     #[must_use]
     pub fn search_rate_for(&self, spec: &DeviceSpec, n: usize, p: u32, gpus: usize) -> f64 {
+        // abs-lint: allow(no-unwrap) -- documented Panics contract: modeling convenience API
         let occ = occupancy(spec, n, p).expect("feasible configuration");
         self.search_rate(n, &occ, gpus)
     }

@@ -1,0 +1,134 @@
+//! Conformance replay: the `abs-lint` buffer-protocol model versus the
+//! real `vgpu::GlobalMem`.
+//!
+//! The model check in `abs-lint` proves counter monotonicity and exact
+//! accepted-record accounting over every enumerated schedule — but the
+//! proof is only as good as the model's fidelity. This test replays the
+//! same exhaustive schedule set against a real `GlobalMem`, comparing
+//! every observable after every step, so the model cannot silently
+//! drift from the implementation (and vice versa: a behavior change in
+//! `GlobalMem` fails here until the model — and its proof — is updated).
+
+use abs_lint::model::{default_alphabet, ModelMem, Op};
+use qubo::BitVec;
+use vgpu::{GlobalMem, SolutionRecord};
+
+/// Drives one op against the real memory, returning the same observable
+/// the model returns from `ModelMem::apply`.
+fn apply_real(mem: &GlobalMem, op: Op, expected_len: usize) -> Option<bool> {
+    match op {
+        Op::HostPushTarget => {
+            mem.push_target(BitVec::zeros(expected_len.max(1)));
+            None
+        }
+        Op::DevicePopTarget => Some(mem.pop_target().is_some()),
+        Op::HostDrain => None, // drained energies are compared by the caller
+        Op::HostReadCounter => {
+            let _ = mem.counter();
+            None
+        }
+        Op::DevicePush { good_len, energy } => {
+            let len = if good_len {
+                expected_len.max(1)
+            } else {
+                expected_len.max(1) + 1
+            };
+            Some(mem.push_result(SolutionRecord {
+                x: BitVec::zeros(len),
+                energy,
+            }))
+        }
+    }
+}
+
+/// Replays every schedule of length `depth` over the default alphabet
+/// against both the model and a real `GlobalMem`, asserting observable
+/// equality after every step.
+fn replay_all(target_cap: usize, result_cap: usize, expected_len: usize, depth: usize) {
+    let alphabet = default_alphabet();
+    let k = alphabet.len();
+    let mut schedules = 0u64;
+    // Odometer over op indices: enumerates all k^depth schedules.
+    let mut idx = vec![0usize; depth];
+    loop {
+        let mut model = ModelMem::new(target_cap, result_cap, expected_len);
+        let mem = GlobalMem::with_capacity(target_cap, result_cap);
+        if expected_len != 0 {
+            mem.set_expected_len(expected_len);
+        }
+        let mut model_drained: Vec<i64> = Vec::new();
+        let mut real_drained: Vec<i64> = Vec::new();
+        for (step, &i) in idx.iter().enumerate() {
+            let op = alphabet[i];
+            let model_obs = model.apply(op);
+            let real_obs = apply_real(&mem, op, expected_len);
+            if op == Op::HostDrain {
+                model_drained = model.delivered_energies().to_vec();
+                real_drained.extend(mem.drain_results().iter().map(|r| r.energy));
+            }
+            let ctx = || format!("schedule {:?} step {step} op {op:?}", &idx);
+            assert_eq!(model_obs, real_obs, "observable return: {}", ctx());
+            assert_eq!(model.counter(), mem.counter(), "counter: {}", ctx());
+            assert_eq!(
+                model.pending_targets(),
+                mem.pending_targets(),
+                "pending targets: {}",
+                ctx()
+            );
+            assert_eq!(
+                model.dropped_targets(),
+                mem.dropped_targets(),
+                "dropped targets: {}",
+                ctx()
+            );
+            assert_eq!(
+                model.overflow_results(),
+                mem.overflow_results(),
+                "overflow results: {}",
+                ctx()
+            );
+            assert_eq!(
+                model.rejected_records(),
+                mem.rejected_records(),
+                "rejected records: {}",
+                ctx()
+            );
+            assert_eq!(model_drained, real_drained, "drained energies: {}", ctx());
+        }
+        schedules += 1;
+        // Advance the odometer.
+        let mut d = 0;
+        loop {
+            if d == depth {
+                assert_eq!(schedules, (k as u64).pow(depth as u32));
+                return;
+            }
+            idx[d] += 1;
+            if idx[d] < k {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+        }
+    }
+}
+
+#[test]
+fn model_matches_global_mem_on_all_depth_4_schedules_tight_caps() {
+    replay_all(1, 2, 2, 4);
+}
+
+#[test]
+fn model_matches_global_mem_on_all_depth_4_schedules_keep_best_cap_1() {
+    replay_all(1, 1, 2, 4);
+}
+
+#[test]
+fn model_matches_global_mem_on_all_depth_4_schedules_unregistered_len() {
+    replay_all(2, 2, 0, 4);
+}
+
+#[test]
+fn model_matches_global_mem_on_depth_5_schedules_tight_caps() {
+    replay_all(1, 2, 2, 5);
+}
