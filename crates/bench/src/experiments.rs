@@ -83,6 +83,7 @@ mod tests {
             requeued_targets: 0,
             search_units: 1,
             devices: vec![],
+            metrics: abs_telemetry::MetricsSnapshot::default(),
         }
     }
 

@@ -60,7 +60,7 @@ pub fn report(scale: Scale, out: &Path) {
             let mut tr = DeltaTracker::new(&q);
             let mut p = WindowMinPolicy::new(n / 8);
             local_search(&mut tr, &mut p, m);
-            (tr.flips() * n as u64) as f64 / tr.evaluated() as f64
+            tr.work() as f64 / tr.evaluated() as f64
         };
         t.row(&[
             n.to_string(),

@@ -23,7 +23,10 @@ OPTIONS:
     --json             machine-readable output
     --fault-seed <S>   inject a seeded deterministic fault plan (testing)
     --hard-timeout-ms <N>  watchdog wall-clock ceiling on the whole solve
-    --audit-stride <K> host re-checks every K-th record's energy (0 = improvements only)";
+    --audit-stride <K> host re-checks every K-th record's energy (0 = improvements only)
+    --metrics-out <PATH>       write the final metrics snapshot (.json = JSON,
+                               anything else = Prometheus text exposition)
+    --metrics-interval-ms <N>  also rewrite the snapshot every N ms during the run";
 
 /// Parsed subcommand.
 #[derive(Debug, PartialEq, Eq)]
@@ -76,6 +79,8 @@ pub struct Options {
     pub fault_seed: Option<u64>,
     pub hard_timeout_ms: Option<u64>,
     pub audit_stride: Option<u64>,
+    pub metrics_out: Option<String>,
+    pub metrics_interval_ms: Option<u64>,
 }
 
 impl Default for Options {
@@ -92,6 +97,8 @@ impl Default for Options {
             fault_seed: None,
             hard_timeout_ms: None,
             audit_stride: None,
+            metrics_out: None,
+            metrics_interval_ms: None,
         }
     }
 }
@@ -205,6 +212,14 @@ pub fn parse(argv: &[String]) -> Result<Option<(Command, Options)>, String> {
                         .map_err(|_| format!("{flag}: expected an integer"))?,
                 );
             }
+            "--metrics-out" => opts.metrics_out = Some(value("path")?.clone()),
+            "--metrics-interval-ms" => {
+                opts.metrics_interval_ms = Some(
+                    value("milliseconds")?
+                        .parse()
+                        .map_err(|_| format!("{flag}: expected an integer"))?,
+                );
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -247,6 +262,25 @@ mod tests {
         assert_eq!(opts.timeout_ms, 250);
         assert_eq!(opts.target, Some(-42));
         assert!(opts.json);
+    }
+
+    #[test]
+    fn metrics_flags_parse() {
+        let (_, opts) = parse(&v(&[
+            "random",
+            "64",
+            "--metrics-out",
+            "run.prom",
+            "--metrics-interval-ms",
+            "250",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.metrics_out.as_deref(), Some("run.prom"));
+        assert_eq!(opts.metrics_interval_ms, Some(250));
+        let (_, opts) = parse(&v(&["random", "64"])).unwrap().unwrap();
+        assert_eq!(opts.metrics_out, None);
+        assert_eq!(opts.metrics_interval_ms, None);
     }
 
     #[test]

@@ -193,7 +193,17 @@ fn solve_and_report(q: &Qubo, opts: &Options, label: &str) -> Result<(), CliErro
         let blocks = config.machine.device.blocks_override.unwrap_or(8);
         config.machine.device.fault = Some(Arc::new(FaultPlan::scatter(seed, devices, blocks)));
     }
+    if let Some(path) = &opts.metrics_out {
+        config.metrics.out = Some(std::path::PathBuf::from(path));
+        config.metrics.interval = opts.metrics_interval_ms.map(Duration::from_millis);
+    }
     let result = Abs::new(config)?.solve(q)?;
+    if let Some(path) = &opts.metrics_out {
+        // The solver already wrote the file best-effort; rewrite it
+        // here so I/O failures surface as a CLI error.
+        abs::write_metrics(std::path::Path::new(path), &result.metrics)
+            .map_err(|e| rt(format!("cannot write {path}: {e}")))?;
+    }
     if let Some(path) = &opts.save {
         std::fs::write(
             path,
@@ -205,6 +215,9 @@ fn solve_and_report(q: &Qubo, opts: &Options, label: &str) -> Result<(), CliErro
         println!("{}", output::to_json(label, q, &result).map_err(rt)?);
     } else {
         output::print_human(label, q, &result);
+        if opts.metrics_out.is_some() {
+            output::print_metrics(&result);
+        }
     }
     Ok(())
 }

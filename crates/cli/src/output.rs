@@ -109,6 +109,14 @@ pub fn print_human(label: &str, q: &Qubo, r: &SolveResult) {
     }
 }
 
+/// Prints the telemetry summary table below the human report.
+pub fn print_metrics(r: &SolveResult) {
+    println!("metrics:");
+    for line in abs_telemetry::expose::human_table(&r.metrics).lines() {
+        println!("  {line}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

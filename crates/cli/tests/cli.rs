@@ -236,3 +236,78 @@ fn degraded_health_appears_in_human_output() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("best energy:"));
 }
+
+#[test]
+fn metrics_out_writes_valid_prometheus_text() {
+    let dir = std::env::temp_dir().join("abs-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("metrics.prom");
+    let out = bin()
+        .args(["random", "24", "--timeout-ms", "200", "--seed", "7"])
+        .args(["--metrics-out", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("metrics:"), "human metrics summary missing");
+    assert!(text.contains("abs_flips_total"));
+    let file = std::fs::read_to_string(&path).expect("metrics file");
+    let samples = abs_telemetry::expose::parse_prometheus(&file).expect("valid Prometheus text");
+    assert!(
+        samples > 10,
+        "expected a full registry, got {samples} samples"
+    );
+    assert!(file.contains("abs_search_efficiency"));
+}
+
+#[test]
+fn metrics_out_json_extension_selects_json() {
+    let dir = std::env::temp_dir().join("abs-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("metrics.json");
+    let out = bin()
+        .args([
+            "random",
+            "24",
+            "--timeout-ms",
+            "200",
+            "--seed",
+            "7",
+            "--json",
+        ])
+        .args(["--metrics-out", path.to_str().expect("utf8 path")])
+        .args(["--metrics-interval-ms", "50"])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let file = std::fs::read_to_string(&path).expect("metrics file");
+    let v: serde_json::Value = serde_json::from_str(&file).expect("valid JSON");
+    let counters = v["counters"].as_array().expect("counters array");
+    assert!(counters
+        .iter()
+        .any(|c| c["name"] == "abs_evaluated_total" && c["value"].as_f64().unwrap_or(0.0) > 0.0));
+    assert!(v["gauges"]
+        .as_array()
+        .expect("gauges array")
+        .iter()
+        .any(|g| g["name"] == "abs_search_rate"));
+}
+
+#[test]
+fn metrics_out_unwritable_path_exits_1() {
+    let out = bin()
+        .args(["random", "16", "--timeout-ms", "50"])
+        .args(["--metrics-out", "/nonexistent/dir/metrics.prom"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot write"));
+}

@@ -50,6 +50,25 @@ impl Default for WatchdogConfig {
     }
 }
 
+/// Metrics exposition settings.
+///
+/// The solver always maintains the telemetry registry and attaches a
+/// final [`abs_telemetry::MetricsSnapshot`] to the
+/// [`SolveResult`](crate::SolveResult); this config only controls
+/// *periodic* file exposition during the run. The host writes the file
+/// at poll boundaries — device code never touches the filesystem or a
+/// clock (Fig. 5 discipline).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsConfig {
+    /// Periodic exposition file. Extension `.json` selects the JSON
+    /// snapshot format; anything else gets Prometheus text. `None`
+    /// disables periodic writes.
+    pub out: Option<std::path::PathBuf>,
+    /// Minimum interval between periodic writes. `None` with `out` set
+    /// writes only the final snapshot (on solve completion).
+    pub interval: Option<Duration>,
+}
+
 /// When the host stops the search. Conditions compose: the run stops as
 /// soon as *any* active condition is met. At least one condition must be
 /// set.
@@ -137,6 +156,9 @@ pub struct AbsConfig {
     pub initial_solutions: Vec<BitVec>,
     /// Stall detection, hard timeout, and host-side energy auditing.
     pub watchdog: WatchdogConfig,
+    /// Periodic metrics exposition (the final snapshot is always
+    /// attached to the result).
+    pub metrics: MetricsConfig,
 }
 
 impl Default for AbsConfig {
@@ -150,6 +172,7 @@ impl Default for AbsConfig {
             seed: 0,
             initial_solutions: Vec::new(),
             watchdog: WatchdogConfig::default(),
+            metrics: MetricsConfig::default(),
         }
     }
 }

@@ -40,7 +40,8 @@ pub mod presets;
 pub mod solver;
 pub mod stats;
 
-pub use config::{AbsConfig, StopCondition, WatchdogConfig};
+pub use abs_telemetry::MetricsSnapshot;
+pub use config::{AbsConfig, MetricsConfig, StopCondition, WatchdogConfig};
 pub use error::AbsError;
 pub use solver::Abs;
-pub use stats::{DeviceReport, DeviceStatus, HistoryPoint, SolveResult};
+pub use stats::{write_metrics, DeviceReport, DeviceStatus, HistoryPoint, SolveResult};

@@ -5,9 +5,10 @@
 
 use crate::config::AbsConfig;
 use crate::error::AbsError;
-use crate::stats::{DeviceReport, DeviceStatus, HistoryPoint, SolveResult};
+use crate::stats::{write_metrics, DeviceReport, DeviceStatus, HistoryPoint, SolveResult};
+use abs_telemetry::{Aggregator, DeviceSample, HostSample};
 use qubo::{BitVec, Energy, Qubo};
-use qubo_ga::{InsertOutcome, SolutionPool, TargetGenerator};
+use qubo_ga::{InsertOutcome, PoolOps, SolutionPool, TargetGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -58,6 +59,8 @@ struct HostOutcome {
     received: u64,
     inserted: u64,
     devs: Vec<DeviceState>,
+    aggregator: Aggregator,
+    pool_ops: PoolOps,
 }
 
 impl Abs {
@@ -120,7 +123,13 @@ impl Abs {
         // the accounting in `finish` reads quiescent counters — reading
         // them inside the host closure would race late-starting workers.
         let outcome = machine.run(qubo, |mems| self.host_loop(qubo, mems, &blocks))?;
-        Ok(Self::finish(n, outcome, &machine.mems()))
+        let result = Self::finish(n, outcome, &machine.mems());
+        if let Some(path) = &self.config.metrics.out {
+            // Best-effort final exposition; the CLI re-writes this file
+            // itself and surfaces I/O errors to the user.
+            let _ = write_metrics(path, &result.metrics);
+        }
+        Ok(result)
     }
 
     fn host_loop(
@@ -176,6 +185,17 @@ impl Abs {
         let total_flips =
             |mems: &[Arc<GlobalMem>]| -> u64 { mems.iter().map(|m| m.total_flips()).sum() };
         let hard_deadline = cfg.watchdog.hard_timeout.map(|d| start + d);
+
+        // Telemetry: the aggregator folds device counters and drained
+        // event rings at the poll cadence; wall-clock is stamped here,
+        // on the host, never on the device (Fig. 5 discipline).
+        let mut aggregator = Aggregator::new(mems.len(), n);
+        let metrics_out = cfg.metrics.out.as_deref();
+        let mut next_metrics_write = cfg
+            .metrics
+            .interval
+            .filter(|_| metrics_out.is_some())
+            .map(|iv| start + iv);
 
         'poll: loop {
             // Watchdog: loud failures first. A device whose health
@@ -245,6 +265,40 @@ impl Abs {
                     if devs[i].stale_rounds > cfg.watchdog.stall_poll_rounds {
                         Self::fail_device(i, DeviceStatus::Stalled, mems, &mut devs);
                     }
+                }
+            }
+
+            // Telemetry folds on the same cadence results are drained;
+            // idle spin rounds leave the device rings untouched.
+            if progressed_any {
+                Self::poll_metrics(
+                    &mut aggregator,
+                    mems,
+                    &devs,
+                    pool.ops(),
+                    received,
+                    inserted,
+                    start.elapsed().as_secs_f64(),
+                );
+            }
+            if let (Some(path), Some(due)) = (metrics_out, next_metrics_write) {
+                if Instant::now() >= due {
+                    if !progressed_any {
+                        Self::poll_metrics(
+                            &mut aggregator,
+                            mems,
+                            &devs,
+                            pool.ops(),
+                            received,
+                            inserted,
+                            start.elapsed().as_secs_f64(),
+                        );
+                    }
+                    // Periodic exposition is best-effort: an unwritable
+                    // path must not kill a running solve (the final
+                    // snapshot write surfaces errors via the CLI).
+                    let _ = write_metrics(path, &aggregator.snapshot());
+                    next_metrics_write = cfg.metrics.interval.map(|iv| Instant::now() + iv);
                 }
             }
 
@@ -336,6 +390,8 @@ impl Abs {
             received,
             inserted,
             devs,
+            aggregator,
+            pool_ops: pool.ops(),
         })
     }
 
@@ -343,8 +399,21 @@ impl Abs {
     /// only then are the per-device counters (units, flips, health)
     /// guaranteed quiescent — a fast stop can otherwise beat a device's
     /// workers to their first `add_units`.
-    fn finish(n: usize, o: HostOutcome, mems: &[Arc<GlobalMem>]) -> SolveResult {
+    fn finish(n: usize, mut o: HostOutcome, mems: &[Arc<GlobalMem>]) -> SolveResult {
         let elapsed = o.start.elapsed();
+        // Final authoritative telemetry poll over quiescent counters,
+        // using the same elapsed value as the result's own rate field —
+        // so the snapshot and the SolveResult agree exactly.
+        Self::poll_metrics(
+            &mut o.aggregator,
+            mems,
+            &o.devs,
+            o.pool_ops,
+            o.received,
+            o.inserted,
+            elapsed.as_secs_f64(),
+        );
+        let metrics = o.aggregator.snapshot();
         let flips: u64 = mems.iter().map(|m| m.total_flips()).sum();
         let units: u64 = mems.iter().map(|m| m.total_units()).sum();
         let evaluated: u64 = mems.iter().map(|m| m.total_evaluated(n)).sum();
@@ -391,7 +460,70 @@ impl Abs {
             requeued_targets: devices.iter().map(|d| d.requeued_targets).sum(),
             search_units: units,
             devices,
+            metrics,
         }
+    }
+
+    /// Reads one device's counters, health label and drained events
+    /// into a telemetry sample. Host-side only: this is the Fig. 5
+    /// "host polls an atomic" moment for the telemetry plane.
+    fn device_sample(mem: &GlobalMem, d: &DeviceState) -> DeviceSample {
+        let health = mem.health();
+        let label = if d.excluded {
+            d.excluded_as.label()
+        } else {
+            match health.status() {
+                HealthStatus::Healthy => "healthy",
+                HealthStatus::Degraded { .. } => "degraded",
+                HealthStatus::Dead => "dead",
+            }
+        };
+        let drained = mem.drain_events();
+        DeviceSample {
+            flips: mem.total_flips(),
+            units: mem.total_units(),
+            iterations: mem.total_iterations(),
+            results: mem.counter(),
+            rejected_records: mem.rejected_records(),
+            dropped_targets: mem.dropped_targets(),
+            overflow_results: mem.overflow_results(),
+            dead_blocks: health.dead_blocks(),
+            total_blocks: health.total_blocks(),
+            health: label,
+            events: drained.events,
+            events_written: drained.written,
+            events_overwritten: drained.overwritten,
+        }
+    }
+
+    /// Folds the current host+device state into the aggregator. The
+    /// host stamps `elapsed_secs` here, at the poll boundary.
+    #[allow(clippy::too_many_arguments)]
+    fn poll_metrics(
+        aggregator: &mut Aggregator,
+        mems: &[Arc<GlobalMem>],
+        devs: &[DeviceState],
+        pool_ops: PoolOps,
+        received: u64,
+        inserted: u64,
+        elapsed_secs: f64,
+    ) {
+        let samples: Vec<DeviceSample> = mems
+            .iter()
+            .zip(devs)
+            .map(|(m, d)| Self::device_sample(m, d))
+            .collect();
+        let host = HostSample {
+            results_received: received,
+            results_inserted: inserted,
+            pool_inserted: pool_ops.inserted,
+            pool_duplicate: pool_ops.duplicate,
+            pool_worse: pool_ops.worse,
+            host_rejected: devs.iter().map(|d| d.host_rejected).sum(),
+            requeued_targets: devs.iter().map(|d| d.requeued).sum(),
+            elapsed_secs,
+        };
+        aggregator.poll(&samples, &host);
     }
 
     /// Host-side record validation: a defensive length check on every

@@ -112,6 +112,10 @@ pub struct SolveResult {
     pub search_units: u64,
     /// Per-device health and fault accounting, in device order.
     pub devices: Vec<DeviceReport>,
+    /// Final telemetry snapshot: every registered counter, gauge and
+    /// histogram at the end of the run. Totals agree exactly with the
+    /// scalar fields above (same final poll, same elapsed value).
+    pub metrics: abs_telemetry::MetricsSnapshot,
 }
 
 impl SolveResult {
@@ -146,6 +150,24 @@ impl SolveResult {
     }
 }
 
+/// Writes a metrics snapshot to `path`, picking the format from the
+/// extension: `.json` gets the deterministic JSON snapshot, anything
+/// else the Prometheus text exposition.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_metrics(
+    path: &std::path::Path,
+    snapshot: &abs_telemetry::MetricsSnapshot,
+) -> std::io::Result<()> {
+    let text = if path.extension().is_some_and(|e| e == "json") {
+        abs_telemetry::expose::json_text(snapshot)
+    } else {
+        abs_telemetry::expose::prometheus_text(snapshot)
+    };
+    std::fs::write(path, text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +191,7 @@ mod tests {
             requeued_targets: 0,
             search_units: 1,
             devices: vec![],
+            metrics: abs_telemetry::MetricsSnapshot::default(),
         }
     }
 

@@ -40,4 +40,4 @@ pub mod operators;
 pub mod pool;
 
 pub use operators::{GaConfig, Operator, OperatorUsage, TargetGenerator};
-pub use pool::{InsertOutcome, PoolEntry, SolutionPool};
+pub use pool::{InsertOutcome, PoolEntry, PoolOps, SolutionPool};

@@ -37,6 +37,20 @@ pub enum InsertOutcome {
 pub struct SolutionPool {
     entries: Vec<PoolEntry>,
     capacity: usize,
+    ops: PoolOps,
+}
+
+/// Cumulative [`SolutionPool::insert`] outcome counts, for telemetry
+/// (the paper's pool-churn story: how many device reports actually
+/// improve the host pool vs. arrive as duplicates or worse).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolOps {
+    /// Inserts that entered the pool.
+    pub inserted: u64,
+    /// Inserts rejected as exact duplicates.
+    pub duplicate: u64,
+    /// Inserts rejected as no better than the worst of a full pool.
+    pub worse: u64,
 }
 
 impl SolutionPool {
@@ -60,6 +74,7 @@ impl SolutionPool {
         let mut pool = Self {
             entries: Vec::with_capacity(capacity),
             capacity,
+            ops: PoolOps::default(),
         };
         // Random n-bit vectors collide with probability ~m²/2ⁿ⁺¹ — for
         // tiny n (tests) we may need a few retries, so loop with an
@@ -94,6 +109,7 @@ impl SolutionPool {
         Self {
             entries: Vec::with_capacity(capacity),
             capacity,
+            ops: PoolOps::default(),
         }
     }
 
@@ -151,18 +167,29 @@ impl SolutionPool {
             .entries
             .binary_search_by(|e| (e.energy, &e.x).cmp(&(probe.energy, &probe.x)))
         {
-            Ok(_) => InsertOutcome::Duplicate,
+            Ok(_) => {
+                self.ops.duplicate += 1;
+                InsertOutcome::Duplicate
+            }
             Err(idx) => {
                 if self.entries.len() == self.capacity {
                     if idx == self.entries.len() {
+                        self.ops.worse += 1;
                         return InsertOutcome::Worse;
                     }
                     self.entries.pop();
                 }
                 self.entries.insert(idx, probe);
+                self.ops.inserted += 1;
                 InsertOutcome::Inserted
             }
         }
+    }
+
+    /// Cumulative insert-outcome counters since construction.
+    #[must_use]
+    pub fn ops(&self) -> PoolOps {
+        self.ops
     }
 
     /// Selects an entry by binary rank tournament: two uniform ranks are

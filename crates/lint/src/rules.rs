@@ -6,7 +6,7 @@
 //! repo-wide budget so the exception list cannot grow silently.
 
 use crate::lexer::{Lexed, Tok, TokKind};
-use crate::zones::{indexing_audited, Zone, HOT_FNS};
+use crate::zones::{indexing_audited, telemetry_audited, Zone, HOT_FNS, TELEMETRY_HOT_FNS};
 
 /// All rule identifiers, in report order. `--list-rules` prints these.
 pub const RULES: &[(&str, &str)] = &[
@@ -25,6 +25,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "device-no-alloc",
         "per-flip hot path must not allocate (vec!/Box/String/collect/...)",
+    ),
+    (
+        "device-telemetry-alloc-free",
+        "telemetry record/observe entry points must not allocate (device threads call them mid-search)",
     ),
     (
         "device-index-invariant",
@@ -98,6 +102,8 @@ struct Spans {
     test: Vec<(u32, u32)>,
     /// Bodies of per-flip hot-path functions.
     hot: Vec<(u32, u32)>,
+    /// Bodies of telemetry record/observe entry points.
+    telemetry_hot: Vec<(u32, u32)>,
     /// Token-index ranges of attributes (`#[...]` / `#![...]`).
     attr_tok: Vec<(usize, usize)>,
 }
@@ -192,12 +198,15 @@ fn find_spans(toks: &[Tok]) -> Spans {
             i = end + 1;
             continue;
         }
-        // Hot function body.
+        // Hot function body (per-flip kernel or telemetry entry point).
         if toks[i].is_ident("fn")
-            && toks
-                .get(i + 1)
-                .is_some_and(|t| t.kind == TokKind::Ident && HOT_FNS.contains(&t.text.as_str()))
+            && toks.get(i + 1).is_some_and(|t| {
+                t.kind == TokKind::Ident
+                    && (HOT_FNS.contains(&t.text.as_str())
+                        || TELEMETRY_HOT_FNS.contains(&t.text.as_str()))
+            })
         {
+            let telemetry = TELEMETRY_HOT_FNS.contains(&toks[i + 1].text.as_str());
             let mut k = i + 2;
             let mut pdepth = 0i32;
             while k < toks.len() {
@@ -216,7 +225,13 @@ fn find_spans(toks: &[Tok]) -> Spans {
             }
             if k < toks.len() && toks[k].is_punct('{') {
                 let end = match_brace(toks, k);
-                spans.hot.push((toks[i].line, toks[end].line));
+                let span = (toks[i].line, toks[end].line);
+                if HOT_FNS.contains(&toks[i + 1].text.as_str()) {
+                    spans.hot.push(span);
+                }
+                if telemetry {
+                    spans.telemetry_hot.push(span);
+                }
                 // Do not skip: nested tokens are still rule-checked.
             }
             i += 2;
@@ -439,6 +454,31 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
             }
         }
 
+        // --- telemetry entry points stay allocation-free ----------------
+        if (ctx.zone == Zone::Telemetry || telemetry_audited(ctx.rel_path))
+            && in_spans(line, &spans.telemetry_hot)
+            && t.kind == TokKind::Ident
+            && ALLOC_IDENTS.contains(&t.text.as_str())
+        {
+            // Same macro/path discrimination as `device-no-alloc`.
+            let is_macro = next.is_some_and(|n| n.is_punct('!'));
+            let flagged = match t.text.as_str() {
+                "vec" | "format" => is_macro,
+                _ => true,
+            };
+            if flagged {
+                push(
+                    "device-telemetry-alloc-free",
+                    line,
+                    ctx.zone,
+                    format!(
+                        "possible heap allocation (`{}`) in a telemetry record/observe entry point",
+                        t.text
+                    ),
+                );
+            }
+        }
+
         // --- host GA never computes energy ------------------------------
         if ctx.zone == Zone::HostGa
             && (t.is_ident("energy") || t.is_ident("delta") || t.is_ident("energy_of"))
@@ -595,6 +635,29 @@ mod tests {
         let allocs = active(&fs, "device-no-alloc");
         assert_eq!(allocs.len(), 1);
         assert_eq!(allocs[0].line, 2);
+    }
+
+    #[test]
+    fn telemetry_record_paths_must_not_allocate() {
+        // Constructors may allocate; record/observe/inc bodies may not.
+        let src = "fn with_capacity(c: usize) -> Self { Self { s: vec![0; c] } }\n\
+                   fn record(&self, e: Event) { self.tmp = format!(\"{e:?}\"); }\n\
+                   fn observe(&self, v: u64) { let _x = v.to_string(); }\n\
+                   fn inc(&self) { self.0.fetch_add(1, Ordering::Relaxed); }\n";
+        let fs = run("crates/telemetry/src/ring.rs", src);
+        let hits = active(&fs, "device-telemetry-alloc-free");
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert_eq!(hits[0].line, 2);
+        assert_eq!(hits[1].line, 3);
+
+        // The device facade in vgpu is audited too, despite its zone.
+        let facade = "fn record_event(&self, e: Event) { self.log.push(e.to_owned()); }\n";
+        let fs = run("crates/vgpu/src/buffers.rs", facade);
+        assert_eq!(active(&fs, "device-telemetry-alloc-free").len(), 1);
+
+        // Outside the audited files the rule stays silent.
+        let fs = run("crates/core/src/solver.rs", facade);
+        assert!(active(&fs, "device-telemetry-alloc-free").is_empty());
     }
 
     #[test]

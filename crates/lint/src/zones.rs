@@ -23,6 +23,10 @@ pub enum Zone {
     /// The benchmark harness (`crates/bench`): an experiment driver
     /// whose error handling *is* the panic, exempt from `no-unwrap`.
     Harness,
+    /// The telemetry crate (`crates/telemetry`): host-owned, but its
+    /// record/observe entry points run on device threads inside the
+    /// search loop, so those bodies must be allocation-free.
+    Telemetry,
 }
 
 impl Zone {
@@ -35,6 +39,7 @@ impl Zone {
             Zone::Host => "host",
             Zone::Neutral => "neutral",
             Zone::Harness => "harness",
+            Zone::Telemetry => "telemetry",
         }
     }
 }
@@ -62,6 +67,8 @@ pub fn classify(rel_path: &str) -> Zone {
         Zone::Host
     } else if p.starts_with("crates/bench/src/") {
         Zone::Harness
+    } else if p.starts_with("crates/telemetry/src/") {
+        Zone::Telemetry
     } else {
         Zone::Neutral
     }
@@ -93,6 +100,20 @@ pub const HOT_FNS: &[&str] = &[
     "next_window",
 ];
 
+/// Telemetry entry points called from device threads inside the search
+/// loop: one call per event / counter bump. These bodies must stay
+/// allocation-free so observability never taxes the search rate
+/// (`device-telemetry-alloc-free`). Constructors (`with_capacity`,
+/// `new`) allocate up front by design and are deliberately absent.
+pub const TELEMETRY_HOT_FNS: &[&str] = &["record", "record_event", "observe", "inc", "add"];
+
+/// Files outside the telemetry zone whose telemetry entry points are
+/// still device-facing: the global-memory facade devices record through.
+#[must_use]
+pub fn telemetry_audited(rel_path: &str) -> bool {
+    rel_path.replace('\\', "/") == "crates/vgpu/src/buffers.rs"
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +131,15 @@ mod tests {
         assert_eq!(classify("crates/core/src/solver.rs"), Zone::Host);
         assert_eq!(classify("crates/cli/src/main.rs"), Zone::Host);
         assert_eq!(classify("crates/bench/src/lib.rs"), Zone::Harness);
+        assert_eq!(classify("crates/telemetry/src/ring.rs"), Zone::Telemetry);
+        assert_eq!(classify("crates/telemetry/src/metrics.rs"), Zone::Telemetry);
+    }
+
+    #[test]
+    fn telemetry_audit_covers_the_device_facade() {
+        assert!(telemetry_audited("crates/vgpu/src/buffers.rs"));
+        assert!(!telemetry_audited("crates/vgpu/src/device.rs"));
+        assert!(!telemetry_audited("crates/core/src/solver.rs"));
     }
 
     #[test]

@@ -194,6 +194,15 @@ impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
         (self.flips + 1) * (self.n() as u64 + 1)
     }
 
+    /// Total Δ-update work performed, `flips · n` — the numerator of
+    /// Theorem 1's search-efficiency ratio. `work() / evaluated()`
+    /// stays O(1) in `n` (it approaches `n / (n + 1) < 1`), which the
+    /// telemetry layer monitors as the `abs_search_efficiency` gauge.
+    #[must_use]
+    pub fn work(&self) -> u64 {
+        self.flips * self.n() as u64
+    }
+
     /// Resets the best-solution record to the current solution
     /// (device Step 3: "reset the best solution `B` and its energy
     /// `E_B`" between bulk-search iterations, to avoid premature

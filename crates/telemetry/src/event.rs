@@ -1,0 +1,93 @@
+//! Device-side telemetry events.
+//!
+//! An [`Event`] is the one datum a device block may deposit into an
+//! [`EventRing`](crate::ring::EventRing): a kind tag plus a single
+//! `u64` payload. Deliberately `Copy`, clock-free and allocation-free —
+//! the host stamps wall-clock time at poll boundaries instead (the
+//! paper's Fig. 5 host-polls-an-atomic design).
+
+/// What a device event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A straight-search walk completed; the payload is the walk length
+    /// in flips, which equals the Hamming distance to the target (§3.1).
+    StraightWalk,
+    /// A block was assigned its initial window length ℓ (Fig. 2); the
+    /// payload is ℓ.
+    WindowAssign,
+    /// An adaptive block switched its window length ℓ; the payload is
+    /// the new ℓ.
+    WindowSwitch,
+    /// A block died (panicked and was quarantined); the payload is the
+    /// block index.
+    BlockDeath,
+}
+
+impl EventKind {
+    /// Stable lowercase label, used in metric label values.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::StraightWalk => "straight_walk",
+            EventKind::WindowAssign => "window_assign",
+            EventKind::WindowSwitch => "window_switch",
+            EventKind::BlockDeath => "block_death",
+        }
+    }
+}
+
+/// One ring slot: a kind tag and a single integer payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific integer payload (see [`EventKind`]).
+    pub value: u64,
+}
+
+impl Default for Event {
+    fn default() -> Self {
+        Event {
+            kind: EventKind::StraightWalk,
+            value: 0,
+        }
+    }
+}
+
+impl Event {
+    /// A completed straight-search walk of `flips` flips.
+    #[must_use]
+    pub fn straight_walk(flips: u64) -> Self {
+        Event {
+            kind: EventKind::StraightWalk,
+            value: flips,
+        }
+    }
+
+    /// A block assigned initial window length `window`.
+    #[must_use]
+    pub fn window_assign(window: u64) -> Self {
+        Event {
+            kind: EventKind::WindowAssign,
+            value: window,
+        }
+    }
+
+    /// A block switched to window length `window`.
+    #[must_use]
+    pub fn window_switch(window: u64) -> Self {
+        Event {
+            kind: EventKind::WindowSwitch,
+            value: window,
+        }
+    }
+
+    /// Block `block` died and was quarantined.
+    #[must_use]
+    pub fn block_death(block: u64) -> Self {
+        Event {
+            kind: EventKind::BlockDeath,
+            value: block,
+        }
+    }
+}

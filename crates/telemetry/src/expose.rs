@@ -1,0 +1,335 @@
+//! Expositions: Prometheus text, JSON snapshot, human summary table.
+//!
+//! All three render a [`MetricsSnapshot`] deterministically
+//! (registration order, stable float formatting), so outputs are
+//! golden-testable. The JSON writer is hand-rolled: snapshots are plain
+//! data and the format is pinned by tests, not by a serializer.
+
+use crate::registry::{Labels, MetricsSnapshot};
+use std::fmt::Write as _;
+
+fn escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn label_block(labels: &Labels) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn bucket_line(name: &str, labels: &Labels, le: &str, cumulative: u64) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    pairs.push(format!("le=\"{le}\""));
+    format!("{name}_bucket{{{}}} {cumulative}\n", pairs.join(","))
+}
+
+/// Renders the snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# HELP` / `# TYPE` headers per family, one sample
+/// line per series, cumulative `_bucket`/`_sum`/`_count` series per
+/// histogram.
+#[must_use]
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_family = String::new();
+    for c in &snapshot.counters {
+        if c.name != last_family {
+            let _ = writeln!(
+                out,
+                "# HELP {} {}\n# TYPE {} counter",
+                c.name, c.help, c.name
+            );
+            last_family = c.name.clone();
+        }
+        let _ = writeln!(out, "{}{} {}", c.name, label_block(&c.labels), c.value);
+    }
+    for g in &snapshot.gauges {
+        if g.name != last_family {
+            let _ = writeln!(out, "# HELP {} {}\n# TYPE {} gauge", g.name, g.help, g.name);
+            last_family = g.name.clone();
+        }
+        let _ = writeln!(
+            out,
+            "{}{} {}",
+            g.name,
+            label_block(&g.labels),
+            fmt_f64(g.value)
+        );
+    }
+    for h in &snapshot.histograms {
+        if h.name != last_family {
+            let _ = writeln!(
+                out,
+                "# HELP {} {}\n# TYPE {} histogram",
+                h.name, h.help, h.name
+            );
+            last_family = h.name.clone();
+        }
+        let mut cumulative = 0u64;
+        for (i, bound) in h.bounds.iter().enumerate() {
+            cumulative += h.buckets.get(i).copied().unwrap_or(0);
+            out.push_str(&bucket_line(
+                &h.name,
+                &h.labels,
+                &bound.to_string(),
+                cumulative,
+            ));
+        }
+        out.push_str(&bucket_line(&h.name, &h.labels, "+Inf", h.count));
+        let _ = writeln!(out, "{}_sum{} {}", h.name, label_block(&h.labels), h.sum);
+        let _ = writeln!(
+            out,
+            "{}_count{} {}",
+            h.name,
+            label_block(&h.labels),
+            h.count
+        );
+    }
+    out
+}
+
+fn json_labels(labels: &Labels) -> String {
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape(k), escape(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Renders the snapshot as deterministic JSON: three arrays
+/// (`counters`, `gauges`, `histograms`), one object per series, in
+/// registration order. Histogram buckets are cumulative, keyed by their
+/// upper bound with a trailing `"+Inf"` entry.
+#[must_use]
+pub fn json_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": [");
+    for (i, c) in snapshot.counters.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+            escape(&c.name),
+            json_labels(&c.labels),
+            c.value
+        );
+    }
+    out.push_str("\n  ],\n  \"gauges\": [");
+    for (i, g) in snapshot.gauges.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+            escape(&g.name),
+            json_labels(&g.labels),
+            fmt_f64(g.value)
+        );
+    }
+    out.push_str("\n  ],\n  \"histograms\": [");
+    for (i, h) in snapshot.histograms.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let mut buckets = String::new();
+        let mut cumulative = 0u64;
+        for (j, bound) in h.bounds.iter().enumerate() {
+            cumulative += h.buckets.get(j).copied().unwrap_or(0);
+            let bsep = if j == 0 { "" } else { "," };
+            let _ = write!(buckets, "{bsep}{{\"le\":{bound},\"count\":{cumulative}}}");
+        }
+        if !h.bounds.is_empty() {
+            buckets.push(',');
+        }
+        let _ = write!(buckets, "{{\"le\":\"+Inf\",\"count\":{}}}", h.count);
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"name\":\"{}\",\"labels\":{},\"count\":{},\"sum\":{},\"buckets\":[{buckets}]}}",
+            escape(&h.name),
+            json_labels(&h.labels),
+            h.count,
+            h.sum
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Renders a compact human summary table: one aligned `metric value`
+/// row per counter/gauge series, then `count/mean` rows per histogram.
+#[must_use]
+pub fn human_table(snapshot: &MetricsSnapshot) -> String {
+    let mut rows: Vec<(String, String)> = Vec::new();
+    for c in &snapshot.counters {
+        rows.push((
+            format!("{}{}", c.name, label_block(&c.labels)),
+            c.value.to_string(),
+        ));
+    }
+    for g in &snapshot.gauges {
+        rows.push((
+            format!("{}{}", g.name, label_block(&g.labels)),
+            fmt_f64(g.value),
+        ));
+    }
+    for h in &snapshot.histograms {
+        rows.push((
+            format!("{}{}", h.name, label_block(&h.labels)),
+            format!("count={} mean={:.2}", h.count, h.mean()),
+        ));
+    }
+    let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (k, v) in rows {
+        let _ = writeln!(out, "  {k:width$}  {v}");
+    }
+    out
+}
+
+/// Validates Prometheus text exposition line format; returns the number
+/// of sample lines. Used by golden tests and the CI smoke check — it is
+/// a line-format parser, not a full OpenMetrics implementation.
+///
+/// # Errors
+/// Returns a message naming the first malformed line.
+pub fn parse_prometheus(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if !(rest.starts_with("HELP ") || rest.starts_with("TYPE ")) {
+                return Err(format!("line {lineno}: comment is neither HELP nor TYPE"));
+            }
+            continue;
+        }
+        // Sample line: `name[{labels}] value`.
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: no value field"))?;
+        if value.parse::<f64>().is_err() {
+            return Err(format!("line {lineno}: unparsable value {value:?}"));
+        }
+        let name_end = series.find('{').unwrap_or(series.len());
+        let name = &series[..name_end];
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {lineno}: bad metric name {name:?}"));
+        }
+        if name_end < series.len() && !series.ends_with('}') {
+            return Err(format!("line {lineno}: unterminated label block"));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no sample lines".to_string());
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> MetricsSnapshot {
+        let mut r = Registry::new();
+        r.counter("abs_flips_total", &[("device", "0")], "Flips.")
+            .add(12);
+        r.counter("abs_flips_total", &[("device", "1")], "Flips.")
+            .add(3);
+        r.gauge("abs_search_rate", &[], "Rate.").set(2.5);
+        let h = r.histogram("abs_walk_length", &[], "Walks.", &[1, 4]);
+        h.observe(1);
+        h.observe(3);
+        h.observe(9);
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_golden() {
+        let text = prometheus_text(&sample());
+        let expected = "\
+# HELP abs_flips_total Flips.
+# TYPE abs_flips_total counter
+abs_flips_total{device=\"0\"} 12
+abs_flips_total{device=\"1\"} 3
+# HELP abs_search_rate Rate.
+# TYPE abs_search_rate gauge
+abs_search_rate 2.5
+# HELP abs_walk_length Walks.
+# TYPE abs_walk_length histogram
+abs_walk_length_bucket{le=\"1\"} 1
+abs_walk_length_bucket{le=\"4\"} 2
+abs_walk_length_bucket{le=\"+Inf\"} 3
+abs_walk_length_sum 13
+abs_walk_length_count 3
+";
+        assert_eq!(text, expected);
+        assert_eq!(parse_prometheus(&text), Ok(8));
+    }
+
+    #[test]
+    fn json_golden() {
+        let text = json_text(&sample());
+        let expected = "{
+  \"counters\": [
+    {\"name\":\"abs_flips_total\",\"labels\":{\"device\":\"0\"},\"value\":12},
+    {\"name\":\"abs_flips_total\",\"labels\":{\"device\":\"1\"},\"value\":3}
+  ],
+  \"gauges\": [
+    {\"name\":\"abs_search_rate\",\"labels\":{},\"value\":2.5}
+  ],
+  \"histograms\": [
+    {\"name\":\"abs_walk_length\",\"labels\":{},\"count\":3,\"sum\":13,\"buckets\":[{\"le\":1,\"count\":1},{\"le\":4,\"count\":2},{\"le\":\"+Inf\",\"count\":3}]}
+  ]
+}
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn human_table_lists_every_series() {
+        let table = human_table(&sample());
+        assert!(table.contains("abs_flips_total{device=\"0\"}"));
+        assert!(table.contains("count=3 mean=4.33"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_prometheus("").is_err());
+        assert!(parse_prometheus("# NOPE x\n").is_err());
+        assert!(parse_prometheus("abs_x notanumber\n").is_err());
+        assert!(parse_prometheus("bad-name{} 1\n").is_err());
+        assert!(parse_prometheus("abs_x{device=\"0\" 1\n").is_err());
+        assert_eq!(parse_prometheus("abs_x 1\nabs_y{a=\"b\"} 2.5\n"), Ok(2));
+    }
+}

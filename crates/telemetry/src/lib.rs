@@ -1,0 +1,35 @@
+//! `abs-telemetry` — zone-aware observability for the ABS pipeline.
+//!
+//! The paper's performance story is told through runtime counters:
+//! flips/s, evaluated solutions/s, O(1) search efficiency (Theorem 1),
+//! pool churn, and the host-polled atomic counter protocol of Fig. 5.
+//! This crate makes those first-class at runtime while honouring the
+//! device-zone contract `abs-lint` enforces:
+//!
+//! * [`event`] / [`ring`] — the device half: `Copy` events deposited
+//!   into pre-allocated, fixed-capacity, overwrite-oldest rings. No
+//!   clocks, no RNG, no allocation in the hot path.
+//! * [`metrics`] / [`registry`] — typed counters, gauges and
+//!   fixed-bucket histograms behind `Arc` handles, snapshotted into
+//!   plain data in registration order.
+//! * [`aggregator`] — the host half: drains rings and `GlobalMem`
+//!   counters at poll boundaries and stamps wall-clock time there,
+//!   mirroring the Fig. 5 host-polls-an-atomic design.
+//! * [`expose`] — Prometheus text, deterministic JSON, and a human
+//!   summary table, all golden-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregator;
+pub mod event;
+pub mod expose;
+pub mod metrics;
+pub mod registry;
+pub mod ring;
+
+pub use aggregator::{Aggregator, DeviceSample, HostSample};
+pub use event::{Event, EventKind};
+pub use metrics::{Counter, Gauge, Histogram};
+pub use registry::{CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, Registry};
+pub use ring::{Drain, EventRing, RingStats};

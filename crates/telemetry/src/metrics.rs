@@ -1,0 +1,182 @@
+//! Typed metric primitives: counters, gauges, fixed-bucket histograms.
+//!
+//! All three are updated with `Relaxed` atomics only — they are pure
+//! statistics, never used for synchronization (the `GlobalMem` result
+//! counter keeps that job, Fig. 5). Updates are allocation-free so
+//! device-zone code may call them from the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Increments by `delta`.
+    pub fn add(&self, delta: u64) {
+        // Pure statistics counter, no synchronization role.
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrites with a total sampled from an external monotone source
+    /// (e.g. a `GlobalMem` flip counter).
+    pub fn set(&self, total: u64) {
+        // Pure statistics counter, no synchronization role.
+        self.0.store(total, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding one `f64` (stored as bits in an atomic).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge starting at `0.0`.
+    #[must_use]
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, value: f64) {
+        // Pure statistics value, no synchronization role.
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram over `u64` observations with a fixed bucket layout
+/// chosen at construction (upper bounds, plus an implicit `+Inf`).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[u64]>,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bounds (must be
+    /// strictly increasing; an `+Inf` bucket is appended implicitly).
+    #[must_use]
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: bounds.to_vec().into_boxed_slice(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Powers-of-two bounds `1, 2, 4, …, 2^max_exp` — the natural
+    /// layout for walk lengths and window-ℓ schedules, both of which
+    /// the paper doubles (Fig. 2).
+    #[must_use]
+    pub fn powers_of_two(max_exp: u32) -> Self {
+        let bounds: Vec<u64> = (0..=max_exp).map(|e| 1u64 << e).collect();
+        Self::new(&bounds)
+    }
+
+    /// Records one observation. Allocation-free.
+    pub fn observe(&self, value: u64) {
+        let mut i = 0;
+        while i < self.bounds.len() && value > self.bounds[i] {
+            i += 1;
+        }
+        // Pure statistics counters, no synchronization role.
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// The configured finite upper bounds.
+    #[must_use]
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts, one per finite bound plus
+    /// the trailing `+Inf` bucket.
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.add(3);
+        c.inc();
+        assert_eq!(c.get(), 4);
+        c.set(100);
+        assert_eq!(c.get(), 100);
+        let g = Gauge::new();
+        g.set(1.25);
+        assert!((g.get() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_values_at_inclusive_bounds() {
+        let h = Histogram::new(&[1, 4, 16]);
+        for v in [0, 1, 2, 4, 5, 16, 17, 1000] {
+            h.observe(v);
+        }
+        // le=1: {0,1}; le=4: {2,4}; le=16: {5,16}; +Inf: {17,1000}.
+        assert_eq!(h.bucket_counts(), vec![2, 2, 2, 2]);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1 + 2 + 4 + 5 + 16 + 17 + 1000);
+    }
+
+    #[test]
+    fn powers_of_two_layout() {
+        let h = Histogram::powers_of_two(4);
+        assert_eq!(h.bounds(), &[1, 2, 4, 8, 16]);
+        h.observe(16);
+        h.observe(17);
+        assert_eq!(h.bucket_counts(), vec![0, 0, 0, 0, 1, 1]);
+    }
+}

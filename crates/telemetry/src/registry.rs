@@ -1,0 +1,304 @@
+//! The metrics registry and its immutable [`MetricsSnapshot`].
+//!
+//! A [`Registry`] owns named metric families; callers hold `Arc`
+//! handles to the individual metrics and update them lock-free. A
+//! snapshot is a plain-data copy in registration order, so every
+//! exposition (Prometheus, JSON, human table) is deterministic.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::sync::Arc;
+
+/// Owned `(key, value)` label pairs.
+pub type Labels = Vec<(String, String)>;
+
+struct Entry<T> {
+    name: String,
+    help: String,
+    labels: Labels,
+    metric: Arc<T>,
+}
+
+fn to_labels(labels: &[(&str, &str)]) -> Labels {
+    labels
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+        .collect()
+}
+
+/// A registry of named counters, gauges and histograms.
+#[derive(Default)]
+pub struct Registry {
+    counters: Vec<Entry<Counter>>,
+    gauges: Vec<Entry<Gauge>>,
+    histograms: Vec<Entry<Histogram>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or retrieves) the counter `name{labels}`. Repeated
+    /// registration with the same name and labels returns the existing
+    /// handle, so callers need not track first-use.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
+        let labels = to_labels(labels);
+        if let Some(e) = self
+            .counters
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            return Arc::clone(&e.metric);
+        }
+        let metric = Arc::new(Counter::new());
+        self.counters.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            metric: Arc::clone(&metric),
+        });
+        metric
+    }
+
+    /// Registers (or retrieves) the gauge `name{labels}`.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        let labels = to_labels(labels);
+        if let Some(e) = self
+            .gauges
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            return Arc::clone(&e.metric);
+        }
+        let metric = Arc::new(Gauge::new());
+        self.gauges.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            metric: Arc::clone(&metric),
+        });
+        metric
+    }
+
+    /// Registers (or retrieves) the histogram `name{labels}` with the
+    /// given finite bucket bounds (ignored if already registered).
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        bounds: &[u64],
+    ) -> Arc<Histogram> {
+        let labels = to_labels(labels);
+        if let Some(e) = self
+            .histograms
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            return Arc::clone(&e.metric);
+        }
+        let metric = Arc::new(Histogram::new(bounds));
+        self.histograms.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            metric: Arc::clone(&metric),
+        });
+        metric
+    }
+
+    /// Copies every metric's current value into a plain-data snapshot,
+    /// in registration order.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|e| CounterSample {
+                    name: e.name.clone(),
+                    help: e.help.clone(),
+                    labels: e.labels.clone(),
+                    value: e.metric.get(),
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|e| GaugeSample {
+                    name: e.name.clone(),
+                    help: e.help.clone(),
+                    labels: e.labels.clone(),
+                    value: e.metric.get(),
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|e| HistogramSample {
+                    name: e.name.clone(),
+                    help: e.help.clone(),
+                    labels: e.labels.clone(),
+                    bounds: e.metric.bounds().to_vec(),
+                    buckets: e.metric.bucket_counts(),
+                    count: e.metric.count(),
+                    sum: e.metric.sum(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One counter's sampled value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CounterSample {
+    /// Metric family name (e.g. `abs_flips_total`).
+    pub name: String,
+    /// Help text for the family.
+    pub help: String,
+    /// Label pairs identifying this series within the family.
+    pub labels: Labels,
+    /// Sampled value.
+    pub value: u64,
+}
+
+/// One gauge's sampled value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GaugeSample {
+    /// Metric family name.
+    pub name: String,
+    /// Help text for the family.
+    pub help: String,
+    /// Label pairs identifying this series within the family.
+    pub labels: Labels,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// One histogram's sampled state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSample {
+    /// Metric family name.
+    pub name: String,
+    /// Help text for the family.
+    pub help: String,
+    /// Label pairs identifying this series within the family.
+    pub labels: Labels,
+    /// Finite inclusive upper bounds.
+    pub bounds: Vec<u64>,
+    /// Non-cumulative per-bucket counts (`bounds.len() + 1` entries;
+    /// the last is the `+Inf` bucket).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl HistogramSample {
+    /// Mean observed value, or 0 if empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A plain-data copy of every registered metric at one instant.
+///
+/// Attached to `SolveResult` so callers (CLI, bench harness, tests) get
+/// programmatic access without re-deriving counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counters, in registration order.
+    pub counters: Vec<CounterSample>,
+    /// Gauges, in registration order.
+    pub gauges: Vec<GaugeSample>,
+    /// Histograms, in registration order.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// Sum of all series of the counter family `name`.
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// The series of counter family `name` whose labels contain
+    /// `key == value`, if any.
+    #[must_use]
+    pub fn counter_with(&self, name: &str, key: &str, value: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name && c.labels.iter().any(|(k, v)| k == key && v == value))
+            .map(|c| c.value)
+    }
+
+    /// The gauge `name` (first series), if registered.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The gauge series of family `name` whose labels contain
+    /// `key == value`, if any.
+    #[must_use]
+    pub fn gauge_with(&self, name: &str, key: &str, value: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && g.labels.iter().any(|(k, v)| k == key && v == value))
+            .map(|g| g.value)
+    }
+
+    /// The histogram `name` (first series), if registered.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_ordered() {
+        let mut r = Registry::new();
+        let a = r.counter("abs_flips_total", &[("device", "0")], "flips");
+        let b = r.counter("abs_flips_total", &[("device", "0")], "flips");
+        let c = r.counter("abs_flips_total", &[("device", "1")], "flips");
+        a.add(5);
+        b.add(2);
+        c.add(1);
+        let s = r.snapshot();
+        assert_eq!(s.counters.len(), 2);
+        assert_eq!(s.counter_with("abs_flips_total", "device", "0"), Some(7));
+        assert_eq!(s.counter_total("abs_flips_total"), 8);
+    }
+
+    #[test]
+    fn snapshot_lookups() {
+        let mut r = Registry::new();
+        r.gauge("abs_search_rate", &[], "rate").set(2.5);
+        let h = r.histogram("abs_walk", &[], "walks", &[1, 2]);
+        h.observe(1);
+        h.observe(5);
+        let s = r.snapshot();
+        assert_eq!(s.gauge("abs_search_rate"), Some(2.5));
+        assert_eq!(s.gauge("missing"), None);
+        let hs = s.histogram("abs_walk").unwrap();
+        assert_eq!(hs.buckets, vec![1, 0, 1]);
+        assert_eq!(hs.count, 2);
+        assert!((hs.mean() - 3.0).abs() < 1e-12);
+    }
+}

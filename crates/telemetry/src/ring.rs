@@ -1,0 +1,205 @@
+//! Fixed-capacity, overwrite-oldest event ring.
+//!
+//! The device-side half of the telemetry protocol. A ring is allocated
+//! once, up front, by the host; device blocks then [`record`] into it
+//! with zero allocation — one short critical section per event, the
+//! analogue of one coalesced global-memory transaction in the paper's
+//! Fig. 5 buffer protocol. When the ring is full the *oldest* event is
+//! overwritten (telemetry is lossy-by-design; the accounting counters
+//! are not), and the loss is counted so the host can report it.
+//!
+//! Exact accounting invariant (checked by the test suites):
+//!
+//! ```text
+//! written == drained_total + overwritten + buffered
+//! ```
+//!
+//! [`record`]: EventRing::record
+
+use crate::event::Event;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Snapshot of a ring's accounting counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Events ever recorded (including later overwritten ones).
+    pub written: u64,
+    /// Events lost to overwrite-oldest before any drain saw them.
+    pub overwritten: u64,
+    /// Events currently buffered, waiting for a drain.
+    pub buffered: u64,
+}
+
+/// One drain's yield: the buffered events in arrival order, plus the
+/// ring's cumulative counters read atomically with the drain.
+#[derive(Clone, Debug, Default)]
+pub struct Drain {
+    /// Buffered events, oldest first.
+    pub events: Vec<Event>,
+    /// Cumulative events ever written, as of this drain.
+    pub written: u64,
+    /// Cumulative events lost to overwrite, as of this drain.
+    pub overwritten: u64,
+}
+
+struct Inner {
+    slots: Box<[Event]>,
+    head: usize,
+    len: usize,
+}
+
+/// A pre-allocated, fixed-capacity, overwrite-oldest event buffer
+/// shared between device blocks (producers) and the host (consumer).
+pub struct EventRing {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    // Pure statistics counters; mutated only inside the ring's critical
+    // section, so Relaxed reads under the lock are exact.
+    written: AtomicU64,
+    overwritten: AtomicU64,
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl EventRing {
+    /// Builds a ring holding at most `capacity` events. A capacity of 0
+    /// disables the ring: [`record`](Self::record) becomes a no-op that
+    /// never takes the lock (used by the overhead bench's "off" arm).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventRing {
+            inner: Mutex::new(Inner {
+                slots: vec![Event::default(); capacity].into_boxed_slice(),
+                head: 0,
+                len: 0,
+            }),
+            capacity,
+            written: AtomicU64::new(0),
+            overwritten: AtomicU64::new(0),
+        }
+    }
+
+    /// The fixed capacity this ring was built with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Deposits one event, overwriting the oldest buffered event when
+    /// full. Allocation-free and clock-free: safe to call from the
+    /// device hot path.
+    pub fn record(&self, event: Event) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.len == self.capacity {
+            inner.head = (inner.head + 1) % self.capacity;
+            inner.len -= 1;
+            self.overwritten.fetch_add(1, Ordering::Relaxed);
+        }
+        let slot = (inner.head + inner.len) % self.capacity;
+        inner.slots[slot] = event;
+        inner.len += 1;
+        self.written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Removes and returns every buffered event (oldest first), along
+    /// with the cumulative counters read inside the same critical
+    /// section — so `written == drained_so_far + overwritten + buffered`
+    /// holds exactly across any sequence of drains.
+    pub fn drain(&self) -> Drain {
+        let mut inner = self.inner.lock();
+        let mut events = Vec::with_capacity(inner.len);
+        for k in 0..inner.len {
+            events.push(inner.slots[(inner.head + k) % self.capacity]);
+        }
+        inner.head = 0;
+        inner.len = 0;
+        Drain {
+            events,
+            written: self.written.load(Ordering::Relaxed),
+            overwritten: self.overwritten.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reads the accounting counters without draining.
+    pub fn stats(&self) -> RingStats {
+        let inner = self.inner.lock();
+        RingStats {
+            written: self.written.load(Ordering::Relaxed),
+            overwritten: self.overwritten.load(Ordering::Relaxed),
+            buffered: inner.len as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn fifo_below_capacity() {
+        let r = EventRing::with_capacity(8);
+        for i in 0..5 {
+            r.record(Event::straight_walk(i));
+        }
+        let d = r.drain();
+        assert_eq!(
+            d.events.iter().map(|e| e.value).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert_eq!(d.written, 5);
+        assert_eq!(d.overwritten, 0);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let r = EventRing::with_capacity(4);
+        for i in 0..10 {
+            r.record(Event::window_switch(i));
+        }
+        let d = r.drain();
+        assert_eq!(
+            d.events.iter().map(|e| e.value).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(d.written, 10);
+        assert_eq!(d.overwritten, 6);
+        assert_eq!(d.events[0].kind, EventKind::WindowSwitch);
+    }
+
+    #[test]
+    fn zero_capacity_is_a_disabled_ring() {
+        let r = EventRing::with_capacity(0);
+        r.record(Event::block_death(3));
+        let d = r.drain();
+        assert!(d.events.is_empty());
+        assert_eq!(d.written, 0);
+        assert_eq!(r.stats(), RingStats::default());
+    }
+
+    #[test]
+    fn stats_track_the_accounting_invariant() {
+        let r = EventRing::with_capacity(3);
+        for i in 0..7 {
+            r.record(Event::straight_walk(i));
+        }
+        let s = r.stats();
+        assert_eq!(s.written, 7);
+        assert_eq!(s.overwritten, 4);
+        assert_eq!(s.buffered, 3);
+        let drained = r.drain().events.len() as u64;
+        let s = r.stats();
+        assert_eq!(s.written, drained + s.overwritten + s.buffered);
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::buffers::{GlobalMem, SolutionRecord};
 use crate::fault::InjectedPanic;
+use abs_telemetry::Event;
 use qubo::Qubo;
 use qubo_search::{
     local_search, straight_search, DeltaAcc, DeltaTracker, GreedyPolicy, MetropolisPolicy,
@@ -260,7 +261,11 @@ impl<'q, A: DeltaAcc> BlockRunner<'q, A> {
         self.tracker.reset_best();
         let mut flips = 0u64;
         if let Some(t) = target {
-            flips += straight_search(&mut self.tracker, &t);
+            // The walk length equals the Hamming distance to the target
+            // (§3.1), so the event stream doubles as a distance trace.
+            let walk = straight_search(&mut self.tracker, &t);
+            mem.record_event(Event::straight_walk(walk));
+            flips += walk;
         }
         if let Some(injected) = mid_panic {
             std::panic::panic_any(injected);
@@ -277,7 +282,7 @@ impl<'q, A: DeltaAcc> BlockRunner<'q, A> {
         });
         mem.add_flips(flips);
         mem.add_iteration();
-        self.adapt(be);
+        self.adapt(be, mem);
         flips
     }
 
@@ -287,7 +292,7 @@ impl<'q, A: DeltaAcc> BlockRunner<'q, A> {
     /// temperature ladder automatically instead of keeping the
     /// statically assigned rung. Applies to window policies only; other
     /// policy kinds have no ladder to walk and are left unchanged.
-    fn adapt(&mut self, iteration_best: qubo::Energy) {
+    fn adapt(&mut self, iteration_best: qubo::Energy, mem: &GlobalMem) {
         if iteration_best < self.all_time_best {
             self.all_time_best = iteration_best;
             self.stale = 0;
@@ -308,6 +313,7 @@ impl<'q, A: DeltaAcc> BlockRunner<'q, A> {
                 (w.window() * 2).min(n)
             };
             self.policy = RuntimePolicy::Window(WindowMinPolicy::with_offset(next, w.offset()));
+            mem.record_event(Event::window_switch(next as u64));
             self.switches += 1;
             self.stale = 0;
         }

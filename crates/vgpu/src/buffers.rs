@@ -30,6 +30,7 @@
 //! dead devices from its poll loop.
 
 use crate::health::DeviceHealth;
+use abs_telemetry::{Event, EventRing};
 use parking_lot::Mutex;
 use qubo::{BitVec, Energy};
 use std::collections::VecDeque;
@@ -38,6 +39,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 /// Default capacity of the target and result buffers — generous enough
 /// that a healthy host draining at poll cadence never sees an overflow.
 pub const DEFAULT_BUFFER_CAPACITY: usize = 65_536;
+
+/// Default capacity of the telemetry event ring. Telemetry is
+/// lossy-by-design (overwrite-oldest); at poll cadence this is ample.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4_096;
 
 /// A best-found solution stored by a block (§3.2 Step 5).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -84,6 +89,9 @@ pub struct GlobalMem {
     stop: AtomicBool,
     /// Health sub-region written by device workers, read by the host.
     health: DeviceHealth,
+    /// Telemetry event ring written by device workers, drained by the
+    /// host at poll boundaries (capacity 0 disables it).
+    events: EventRing,
 }
 
 impl Default for GlobalMem {
@@ -100,9 +108,21 @@ impl GlobalMem {
     }
 
     /// Creates an empty region with explicit buffer capacities (both are
-    /// clamped to at least 1).
+    /// clamped to at least 1) and the default telemetry event capacity.
     #[must_use]
     pub fn with_capacity(target_capacity: usize, result_capacity: usize) -> Self {
+        Self::with_capacities(target_capacity, result_capacity, DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Creates an empty region with explicit target/result capacities
+    /// (clamped to at least 1) and telemetry event capacity (0 disables
+    /// the event ring; counters keep working).
+    #[must_use]
+    pub fn with_capacities(
+        target_capacity: usize,
+        result_capacity: usize,
+        event_capacity: usize,
+    ) -> Self {
         Self {
             targets: Mutex::new(VecDeque::new()),
             results: Mutex::new(Vec::new()),
@@ -118,6 +138,7 @@ impl GlobalMem {
             iterations: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             health: DeviceHealth::new(),
+            events: EventRing::with_capacity(event_capacity),
         }
     }
 
@@ -177,6 +198,19 @@ impl GlobalMem {
     #[must_use]
     pub fn health(&self) -> &DeviceHealth {
         &self.health
+    }
+
+    /// Host: drain the telemetry event ring (oldest first) together
+    /// with its exact accounting counters.
+    #[must_use]
+    pub fn drain_events(&self) -> abs_telemetry::Drain {
+        self.events.drain()
+    }
+
+    /// The telemetry event ring's accounting counters.
+    #[must_use]
+    pub fn event_stats(&self) -> abs_telemetry::RingStats {
+        self.events.stats()
     }
 
     // ---- device side ---------------------------------------------------
@@ -239,6 +273,13 @@ impl GlobalMem {
     /// Device: account `flips` bit flips.
     pub fn add_flips(&self, flips: u64) {
         self.flips.fetch_add(flips, Ordering::Relaxed);
+    }
+
+    /// Device: deposit one telemetry event into the overwrite-oldest
+    /// ring. Allocation-free and clock-free; a no-op when the ring was
+    /// built with capacity 0.
+    pub fn record_event(&self, event: Event) {
+        self.events.record(event);
     }
 
     /// Device: account one completed bulk-search iteration.

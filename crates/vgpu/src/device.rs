@@ -13,10 +13,11 @@
 //! forever.
 
 use crate::block::{AdaptiveConfig, BlockConfig, BlockRunner, PolicyKind, WindowSchedule};
-use crate::buffers::{GlobalMem, SolutionRecord, DEFAULT_BUFFER_CAPACITY};
+use crate::buffers::{GlobalMem, SolutionRecord, DEFAULT_BUFFER_CAPACITY, DEFAULT_EVENT_CAPACITY};
 use crate::fault::{self, Corruption, FaultPlan, InjectedPanic};
 use crate::occupancy::{full_occupancy_configs, occupancy, OccupancyError};
 use crate::spec::DeviceSpec;
+use abs_telemetry::Event;
 use qubo::{BitVec, Qubo};
 use qubo_search::{DeltaAcc, DeltaTracker};
 use std::fmt;
@@ -54,6 +55,9 @@ pub struct DeviceConfig {
     /// Capacity of the device→host result buffer (overflow keeps the
     /// best records).
     pub result_capacity: usize,
+    /// Capacity of the telemetry event ring (0 disables event
+    /// recording entirely; the statistics counters keep working).
+    pub event_capacity: usize,
     /// Deterministic fault plan for failure rehearsal; `None` (the
     /// production default) injects nothing and costs one `Option` check
     /// per block iteration.
@@ -73,6 +77,7 @@ impl Default for DeviceConfig {
             policy_mix: Vec::new(),
             target_capacity: DEFAULT_BUFFER_CAPACITY,
             result_capacity: DEFAULT_BUFFER_CAPACITY,
+            event_capacity: DEFAULT_EVENT_CAPACITY,
             fault: None,
         }
     }
@@ -140,9 +145,10 @@ impl Device {
     /// index (the index scopes [`FaultPlan`] entries).
     #[must_use]
     pub fn with_index(config: DeviceConfig, index: usize) -> Self {
-        let mem = Arc::new(GlobalMem::with_capacity(
+        let mem = Arc::new(GlobalMem::with_capacities(
             config.target_capacity,
             config.result_capacity,
+            config.event_capacity,
         ));
         Self { config, index, mem }
     }
@@ -272,6 +278,11 @@ impl Device {
                         })
                         .collect();
                     mem.add_units(slots.len() as u64);
+                    for slot in &slots {
+                        if let Some(w) = slot.runner.window() {
+                            mem.record_event(Event::window_assign(w as u64));
+                        }
+                    }
                     let plan = cfg.fault.as_deref();
                     'outer: while !mem.stopped() {
                         if slots.is_empty() {
@@ -329,6 +340,7 @@ impl Device {
                                     let _ = slots.swap_remove(i);
                                     mem.retire_unit();
                                     mem.health().record_dead_block();
+                                    mem.record_event(Event::block_death(block as u64));
                                 }
                             }
                         }

@@ -80,7 +80,7 @@ pub mod spec;
 pub mod timing;
 
 pub use block::{AdaptiveConfig, BlockConfig, BlockRunner, PolicyKind, WindowSchedule};
-pub use buffers::{GlobalMem, SolutionRecord, DEFAULT_BUFFER_CAPACITY};
+pub use buffers::{GlobalMem, SolutionRecord, DEFAULT_BUFFER_CAPACITY, DEFAULT_EVENT_CAPACITY};
 pub use device::{Device, DeviceConfig, ResolveError};
 pub use fault::{Corruption, FaultKind, FaultPlan, InjectedPanic};
 pub use health::{DeviceHealth, HealthStatus};

@@ -1,1 +1,45 @@
 //! Examples live as example targets; see the `[[example]]` entries in Cargo.toml.
+//!
+//! The test module below guards the invariant the
+//! `multi_device_scaling` example relies on: the telemetry snapshot on
+//! a [`abs::SolveResult`] and the result's own summary fields are two
+//! views of the same counters and agree exactly.
+
+#[cfg(test)]
+mod tests {
+    use abs::{Abs, AbsConfig, StopCondition};
+    use std::time::Duration;
+
+    #[test]
+    fn metrics_snapshot_agrees_with_solve_result() {
+        let n = 96;
+        let problem = qubo_problems::random::generate(n, 7);
+        let devices = 2usize;
+        let mut config = AbsConfig::small();
+        config.machine.num_devices = devices;
+        config.machine.device.workers = 1;
+        config.machine.device.blocks_override = Some(4);
+        config.stop = StopCondition::timeout(Duration::from_millis(150));
+        let r = Abs::new(config)
+            .expect("valid config")
+            .solve(&problem)
+            .expect("solve");
+
+        // Totals: exact, not approximate — finish() takes its final
+        // poll from the same counters the result is built from.
+        assert_eq!(r.metrics.counter_total("abs_flips_total"), r.total_flips);
+        let evaluated = r.metrics.counter_total("abs_evaluated_total");
+        assert_eq!(evaluated, r.evaluated);
+        assert_eq!(r.metrics.gauge("abs_search_rate"), Some(r.search_rate));
+
+        // The per-device series partition the totals.
+        let per_device: u64 = (0..devices)
+            .map(|d| {
+                r.metrics
+                    .counter_with("abs_evaluated_total", "device", &d.to_string())
+                    .expect("per-device evaluated")
+            })
+            .sum();
+        assert_eq!(per_device, evaluated);
+    }
+}

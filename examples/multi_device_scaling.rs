@@ -3,7 +3,9 @@
 //! Runs the same problem on 1–4 virtual devices (one worker thread
 //! each, so devices map to distinct cores) and reports the measured
 //! search rate, alongside the calibrated GPU timing model's prediction
-//! for real RTX 2080 Ti hardware.
+//! for real RTX 2080 Ti hardware. Per-device throughput comes from the
+//! telemetry snapshot attached to every [`abs::SolveResult`] — the same
+//! counters `--metrics-out` exposes to Prometheus.
 //!
 //! ```sh
 //! cargo run --release -p abs-examples --example multi_device_scaling
@@ -24,6 +26,7 @@ fn main() {
     println!("devices | measured CPU (sol/s) | speedup | modeled GPU (sol/s)");
     println!("--------+----------------------+---------+--------------------");
     let mut base = None;
+    let mut last = None;
     for devices in 1..=4usize {
         let mut config = AbsConfig::small();
         config.machine.num_devices = devices;
@@ -38,7 +41,37 @@ fn main() {
         let speedup = rate / *base.get_or_insert(rate);
         let gpu = model.search_rate(n, &occ, devices);
         println!("   {devices}    |      {rate:.3e}       |  {speedup:.2}×  |     {gpu:.3e}");
+        last = Some(r);
     }
+
+    // Per-device breakdown of the 4-device run, read off the telemetry
+    // snapshot: evaluated solutions per device and each device's share.
+    let r = last.expect("4-device result");
+    let elapsed = r.elapsed.as_secs_f64();
+    let total = r.metrics.counter_total("abs_evaluated_total");
+    println!("\nper-device throughput (4-device run, from the metrics snapshot):");
+    println!("device | evaluated   | sol/s     | share");
+    println!("-------+-------------+-----------+------");
+    for d in 0..4usize {
+        let evald = r
+            .metrics
+            .counter_with("abs_evaluated_total", "device", &d.to_string())
+            .unwrap_or_default();
+        println!(
+            "  {d}    | {evald:>11} | {:.3e} | {:>4.1}%",
+            evald as f64 / elapsed,
+            100.0 * evald as f64 / total as f64
+        );
+    }
+    // The snapshot and the result are two views of the same counters —
+    // they must agree exactly, not approximately.
+    assert_eq!(total, r.evaluated, "snapshot disagrees with result");
+    assert_eq!(
+        r.metrics.gauge("abs_search_rate"),
+        Some(r.search_rate),
+        "snapshot rate disagrees with result"
+    );
+
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
