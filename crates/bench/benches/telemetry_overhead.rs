@@ -16,6 +16,7 @@
 use criterion::{Bencher, BenchmarkId, Criterion, Throughput};
 use qubo::{BitVec, Qubo};
 use qubo_problems::random;
+use qubo_search::FlipKernel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -33,6 +34,7 @@ fn cfg(n: usize) -> BlockConfig {
         offset: 0,
         adaptive: None,
         policy: PolicyKind::Window,
+        kernel: FlipKernel::detect(),
     }
 }
 

@@ -490,6 +490,7 @@ impl Abs {
             dead_blocks: health.dead_blocks(),
             total_blocks: health.total_blocks(),
             health: label,
+            kernel: mem.flip_kernel_name(),
             events: drained.events,
             events_written: drained.written,
             events_overwritten: drained.overwritten,

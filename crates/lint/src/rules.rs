@@ -51,8 +51,12 @@ pub const RULES: &[(&str, &str)] = &[
         "unwrap()/expect() outside tests (device/host zones use guarded invariants or AbsError)",
     ),
     (
+        "device-unsafe-justified",
+        "unsafe in the device zone needs a `// SAFETY:` comment naming the checked CPU feature or alignment invariant",
+    ),
+    (
         "crate-attrs",
-        "crate roots must carry #![forbid(unsafe_code)] and #![warn(missing_docs)]",
+        "crate roots must carry #![forbid(unsafe_code)] (or a justified #![deny]) and #![warn(missing_docs)]",
     ),
     (
         "bad-allow-marker",
@@ -358,12 +362,16 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
                 w[0].is_ident(a) && w[1].is_punct('(') && w[2].is_ident(b) && w[3].is_punct(')')
             })
         };
-        if !has("forbid", "unsafe_code") {
+        // `deny` is the legitimate weakening for crates that scope a
+        // single `#[allow(unsafe_code)]` around feature-gated SIMD arms;
+        // the unsafe sites themselves are policed by
+        // `device-unsafe-justified`.
+        if !has("forbid", "unsafe_code") && !has("deny", "unsafe_code") {
             push(
                 "crate-attrs",
                 1,
                 ctx.zone,
-                "crate root lacks #![forbid(unsafe_code)]".to_string(),
+                "crate root lacks #![forbid(unsafe_code)] or #![deny(unsafe_code)]".to_string(),
             );
         }
         if !has("warn", "missing_docs") && !has("deny", "missing_docs") {
@@ -431,6 +439,23 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
                         ),
                     );
                 }
+            }
+            // Every unsafe site (fn or block) must say which checked CPU
+            // feature or alignment invariant makes it sound. The
+            // `unsafe_code` ident inside `#![allow(...)]`/`#![deny(...)]`
+            // attributes is a different token and never matches.
+            if t.is_ident("unsafe")
+                && !in_tok_ranges(i, &spans.attr_tok)
+                && !ctx
+                    .lexed
+                    .comment_near(line.saturating_sub(COMMENT_WINDOW), line, "SAFETY")
+            {
+                push(
+                    "device-unsafe-justified",
+                    line,
+                    ctx.zone,
+                    "unsafe without a neighbouring `// SAFETY:` comment".to_string(),
+                );
             }
             // Panicking indexing in the audited kernel files.
             if indexing_audited(ctx.rel_path)
@@ -733,5 +758,35 @@ mod tests {
         let ok = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub mod x;\n";
         let fs = run("crates/qubo/src/lib.rs", ok);
         assert!(active(&fs, "crate-attrs").is_empty());
+        // deny is the sanctioned weakening for SIMD-bearing crates.
+        let deny = "#![deny(unsafe_code)]\n#![warn(missing_docs)]\npub mod x;\n";
+        let fs = run("crates/search/src/lib.rs", deny);
+        assert!(active(&fs, "crate-attrs").is_empty());
+    }
+
+    #[test]
+    fn device_unsafe_needs_safety_comment() {
+        let bare = "fn f(p: *const i32) -> i32 { unsafe { *p } }\n";
+        let fs = run("crates/search/src/simd.rs", bare);
+        assert_eq!(active(&fs, "device-unsafe-justified").len(), 1);
+
+        let ok = "fn f(p: *const i32) -> i32 {\n  // SAFETY: caller checked avx2 and 64-byte alignment\n  unsafe { *p }\n}\n";
+        let fs = run("crates/search/src/simd.rs", ok);
+        assert!(active(&fs, "device-unsafe-justified").is_empty());
+
+        // The `unsafe_code` ident in lint attributes is not a site.
+        let attr = "#![allow(unsafe_code)]\npub mod x;\n";
+        let fs = run("crates/search/src/simd.rs", attr);
+        assert!(active(&fs, "device-unsafe-justified").is_empty());
+
+        // Outside the device zone the rule stays silent.
+        let fs = run("crates/core/src/solver.rs", bare);
+        assert!(active(&fs, "device-unsafe-justified").is_empty());
+
+        // Test modules are exempt like every other rule.
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n  fn g(p: *const i32) -> i32 { unsafe { *p } }\n}\n";
+        let fs = run("crates/search/src/simd.rs", test_src);
+        assert!(active(&fs, "device-unsafe-justified").is_empty());
     }
 }

@@ -98,6 +98,8 @@ pub const HOT_FNS: &[&str] = &[
     "add_coupling",
     "select",
     "next_window",
+    "flip_update",
+    "scalar_update",
 ];
 
 /// Telemetry entry points called from device threads inside the search

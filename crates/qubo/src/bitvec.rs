@@ -172,6 +172,36 @@ impl BitVec {
         &self.words
     }
 
+    /// Writes the word-level difference `self XOR other` into `scratch`
+    /// and returns the number of words written (`⌈len/64⌉`).
+    ///
+    /// Device hot paths pre-size `scratch` once (typically on the
+    /// stack) and then walk the set bits of each word with
+    /// `trailing_zeros`, so a straight search costs one XOR pass plus
+    /// one step per differing bit — no per-bit scan, no allocation.
+    /// The popcount of the written words equals
+    /// [`BitVec::hamming`]`(self, other)`.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or `scratch` holds fewer words than
+    /// `self`.
+    pub fn diff_words_into(&self, other: &Self, scratch: &mut [u64]) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch");
+        let nw = self.words.len();
+        assert!(
+            scratch.len() >= nw,
+            "scratch too small: {} < {nw}",
+            scratch.len()
+        );
+        for (s, (&a, &b)) in scratch
+            .iter_mut()
+            .zip(self.words.iter().zip(other.words.iter()))
+        {
+            *s = a ^ b;
+        }
+        nw
+    }
+
     /// Fills `self` from another vector of the same length without
     /// reallocating (a "workhorse" copy).
     pub fn copy_from(&mut self, other: &Self) {
@@ -306,6 +336,29 @@ mod tests {
         b.set(129, true); // same -> not in diff
         assert_eq!(a.iter_diff(&b).collect::<Vec<_>>(), vec![2, 70]);
         assert_eq!(a.hamming(&b), 2);
+    }
+
+    #[test]
+    fn diff_words_into_matches_iter_diff() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for len in [1usize, 63, 64, 65, 130, 200] {
+            let a = BitVec::random(len, &mut rng);
+            let b = BitVec::random(len, &mut rng);
+            let mut scratch = [0u64; 4];
+            let nw = a.diff_words_into(&b, &mut scratch);
+            assert_eq!(nw, len.div_ceil(64));
+            let pop: usize = scratch[..nw].iter().map(|w| w.count_ones() as usize).sum();
+            assert_eq!(pop, a.hamming(&b), "len={len}");
+            let bits: Vec<usize> = (0..nw)
+                .flat_map(|wi| {
+                    let w = scratch[wi];
+                    (0..64)
+                        .filter(move |b| (w >> b) & 1 == 1)
+                        .map(move |b| wi * 64 + b)
+                })
+                .collect();
+            assert_eq!(bits, a.iter_diff(&b).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod stats;
 pub use bitvec::BitVec;
 pub use energy::{phi, Energy};
 pub use ising::Ising;
-pub use matrix::{Qubo, QuboBuilder, QuboError};
+pub use matrix::{Qubo, QuboBuilder, QuboError, ROW_ALIGN_BYTES, ROW_LANE};
 pub use sparse::SparseQubo;
 pub use stats::InstanceStats;
 

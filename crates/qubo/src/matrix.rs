@@ -44,21 +44,82 @@ impl fmt::Display for QuboError {
 
 impl std::error::Error for QuboError {}
 
+/// Row stride granularity in `i16` elements: 32 × 2 B = one 64-byte
+/// cache line, and a multiple of every SIMD lane count we dispatch to,
+/// so lane-wise kernels never straddle a row boundary.
+pub const ROW_LANE: usize = 32;
+
+/// Byte alignment of row 0 (and, since the stride is a [`ROW_LANE`]
+/// multiple, of every row).
+pub const ROW_ALIGN_BYTES: usize = ROW_LANE * 2;
+
+/// Allocates a zeroed padded backing buffer for an `n`-bit problem:
+/// `(stride, element offset of row 0, buffer)`. The buffer is
+/// over-allocated by `ROW_LANE − 1` elements so the offset can align
+/// row 0 to [`ROW_ALIGN_BYTES`] without unsafe allocation APIs.
+fn padded_alloc(n: usize) -> (usize, usize, Box<[i16]>) {
+    let stride = n.div_ceil(ROW_LANE) * ROW_LANE;
+    let w = vec![0i16; n * stride + ROW_LANE - 1].into_boxed_slice();
+    // `Box<[i16]>` is at least 2-byte aligned, so the byte remainder is
+    // even and the element offset lands in 0..ROW_LANE.
+    let addr = w.as_ptr() as usize;
+    let off = ((ROW_ALIGN_BYTES - addr % ROW_ALIGN_BYTES) % ROW_ALIGN_BYTES) / 2;
+    (stride, off, w)
+}
+
 /// An instance of a QUBO problem: an `n × n` symmetric matrix of 16-bit
 /// weights `W = (W_ij)`, stored dense row-major.
 ///
 /// The objective is to find an `n`-bit vector `X` minimizing
 /// `E(X) = Xᵀ W X = Σ_{i,j} W_ij x_i x_j` (Eq. (1)).
 ///
-/// The dense full-square layout mirrors the GPU global-memory layout in
-/// the paper: the hot operation of the incremental search is reading one
-/// full row `W_k` contiguously (symmetry makes the column `W_{·k}` equal
-/// to the row `W_{k·}`).
-#[derive(Clone, PartialEq, Eq)]
+/// The dense layout mirrors the GPU global-memory layout in the paper:
+/// the hot operation of the incremental search is reading one full row
+/// `W_k` contiguously (symmetry makes the column `W_{·k}` equal to the
+/// row `W_{k·}`). Deviating from the paper's plain `n × n` square, rows
+/// are stored at a stride rounded up to [`ROW_LANE`] elements with row 0
+/// aligned to [`ROW_ALIGN_BYTES`]; the padding tail of every row is
+/// zero. [`Qubo::row`] still returns exactly the `n` logical weights,
+/// while [`Qubo::row_padded`] exposes the full stride for lane-wise
+/// kernels (see DESIGN.md: zero pad weights contribute nothing to any
+/// Δ, so Lemmas 1–3 accounting is unchanged).
 pub struct Qubo {
     n: usize,
+    /// Elements between consecutive row starts (`ROW_LANE` multiple).
+    stride: usize,
+    /// Element offset of row 0 inside `w` (aligns row 0 to 64 bytes).
+    off: usize,
     w: Box<[i16]>,
 }
+
+impl Clone for Qubo {
+    fn clone(&self) -> Self {
+        // A fresh allocation lands at a different address, so the
+        // aligning offset must be recomputed and rows re-copied; a
+        // derived byte-for-byte clone would silently misalign.
+        let (stride, off, mut w) = padded_alloc(self.n);
+        for k in 0..self.n {
+            let base = off + k * stride;
+            w[base..base + self.n].copy_from_slice(self.row(k));
+        }
+        Self {
+            n: self.n,
+            stride,
+            off,
+            w,
+        }
+    }
+}
+
+impl PartialEq for Qubo {
+    fn eq(&self, other: &Self) -> bool {
+        // Logical equality: the aligning offset (and thus the slack
+        // region) differs between allocations of equal problems.
+        self.n == other.n && (0..self.n).all(|k| self.row(k) == other.row(k))
+    }
+}
+
+impl Eq for Qubo {}
 
 impl Qubo {
     /// Creates a QUBO with all-zero weights.
@@ -69,10 +130,8 @@ impl Qubo {
         if n == 0 || n > MAX_BITS {
             return Err(QuboError::BadSize(n));
         }
-        Ok(Self {
-            n,
-            w: vec![0i16; n * n].into_boxed_slice(),
-        })
+        let (stride, off, w) = padded_alloc(n);
+        Ok(Self { n, stride, off, w })
     }
 
     /// Creates a QUBO from a dense row-major matrix, validating symmetry.
@@ -97,10 +156,12 @@ impl Qubo {
                 }
             }
         }
-        Ok(Self {
-            n,
-            w: w.into_boxed_slice(),
-        })
+        let mut q = Self::zero(n)?;
+        for k in 0..n {
+            let base = q.off + k * q.stride;
+            q.w[base..base + n].copy_from_slice(&w[k * n..(k + 1) * n]);
+        }
+        Ok(q)
     }
 
     /// Creates a QUBO from fixed-size rows — convenient in tests and docs.
@@ -141,32 +202,61 @@ impl Qubo {
         self.n
     }
 
+    /// Element index of `W_ij` inside the padded backing buffer.
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        self.off + i * self.stride + j
+    }
+
     /// Weight `W_ij`.
     #[must_use]
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> i16 {
-        self.w[i * self.n + j]
+        self.w[self.idx(i, j)]
     }
 
     /// Sets `W_ij` and `W_ji` simultaneously, keeping the matrix symmetric.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: i16) {
-        self.w[i * self.n + j] = v;
-        self.w[j * self.n + i] = v;
+        let a = self.idx(i, j);
+        let b = self.idx(j, i);
+        self.w[a] = v;
+        self.w[b] = v;
     }
 
-    /// Row `W_k` as a contiguous slice — the hot read of the Δ update.
+    /// Row `W_k` as a contiguous slice of exactly `n` weights — the hot
+    /// read of the Δ update.
     #[must_use]
     #[inline]
     pub fn row(&self, k: usize) -> &[i16] {
-        &self.w[k * self.n..(k + 1) * self.n]
+        let base = self.idx(k, 0);
+        &self.w[base..base + self.n]
+    }
+
+    /// Row `W_k` including its zero padding tail: length
+    /// [`Qubo::stride`], starting on a [`ROW_ALIGN_BYTES`] boundary.
+    /// Lane-wise kernels read this so fixed-width chunks never straddle
+    /// a row; the pad weights are zero and contribute nothing to any Δ.
+    #[must_use]
+    #[inline]
+    pub fn row_padded(&self, k: usize) -> &[i16] {
+        let base = self.idx(k, 0);
+        &self.w[base..base + self.stride]
+    }
+
+    /// Elements between consecutive row starts: `n` rounded up to a
+    /// [`ROW_LANE`] multiple.
+    #[must_use]
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
     }
 
     /// Diagonal weight `W_kk` (equal to `Δ_k(0)`).
     #[must_use]
     #[inline]
     pub fn diag(&self, k: usize) -> i16 {
-        self.w[k * self.n + k]
+        self.w[self.idx(k, k)]
     }
 
     /// Number of non-zero off-diagonal couplers `(i < j)`.
@@ -470,6 +560,39 @@ mod tests {
     fn row_is_contiguous_view() {
         let q = paper_fig1();
         assert_eq!(q.row(2), &[0, 1, -8, 2]);
+    }
+
+    #[test]
+    fn rows_are_aligned_and_zero_padded() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1, 4, 31, 32, 33, 100] {
+            let q = Qubo::random(n, &mut rng);
+            assert_eq!(q.stride() % ROW_LANE, 0);
+            assert!(q.stride() >= n && q.stride() < n + ROW_LANE);
+            for k in 0..n {
+                let padded = q.row_padded(k);
+                assert_eq!(padded.as_ptr() as usize % ROW_ALIGN_BYTES, 0, "n={n} k={k}");
+                assert_eq!(padded.len(), q.stride());
+                assert_eq!(&padded[..n], q.row(k));
+                assert!(padded[n..].iter().all(|&v| v == 0), "pad not zero");
+            }
+        }
+    }
+
+    #[test]
+    fn clone_and_eq_are_logical() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let q = Qubo::random(33, &mut rng);
+        let c = q.clone();
+        assert_eq!(q, c);
+        // The clone is re-aligned, so its rows satisfy the same
+        // alignment contract regardless of the new allocation address.
+        for k in 0..33 {
+            assert_eq!(c.row_padded(k).as_ptr() as usize % ROW_ALIGN_BYTES, 0);
+        }
+        let mut d = q.clone();
+        d.set(0, 1, i16::MAX);
+        assert_ne!(q, d);
     }
 
     #[test]

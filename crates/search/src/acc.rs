@@ -48,6 +48,22 @@ pub trait DeltaAcc:
 
     /// `Δ_k ↦ −Δ_k` (the flipped bit's own entry).
     fn neg(self) -> Self;
+
+    /// The safe specialization hook of the SIMD tier: views a Δ slice
+    /// as `i32` lanes when (and only when) `Self` *is* `i32`. The
+    /// default (`None`) routes wide accumulators to the scalar fused
+    /// path; no transmute, no unsafe — the `i32` impl just returns the
+    /// slice it was given.
+    fn lanes(d: &[Self]) -> Option<&[i32]> {
+        let _ = d;
+        None
+    }
+
+    /// Mutable counterpart of [`DeltaAcc::lanes`].
+    fn lanes_mut(d: &mut [Self]) -> Option<&mut [i32]> {
+        let _ = d;
+        None
+    }
 }
 
 impl DeltaAcc for i64 {
@@ -103,6 +119,16 @@ impl DeltaAcc for i32 {
     #[inline]
     fn neg(self) -> Self {
         -self
+    }
+
+    #[inline]
+    fn lanes(d: &[Self]) -> Option<&[i32]> {
+        Some(d)
+    }
+
+    #[inline]
+    fn lanes_mut(d: &mut [Self]) -> Option<&mut [i32]> {
+        Some(d)
     }
 }
 

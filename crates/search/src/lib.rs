@@ -31,6 +31,13 @@
 //! the same pass. [`local_search`] uses the fused path automatically for
 //! any policy implementing [`SelectionPolicy::next_window`].
 //!
+//! On top of the fusion sits a SIMD tier ([`simd`]): for `i32`
+//! accumulators the fused pass runs in `[i32; LANES]` chunks over the
+//! padded row layout of [`qubo::Qubo`], with an AVX2 specialization
+//! behind runtime feature detection ([`FlipKernel::detect`]) and the
+//! scalar fused path as the portable, bit-identical fallback.
+//! `ABS_FORCE_SCALAR=1` forces the scalar arm process-wide.
+//!
 //! # Example
 //!
 //! ```
@@ -55,13 +62,18 @@
 //! assert_eq!(best_e, q.energy(best));
 //! ```
 
-#![forbid(unsafe_code)]
+// deny (not forbid): the simd module scopes a single #[allow] around
+// its feature-gated AVX2 arms; everything else stays unsafe-free and
+// abs-lint requires a SAFETY comment at every unsafe site in the
+// Device zone (device-unsafe-justified).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod acc;
 pub mod local;
 pub mod naive;
 pub mod policy;
+pub mod simd;
 pub mod sparse;
 pub mod straight;
 pub mod tracker;
@@ -71,6 +83,7 @@ pub use local::local_search;
 pub use policy::{
     window_argmin, GreedyPolicy, MetropolisPolicy, RandomPolicy, SelectionPolicy, WindowMinPolicy,
 };
+pub use simd::FlipKernel;
 pub use sparse::SparseDeltaTracker;
 pub use straight::straight_search;
 pub use tracker::DeltaTracker;

@@ -14,11 +14,24 @@
 
 use crate::acc::DeltaAcc;
 use crate::tracker::DeltaTracker;
-use qubo::BitVec;
+use qubo::{BitVec, MAX_BITS};
+
+/// Words in the stack-resident differing-bit scratch: enough for the
+/// largest supported problem (`MAX_BITS / 64` u64s = 4 KiB), so the
+/// device hot path never allocates.
+const DIFF_WORDS: usize = MAX_BITS / 64;
 
 /// Walks the tracker from its current solution to `target`, greedily
 /// flipping the minimum-`Δ` differing bit at each step. Returns the
 /// number of flips performed (the initial Hamming distance).
+///
+/// The differing-bit set is materialized once as packed words (one XOR
+/// pass, [`BitVec::diff_words_into`]) into a fixed stack scratch; each
+/// step walks the set bits with `trailing_zeros` and clears the flipped
+/// bit, so the walk never rescans per-bit and the Hamming distance to
+/// `T` strictly decreases by construction. The flip count is asserted
+/// equal to the popcount Hamming distance (§3.1: a straight search
+/// costs exactly `hamming(C, T)` flips).
 ///
 /// Works for either Δ accumulator width; the walk is width-oblivious
 /// because only comparisons of in-bound Δ values are involved.
@@ -31,24 +44,43 @@ pub fn straight_search<A: DeltaAcc>(tracker: &mut DeltaTracker<'_, A>, target: &
         tracker.n(),
         "target length does not match problem size"
     );
+    let mut diff = [0u64; DIFF_WORDS];
+    // invariant: n <= MAX_BITS, so ceil(n/64) <= DIFF_WORDS words.
+    let nw = tracker.x().diff_words_into(target, &mut diff);
+    let expected: u64 = diff[..nw].iter().map(|w| u64::from(w.count_ones())).sum();
     let mut flips = 0u64;
     loop {
-        // Greedily select the differing bit with minimum Δ.
+        // Greedily select the differing bit with minimum Δ: walk the
+        // packed diff words via trailing_zeros (one step per set bit).
         let mut best: Option<(usize, A)> = None;
-        for i in tracker.x().iter_diff(target) {
-            let d = tracker.deltas()[i];
-            if best.is_none_or(|(_, bd)| d < bd) {
-                best = Some((i, d));
+        for (wi, &word) in diff[..nw].iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let i = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                // invariant: diff bits come from words of length-n vectors,
+                // so i < n = deltas().len().
+                let d = tracker.deltas()[i];
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
             }
         }
         match best {
-            None => return flips, // X = T
+            None => break, // X = T
             Some((k, _)) => {
                 tracker.flip(k);
+                // invariant: k < n <= 64 * nw, so k / 64 < nw.
+                diff[k / 64] &= !(1u64 << (k % 64));
                 flips += 1;
             }
         }
     }
+    assert_eq!(
+        flips, expected,
+        "straight search must cost exactly the popcount Hamming distance"
+    );
+    flips
 }
 
 #[cfg(test)]

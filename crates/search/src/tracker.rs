@@ -2,7 +2,27 @@
 
 use crate::acc::DeltaAcc;
 use crate::policy::window_argmin;
+use crate::simd::{self, FlipKernel};
 use qubo::{BitVec, Energy, Qubo};
+
+/// Allocates a Δ buffer whose `stride` logical elements start 64-byte
+/// aligned (the same runtime-offset trick as the padded [`Qubo`] rows):
+/// over-allocate by one cache line of headroom, find the aligned element
+/// offset of this particular allocation, and fill the unused prefix with
+/// `A::LIMIT` sentinels. Returns the buffer and the offset of logical
+/// element 0. Full-width vector loads/stores of Δ chunks then never
+/// split a cache line.
+fn aligned_d<A: DeltaAcc>(stride: usize, fill: impl FnMut(usize) -> A) -> (Vec<A>, usize) {
+    let head = 64 / std::mem::size_of::<A>();
+    let mut d: Vec<A> = Vec::with_capacity(stride + head);
+    // align_offset counts in elements; it stays below `head` for any
+    // power-of-two element size, and the cap keeps the reserved
+    // capacity sufficient regardless (worst case: unaligned, correct).
+    let off = d.as_ptr().align_offset(64).min(head);
+    d.extend(std::iter::repeat_with(|| A::from_energy(A::LIMIT)).take(off));
+    d.extend((0..stride).map(fill));
+    (d, off)
+}
 
 /// Incremental search state for one search unit (one "CUDA block" in the
 /// paper's implementation).
@@ -39,18 +59,53 @@ use qubo::{BitVec, Energy, Qubo};
 /// itself is advanced. At that point `d_i` already refers to the post-flip
 /// state, so the exact neighbour energy is `E(flip_k(X)) + d_i`. We use
 /// the exact form: candidates are `e_new` and `e_new + d_i` for all `i`.
-#[derive(Clone)]
 pub struct DeltaTracker<'a, A: DeltaAcc = Energy> {
     qubo: &'a Qubo,
     x: BitVec,
     /// φ(x_i) ∈ {+1, −1}, kept in sync with `x` — the sign array makes
-    /// the hot update loop branch-free and auto-vectorizable.
+    /// the scalar hot update loop branch-free and auto-vectorizable
+    /// (the SIMD arms read the packed bits of `x` instead).
     sign: Vec<i8>,
     e: Energy,
+    /// The Δ vector, padded to the matrix row stride so lane-wise
+    /// kernels run uniform chunks; entries `n..stride` hold the
+    /// `A::LIMIT` sentinel and never win a min (see [`crate::simd`]).
+    /// The logical element 0 lives at `d[d_off]`, 64-byte aligned (same
+    /// runtime-offset trick as the padded `Qubo` rows), so full-width
+    /// vector loads/stores of Δ chunks never split a cache line. All
+    /// scans and the public view go through `d[d_off..][..n]`.
     d: Vec<A>,
+    /// Element offset of the aligned logical Δ region inside `d`.
+    d_off: usize,
     best: BitVec,
     best_e: Energy,
     flips: u64,
+    /// The flip kernel this tracker dispatches to (decided at
+    /// construction; [`FlipKernel::Scalar`] for wide accumulators).
+    kernel: FlipKernel,
+}
+
+impl<A: DeltaAcc> Clone for DeltaTracker<'_, A> {
+    fn clone(&self) -> Self {
+        // Re-align instead of memcpy: the clone's buffer lands at a
+        // different address, so a copied offset would silently lose the
+        // 64-byte alignment the lane kernels rely on.
+        let stride = self.d.len() - self.d_off;
+        // invariant: d_off + i < d.len() for i < stride, by the line above.
+        let (d, d_off) = aligned_d(stride, |i| self.d[self.d_off + i]);
+        Self {
+            qubo: self.qubo,
+            x: self.x.clone(),
+            sign: self.sign.clone(),
+            e: self.e,
+            d,
+            d_off,
+            best: self.best.clone(),
+            best_e: self.best_e,
+            flips: self.flips,
+            kernel: self.kernel,
+        }
+    }
 }
 
 impl<'a> DeltaTracker<'a, Energy> {
@@ -82,13 +137,27 @@ impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
     }
 
     /// Creates a tracker with accumulator width `A` at the canonical
-    /// start `X = 0` (see [`DeltaTracker::new`]).
+    /// start `X = 0` (see [`DeltaTracker::new`]), dispatching to the
+    /// best flip kernel the process detected ([`FlipKernel::detect`];
+    /// the SIMD arms only engage for `i32` accumulators).
     ///
     /// # Panics
     /// Panics if `qubo`'s Δ bound does not fit width `A` — callers pick
     /// the width with [`DeltaTracker::fits`] and fall back to `i64`.
     #[must_use]
     pub fn with_width(qubo: &'a Qubo) -> Self {
+        Self::with_kernel(qubo, FlipKernel::detect())
+    }
+
+    /// Creates a width-`A` tracker forcing a specific flip kernel —
+    /// how the vgpu block driver plumbs its per-launch choice through,
+    /// and how benchmarks/tests pin an arm. Wide (`i64`) accumulators
+    /// always run the scalar path regardless of `kernel`.
+    ///
+    /// # Panics
+    /// Panics if `qubo`'s Δ bound does not fit width `A`.
+    #[must_use]
+    pub fn with_kernel(qubo: &'a Qubo, kernel: FlipKernel) -> Self {
         assert!(
             Self::fits(qubo),
             "Δ bound {} exceeds the {} accumulator",
@@ -96,9 +165,17 @@ impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
             A::NAME
         );
         let n = qubo.n();
-        let d: Vec<A> = (0..n)
-            .map(|i| A::from_energy(Energy::from(qubo.diag(i))))
-            .collect();
+        // Pad the Δ vector to the matrix row stride with A::LIMIT
+        // sentinels: lane-wise kernels then run uniform chunks, and a
+        // sentinel can never win the running min strictly (the fold
+        // always sees a real entry, see crate::simd).
+        let (d, d_off) = aligned_d(qubo.stride(), |i| {
+            if i < n {
+                A::from_energy(Energy::from(qubo.diag(i)))
+            } else {
+                A::from_energy(A::LIMIT)
+            }
+        });
         let x = BitVec::zeros(n);
         let mut t = Self {
             qubo,
@@ -107,18 +184,31 @@ impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
             sign: vec![1i8; n],
             e: 0,
             d,
+            d_off,
             best_e: 0,
             flips: 0,
+            kernel,
         };
         // The initialization evaluates E(0) = 0 and its n neighbours
         // (E(flip_i(0)) = W_ii) — record the best among them.
-        if let Some((i, &min_d)) = t.d.iter().enumerate().min_by_key(|&(_, &v)| v) {
+        // invariant: d_off + n <= d_off + stride = d.len() (aligned_d).
+        if let Some((i, &min_d)) = t.d[t.d_off..][..n]
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &v)| v)
+        {
             if min_d.to_energy() < 0 {
                 t.best.flip(i);
                 t.best_e = min_d.to_energy();
             }
         }
         t
+    }
+
+    /// The flip kernel this tracker dispatches to.
+    #[must_use]
+    pub fn kernel(&self) -> FlipKernel {
+        self.kernel
     }
 
     /// Creates a width-`A` tracker positioned at an arbitrary solution
@@ -141,11 +231,12 @@ impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
         self.qubo
     }
 
-    /// Number of bits `n`.
+    /// Number of bits `n` (the Δ vector itself is padded to the matrix
+    /// row stride, so its length is *not* `n`).
     #[must_use]
     #[inline]
     pub fn n(&self) -> usize {
-        self.d.len()
+        self.x.len()
     }
 
     /// The current solution `X`.
@@ -161,11 +252,13 @@ impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
         self.e
     }
 
-    /// The difference vector: `deltas()[i] = Δ_i(X)`.
+    /// The difference vector: `deltas()[i] = Δ_i(X)`, length `n`
+    /// (the internal pad sentinels are not exposed).
     #[must_use]
     #[inline]
     pub fn deltas(&self) -> &[A] {
-        &self.d
+        // invariant: d_off + n <= d.len() by construction (aligned_d).
+        &self.d[self.d_off..][..self.x.len()]
     }
 
     /// Best solution recorded since the last [`reset_best`].
@@ -227,7 +320,15 @@ impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
     /// Panics if `start >= n`.
     #[must_use]
     pub fn select_in_window(&self, start: usize, len: usize) -> usize {
-        window_argmin(&self.d, start, len)
+        if self.kernel != FlipKernel::Scalar {
+            if let Some(d32) = A::lanes(&self.d) {
+                // invariant: d_off + n <= d32.len() (aligned_d); windows
+                // scan the logical prefix only.
+                let dv = &d32[self.d_off..][..self.n()];
+                return simd::window_argmin(self.kernel, dv, start, len);
+            }
+        }
+        window_argmin(self.deltas(), start, len)
     }
 
     /// The fused hot-path step: flips bit `k` and returns the min-Δ
@@ -239,49 +340,46 @@ impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
     /// the two-call `select` + `flip` API.
     pub fn flip_select(&mut self, k: usize, window: (usize, usize)) -> usize {
         self.flip_fused(k);
-        window_argmin(&self.d, window.0, window.1)
+        self.select_in_window(window.0, window.1)
     }
 
     /// The fused kernel: one traversal of row `W_k` that applies the
     /// Eq. (16) update *and* computes `min_i Δ_i` of the new state for
-    /// best-neighbour recording (no separate min pass).
-    ///
-    /// The row is processed as the two contiguous halves `[0, k)` and
-    /// `(k, n)`; the flipped bit's own entry is `−Δ_k` by Eq. (16) and
-    /// seeds the running minimum.
+    /// best-neighbour recording (no separate min pass). Dispatches to
+    /// the lane-wise SIMD tier ([`crate::simd`]) when the tracker's
+    /// kernel and accumulator width allow it; every arm produces
+    /// bit-identical state.
     fn flip_fused(&mut self, k: usize) {
         let n = self.n();
         assert!(k < n, "bit index {k} out of range {n}");
-        let row = self.qubo.row(k);
-        // invariant: k < n asserted above; d, sign, x and row(k) all have length n.
-        let d_k_old = self.d[k];
+        let off = self.d_off;
+        // invariant: k < n asserted above; off + n <= d.len() (aligned_d).
+        let d_k_old = self.d[off + k];
         let d_k_new = d_k_old.neg();
         let e_new = self.e + d_k_old.to_energy();
 
-        // Update half-loops (Eq. (16)), branch-free:
-        //   d_i += 2 · W_ik · φ(x_i) · φ(x_k)
-        // `two_pk = 2·φ(x_k)` is hoisted. Each half is a plain
-        // add + min over contiguous slices, which auto-vectorizes; with
-        // `A = i32` the lanes are twice as wide as the i64 seed kernel.
-        // invariant: sign[k] in bounds (k < n above).
-        let two_pk = i32::from(self.sign[k]) * 2;
-        let mut min_d = d_k_new;
-        let (d_lo, d_rest) = self.d.split_at_mut(k);
-        // abs-lint: allow(no-unwrap) -- d_rest is non-empty: split_at_mut(k) with k < n
-        let (d_k_slot, d_hi) = d_rest.split_first_mut().expect("k < n");
-        // invariant: ranges ..k and k+1.. are in bounds of row/sign (length n, k < n).
-        for ((di, &w), &s) in d_lo.iter_mut().zip(&row[..k]).zip(&self.sign[..k]) {
-            let v = di.add_coupling(w, s, two_pk);
-            *di = v;
-            min_d = min_d.min(v);
-        }
-        // invariant: ranges k+1.. start at most at n (k < n), so both slices are valid.
-        for ((di, &w), &s) in d_hi.iter_mut().zip(&row[k + 1..]).zip(&self.sign[k + 1..]) {
-            let v = di.add_coupling(w, s, two_pk);
-            *di = v;
-            min_d = min_d.min(v);
-        }
-        *d_k_slot = d_k_new;
+        let min_d = if self.kernel == FlipKernel::Scalar {
+            self.scalar_update(k, d_k_new)
+        } else if let Some(d32) = A::lanes_mut(&mut self.d) {
+            // The lane-wise arms read signs straight from the packed
+            // pre-flip solution words and land the k lane on -Δ_k via
+            // the pre-bias trick; pad sentinels pass through untouched.
+            // invariant: off + stride = d32.len(), so the aligned view
+            // is exactly one padded row long.
+            let dv = &mut d32[off..];
+            let m = simd::flip_update(
+                self.kernel,
+                dv,
+                self.qubo.row_padded(k),
+                self.x.words(),
+                k,
+                self.x.get(k),
+            );
+            A::from_energy(Energy::from(m))
+        } else {
+            // Wide accumulators have no lane view: scalar fused path.
+            self.scalar_update(k, d_k_new)
+        };
 
         // invariant: sign[k] in bounds (k < n asserted at entry).
         self.sign[k] = -self.sign[k];
@@ -298,12 +396,52 @@ impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
             self.best_e = e_new;
         }
         if e_new + min_d.to_energy() < self.best_e {
-            // abs-lint: allow(no-unwrap) -- min_d was folded from d's own entries, the scan cannot miss
-            let i = self.d.iter().position(|&v| v == min_d).expect("min exists");
+            let i = self
+                .deltas()
+                .iter()
+                .position(|&v| v == min_d)
+                // abs-lint: allow(no-unwrap) -- min_d was folded from d's own entries, the scan cannot miss
+                .expect("min exists");
             self.best.copy_from(&self.x);
             self.best.flip(i);
             self.best_e = e_new + min_d.to_energy();
         }
+    }
+
+    /// The scalar fused arm (the PR-1 `fused_i32`/`fused_i64` kernel):
+    /// row `W_k` as the two contiguous halves `[0, k)` and `(k, n)`;
+    /// the flipped bit's own entry is `−Δ_k` by Eq. (16) and seeds the
+    /// running minimum. Returns `min_i Δ_i` of the new state.
+    fn scalar_update(&mut self, k: usize, d_k_new: A) -> A {
+        let n = self.n();
+        let row = self.qubo.row(k);
+        // Update half-loops (Eq. (16)), branch-free:
+        //   d_i += 2 · W_ik · φ(x_i) · φ(x_k)
+        // `two_pk = 2·φ(x_k)` is hoisted. Each half is a plain
+        // add + min over contiguous slices, which auto-vectorizes; with
+        // `A = i32` the lanes are twice as wide as the i64 seed kernel.
+        // invariant: sign[k] in bounds (k < n checked by flip_fused).
+        let two_pk = i32::from(self.sign[k]) * 2;
+        let mut min_d = d_k_new;
+        // invariant: the scalar arm walks the logical prefix
+        // d[d_off..][..n] only (d_off + n <= d.len() by aligned_d).
+        let (d_lo, d_rest) = self.d[self.d_off..][..n].split_at_mut(k);
+        // abs-lint: allow(no-unwrap) -- d_rest is non-empty: split_at_mut(k) with k < n
+        let (d_k_slot, d_hi) = d_rest.split_first_mut().expect("k < n");
+        // invariant: ranges ..k and k+1.. are in bounds of row/sign (length n, k < n).
+        for ((di, &w), &s) in d_lo.iter_mut().zip(&row[..k]).zip(&self.sign[..k]) {
+            let v = di.add_coupling(w, s, two_pk);
+            *di = v;
+            min_d = min_d.min(v);
+        }
+        // invariant: ranges k+1.. start at most at n (k < n), so both slices are valid.
+        for ((di, &w), &s) in d_hi.iter_mut().zip(&row[k + 1..]).zip(&self.sign[k + 1..]) {
+            let v = di.add_coupling(w, s, two_pk);
+            *di = v;
+            min_d = min_d.min(v);
+        }
+        *d_k_slot = d_k_new;
+        min_d
     }
 
     /// Verifies internal invariants against O(n²) reference computations.
@@ -314,9 +452,9 @@ impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
     pub fn verify(&self) {
         assert_eq!(self.e, self.qubo.energy(&self.x), "energy drifted");
         for i in 0..self.n() {
-            // invariant: i < n = d.len() by the loop bound.
+            // invariant: d_off + i < d_off + n <= d.len() by the loop bound.
             assert_eq!(
-                self.d[i].to_energy(),
+                self.d[self.d_off + i].to_energy(),
                 self.qubo.delta(&self.x, i),
                 "delta {i} drifted"
             );
@@ -325,6 +463,15 @@ impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
             assert_eq!(i32::from(self.sign[i]), expect_sign, "sign {i} drifted");
         }
         assert_eq!(self.best_e, self.qubo.energy(&self.best), "best drifted");
+        // invariant: d_off + n() <= d.len(), so the pad slice is in bounds.
+        for (i, v) in self.d[self.d_off + self.n()..].iter().enumerate() {
+            assert_eq!(
+                v.to_energy(),
+                A::LIMIT,
+                "pad sentinel {} disturbed",
+                self.n() + i
+            );
+        }
     }
 }
 
@@ -555,6 +702,68 @@ mod tests {
         }
         fused.verify();
         twocall.verify();
+    }
+
+    #[test]
+    fn all_kernels_walk_identically() {
+        use crate::simd::FlipKernel;
+        let mut arms = vec![FlipKernel::Scalar, FlipKernel::Lanes];
+        #[cfg(target_arch = "x86_64")]
+        if is_x86_feature_detected!("avx2") {
+            arms.push(FlipKernel::Avx2);
+        }
+        for n in [5usize, 33, 64, 71] {
+            let q = random_qubo(n, 40 + n as u64);
+            let mut trackers: Vec<_> = arms
+                .iter()
+                .map(|&kern| DeltaTracker::<i32>::with_kernel(&q, kern))
+                .collect();
+            let mut rng = StdRng::seed_from_u64(41);
+            let mut k = 0usize;
+            for step in 0..120 {
+                let a = rng.gen_range(0..n);
+                let l = rng.gen_range(1..=n);
+                let nexts: Vec<usize> = trackers
+                    .iter_mut()
+                    .map(|t| t.flip_select(k, (a, l)))
+                    .collect();
+                for (t, (&nx, &arm)) in trackers.iter().zip(nexts.iter().zip(&arms)).skip(1) {
+                    assert_eq!(nx, nexts[0], "selection diverged: {arm:?} n={n}");
+                    assert_eq!(t.x(), trackers[0].x(), "{arm:?} n={n}");
+                    assert_eq!(t.energy(), trackers[0].energy(), "{arm:?} n={n}");
+                    assert_eq!(t.best().1, trackers[0].best().1, "{arm:?} n={n}");
+                    assert_eq!(t.deltas(), trackers[0].deltas(), "{arm:?} n={n}");
+                }
+                k = nexts[0];
+                if step % 37 == 0 {
+                    for t in &trackers {
+                        t.verify();
+                    }
+                }
+            }
+            for t in &trackers {
+                t.verify();
+            }
+        }
+    }
+
+    #[test]
+    fn wide_tracker_falls_back_to_scalar_path() {
+        use crate::simd::FlipKernel;
+        // An i64 tracker has no lane view: even a SIMD kernel request
+        // must run the scalar arm and stay correct.
+        let q = random_qubo(40, 50);
+        let mut t = DeltaTracker::<i64>::with_kernel(&q, FlipKernel::Lanes);
+        let mut s = DeltaTracker::<i64>::with_kernel(&q, FlipKernel::Scalar);
+        let mut rng = StdRng::seed_from_u64(51);
+        for _ in 0..100 {
+            let k = rng.gen_range(0..40);
+            t.flip(k);
+            s.flip(k);
+        }
+        assert_eq!(t.x(), s.x());
+        assert_eq!(t.deltas(), s.deltas());
+        t.verify();
     }
 
     #[test]

@@ -36,6 +36,10 @@ pub struct DeviceSample {
     /// Health label at the poll boundary (`healthy` / `degraded` /
     /// `dead` / an exclusion label).
     pub health: &'static str,
+    /// Flip-kernel name the device dispatched (`"scalar"` / `"lanes"` /
+    /// `"avx2"`, or `"unset"` before the run starts). Empty (the
+    /// `Default`) means "not reported" and emits no series.
+    pub kernel: &'static str,
     /// Events drained from the device ring since the last poll.
     pub events: Vec<Event>,
     /// Cumulative events ever written to the ring.
@@ -78,6 +82,7 @@ struct PerDevice {
     events_written: Arc<Counter>,
     events_dropped: Arc<Counter>,
     last_health: &'static str,
+    last_kernel: &'static str,
 }
 
 /// Folds poll-boundary samples into the typed metrics registry.
@@ -155,6 +160,7 @@ impl Aggregator {
                     "Telemetry events lost to overwrite-oldest.",
                 ),
                 last_health: "healthy",
+                last_kernel: "",
             });
         }
         Aggregator {
@@ -292,6 +298,35 @@ impl Aggregator {
                 self.devices[d].last_health = s.health;
             }
         }
+        // Dispatched flip kernels are an info gauge registered on demand,
+        // like health transitions: the series appears once the device
+        // reports a kernel and flips to the new name if a later run
+        // redispatches (e.g. ABS_FORCE_SCALAR set between solves).
+        for (d, s) in samples.iter().enumerate() {
+            if !s.kernel.is_empty() && self.devices[d].last_kernel != s.kernel {
+                let dl = d.to_string();
+                if !self.devices[d].last_kernel.is_empty() {
+                    self.registry
+                        .gauge(
+                            "abs_flip_kernel",
+                            &[
+                                ("device", dl.as_str()),
+                                ("kernel", self.devices[d].last_kernel),
+                            ],
+                            "Dispatched flip kernel (info gauge: 1 = active arm).",
+                        )
+                        .set(0.0);
+                }
+                self.registry
+                    .gauge(
+                        "abs_flip_kernel",
+                        &[("device", dl.as_str()), ("kernel", s.kernel)],
+                        "Dispatched flip kernel (info gauge: 1 = active arm).",
+                    )
+                    .set(1.0);
+                self.devices[d].last_kernel = s.kernel;
+            }
+        }
         self.received.set(host.results_received);
         self.inserted.set(host.results_inserted);
         self.pool_ops[0].set(host.pool_inserted);
@@ -410,6 +445,39 @@ mod tests {
         assert_eq!(
             snap.counter_with("abs_health_transitions_total", "to", "degraded"),
             Some(1)
+        );
+    }
+
+    #[test]
+    fn flip_kernel_info_gauge_registers_on_demand() {
+        let mut a = Aggregator::new(1, 8);
+        let unreported = one_device_sample(1, 1);
+        a.poll(std::slice::from_ref(&unreported), &HostSample::default());
+        assert!(a
+            .snapshot()
+            .gauge_with("abs_flip_kernel", "kernel", "avx2")
+            .is_none());
+        let mut dispatched = one_device_sample(2, 1);
+        dispatched.kernel = "avx2";
+        a.poll(std::slice::from_ref(&dispatched), &HostSample::default());
+        let snap = a.snapshot();
+        assert_eq!(
+            snap.gauge_with("abs_flip_kernel", "kernel", "avx2"),
+            Some(1.0)
+        );
+        // Redispatch (e.g. forced scalar on a later solve): old arm drops
+        // to 0, new arm raises to 1.
+        let mut forced = one_device_sample(3, 1);
+        forced.kernel = "scalar";
+        a.poll(std::slice::from_ref(&forced), &HostSample::default());
+        let snap = a.snapshot();
+        assert_eq!(
+            snap.gauge_with("abs_flip_kernel", "kernel", "avx2"),
+            Some(0.0)
+        );
+        assert_eq!(
+            snap.gauge_with("abs_flip_kernel", "kernel", "scalar"),
+            Some(1.0)
         );
     }
 

@@ -5,8 +5,8 @@ use crate::fault::InjectedPanic;
 use abs_telemetry::Event;
 use qubo::Qubo;
 use qubo_search::{
-    local_search, straight_search, DeltaAcc, DeltaTracker, GreedyPolicy, MetropolisPolicy,
-    RandomPolicy, SelectionPolicy, WindowMinPolicy,
+    local_search, straight_search, DeltaAcc, DeltaTracker, FlipKernel, GreedyPolicy,
+    MetropolisPolicy, RandomPolicy, SelectionPolicy, WindowMinPolicy,
 };
 
 /// How window lengths (the temperature analogue of the selection policy,
@@ -151,6 +151,10 @@ pub struct BlockConfig {
     pub adaptive: Option<AdaptiveConfig>,
     /// The selection algorithm this block runs.
     pub policy: PolicyKind,
+    /// Flip kernel this block's tracker runs. Devices detect once per
+    /// launch ([`FlipKernel::detect`]) and hand every block the same
+    /// choice; wide (`i64`) trackers ignore it and run scalar.
+    pub kernel: FlipKernel,
 }
 
 /// One bulk-search unit: the state of a CUDA block of the paper's kernel.
@@ -210,7 +214,7 @@ impl<'q, A: DeltaAcc> BlockRunner<'q, A> {
             seed,
         );
         Self {
-            tracker: DeltaTracker::with_width(qubo),
+            tracker: DeltaTracker::with_kernel(qubo, config.kernel),
             policy,
             config,
             all_time_best: qubo::Energy::MAX,
@@ -339,6 +343,7 @@ mod tests {
             offset: 0,
             adaptive: None,
             policy: PolicyKind::Window,
+            kernel: FlipKernel::detect(),
         }
     }
 

@@ -33,8 +33,9 @@ use crate::health::DeviceHealth;
 use abs_telemetry::{Event, EventRing};
 use parking_lot::Mutex;
 use qubo::{BitVec, Energy};
+use qubo_search::FlipKernel;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 /// Default capacity of the target and result buffers — generous enough
 /// that a healthy host draining at poll cadence never sees an overflow.
@@ -85,6 +86,10 @@ pub struct GlobalMem {
     units: AtomicU64,
     /// Bulk-search iterations completed by all blocks.
     iterations: AtomicU64,
+    /// Flip kernel the device dispatched at run start, as
+    /// [`FlipKernel::as_u8`] (0 = not yet registered). Read by the host
+    /// telemetry sampler to label this device's metrics.
+    kernel: AtomicU8,
     /// Stop flag raised by the host.
     stop: AtomicBool,
     /// Health sub-region written by device workers, read by the host.
@@ -136,6 +141,7 @@ impl GlobalMem {
             flips: AtomicU64::new(0),
             units: AtomicU64::new(0),
             iterations: AtomicU64::new(0),
+            kernel: AtomicU8::new(0),
             stop: AtomicBool::new(false),
             health: DeviceHealth::new(),
             events: EventRing::with_capacity(event_capacity),
@@ -192,6 +198,22 @@ impl GlobalMem {
     #[must_use]
     pub fn pending_targets(&self) -> usize {
         self.targets.lock().len()
+    }
+
+    /// Device: record the flip kernel chosen by runtime dispatch at run
+    /// start, so the host can observe which arm this device executes.
+    pub fn set_flip_kernel(&self, kernel: FlipKernel) {
+        self.kernel.store(kernel.as_u8(), Ordering::Relaxed);
+    }
+
+    /// Host: name of the flip kernel the device dispatched (`"unset"`
+    /// until the device run has started).
+    #[must_use]
+    pub fn flip_kernel_name(&self) -> &'static str {
+        match FlipKernel::from_u8(self.kernel.load(Ordering::Relaxed)) {
+            Some(k) => k.name(),
+            None => "unset",
+        }
     }
 
     /// The health sub-region of this device.

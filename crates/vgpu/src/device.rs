@@ -19,7 +19,7 @@ use crate::occupancy::{full_occupancy_configs, occupancy, OccupancyError};
 use crate::spec::DeviceSpec;
 use abs_telemetry::Event;
 use qubo::{BitVec, Qubo};
-use qubo_search::{DeltaAcc, DeltaTracker};
+use qubo_search::{DeltaAcc, DeltaTracker, FlipKernel};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -216,19 +216,27 @@ impl Device {
     /// The Δ accumulator width is picked once per run: blocks use narrow
     /// `i32` accumulators whenever the problem's Δ bound fits (always
     /// true for i16 weights at the supported sizes), falling back to
-    /// `i64` otherwise. The flip trajectories are identical either way.
+    /// `i64` otherwise. Alongside the width, the flip kernel is detected
+    /// once per run ([`FlipKernel::detect`]) and shared by every block;
+    /// the choice is published in global memory
+    /// ([`GlobalMem::flip_kernel_name`]) for host telemetry. The flip
+    /// trajectories are identical for every width/kernel combination.
     pub fn run(&self, qubo: &Qubo) {
         if DeltaTracker::<i32>::fits(qubo) {
-            self.run_width::<i32>(qubo);
+            let kernel = FlipKernel::detect();
+            self.mem.set_flip_kernel(kernel);
+            self.run_width::<i32>(qubo, kernel);
         } else {
-            self.run_width::<i64>(qubo);
+            // Wide accumulators have no SIMD arm: record the truth.
+            self.mem.set_flip_kernel(FlipKernel::Scalar);
+            self.run_width::<i64>(qubo, FlipKernel::Scalar);
         }
         if !self.mem.stopped() {
             self.mem.health().record_dead_exit();
         }
     }
 
-    fn run_width<A: DeltaAcc>(&self, qubo: &Qubo) {
+    fn run_width<A: DeltaAcc>(&self, qubo: &Qubo, kernel: FlipKernel) {
         let n = qubo.n();
         let Ok(total_blocks) = self.resolve_blocks(n) else {
             // Callers that want the cause use `resolve_blocks` up front
@@ -271,6 +279,7 @@ impl Device {
                                     } else {
                                         cfg.policy_mix[b % cfg.policy_mix.len()].clone()
                                     },
+                                    kernel,
                                 },
                             ),
                             block: b,
@@ -446,6 +455,9 @@ mod tests {
             assert_eq!(r.energy, q.energy(&r.x));
         }
         assert!(mem.total_flips() > 0);
+        // i16 weights at n=32 always fit i32, so the dispatched kernel is
+        // whatever detection picked — never the "unset" placeholder.
+        assert_eq!(mem.flip_kernel_name(), FlipKernel::detect().name());
         use crate::health::HealthStatus;
         assert_eq!(mem.health().status(), HealthStatus::Healthy);
     }

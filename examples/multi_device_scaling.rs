@@ -45,20 +45,34 @@ fn main() {
     }
 
     // Per-device breakdown of the 4-device run, read off the telemetry
-    // snapshot: evaluated solutions per device and each device's share.
+    // snapshot: evaluated solutions per device, each device's share, and
+    // the flip kernel runtime dispatch selected on that device (the
+    // `abs_flip_kernel` info gauge: the series at 1 names the active arm).
     let r = last.expect("4-device result");
     let elapsed = r.elapsed.as_secs_f64();
     let total = r.metrics.counter_total("abs_evaluated_total");
     println!("\nper-device throughput (4-device run, from the metrics snapshot):");
-    println!("device | evaluated   | sol/s     | share");
-    println!("-------+-------------+-----------+------");
+    println!("device | evaluated   | sol/s     | share | kernel");
+    println!("-------+-------------+-----------+-------+-------");
     for d in 0..4usize {
+        let dl = d.to_string();
         let evald = r
             .metrics
-            .counter_with("abs_evaluated_total", "device", &d.to_string())
+            .counter_with("abs_evaluated_total", "device", &dl)
             .unwrap_or_default();
+        let kernel = r
+            .metrics
+            .gauges
+            .iter()
+            .find(|g| {
+                g.name == "abs_flip_kernel"
+                    && g.value == 1.0
+                    && g.labels.iter().any(|(k, v)| k == "device" && *v == dl)
+            })
+            .and_then(|g| g.labels.iter().find(|(k, _)| k == "kernel"))
+            .map_or("unset", |(_, v)| v.as_str());
         println!(
-            "  {d}    | {evald:>11} | {:.3e} | {:>4.1}%",
+            "  {d}    | {evald:>11} | {:.3e} | {:>4.1}% | {kernel}",
             evald as f64 / elapsed,
             100.0 * evald as f64 / total as f64
         );

@@ -83,6 +83,7 @@ fn host_device_flow_through_global_memory() {
             offset: 0,
             adaptive: None,
             policy: vgpu::PolicyKind::Window,
+            kernel: qubo_search::FlipKernel::detect(),
         },
     );
     assert_eq!(mem.counter(), 0);

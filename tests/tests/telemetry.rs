@@ -131,6 +131,7 @@ fn aggregator_evaluated_matches_delta_tracker() {
             offset: 0,
             adaptive: None,
             policy: PolicyKind::Window,
+            kernel: qubo_search::FlipKernel::detect(),
         },
     );
     let mut rng = StdRng::seed_from_u64(9);
@@ -154,6 +155,7 @@ fn aggregator_evaluated_matches_delta_tracker() {
             dead_blocks: 0,
             total_blocks: 1,
             health: "healthy",
+            kernel: mem.flip_kernel_name(),
             events: mem.drain_events().events,
             events_written: 0,
             events_overwritten: 0,
