@@ -273,6 +273,7 @@ impl Abs {
             if progressed_any {
                 Self::poll_metrics(
                     &mut aggregator,
+                    n,
                     mems,
                     &devs,
                     pool.ops(),
@@ -286,6 +287,7 @@ impl Abs {
                     if !progressed_any {
                         Self::poll_metrics(
                             &mut aggregator,
+                            n,
                             mems,
                             &devs,
                             pool.ops(),
@@ -406,6 +408,7 @@ impl Abs {
         // so the snapshot and the SolveResult agree exactly.
         Self::poll_metrics(
             &mut o.aggregator,
+            n,
             mems,
             &o.devs,
             o.pool_ops,
@@ -467,7 +470,7 @@ impl Abs {
     /// Reads one device's counters, health label and drained events
     /// into a telemetry sample. Host-side only: this is the Fig. 5
     /// "host polls an atomic" moment for the telemetry plane.
-    fn device_sample(mem: &GlobalMem, d: &DeviceState) -> DeviceSample {
+    fn device_sample(mem: &GlobalMem, d: &DeviceState, n: usize) -> DeviceSample {
         let health = mem.health();
         let label = if d.excluded {
             d.excluded_as.label()
@@ -482,6 +485,7 @@ impl Abs {
         DeviceSample {
             flips: mem.total_flips(),
             units: mem.total_units(),
+            evaluated: mem.total_evaluated(n),
             iterations: mem.total_iterations(),
             results: mem.counter(),
             rejected_records: mem.rejected_records(),
@@ -491,6 +495,7 @@ impl Abs {
             total_blocks: health.total_blocks(),
             health: label,
             kernel: mem.flip_kernel_name(),
+            storage: mem.matrix_storage_name(),
             events: drained.events,
             events_written: drained.written,
             events_overwritten: drained.overwritten,
@@ -502,6 +507,7 @@ impl Abs {
     #[allow(clippy::too_many_arguments)]
     fn poll_metrics(
         aggregator: &mut Aggregator,
+        n: usize,
         mems: &[Arc<GlobalMem>],
         devs: &[DeviceState],
         pool_ops: PoolOps,
@@ -512,7 +518,7 @@ impl Abs {
         let samples: Vec<DeviceSample> = mems
             .iter()
             .zip(devs)
-            .map(|(m, d)| Self::device_sample(m, d))
+            .map(|(m, d)| Self::device_sample(m, d, n))
             .collect();
         let host = HostSample {
             results_received: received,

@@ -85,9 +85,11 @@ pub struct SolveResult {
     pub elapsed: Duration,
     /// Total device flips.
     pub total_flips: u64,
-    /// Total solutions evaluated (`(flips + live search units) × (n+1)`;
-    /// quarantined blocks retire their init unit, so only surviving
-    /// blocks contribute — see DESIGN.md's fault model).
+    /// Total solutions evaluated. Dense arms report the Theorem-1
+    /// projection `(flips + live search units) × (n+1)` exactly; the CSR
+    /// arm reports actual touched neighbours (`deg(k) + 2` per flip plus
+    /// `n + 1` per unit) — see DESIGN.md. Quarantined blocks retire
+    /// their init unit, so only surviving blocks contribute.
     pub evaluated: u64,
     /// Solutions evaluated per second — the paper's *search rate* (§4.3).
     pub search_rate: f64,

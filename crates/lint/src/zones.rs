@@ -56,8 +56,12 @@ pub fn classify(rel_path: &str) -> Zone {
     if p == "crates/search/src/naive.rs" {
         return Zone::Neutral;
     }
+    // The CSR storage backend sits on the per-flip device path (`row`
+    // and `diag` are called once per Eq. (16) update), so it obeys the
+    // same integer-only, deterministic discipline as the trackers.
     if p.starts_with("crates/search/src/")
         || p == "crates/qubo/src/energy.rs"
+        || p == "crates/qubo/src/sparse.rs"
         || p == "crates/vgpu/src/block.rs"
     {
         Zone::Device
@@ -80,7 +84,10 @@ pub fn classify(rel_path: &str) -> Zone {
 #[must_use]
 pub fn indexing_audited(rel_path: &str) -> bool {
     let p = rel_path.replace('\\', "/");
-    p == "crates/search/src/tracker.rs" || p == "crates/search/src/local.rs"
+    p == "crates/search/src/tracker.rs"
+        || p == "crates/search/src/local.rs"
+        || p == "crates/search/src/sparse.rs"
+        || p == "crates/qubo/src/sparse.rs"
 }
 
 /// Function names forming the per-flip hot path: one call per flip (or
@@ -100,6 +107,18 @@ pub const HOT_FNS: &[&str] = &[
     "next_window",
     "flip_update",
     "scalar_update",
+    // CSR arm: per-write summary folds, bucket rescans, the window fold
+    // and the row accessors — all inside the O(deg) flip or the
+    // O(window/BUCKET) selection.
+    "note_update",
+    "gmin_update",
+    "refresh_bucket",
+    "range_min_first",
+    "pack",
+    "row",
+    "row_parts",
+    "diag",
+    "degree",
 ];
 
 /// Telemetry entry points called from device threads inside the search
@@ -148,6 +167,19 @@ mod tests {
     fn indexing_audit_covers_the_kernel_files() {
         assert!(indexing_audited("crates/search/src/tracker.rs"));
         assert!(indexing_audited("crates/search/src/local.rs"));
+        assert!(indexing_audited("crates/search/src/sparse.rs"));
+        assert!(indexing_audited("crates/qubo/src/sparse.rs"));
         assert!(!indexing_audited("crates/search/src/policy.rs"));
+    }
+
+    #[test]
+    fn csr_modules_join_the_device_zone() {
+        assert_eq!(classify("crates/search/src/sparse.rs"), Zone::Device);
+        assert_eq!(classify("crates/qubo/src/sparse.rs"), Zone::Device);
+        assert_eq!(classify("crates/qubo/src/storage.rs"), Zone::Neutral);
+        assert_eq!(classify("crates/qubo/src/format.rs"), Zone::Neutral);
+        assert!(HOT_FNS.contains(&"note_update"));
+        assert!(HOT_FNS.contains(&"range_min_first"));
+        assert!(HOT_FNS.contains(&"row_parts"));
     }
 }

@@ -12,7 +12,7 @@
 //! maximizes the cut.
 
 use crate::graph::Graph;
-use qubo::{BitVec, Qubo, QuboBuilder, QuboError};
+use qubo::{BitVec, Qubo, QuboBuilder, QuboError, SparseQubo};
 
 /// Encodes Max-Cut on `g` as a QUBO with `E(X) = −cut(X)`.
 ///
@@ -31,6 +31,28 @@ pub fn to_qubo(g: &Graph) -> Result<Qubo, QuboError> {
         b.add(v, v, d16)?;
     }
     b.build()
+}
+
+/// Encodes Max-Cut on `g` directly as a CSR [`SparseQubo`] with
+/// `E(X) = −cut(X)` — the same weights as [`to_qubo`] without ever
+/// materializing the O(n²) dense matrix, so G-set-scale sparse graphs
+/// go straight to the O(degree) flip tier.
+///
+/// # Errors
+/// [`QuboError`] if the graph is too large or a weight / weighted degree
+/// overflows the 16-bit weight range.
+pub fn to_sparse_qubo(g: &Graph) -> Result<SparseQubo, QuboError> {
+    let mut triplets = Vec::with_capacity(g.edge_count() + g.n());
+    for (u, v, w) in g.edges() {
+        let w16 = i16::try_from(w).map_err(|_| QuboError::WeightOverflow(u, v))?;
+        triplets.push((u, v, w16));
+    }
+    for v in 0..g.n() {
+        let d = g.weighted_degree(v);
+        let d16 = i16::try_from(-d).map_err(|_| QuboError::WeightOverflow(v, v))?;
+        triplets.push((v, v, d16));
+    }
+    SparseQubo::from_triplets(g.n(), &triplets)
 }
 
 /// Cut weight of the partition encoded by `x`: the total weight of edges
@@ -134,6 +156,39 @@ mod tests {
             .min()
             .unwrap();
         assert_eq!(best, -2);
+    }
+
+    #[test]
+    fn sparse_encoding_matches_the_dense_encoding() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = Graph::new(10);
+        for u in 0..10 {
+            for v in (u + 1)..10 {
+                if rng.gen_bool(0.3) {
+                    g.add_edge(u, v, rng.gen_range(-7..=7));
+                }
+            }
+        }
+        let q = to_qubo(&g).unwrap();
+        let s = to_sparse_qubo(&g).unwrap();
+        assert_eq!(s.n(), q.n());
+        assert_eq!(s.nnz() / 2, q.coupler_count());
+        for _ in 0..50 {
+            let x = BitVec::random(10, &mut rng);
+            assert_eq!(s.energy(&x), q.energy(&x));
+            assert_eq!(s.energy(&x), -cut_value(&g, &x));
+        }
+    }
+
+    #[test]
+    fn sparse_encoding_reports_degree_overflow() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 30_000);
+        g.add_edge(0, 2, 30_000);
+        assert!(matches!(
+            to_sparse_qubo(&g).unwrap_err(),
+            QuboError::WeightOverflow(0, 0)
+        ));
     }
 
     #[test]

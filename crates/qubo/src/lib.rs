@@ -47,6 +47,7 @@ pub mod ising;
 pub mod matrix;
 pub mod sparse;
 pub mod stats;
+pub mod storage;
 
 pub use bitvec::BitVec;
 pub use energy::{phi, Energy};
@@ -54,6 +55,7 @@ pub use ising::Ising;
 pub use matrix::{Qubo, QuboBuilder, QuboError, ROW_ALIGN_BYTES, ROW_LANE};
 pub use sparse::SparseQubo;
 pub use stats::InstanceStats;
+pub use storage::{CouplingMatrix, MatrixStorage, SPARSE_DENSITY_PER_MILLE};
 
 /// Maximum problem size supported by the reference ABS implementation
 /// (the paper's GPU register budget allows up to 32 k bits).

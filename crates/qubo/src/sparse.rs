@@ -78,8 +78,10 @@ impl SparseQubo {
                 return Err(QuboError::IndexOutOfRange(j));
             }
             if i == j {
+                // invariant: i < n checked above; diag_acc has length n.
                 diag_acc[i] += i32::from(w);
             } else {
+                // invariant: i and j both range-checked against n above.
                 *rows[i].entry(j as u32).or_insert(0) += i32::from(w);
                 *rows[j].entry(i as u32).or_insert(0) += i32::from(w);
             }
@@ -90,6 +92,7 @@ impl SparseQubo {
         let mut diag = Vec::with_capacity(n);
         row_start.push(0u32);
         for i in 0..n {
+            // invariant: i < n = rows.len() = diag_acc.len().
             for (&j, &w) in &rows[i] {
                 if w != 0 {
                     let w16 =
@@ -98,6 +101,7 @@ impl SparseQubo {
                     vals.push(w16);
                 }
             }
+            // invariant: i < n = diag_acc.len() by the loop bound.
             let d16 = i16::try_from(diag_acc[i]).map_err(|_| QuboError::WeightOverflow(i, i))?;
             diag.push(d16);
             row_start.push(cols.len() as u32);
@@ -128,6 +132,7 @@ impl SparseQubo {
     #[must_use]
     #[inline]
     pub fn diag(&self, k: usize) -> i16 {
+        // invariant: callers pass k < n; diag has length n.
         self.diag[k]
     }
 
@@ -135,17 +140,34 @@ impl SparseQubo {
     /// pairs — the O(degree) scan of the sparse flip update.
     #[inline]
     pub fn row(&self, k: usize) -> impl Iterator<Item = (usize, i16)> + '_ {
+        // invariant: k < n and row_start has n + 1 entries.
         let lo = self.row_start[k] as usize;
         let hi = self.row_start[k + 1] as usize;
+        // invariant: lo ≤ hi ≤ cols.len() by CSR construction.
         self.cols[lo..hi]
             .iter()
+            // invariant: vals is parallel to cols (same length).
             .zip(&self.vals[lo..hi])
             .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Row `k` as parallel column/weight slices — the zero-abstraction
+    /// form of [`SparseQubo::row`] for hot loops that want to control
+    /// their own iteration (unrolling, index arithmetic).
+    #[must_use]
+    #[inline]
+    pub fn row_parts(&self, k: usize) -> (&[u32], &[i16]) {
+        // invariant: k < n and row_start has n + 1 entries.
+        let lo = self.row_start[k] as usize;
+        let hi = self.row_start[k + 1] as usize;
+        // invariant: lo ≤ hi ≤ cols.len() = vals.len() by construction.
+        (&self.cols[lo..hi], &self.vals[lo..hi])
     }
 
     /// Degree (non-zero off-diagonals) of row `k`.
     #[must_use]
     pub fn degree(&self, k: usize) -> usize {
+        // invariant: k < n and row_start has n + 1 entries.
         (self.row_start[k + 1] - self.row_start[k]) as usize
     }
 
@@ -161,6 +183,7 @@ impl SparseQubo {
             if !x.get(i) {
                 continue;
             }
+            // invariant: i < n = diag.len() by the loop bound.
             e += i64::from(self.diag[i]);
             for (j, w) in self.row(i) {
                 if x.get(j) {

@@ -38,6 +38,14 @@
 //! scalar fused path as the portable, bit-identical fallback.
 //! `ABS_FORCE_SCALAR=1` forces the scalar arm process-wide.
 //!
+//! Orthogonal to the accumulator width sits the *storage* axis
+//! (`qubo::MatrixStorage`): [`SparseDeltaTracker`] is the CSR arm with
+//! O(degree) flips and bucketed window selection, bit-identical in
+//! trajectories and best records to [`DeltaTracker`]. The
+//! [`SearchTracker`] trait abstracts the two so [`local_search`] and
+//! [`straight_search`] drive either arm; both impls are direct
+//! delegations, so the dense SIMD codegen is untouched.
+//!
 //! # Example
 //!
 //! ```
@@ -86,4 +94,4 @@ pub use policy::{
 pub use simd::FlipKernel;
 pub use sparse::SparseDeltaTracker;
 pub use straight::straight_search;
-pub use tracker::DeltaTracker;
+pub use tracker::{DeltaTracker, SearchTracker};

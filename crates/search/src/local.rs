@@ -1,8 +1,7 @@
 //! The forced-flip local search driver (second loop of Algorithm 4).
 
-use crate::acc::DeltaAcc;
 use crate::policy::SelectionPolicy;
-use crate::tracker::DeltaTracker;
+use crate::tracker::SearchTracker;
 
 /// Runs `steps` forced flips from the tracker's current solution, choosing
 /// each bit with `policy`. Returns the number of flips performed
@@ -16,19 +15,23 @@ use crate::tracker::DeltaTracker;
 /// When the policy exposes its windows via
 /// [`SelectionPolicy::next_window`] (the paper's window policy and the
 /// greedy policy do), the loop runs *fused*: each step is one
-/// [`DeltaTracker::flip_select`] call, so the flip's Δ-update pass and
+/// [`SearchTracker::flip_select`] call, so the flip's Δ-update pass and
 /// the next selection's window scan touch the Δ vector while it is hot,
 /// and no full second traversal happens per flip. Policies without
 /// windows (random, Metropolis) fall back to the classic
 /// select-then-flip pair. The chosen flip sequence is bit-for-bit
 /// identical either way.
 ///
+/// Generic over [`SearchTracker`], so the same driver runs the dense
+/// SIMD arm and the CSR O(degree) arm — both monomorphize to direct
+/// calls on the concrete tracker.
+///
 /// The device runs this with a *fixed* number of flips per bulk-search
 /// iteration (Step 4b), so that the resulting solution `C'` is a valid
 /// known starting point for the next straight search and the O(1) search
 /// efficiency is preserved across iterations (Fig. 4).
-pub fn local_search<A: DeltaAcc, P: SelectionPolicy<A> + ?Sized>(
-    tracker: &mut DeltaTracker<'_, A>,
+pub fn local_search<T: SearchTracker + ?Sized, P: SelectionPolicy<T::Acc> + ?Sized>(
+    tracker: &mut T,
     policy: &mut P,
     steps: usize,
 ) -> u64 {
@@ -59,7 +62,9 @@ pub fn local_search<A: DeltaAcc, P: SelectionPolicy<A> + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::acc::DeltaAcc;
     use crate::policy::{GreedyPolicy, MetropolisPolicy, RandomPolicy, WindowMinPolicy};
+    use crate::tracker::DeltaTracker;
     use qubo::{BitVec, Qubo};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -1,34 +1,110 @@
-//! Sparse incremental search: the O(degree)-per-flip counterpart of
-//! [`crate::DeltaTracker`].
+//! Sparse incremental search: the O(degree)-per-flip CSR arm of the
+//! bulk-search pipeline (`qubo::MatrixStorage::Sparse`).
 //!
-//! A CPU extension beyond the paper (whose dense row scan is the right
-//! choice on a GPU): for instances with average degree `d ≪ n`, the
-//! Eq. (16) update only has to touch the `d` neighbours of the flipped
-//! bit, so a flip costs O(d) instead of O(n).
+//! A CPU extension beyond the paper (whose dense row stream is the right
+//! choice on a GPU): for instances with average degree `deg ≪ n` — G-set
+//! graphs sit at ~0.1–1 % density — the Eq. (16) update only has to
+//! touch the `deg(k)` neighbours of the flipped bit, so a flip costs
+//! O(deg) instead of O(n).
 //!
-//! **Accounting difference, documented:** the dense tracker prices all
-//! `n` neighbours per flip (Theorem 1's O(1) efficiency) and records
-//! improvements among them. The sparse tracker's update only touches
-//! `deg(k)` deltas, so its best-record covers *visited solutions and
-//! the neighbours whose Δ changed* — checking the untouched ones would
-//! reintroduce the O(n) scan the sparsity is meant to avoid. Per
-//! *visited* solution the cost is O(d); per *evaluated* solution it is
-//! O(1) with a smaller evaluation set than the dense tracker's.
+//! # Window selection without the O(n) scan
+//!
+//! The dense tracker's fused select is an O(window) slice scan. Repeating
+//! that here would cap the sparse arm at O(window) per flip and erase the
+//! O(deg) win, so the CSR arm keeps a *bucketed best* summary instead:
+//! the Δ vector is split into fixed [`BUCKET`]-wide buckets, each holding
+//! its (leftmost) minimum. A flip folds its `deg(k) + 1` writes into the
+//! summaries in O(1) each; a summary whose recorded minimum *rose* is
+//! marked dirty and lazily re-scanned — but only when a window scan
+//! cannot prune it, because a dirty summary's stale value remains a valid
+//! **lower bound** (decreases fold in eagerly, a rise can only raise the
+//! true minimum). Window argmin then folds `window / BUCKET` summaries
+//! plus at most two boundary slices, with the exact tie contract of
+//! [`crate::window_argmin`] (first index in scan order from the window
+//! start). Each summary is one [`pack`]ed `(value, position)` key, so
+//! the per-write fold is a single compare against one load and a
+//! rescan is a plain `min` fold — leftmost tie resolution rides along
+//! in the key order.
+//!
+//! # Best records and accounting (deviation note, see DESIGN.md)
+//!
+//! Best-solution records have **full dense parity**: the global
+//! leftmost argmin of Δ is maintained *incrementally* — a write below
+//! the recorded minimum moves it in O(1), and only a rise of the
+//! recorded argmin itself (probability ≈ deg/n per flip) marks it
+//! stale, degrading the value to a lower bound until the next exact
+//! bucket-pruned fold. The dense tracker's neighbour check
+//! `E' + min Δ < E_B` is gated by that bound (if the bound fails the
+//! check, the true minimum fails it too), so the O(n/BUCKET) fold runs
+//! only on a stale bound that beats the best. Trajectories, energies,
+//! and best records are therefore bit-identical to the dense tracker's.
+//!
+//! What *does* deviate is Theorem-1 accounting: a dense flip evaluates
+//! all `n` neighbours, a CSR flip only learns the `deg(k) + 1` whose Δ
+//! changed plus the visited solution — so [`SparseDeltaTracker::evaluated`]
+//! counts `deg(k) + 2` per flip and [`SparseDeltaTracker::work`] counts
+//! `deg(k) + 1` Δ writes. At 100 % density (`deg = n − 1`) both match
+//! the dense tracker exactly; the telemetry aggregator derives the
+//! `abs_search_efficiency` gauge from these honest counts.
 
+use crate::tracker::SearchTracker;
 use qubo::sparse::SparseQubo;
-use qubo::{phi, BitVec, Energy};
+use qubo::{BitVec, Energy};
+
+/// Width of one Δ summary bucket. A power of two (the index→bucket map
+/// must stay a shift on the hot path) sized so one bucket's Δ slice is
+/// one 512-byte rescan and a 4096-bit problem carries 64 summaries.
+const BUCKET: usize = 1 << BUCKET_SHIFT;
+
+/// log₂ of [`BUCKET`]: the value shift that frees the low bits of a
+/// packed summary for the in-bucket argmin position.
+const BUCKET_SHIFT: u32 = 6;
+
+/// Packs a Δ value and its in-bucket position into one key whose `i64`
+/// order is lexicographic `(value, index mod BUCKET)` — so a plain
+/// `min` fold yields the bucket's leftmost minimum, and value ties
+/// resolve to the smaller index for free. Works for negative values
+/// because the shifted value owns the high bits and the position bits
+/// are non-negative. The shift cannot overflow: |Δ| ≤ (2n+1)·2¹⁵ and
+/// allocatable `n` keeps `|Δ| · BUCKET` far inside `i64`.
+#[inline]
+const fn pack(v: i64, i: usize) -> i64 {
+    (v << BUCKET_SHIFT) | (i & (BUCKET - 1)) as i64
+}
 
 /// Incremental state over a [`SparseQubo`]: current solution, exact
-/// energy, and the full Δ vector, updated in O(degree) per flip.
+/// energy, the full Δ vector, and the bucketed argmin summaries —
+/// updated in O(degree) per flip (see the module docs).
 #[derive(Clone)]
 pub struct SparseDeltaTracker<'a> {
     q: &'a SparseQubo,
     x: BitVec,
+    /// φ(x_i) ∈ {+1, −1}, kept in sync with `x` (same branch-free idiom
+    /// as the dense tracker's scalar arm).
+    sign: Vec<i8>,
     e: Energy,
     d: Vec<i64>,
+    /// Per-bucket packed summary [`pack`]`(min Δ, argmin mod BUCKET)`:
+    /// the exact leftmost minimum when clean; a lower bound (on the
+    /// packed key, hence on the value) when the matching `bdirty` flag
+    /// is set.
+    bmin: Vec<i64>,
+    /// Whether the bucket's recorded minimum rose and needs a rescan.
+    bdirty: Vec<bool>,
+    /// Global minimum of `d` — exact (with `gidx` its leftmost index)
+    /// while `gstale` is false; a lower bound once the recorded argmin
+    /// itself rose, until the next exact fold.
+    gmin: i64,
+    /// Leftmost index attaining `gmin` (valid only while not stale).
+    gidx: u32,
+    /// Whether the recorded global argmin rose and `gmin` degraded to a
+    /// lower bound.
+    gstale: bool,
     best: BitVec,
     best_e: Energy,
     flips: u64,
+    evaluated: u64,
+    work: u64,
 }
 
 impl<'a> SparseDeltaTracker<'a> {
@@ -38,27 +114,49 @@ impl<'a> SparseDeltaTracker<'a> {
     pub fn new(q: &'a SparseQubo) -> Self {
         let n = q.n();
         let d: Vec<i64> = (0..n).map(|i| i64::from(q.diag(i))).collect();
+        let nb = n.div_ceil(BUCKET);
         let x = BitVec::zeros(n);
         let mut t = Self {
             q,
             best: x.clone(),
             x,
+            sign: vec![1i8; n],
             e: 0,
             d,
+            bmin: vec![0; nb],
+            bdirty: vec![false; nb],
+            gmin: 0,
+            gidx: 0,
+            gstale: false,
             best_e: 0,
             flips: 0,
+            // Initialization evaluates E(0) = 0 and its n neighbours
+            // (Δ_i(0) = W_ii), same as the dense tracker.
+            evaluated: n as u64 + 1,
+            work: 0,
         };
-        if let Some((i, &min_d)) = t.d.iter().enumerate().min_by_key(|&(_, &v)| v) {
-            if min_d < 0 {
-                t.best.flip(i);
-                t.best_e = min_d;
-            }
+        for b in 0..nb {
+            t.refresh_bucket(b);
+        }
+        let (min_d, min_i) = t.range_min_first(0, n);
+        t.gmin = min_d;
+        t.gidx = min_i as u32;
+        if min_d < 0 {
+            t.best.flip(min_i);
+            t.best_e = min_d;
         }
         t
     }
 
+    /// The problem being searched.
+    #[must_use]
+    pub fn qubo(&self) -> &'a SparseQubo {
+        self.q
+    }
+
     /// Number of bits.
     #[must_use]
+    #[inline]
     pub fn n(&self) -> usize {
         self.d.len()
     }
@@ -71,17 +169,19 @@ impl<'a> SparseDeltaTracker<'a> {
 
     /// Current exact energy.
     #[must_use]
+    #[inline]
     pub fn energy(&self) -> Energy {
         self.e
     }
 
     /// The Δ vector (`deltas()[i] = Δ_i(X)`, exact).
     #[must_use]
+    #[inline]
     pub fn deltas(&self) -> &[i64] {
         &self.d
     }
 
-    /// Best record (see the module docs for its coverage).
+    /// Best record (full dense parity, see the module docs).
     #[must_use]
     pub fn best(&self) -> (&BitVec, Energy) {
         (&self.best, self.best_e)
@@ -93,70 +193,418 @@ impl<'a> SparseDeltaTracker<'a> {
         self.flips
     }
 
+    /// Solutions whose energy has been evaluated: `n + 1` at
+    /// initialization plus `deg(k) + 2` per flip — the storage-honest
+    /// count (see the module docs; equals the dense `(flips+1)·(n+1)`
+    /// at 100 % density).
+    #[must_use]
+    pub fn evaluated(&self) -> u64 {
+        self.evaluated
+    }
+
+    /// Total Δ entries written by Eq. (16) updates: `deg(k) + 1` per
+    /// flip (equals the dense `flips · n` at 100 % density).
+    #[must_use]
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
     /// Resets the best record to the current solution.
     pub fn reset_best(&mut self) {
         self.best.copy_from(&self.x);
         self.best_e = self.e;
     }
 
-    /// Flips bit `k` in O(degree(k)).
-    pub fn flip(&mut self, k: usize) {
-        assert!(k < self.n(), "bit index out of range");
-        let pk = i64::from(phi(self.x.get(k)));
-        let d_k_old = self.d[k];
-        let e_new = self.e + d_k_old;
-        let mut touched_min: Option<(usize, i64)> = None;
-        for (i, w) in self.q.row(k) {
-            let pi = i64::from(phi(self.x.get(i)));
-            let nd = self.d[i] + 2 * i64::from(w) * pi * pk;
-            self.d[i] = nd;
-            if touched_min.is_none_or(|(_, m)| nd < m) {
-                touched_min = Some((i, nd));
+    /// Folds one Δ write into the global argmin record in O(1).
+    ///
+    /// Invariant across states: `gmin` is ≤ every entry of `d`. While
+    /// not stale it additionally equals `d[gidx]`, the exact minimum,
+    /// with `gidx` leftmost.
+    #[inline]
+    fn gmin_update(&mut self, i: usize, v: i64) {
+        if self.gstale {
+            // A write strictly below the lower bound is strictly below
+            // every other entry: the unique (hence leftmost) new argmin.
+            if v < self.gmin {
+                self.gmin = v;
+                self.gidx = i as u32;
+                self.gstale = false;
+            }
+        } else if v < self.gmin || (v == self.gmin && (i as u32) < self.gidx) {
+            // Leftmost-tie contract: no index left of the recorded
+            // leftmost argmin can already hold gmin, so `i` wins.
+            self.gmin = v;
+            self.gidx = i as u32;
+        } else if self.gidx as usize == i && v > self.gmin {
+            // The argmin itself rose: gmin stays a valid lower bound.
+            self.gstale = true;
+        }
+    }
+
+    /// Folds one Δ write into its bucket's packed summary in O(1).
+    #[inline]
+    fn note_update(&mut self, i: usize, v: i64) {
+        let b = i / BUCKET;
+        let p = pack(v, i);
+        // invariant: b < nb because i < n ≤ nb·BUCKET.
+        let m = self.bmin[b];
+        if p < m {
+            // Strictly below the summary means below every entry of the
+            // bucket, whether the summary was exact or a dirty lower
+            // bound: the unique new leftmost minimum — exact again.
+            // invariant: b < nb = bmin.len() = bdirty.len().
+            self.bmin[b] = p;
+            self.bdirty[b] = false;
+        } else if p > m && (p ^ m) & (BUCKET as i64 - 1) == 0 {
+            // The write landed on the recorded argmin's position and
+            // rose: the key degrades to a lower bound. (On an already
+            // dirty bucket the position bits are stale and this merely
+            // re-marks it — still a valid bound.)
+            // invariant: b < nb = bdirty.len().
+            self.bdirty[b] = true;
+        }
+    }
+
+    /// Rescans bucket `b` to an exact packed leftmost-min summary: a
+    /// single `min` fold over the packed keys (shift–or–min per element,
+    /// auto-vectorizable) locates the leftmost occurrence for free via
+    /// the key order.
+    fn refresh_bucket(&mut self, b: usize) {
+        let lo = b * BUCKET;
+        let hi = (lo + BUCKET).min(self.d.len());
+        // invariant: lo < hi ≤ n for every bucket index b < nb.
+        let s = &self.d[lo..hi];
+        let mut min_p = pack(s[0], 0);
+        for (j, &v) in s.iter().enumerate().skip(1) {
+            min_p = min_p.min(pack(v, j));
+        }
+        // invariant: b < nb = bmin.len() (callers pass bucket indices).
+        self.bmin[b] = min_p;
+        self.bdirty[b] = false;
+    }
+
+    /// Leftmost minimum of `d[a..b]` (`a < b ≤ n`) as `(value, index)`,
+    /// folding whole-bucket summaries (with lower-bound pruning: a
+    /// summary that cannot strictly beat the running best is skipped
+    /// without refreshing) and scanning boundary slices element-wise.
+    fn range_min_first(&mut self, a: usize, b: usize) -> (i64, usize) {
+        debug_assert!(a < b && b <= self.d.len());
+        let mut best_v = i64::MAX;
+        let mut best_i = a;
+        let mut lo = a;
+        while lo < b {
+            let bb = lo / BUCKET;
+            let bucket_end = ((bb + 1) * BUCKET).min(self.d.len());
+            let hi = bucket_end.min(b);
+            if lo == bb * BUCKET && hi == bucket_end {
+                // Whole bucket: the packed summary decides. Value ties
+                // lose to the running best (strict <), which is the
+                // earlier scan position — the window_argmin tie
+                // contract. The packed key's value is recovered by an
+                // arithmetic shift (a lower bound on the key is a lower
+                // bound on the value, so pruning on it stays sound).
+                // invariant: bb = lo / BUCKET < nb since lo < b ≤ n.
+                if (self.bmin[bb] >> BUCKET_SHIFT) < best_v {
+                    if self.bdirty[bb] {
+                        self.refresh_bucket(bb);
+                    }
+                    // invariant: bb < nb as above; refresh left the
+                    // summary exact.
+                    let p = self.bmin[bb];
+                    if (p >> BUCKET_SHIFT) < best_v {
+                        best_v = p >> BUCKET_SHIFT;
+                        best_i = lo + (p & (BUCKET as i64 - 1)) as usize;
+                    }
+                }
+            } else {
+                // Boundary slice: element-wise leftmost min (value
+                // fold, then locate), strict < against the running best.
+                // invariant: lo < hi ≤ n checked by the loop bounds.
+                let s = &self.d[lo..hi];
+                let mut min_v = s[0];
+                // invariant: s is non-empty, so s[1..] is in range.
+                for &v in &s[1..] {
+                    min_v = min_v.min(v);
+                }
+                if min_v < best_v {
+                    let mut i = 0;
+                    // invariant: min_v was read out of s, so the locate
+                    // scan terminates before i reaches s.len().
+                    while s[i] != min_v {
+                        i += 1;
+                    }
+                    best_v = min_v;
+                    best_i = lo + i;
+                }
+            }
+            lo = hi;
+        }
+        (best_v, best_i)
+    }
+
+    /// Min-Δ index inside the circular window of length `len` starting
+    /// at `start`, with the exact tie contract of
+    /// [`crate::window_argmin`] (first index in scan order from `start`;
+    /// the wrapped prefix wins only on a strictly smaller value). Runs
+    /// on the bucket summaries: O(window / BUCKET) plus boundary slices.
+    ///
+    /// # Panics
+    /// Panics if `start >= n`.
+    pub fn select_in_window(&mut self, start: usize, len: usize) -> usize {
+        let n = self.n();
+        assert!(start < n, "window start {start} out of range {n}");
+        let l = len.clamp(1, n);
+        let first_len = l.min(n - start);
+        let (v1, i1) = self.range_min_first(start, start + first_len);
+        let rest = l - first_len;
+        if rest > 0 {
+            let (v2, i2) = self.range_min_first(0, rest);
+            if v2 < v1 {
+                return i2;
             }
         }
-        self.d[k] = -d_k_old;
+        i1
+    }
+
+    /// Fused flip + next-window selection, mirroring the dense
+    /// [`crate::DeltaTracker::flip_select`]: the bucket summaries the
+    /// selection folds were just written by the flip, so they are
+    /// cache-resident.
+    pub fn flip_select(&mut self, k: usize, window: (usize, usize)) -> usize {
+        self.flip(k);
+        self.select_in_window(window.0, window.1)
+    }
+
+    /// Flips bit `k` in O(degree(k)): Eq. (16) over the nonzero
+    /// neighbours only, with summary maintenance and dense-parity best
+    /// recording (see the module docs).
+    pub fn flip(&mut self, k: usize) {
+        let n = self.n();
+        assert!(k < n, "bit index {k} out of range {n}");
+        let q = self.q;
+        // invariant: k < n asserted above; d and sign have length n.
+        let d_k_old = self.d[k];
+        let two_pk = i64::from(self.sign[k]) * 2;
+        let e_new = self.e + d_k_old;
+        // Hot state lives in locals for the duration of the neighbour
+        // loop: folding through `self` would spill the argmin registers
+        // to memory on every iteration, and the split field borrows
+        // hand LLVM provably disjoint slices to schedule against. The
+        // fold bodies are `gmin_update` / `note_update` verbatim.
+        let mut gmin = self.gmin;
+        let mut gidx = self.gidx;
+        let mut gstale = self.gstale;
+        {
+            // invariant: full-range [..] borrows cannot go out of bounds.
+            let d = &mut self.d[..];
+            let sign = &self.sign[..];
+            // invariant: likewise full-range, infallible.
+            let bmin = &mut self.bmin[..];
+            let bdirty = &mut self.bdirty[..];
+            for (i, w) in q.row(k) {
+                // invariant: CSR column indices are < n by construction
+                // (SparseQubo validates every triplet index).
+                let v = d[i] + i64::from(w) * i64::from(sign[i]) * two_pk;
+                d[i] = v;
+                if v < gmin {
+                    // Below the lower bound means below every entry:
+                    // the unique (hence leftmost) new argmin, whether
+                    // the record was stale or not.
+                    gmin = v;
+                    gidx = i as u32;
+                    gstale = false;
+                } else if !gstale {
+                    if v == gmin && (i as u32) < gidx {
+                        // Leftmost-tie contract: no index left of the
+                        // recorded leftmost argmin holds gmin yet.
+                        gidx = i as u32;
+                    } else if gidx == i as u32 && v > gmin {
+                        // The argmin itself rose: gmin stays a valid
+                        // lower bound.
+                        gstale = true;
+                    }
+                }
+                let b = i / BUCKET;
+                let p = pack(v, i);
+                // invariant: b < nb because i < n ≤ nb·BUCKET.
+                let m = bmin[b];
+                if p < m {
+                    // Below the summary means below every entry: the
+                    // unique new leftmost minimum — exact again.
+                    // invariant: b < nb because i < n ≤ nb·BUCKET.
+                    bmin[b] = p;
+                    bdirty[b] = false;
+                } else if p > m && (p ^ m) & (BUCKET as i64 - 1) == 0 {
+                    // The recorded argmin's position rose: the key
+                    // degrades to (or re-marks) a lower bound.
+                    // invariant: b < nb = bdirty.len().
+                    bdirty[b] = true;
+                }
+            }
+        }
+        self.gmin = gmin;
+        self.gidx = gidx;
+        self.gstale = gstale;
+        let d_k_new = -d_k_old;
+        // invariant: k < n asserted at entry.
+        self.d[k] = d_k_new;
+        self.gmin_update(k, d_k_new);
+        self.note_update(k, d_k_new);
+        // invariant: k < n; sign has length n.
+        self.sign[k] = -self.sign[k];
         self.x.flip(k);
         self.e = e_new;
         self.flips += 1;
+        // Storage-honest accounting: deg(k) + 2 energies became known
+        // (the visited solution, the flipped bit's own neighbour via
+        // −Δ_k, and the deg(k) touched neighbours); deg(k) + 1 Δ
+        // entries were written.
+        let deg = q.degree(k) as u64;
+        self.evaluated += deg + 2;
+        self.work += deg + 1;
 
         if e_new < self.best_e {
             self.best.copy_from(&self.x);
             self.best_e = e_new;
         }
-        if let Some((i, m)) = touched_min {
-            if e_new + m < self.best_e {
+        // Dense-parity neighbour check, gated by the incremental global
+        // minimum: if `e_new + gmin` cannot beat the best, neither can
+        // `e_new + min Δ` (gmin ≤ min Δ always), so the dense condition
+        // evaluates identically without a scan. Only a *stale* bound
+        // that beats the best pays for the exact bucket-pruned fold.
+        if e_new + self.gmin < self.best_e {
+            if self.gstale {
+                let (min_d, min_i) = self.range_min_first(0, n);
+                self.gmin = min_d;
+                self.gidx = min_i as u32;
+                self.gstale = false;
+            }
+            if e_new + self.gmin < self.best_e {
                 self.best.copy_from(&self.x);
-                self.best.flip(i);
-                self.best_e = e_new + m;
+                self.best.flip(self.gidx as usize);
+                self.best_e = e_new + self.gmin;
             }
         }
     }
 
-    /// Verifies invariants against the O(nnz) reference (tests only).
+    /// Verifies invariants against O(nnz·n) reference computations,
+    /// including the bucket summaries (tests only).
     ///
     /// # Panics
     /// Panics if any tracked quantity drifted.
     pub fn verify(&self) {
         assert_eq!(self.e, self.q.energy(&self.x), "energy drifted");
-        for i in 0..self.n() {
+        let n = self.n();
+        for i in 0..n {
             let mut s = 0i64;
             for (j, w) in self.q.row(i) {
                 if self.x.get(j) {
                     s += i64::from(w);
                 }
             }
-            let expect = i64::from(phi(self.x.get(i))) * (2 * s + i64::from(self.q.diag(i)));
+            let expect_sign: i8 = if self.x.get(i) { -1 } else { 1 };
+            let expect = i64::from(expect_sign) * (2 * s + i64::from(self.q.diag(i)));
+            // invariant: i < n = d.len() = sign.len() by the loop bound.
             assert_eq!(self.d[i], expect, "delta {i} drifted");
+            assert_eq!(self.sign[i], expect_sign, "sign {i} drifted");
         }
         assert_eq!(self.best_e, self.q.energy(&self.best), "best drifted");
+        let mut global_min = i64::MAX;
+        let mut global_i = 0usize;
+        for b in 0..self.bmin.len() {
+            let lo = b * BUCKET;
+            let hi = (lo + BUCKET).min(n);
+            let mut min_p = i64::MAX;
+            for i in lo..hi {
+                // invariant: lo ≤ i < hi ≤ n by the loop bounds.
+                min_p = min_p.min(pack(self.d[i], i));
+            }
+            let min_v = min_p >> BUCKET_SHIFT;
+            let min_i = lo + (min_p & (BUCKET as i64 - 1)) as usize;
+            if min_v < global_min {
+                global_min = min_v;
+                global_i = min_i;
+            }
+            // invariant: b < bmin.len() by the loop bound.
+            if self.bdirty[b] {
+                // invariant: b < bmin.len() by the loop bound.
+                assert!(
+                    self.bmin[b] <= min_p,
+                    "dirty bucket {b} lost its lower bound"
+                );
+            } else {
+                // invariant: same loop bound on b.
+                assert_eq!(self.bmin[b], min_p, "bucket {b} summary drifted");
+            }
+        }
+        assert!(self.gmin <= global_min, "gmin lower bound violated");
+        if !self.gstale {
+            assert_eq!(self.gmin, global_min, "exact gmin drifted");
+            assert_eq!(self.gidx as usize, global_i, "gidx drifted");
+        }
+    }
+}
+
+impl SearchTracker for SparseDeltaTracker<'_> {
+    type Acc = i64;
+
+    fn n(&self) -> usize {
+        SparseDeltaTracker::n(self)
+    }
+
+    fn x(&self) -> &BitVec {
+        SparseDeltaTracker::x(self)
+    }
+
+    fn energy(&self) -> Energy {
+        SparseDeltaTracker::energy(self)
+    }
+
+    fn deltas(&self) -> &[i64] {
+        SparseDeltaTracker::deltas(self)
+    }
+
+    fn best(&self) -> (&BitVec, Energy) {
+        SparseDeltaTracker::best(self)
+    }
+
+    fn reset_best(&mut self) {
+        SparseDeltaTracker::reset_best(self);
+    }
+
+    fn flips(&self) -> u64 {
+        SparseDeltaTracker::flips(self)
+    }
+
+    fn evaluated(&self) -> u64 {
+        SparseDeltaTracker::evaluated(self)
+    }
+
+    fn work(&self) -> u64 {
+        SparseDeltaTracker::work(self)
+    }
+
+    fn flip(&mut self, k: usize) {
+        SparseDeltaTracker::flip(self, k);
+    }
+
+    fn select_in_window(&mut self, start: usize, len: usize) -> usize {
+        SparseDeltaTracker::select_in_window(self, start, len)
+    }
+
+    fn flip_select(&mut self, k: usize, window: (usize, usize)) -> usize {
+        SparseDeltaTracker::flip_select(self, k, window)
+    }
+
+    fn verify(&self) {
+        SparseDeltaTracker::verify(self);
     }
 }
 
 /// Greedy steepest descent on a sparse instance: flips the global
 /// minimum-Δ bit while it improves, from a given start. Returns the
-/// reached 1-flip local minimum. (A convenience solver showing the
-/// sparse tracker end to end; the bulk framework itself stays dense,
-/// like the paper's kernel.)
+/// reached 1-flip local minimum. (A convenience solver; the bulk
+/// framework drives the tracker through [`crate::local_search`].)
 #[must_use]
 pub fn sparse_greedy_descent(q: &SparseQubo, start: &BitVec) -> (BitVec, Energy) {
     let mut t = SparseDeltaTracker::new(q);
@@ -165,10 +613,11 @@ pub fn sparse_greedy_descent(q: &SparseQubo, start: &BitVec) -> (BitVec, Energy)
         t.flip(k);
     }
     loop {
-        let Some((k, &d)) = t.d.iter().enumerate().min_by_key(|&(_, &v)| v) else {
-            // n == 0: the empty solution is trivially a local minimum.
+        let n = t.n();
+        if n == 0 {
             return (t.x.clone(), t.e);
-        };
+        }
+        let (d, k) = t.range_min_first(0, n);
         if d >= 0 {
             return (t.x.clone(), t.e);
         }
@@ -179,6 +628,7 @@ pub fn sparse_greedy_descent(q: &SparseQubo, start: &BitVec) -> (BitVec, Energy)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{local_search, window_argmin, DeltaTracker, WindowMinPolicy};
     use qubo::Qubo;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -198,7 +648,7 @@ mod tests {
     #[test]
     fn tracks_exactly_like_the_dense_tracker() {
         let (q, s) = sparse_instance(60, 150, 1);
-        let mut dense = crate::DeltaTracker::new(&q);
+        let mut dense = DeltaTracker::new(&q);
         let mut sparse = SparseDeltaTracker::new(&s);
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..200 {
@@ -206,9 +656,12 @@ mod tests {
             dense.flip(k);
             sparse.flip(k);
             assert_eq!(dense.energy(), sparse.energy());
+            assert_eq!(dense.best().1, sparse.best().1);
+            assert_eq!(dense.best().0, sparse.best().0);
         }
         assert_eq!(dense.x(), sparse.x());
         assert_eq!(dense.deltas(), sparse.deltas());
+        assert_eq!(dense.flips(), sparse.flips());
         sparse.verify();
     }
 
@@ -226,14 +679,128 @@ mod tests {
     }
 
     #[test]
-    fn best_covers_visited_and_touched() {
-        // The lone coupler makes flip_1 attractive after flipping 0.
+    fn best_has_full_dense_parity() {
+        // The lone coupler makes the *untouched-by-visit* neighbour 011
+        // attractive; full parity means the sparse best must equal the
+        // exhaustive min over every visited solution and every
+        // neighbour of every visited solution — same as the dense test.
         let s = SparseQubo::from_triplets(3, &[(0, 1, -50), (1, 1, 10)]).unwrap();
         let mut t = SparseDeltaTracker::new(&s);
-        t.flip(0); // E = 0; touched neighbour 1: Δ_1 = 10 - 100 = -90
+        t.flip(0); // E = 0; neighbour Δ_1 = 10 − 100 = −90
         assert_eq!(t.best().1, -90);
         assert_eq!(t.best().0.to_string(), "110");
         t.verify();
+
+        let (q, s) = sparse_instance(24, 40, 9);
+        let mut t = SparseDeltaTracker::new(&s);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut seen_min = 0i64;
+        for i in 0..24 {
+            seen_min = seen_min.min(q.energy(&BitVec::zeros(24).flipped(i)));
+        }
+        for _ in 0..80 {
+            t.flip(rng.gen_range(0..24));
+            let x = t.x().clone();
+            seen_min = seen_min.min(q.energy(&x));
+            for i in 0..24 {
+                seen_min = seen_min.min(q.energy(&x.flipped(i)));
+            }
+            assert_eq!(t.best().1, seen_min);
+        }
+    }
+
+    #[test]
+    fn select_in_window_matches_window_argmin() {
+        let (_, s) = sparse_instance(150, 300, 3);
+        let mut t = SparseDeltaTracker::new(&s);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..400 {
+            t.flip(rng.gen_range(0..150));
+            let a = rng.gen_range(0..150);
+            let l = rng.gen_range(1..=150);
+            let d = t.deltas().to_vec();
+            assert_eq!(
+                t.select_in_window(a, l),
+                window_argmin(&d, a, l),
+                "a={a} l={l}"
+            );
+        }
+        t.verify();
+    }
+
+    #[test]
+    fn flip_select_equals_flip_then_select() {
+        let (_, s) = sparse_instance(70, 180, 5);
+        let mut fused = SparseDeltaTracker::new(&s);
+        let mut twocall = SparseDeltaTracker::new(&s);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut k = 3usize;
+        for _ in 0..150 {
+            let a = rng.gen_range(0..70);
+            let l = rng.gen_range(1..=70);
+            let next_fused = fused.flip_select(k, (a, l));
+            twocall.flip(k);
+            let next_two = twocall.select_in_window(a, l);
+            assert_eq!(next_fused, next_two);
+            assert_eq!(fused.x(), twocall.x());
+            assert_eq!(fused.best().1, twocall.best().1);
+            k = next_fused;
+        }
+        fused.verify();
+    }
+
+    #[test]
+    fn local_search_walks_both_arms_identically() {
+        // The generic driver over SearchTracker: dense and CSR trackers
+        // under the same window schedule produce identical trajectories,
+        // energies, and best records.
+        let (q, s) = sparse_instance(96, 250, 7);
+        for window in [1usize, 8, 96] {
+            let mut dense = DeltaTracker::new(&q);
+            let mut sparse = SparseDeltaTracker::new(&s);
+            let mut pd = WindowMinPolicy::new(window);
+            let mut ps = WindowMinPolicy::new(window);
+            local_search(&mut dense, &mut pd, 500);
+            local_search(&mut sparse, &mut ps, 500);
+            assert_eq!(dense.x(), sparse.x(), "window={window}");
+            assert_eq!(dense.energy(), sparse.energy());
+            assert_eq!(dense.best().0, sparse.best().0);
+            assert_eq!(dense.best().1, sparse.best().1);
+            sparse.verify();
+        }
+    }
+
+    #[test]
+    fn evaluated_counts_touched_neighbours() {
+        // Star graph: bit 0 couples to 1..=4, leaves have degree 1.
+        let s =
+            SparseQubo::from_triplets(6, &[(0, 1, 2), (0, 2, -3), (0, 3, 4), (0, 4, -5)]).unwrap();
+        let mut t = SparseDeltaTracker::new(&s);
+        assert_eq!(t.evaluated(), 7); // init: solution + 6 neighbours
+        assert_eq!(t.work(), 0);
+        t.flip(0); // degree 4: evaluated += 6, work += 5
+        assert_eq!(t.evaluated(), 13);
+        assert_eq!(t.work(), 5);
+        t.flip(5); // isolated: evaluated += 2, work += 1
+        assert_eq!(t.evaluated(), 15);
+        assert_eq!(t.work(), 6);
+    }
+
+    #[test]
+    fn full_density_accounting_matches_the_dense_formula() {
+        // At 100 % density deg = n − 1, so the honest counters reduce to
+        // the dense tracker's (flips+1)·(n+1) and flips·n exactly.
+        let mut rng = StdRng::seed_from_u64(8);
+        let q = Qubo::random(17, &mut rng);
+        let s = SparseQubo::from_dense(&q);
+        let mut dense = DeltaTracker::new(&q);
+        let mut sparse = SparseDeltaTracker::new(&s);
+        for k in [3usize, 11, 0, 16, 7] {
+            dense.flip(k);
+            sparse.flip(k);
+        }
+        assert_eq!(sparse.evaluated(), dense.evaluated());
+        assert_eq!(sparse.work(), dense.work());
     }
 
     #[test]
@@ -259,5 +826,21 @@ mod tests {
         t.flip(12);
         assert_eq!(t.energy(), e);
         assert_eq!(t.deltas(), &d[..]);
+        t.verify();
+    }
+
+    #[test]
+    fn summaries_survive_dirty_and_refresh_cycles() {
+        // Hammer one bucket with rises and falls, verifying after every
+        // flip: catches lower-bound violations the moment they happen.
+        let (_, s) = sparse_instance(64, 400, 11); // exactly one bucket
+        let mut t = SparseDeltaTracker::new(&s);
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..120 {
+            t.flip(rng.gen_range(0..64));
+            t.verify();
+            // Interleave selections so lazy refreshes actually run.
+            let _ = t.select_in_window(rng.gen_range(0..64), 16);
+        }
     }
 }

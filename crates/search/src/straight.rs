@@ -12,8 +12,7 @@
 //! legitimate search point (best-tracking stays on), and revisiting is
 //! impossible because the Hamming distance to `T` strictly decreases.
 
-use crate::acc::DeltaAcc;
-use crate::tracker::DeltaTracker;
+use crate::tracker::SearchTracker;
 use qubo::{BitVec, MAX_BITS};
 
 /// Words in the stack-resident differing-bit scratch: enough for the
@@ -33,12 +32,13 @@ const DIFF_WORDS: usize = MAX_BITS / 64;
 /// equal to the popcount Hamming distance (§3.1: a straight search
 /// costs exactly `hamming(C, T)` flips).
 ///
-/// Works for either Δ accumulator width; the walk is width-oblivious
-/// because only comparisons of in-bound Δ values are involved.
+/// Generic over [`SearchTracker`] (and thereby over both storage arms
+/// and either Δ accumulator width); the walk is width-oblivious because
+/// only comparisons of in-bound Δ values are involved.
 ///
 /// # Panics
 /// Panics if `target.len()` differs from the tracker's problem size.
-pub fn straight_search<A: DeltaAcc>(tracker: &mut DeltaTracker<'_, A>, target: &BitVec) -> u64 {
+pub fn straight_search<T: SearchTracker + ?Sized>(tracker: &mut T, target: &BitVec) -> u64 {
     assert_eq!(
         target.len(),
         tracker.n(),
@@ -52,7 +52,7 @@ pub fn straight_search<A: DeltaAcc>(tracker: &mut DeltaTracker<'_, A>, target: &
     loop {
         // Greedily select the differing bit with minimum Δ: walk the
         // packed diff words via trailing_zeros (one step per set bit).
-        let mut best: Option<(usize, A)> = None;
+        let mut best: Option<(usize, T::Acc)> = None;
         for (wi, &word) in diff[..nw].iter().enumerate() {
             let mut w = word;
             while w != 0 {
@@ -86,6 +86,7 @@ pub fn straight_search<A: DeltaAcc>(tracker: &mut DeltaTracker<'_, A>, target: &
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tracker::DeltaTracker;
     use qubo::Qubo;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

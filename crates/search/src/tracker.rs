@@ -5,6 +5,75 @@ use crate::policy::window_argmin;
 use crate::simd::{self, FlipKernel};
 use qubo::{BitVec, Energy, Qubo};
 
+/// The incremental-search surface the bulk-search drivers are generic
+/// over: one per matrix-storage arm ([`DeltaTracker`] for the dense
+/// padded rows, [`crate::SparseDeltaTracker`] for CSR).
+///
+/// [`crate::local_search`], [`crate::straight_search`], and the vgpu
+/// block runner drive any implementor; monomorphization keeps the dense
+/// fast path's codegen identical to calling the inherent methods
+/// directly (the SIMD arms from the flip tier are untouched).
+///
+/// The accounting methods are the storage-honest part of the contract:
+/// [`SearchTracker::evaluated`] counts solutions whose energy became
+/// known, which is `n + 1` per flip under dense storage but only
+/// `deg(k) + 2` under CSR (see `SparseDeltaTracker`'s module docs), and
+/// [`SearchTracker::work`] counts Δ entries written. Telemetry derives
+/// the Theorem-1 efficiency gauge from these, so implementations must
+/// report what they actually touched.
+pub trait SearchTracker {
+    /// Δ accumulator width of this tracker ([`DeltaAcc`]).
+    type Acc: DeltaAcc;
+
+    /// Number of bits `n`.
+    fn n(&self) -> usize;
+
+    /// The current solution `X`.
+    fn x(&self) -> &BitVec;
+
+    /// The current energy `E(X)`.
+    fn energy(&self) -> Energy;
+
+    /// The difference vector, `deltas()[i] = Δ_i(X)`, length `n`.
+    fn deltas(&self) -> &[Self::Acc];
+
+    /// Best solution recorded since the last [`SearchTracker::reset_best`].
+    fn best(&self) -> (&BitVec, Energy);
+
+    /// Resets the best record to the current solution.
+    fn reset_best(&mut self);
+
+    /// Total flips performed.
+    fn flips(&self) -> u64;
+
+    /// Solutions whose energy has been evaluated so far (including the
+    /// `n + 1` known after initialization).
+    fn evaluated(&self) -> u64;
+
+    /// Total Δ-update work performed (entries written by Eq. (16)
+    /// updates) — the numerator of the Theorem-1 efficiency ratio.
+    fn work(&self) -> u64;
+
+    /// Flips bit `k`, updating `X`, `E(X)`, the Δ vector, and the best
+    /// record.
+    fn flip(&mut self, k: usize);
+
+    /// Min-Δ index inside the circular window of length `len` starting
+    /// at `start`, with [`window_argmin`]'s exact tie contract (first
+    /// index in scan order from `start`). Takes `&mut self` because the
+    /// CSR arm refreshes lazy summaries during the scan.
+    fn select_in_window(&mut self, start: usize, len: usize) -> usize;
+
+    /// Fused flip + next-window selection (`flip(k)` then
+    /// [`SearchTracker::select_in_window`], in one pass where the
+    /// storage arm allows it).
+    fn flip_select(&mut self, k: usize, window: (usize, usize)) -> usize;
+
+    /// Verifies internal invariants against reference computations
+    /// (test/debug only; never on the hot path).
+    fn verify(&self);
+}
+
 /// Allocates a Δ buffer whose `stride` logical elements start 64-byte
 /// aligned (the same runtime-offset trick as the padded [`Qubo`] rows):
 /// over-allocate by one cache line of headroom, find the aligned element
@@ -472,6 +541,66 @@ impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
                 self.n() + i
             );
         }
+    }
+}
+
+/// The dense arm: every trait method delegates to the inherent method of
+/// the same name (fully qualified, so the `&self` inherent signatures
+/// stay callable), keeping the monomorphized codegen identical to direct
+/// calls — the SIMD flip tier is untouched by the storage abstraction.
+impl<A: DeltaAcc> SearchTracker for DeltaTracker<'_, A> {
+    type Acc = A;
+
+    fn n(&self) -> usize {
+        DeltaTracker::n(self)
+    }
+
+    fn x(&self) -> &BitVec {
+        DeltaTracker::x(self)
+    }
+
+    fn energy(&self) -> Energy {
+        DeltaTracker::energy(self)
+    }
+
+    fn deltas(&self) -> &[A] {
+        DeltaTracker::deltas(self)
+    }
+
+    fn best(&self) -> (&BitVec, Energy) {
+        DeltaTracker::best(self)
+    }
+
+    fn reset_best(&mut self) {
+        DeltaTracker::reset_best(self);
+    }
+
+    fn flips(&self) -> u64 {
+        DeltaTracker::flips(self)
+    }
+
+    fn evaluated(&self) -> u64 {
+        DeltaTracker::evaluated(self)
+    }
+
+    fn work(&self) -> u64 {
+        DeltaTracker::work(self)
+    }
+
+    fn flip(&mut self, k: usize) {
+        DeltaTracker::flip(self, k);
+    }
+
+    fn select_in_window(&mut self, start: usize, len: usize) -> usize {
+        DeltaTracker::select_in_window(self, start, len)
+    }
+
+    fn flip_select(&mut self, k: usize, window: (usize, usize)) -> usize {
+        DeltaTracker::flip_select(self, k, window)
+    }
+
+    fn verify(&self) {
+        DeltaTracker::verify(self);
     }
 }
 

@@ -19,6 +19,11 @@ pub struct DeviceSample {
     pub flips: u64,
     /// Live search units (blocks minus quarantined ones).
     pub units: u64,
+    /// Evaluated solutions as reported by the device (storage-honest:
+    /// dense arms report `(flips + units) * (n + 1)` exactly; the CSR
+    /// arm reports actual touched neighbours, `Σ (deg(k) + 2)` per flip
+    /// plus `n + 1` per unit).
+    pub evaluated: u64,
     /// Completed bulk iterations (monotone).
     pub iterations: u64,
     /// Results pushed to the buffer (monotone).
@@ -40,6 +45,10 @@ pub struct DeviceSample {
     /// `"avx2"`, or `"unset"` before the run starts). Empty (the
     /// `Default`) means "not reported" and emits no series.
     pub kernel: &'static str,
+    /// Matrix-storage arm the device dispatched (`"dense"` / `"sparse"`,
+    /// or `"unset"` before the run starts). Empty (the `Default`) means
+    /// "not reported" and emits no series.
+    pub storage: &'static str,
     /// Events drained from the device ring since the last poll.
     pub events: Vec<Event>,
     /// Cumulative events ever written to the ring.
@@ -83,6 +92,7 @@ struct PerDevice {
     events_dropped: Arc<Counter>,
     last_health: &'static str,
     last_kernel: &'static str,
+    last_storage: &'static str,
 }
 
 /// Folds poll-boundary samples into the typed metrics registry.
@@ -120,7 +130,8 @@ impl Aggregator {
                 evaluated: r.counter(
                     "abs_evaluated_total",
                     labels,
-                    "Evaluated solutions, (flips + units) * (n + 1) (Theorem 1).",
+                    "Evaluated solutions as reported by the device: (flips + units) * (n + 1) \
+                     on dense arms (Theorem 1), actual touched neighbours on the CSR arm.",
                 ),
                 iterations: r.counter("abs_iterations_total", labels, "Completed bulk iterations."),
                 results: r.counter(
@@ -161,6 +172,7 @@ impl Aggregator {
                 ),
                 last_health: "healthy",
                 last_kernel: "",
+                last_storage: "",
             });
         }
         Aggregator {
@@ -239,7 +251,8 @@ impl Aggregator {
             search_efficiency: r.gauge(
                 "abs_search_efficiency",
                 &[],
-                "Work per evaluated solution, flips*n / evaluated (Theorem 1: O(1) in n).",
+                "Work per evaluated solution (Theorem 1: O(1) in n). Dense arms contribute \
+                 flips*n work; the CSR arm contributes actual touched neighbours.",
             ),
             registry: r,
         }
@@ -254,10 +267,17 @@ impl Aggregator {
     /// Folds one poll boundary into the registry. `samples` must have
     /// one entry per device (extra entries are ignored).
     pub fn poll(&mut self, samples: &[DeviceSample], host: &HostSample) {
-        let mut flips_all = 0u64;
+        let mut work_all = 0u64;
         let mut evaluated_all = 0u64;
         for (dev, s) in self.devices.iter_mut().zip(samples) {
-            let evaluated = (s.flips + s.units) * (self.n as u64 + 1);
+            let evaluated = s.evaluated;
+            // Row-scan work behind the evaluations: strip the n + 1
+            // initial evaluations per unit and the self-term of each
+            // flip. Dense arms land on flips * n exactly; the CSR arm
+            // lands on the neighbours it actually touched.
+            let work = evaluated
+                .saturating_sub(s.units * (self.n as u64 + 1))
+                .saturating_sub(s.flips);
             dev.flips.set(s.flips);
             dev.evaluated.set(evaluated);
             dev.iterations.set(s.iterations);
@@ -269,7 +289,7 @@ impl Aggregator {
             dev.units.set(s.units as f64);
             dev.events_written.set(s.events_written);
             dev.events_dropped.set(s.events_overwritten);
-            flips_all += s.flips;
+            work_all += work;
             evaluated_all += evaluated;
             for e in &s.events {
                 match e.kind {
@@ -327,6 +347,34 @@ impl Aggregator {
                 self.devices[d].last_kernel = s.kernel;
             }
         }
+        // The dispatched matrix-storage arm mirrors the flip-kernel info
+        // gauge: registered on demand, old arm drops to 0 when a later
+        // run redispatches (e.g. ABS_FORCE_SPARSE set between solves).
+        for (d, s) in samples.iter().enumerate() {
+            if !s.storage.is_empty() && self.devices[d].last_storage != s.storage {
+                let dl = d.to_string();
+                if !self.devices[d].last_storage.is_empty() {
+                    self.registry
+                        .gauge(
+                            "abs_matrix_storage",
+                            &[
+                                ("device", dl.as_str()),
+                                ("storage", self.devices[d].last_storage),
+                            ],
+                            "Dispatched matrix storage (info gauge: 1 = active arm).",
+                        )
+                        .set(0.0);
+                }
+                self.registry
+                    .gauge(
+                        "abs_matrix_storage",
+                        &[("device", dl.as_str()), ("storage", s.storage)],
+                        "Dispatched matrix storage (info gauge: 1 = active arm).",
+                    )
+                    .set(1.0);
+                self.devices[d].last_storage = s.storage;
+            }
+        }
         self.received.set(host.results_received);
         self.inserted.set(host.results_inserted);
         self.pool_ops[0].set(host.pool_inserted);
@@ -343,7 +391,7 @@ impl Aggregator {
         self.search_efficiency.set(if evaluated_all == 0 {
             0.0
         } else {
-            (flips_all * self.n as u64) as f64 / evaluated_all as f64
+            work_all as f64 / evaluated_all as f64
         });
     }
 
@@ -370,10 +418,13 @@ const POW2_BOUNDS: [u64; 21] = {
 mod tests {
     use super::*;
 
-    fn one_device_sample(flips: u64, units: u64) -> DeviceSample {
+    /// A dense-arm sample: `evaluated` carries the Theorem-1 projection
+    /// `(flips + units) * (n + 1)` exactly, as `GlobalMem` reports it.
+    fn one_device_sample(flips: u64, units: u64, n: u64) -> DeviceSample {
         DeviceSample {
             flips,
             units,
+            evaluated: (flips + units) * (n + 1),
             health: "healthy",
             ..DeviceSample::default()
         }
@@ -382,7 +433,7 @@ mod tests {
     #[test]
     fn poll_folds_counters_events_and_gauges() {
         let mut a = Aggregator::new(2, 64);
-        let mut s0 = one_device_sample(100, 8);
+        let mut s0 = one_device_sample(100, 8, 64);
         s0.events = vec![
             Event::straight_walk(5),
             Event::window_assign(16),
@@ -390,7 +441,7 @@ mod tests {
             Event::block_death(3),
         ];
         s0.events_written = 4;
-        let s1 = one_device_sample(50, 8);
+        let s1 = one_device_sample(50, 8, 64);
         let host = HostSample {
             results_received: 7,
             pool_inserted: 4,
@@ -431,13 +482,13 @@ mod tests {
     #[test]
     fn health_transitions_register_on_demand() {
         let mut a = Aggregator::new(1, 8);
-        let healthy = one_device_sample(1, 1);
+        let healthy = one_device_sample(1, 1, 8);
         a.poll(std::slice::from_ref(&healthy), &HostSample::default());
         assert_eq!(
             a.snapshot().counter_total("abs_health_transitions_total"),
             0
         );
-        let mut degraded = one_device_sample(2, 1);
+        let mut degraded = one_device_sample(2, 1, 8);
         degraded.health = "degraded";
         a.poll(std::slice::from_ref(&degraded), &HostSample::default());
         a.poll(std::slice::from_ref(&degraded), &HostSample::default());
@@ -451,13 +502,13 @@ mod tests {
     #[test]
     fn flip_kernel_info_gauge_registers_on_demand() {
         let mut a = Aggregator::new(1, 8);
-        let unreported = one_device_sample(1, 1);
+        let unreported = one_device_sample(1, 1, 8);
         a.poll(std::slice::from_ref(&unreported), &HostSample::default());
         assert!(a
             .snapshot()
             .gauge_with("abs_flip_kernel", "kernel", "avx2")
             .is_none());
-        let mut dispatched = one_device_sample(2, 1);
+        let mut dispatched = one_device_sample(2, 1, 8);
         dispatched.kernel = "avx2";
         a.poll(std::slice::from_ref(&dispatched), &HostSample::default());
         let snap = a.snapshot();
@@ -467,7 +518,7 @@ mod tests {
         );
         // Redispatch (e.g. forced scalar on a later solve): old arm drops
         // to 0, new arm raises to 1.
-        let mut forced = one_device_sample(3, 1);
+        let mut forced = one_device_sample(3, 1, 8);
         forced.kernel = "scalar";
         a.poll(std::slice::from_ref(&forced), &HostSample::default());
         let snap = a.snapshot();
@@ -486,7 +537,57 @@ mod tests {
         // Mirrors DeltaTracker::evaluated(): (flips + 1) * (n + 1) per
         // unit; GlobalMem folds units in as (flips + units) * (n + 1).
         let mut a = Aggregator::new(1, 24);
-        a.poll(&[one_device_sample(10, 1)], &HostSample::default());
+        a.poll(&[one_device_sample(10, 1, 24)], &HostSample::default());
         assert_eq!(a.snapshot().counter_total("abs_evaluated_total"), 11 * 25);
+    }
+
+    #[test]
+    fn matrix_storage_info_gauge_registers_on_demand() {
+        let mut a = Aggregator::new(1, 8);
+        let unreported = one_device_sample(1, 1, 8);
+        a.poll(std::slice::from_ref(&unreported), &HostSample::default());
+        assert!(a
+            .snapshot()
+            .gauge_with("abs_matrix_storage", "storage", "dense")
+            .is_none());
+        let mut dispatched = one_device_sample(2, 1, 8);
+        dispatched.storage = "dense";
+        a.poll(std::slice::from_ref(&dispatched), &HostSample::default());
+        assert_eq!(
+            a.snapshot()
+                .gauge_with("abs_matrix_storage", "storage", "dense"),
+            Some(1.0)
+        );
+        // Redispatch (e.g. ABS_FORCE_SPARSE on a later solve): old arm
+        // drops to 0, new arm raises to 1.
+        let mut forced = one_device_sample(3, 1, 8);
+        forced.storage = "sparse";
+        a.poll(std::slice::from_ref(&forced), &HostSample::default());
+        let snap = a.snapshot();
+        assert_eq!(
+            snap.gauge_with("abs_matrix_storage", "storage", "dense"),
+            Some(0.0)
+        );
+        assert_eq!(
+            snap.gauge_with("abs_matrix_storage", "storage", "sparse"),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn sparse_arm_efficiency_counts_touched_neighbours() {
+        // A CSR-arm device reports evaluated = units * (n + 1) + Σ
+        // (deg(k) + 2): 1 unit on n = 24 plus 10 flips touching 3
+        // neighbours each -> 25 + 10 * 5 = 75 evaluations and 10 * 4 =
+        // 40 row-scan work, far below the dense flips * n = 240.
+        let mut a = Aggregator::new(1, 24);
+        let mut s = one_device_sample(10, 1, 24);
+        s.evaluated = 25 + 10 * 5;
+        s.storage = "sparse";
+        a.poll(std::slice::from_ref(&s), &HostSample::default());
+        let snap = a.snapshot();
+        assert_eq!(snap.counter_total("abs_evaluated_total"), 75);
+        let eff = snap.gauge("abs_search_efficiency").unwrap();
+        assert!((eff - 40.0 / 75.0).abs() < 1e-12, "eff={eff}");
     }
 }

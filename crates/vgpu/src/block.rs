@@ -3,10 +3,11 @@
 use crate::buffers::{GlobalMem, SolutionRecord};
 use crate::fault::InjectedPanic;
 use abs_telemetry::Event;
-use qubo::Qubo;
+use qubo::{Qubo, SparseQubo};
 use qubo_search::{
     local_search, straight_search, DeltaAcc, DeltaTracker, FlipKernel, GreedyPolicy,
-    MetropolisPolicy, RandomPolicy, SelectionPolicy, WindowMinPolicy,
+    MetropolisPolicy, RandomPolicy, SearchTracker, SelectionPolicy, SparseDeltaTracker,
+    WindowMinPolicy,
 };
 
 /// How window lengths (the temperature analogue of the selection policy,
@@ -173,12 +174,14 @@ pub struct BlockConfig {
 /// block skips the straight search and keeps local-searching from where
 /// it stands — it never blocks and never synchronizes with other blocks.
 ///
-/// The Δ accumulator width `A` defaults to `i64`; devices build
-/// [`BlockRunner::with_width`] blocks with `A = i32` whenever the
-/// problem's Δ bound fits (`DeltaTracker::<i32>::fits`), halving the
-/// memory traffic of the flip kernel.
-pub struct BlockRunner<'q, A: DeltaAcc = qubo::Energy> {
-    tracker: DeltaTracker<'q, A>,
+/// The tracker type `T` carries both storage arms: devices build dense
+/// [`BlockRunner::with_width`] blocks (with `A = i32` whenever the
+/// problem's Δ bound fits, halving the flip kernel's memory traffic) or
+/// CSR [`BlockRunner::sparse`] blocks when the density dispatch picks
+/// the O(degree) tier. Everything past construction is generic over
+/// [`SearchTracker`].
+pub struct BlockRunner<T: SearchTracker> {
+    tracker: T,
     policy: RuntimePolicy,
     config: BlockConfig,
     /// Best energy this block has ever reported (adaptive switching
@@ -190,31 +193,50 @@ pub struct BlockRunner<'q, A: DeltaAcc = qubo::Energy> {
     switches: u32,
 }
 
-impl<'q> BlockRunner<'q, qubo::Energy> {
-    /// Creates a default-width (`i64`) block at the canonical zero start.
+impl<'q> BlockRunner<DeltaTracker<'q, qubo::Energy>> {
+    /// Creates a default-width (`i64`) dense block at the canonical zero
+    /// start.
     #[must_use]
     pub fn new(qubo: &'q Qubo, config: BlockConfig) -> Self {
         Self::with_width(qubo, config)
     }
 }
 
-impl<'q, A: DeltaAcc> BlockRunner<'q, A> {
-    /// Creates a block with Δ accumulator width `A` at the canonical
-    /// zero start.
+impl<'q, A: DeltaAcc> BlockRunner<DeltaTracker<'q, A>> {
+    /// Creates a dense block with Δ accumulator width `A` at the
+    /// canonical zero start.
     ///
     /// # Panics
     /// Panics if the problem's Δ bound does not fit width `A`.
     #[must_use]
     pub fn with_width(qubo: &'q Qubo, config: BlockConfig) -> Self {
+        let tracker = DeltaTracker::with_kernel(qubo, config.kernel);
+        Self::from_tracker(tracker, config)
+    }
+}
+
+impl<'q> BlockRunner<SparseDeltaTracker<'q>> {
+    /// Creates a CSR block at the canonical zero start (the O(degree)
+    /// flip tier; `config.kernel` is ignored — the sparse arm is scalar).
+    #[must_use]
+    pub fn sparse(qubo: &'q SparseQubo, config: BlockConfig) -> Self {
+        Self::from_tracker(SparseDeltaTracker::new(qubo), config)
+    }
+}
+
+impl<T: SearchTracker> BlockRunner<T> {
+    /// Wraps an already-initialized tracker; the shared tail of every
+    /// public constructor.
+    fn from_tracker(tracker: T, config: BlockConfig) -> Self {
         let seed = config.offset as u64 ^ 0x5851_f42d_4c95_7f2d;
         let policy = RuntimePolicy::build(
             &config.policy,
             config.window,
-            config.offset % qubo.n(),
+            config.offset % tracker.n(),
             seed,
         );
         Self {
-            tracker: DeltaTracker::with_kernel(qubo, config.kernel),
+            tracker,
             policy,
             config,
             all_time_best: qubo::Energy::MAX,
@@ -225,7 +247,7 @@ impl<'q, A: DeltaAcc> BlockRunner<'q, A> {
 
     /// The block's tracker (tests and diagnostics).
     #[must_use]
-    pub fn tracker(&self) -> &DeltaTracker<'q, A> {
+    pub fn tracker(&self) -> &T {
         &self.tracker
     }
 
@@ -263,6 +285,7 @@ impl<'q, A: DeltaAcc> BlockRunner<'q, A> {
     ) -> u64 {
         let target = mem.pop_target();
         self.tracker.reset_best();
+        let e0 = self.tracker.evaluated();
         let mut flips = 0u64;
         if let Some(t) = target {
             // The walk length equals the Hamming distance to the target
@@ -285,6 +308,9 @@ impl<'q, A: DeltaAcc> BlockRunner<'q, A> {
             energy: be,
         });
         mem.add_flips(flips);
+        // Per-iteration evaluation delta: flips·(n+1) on the dense arm,
+        // degree-honest under CSR (see GlobalMem::total_evaluated).
+        mem.add_evaluated(self.tracker.evaluated() - e0);
         mem.add_iteration();
         self.adapt(be, mem);
         flips
@@ -557,9 +583,10 @@ mod tests {
 
     #[test]
     fn device_accounting_matches_tracker_evaluated() {
-        // Satellite invariant: GlobalMem's Theorem 1 accounting
-        // (flips + units)·(n+1) must agree exactly with the tracker's
-        // own `evaluated()` once the block registers itself as a unit.
+        // Satellite invariant: GlobalMem's Theorem 1 accounting (block
+        // evaluation deltas + units·(n+1)) must agree exactly with the
+        // tracker's own `evaluated()` once the block registers itself
+        // as a unit.
         let q = random_qubo(24, 15);
         let mem = GlobalMem::new();
         let mut rng = StdRng::seed_from_u64(16);
@@ -583,7 +610,7 @@ mod tests {
         let mem_w = GlobalMem::new();
         let mem_n = GlobalMem::new();
         let mut bw = BlockRunner::new(&q, cfg(8, 90));
-        let mut bn = BlockRunner::<'_, i32>::with_width(&q, cfg(8, 90));
+        let mut bn = BlockRunner::<DeltaTracker<'_, i32>>::with_width(&q, cfg(8, 90));
         for t in &targets {
             mem_w.push_target(t.clone());
             mem_n.push_target(t.clone());
@@ -594,6 +621,53 @@ mod tests {
         assert_eq!(bw.tracker().energy(), bn.tracker().energy());
         assert_eq!(mem_w.drain_results(), mem_n.drain_results());
         bn.tracker().verify();
+    }
+
+    #[test]
+    fn sparse_block_matches_dense_block_exactly() {
+        // Same config, same targets: the CSR block must follow the dense
+        // block bit-for-bit — trajectories, per-iteration bests, and
+        // records (the tentpole's equivalence contract at block level).
+        let q = random_qubo(48, 19);
+        let s = SparseQubo::from_dense(&q);
+        let mut rng = StdRng::seed_from_u64(20);
+        let mem_d = GlobalMem::new();
+        let mem_s = GlobalMem::new();
+        let mut bd = BlockRunner::new(&q, cfg(8, 120));
+        let mut bs = BlockRunner::sparse(&s, cfg(8, 120));
+        for _ in 0..4 {
+            let t = BitVec::random(48, &mut rng);
+            mem_d.push_target(t.clone());
+            mem_s.push_target(t);
+            bd.bulk_iteration(&mem_d);
+            bs.bulk_iteration(&mem_s);
+        }
+        assert_eq!(bd.tracker().x(), bs.tracker().x());
+        assert_eq!(bd.tracker().energy(), bs.tracker().energy());
+        assert_eq!(mem_d.drain_results(), mem_s.drain_results());
+        // Dense evaluation deltas follow the n+1 formula; at full
+        // density the CSR deltas coincide with them.
+        assert_eq!(mem_d.total_flips(), mem_s.total_flips());
+        assert_eq!(mem_d.total_evaluated(48), mem_s.total_evaluated(48));
+        bs.tracker().verify();
+    }
+
+    #[test]
+    fn sparse_block_reports_degree_honest_evaluations() {
+        // A genuinely sparse instance: the CSR block's evaluation delta
+        // must be far below the dense flips·(n+1) projection.
+        let n = 64;
+        let s = SparseQubo::from_triplets(n, &[(0, 1, -3), (2, 3, 5), (10, 11, -7)]).unwrap();
+        let mem = GlobalMem::new();
+        let mut b = BlockRunner::sparse(&s, cfg(8, 100));
+        mem.add_units(1);
+        b.bulk_iteration(&mem);
+        assert_eq!(mem.total_evaluated(n), b.tracker().evaluated());
+        let dense_projection = (b.tracker().flips() + 1) * (n as u64 + 1);
+        assert!(
+            mem.total_evaluated(n) < dense_projection / 4,
+            "sparse accounting should be far below {dense_projection}"
+        );
     }
 
     #[test]

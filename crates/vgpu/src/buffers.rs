@@ -32,7 +32,7 @@
 use crate::health::DeviceHealth;
 use abs_telemetry::{Event, EventRing};
 use parking_lot::Mutex;
-use qubo::{BitVec, Energy};
+use qubo::{BitVec, Energy, MatrixStorage};
 use qubo_search::FlipKernel;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
@@ -74,9 +74,14 @@ pub struct GlobalMem {
     dropped_targets: AtomicU64,
     /// Records lost to result-buffer overflow.
     overflow_results: AtomicU64,
-    /// Total bit flips performed by the device (search-rate numerator is
-    /// `flips × (n + 1)` evaluated solutions).
+    /// Total bit flips performed by the device.
     flips: AtomicU64,
+    /// Total solutions whose energy the device's trackers evaluated
+    /// beyond unit initialization, reported per iteration by the blocks
+    /// (`SearchTracker::evaluated` deltas). Dense flips contribute
+    /// `n + 1` each; CSR flips contribute `deg(k) + 2` — the
+    /// storage-honest Theorem-1 accounting.
+    evaluated: AtomicU64,
     /// Search units (blocks) registered on this device. Each unit's
     /// tracker evaluates `n + 1` solutions at initialization (the start
     /// solution and its `n` neighbours) before its first flip; counting
@@ -90,6 +95,10 @@ pub struct GlobalMem {
     /// [`FlipKernel::as_u8`] (0 = not yet registered). Read by the host
     /// telemetry sampler to label this device's metrics.
     kernel: AtomicU8,
+    /// Matrix storage arm the device dispatched at run start, as
+    /// [`MatrixStorage::as_u8`] (0 = not yet registered). Read by the
+    /// host telemetry sampler for the `abs_matrix_storage` info gauge.
+    storage: AtomicU8,
     /// Stop flag raised by the host.
     stop: AtomicBool,
     /// Health sub-region written by device workers, read by the host.
@@ -139,9 +148,11 @@ impl GlobalMem {
             dropped_targets: AtomicU64::new(0),
             overflow_results: AtomicU64::new(0),
             flips: AtomicU64::new(0),
+            evaluated: AtomicU64::new(0),
             units: AtomicU64::new(0),
             iterations: AtomicU64::new(0),
             kernel: AtomicU8::new(0),
+            storage: AtomicU8::new(0),
             stop: AtomicBool::new(false),
             health: DeviceHealth::new(),
             events: EventRing::with_capacity(event_capacity),
@@ -212,6 +223,23 @@ impl GlobalMem {
     pub fn flip_kernel_name(&self) -> &'static str {
         match FlipKernel::from_u8(self.kernel.load(Ordering::Relaxed)) {
             Some(k) => k.name(),
+            None => "unset",
+        }
+    }
+
+    /// Device: record the matrix storage arm chosen by density dispatch
+    /// at run start, so the host can observe which arm this device
+    /// executes.
+    pub fn set_matrix_storage(&self, storage: MatrixStorage) {
+        self.storage.store(storage.as_u8(), Ordering::Relaxed);
+    }
+
+    /// Host: name of the matrix storage arm the device dispatched
+    /// (`"unset"` until the device run has started).
+    #[must_use]
+    pub fn matrix_storage_name(&self) -> &'static str {
+        match MatrixStorage::from_u8(self.storage.load(Ordering::Relaxed)) {
+            Some(s) => s.name(),
             None => "unset",
         }
     }
@@ -297,6 +325,13 @@ impl GlobalMem {
         self.flips.fetch_add(flips, Ordering::Relaxed);
     }
 
+    /// Device: account `evaluated` solution evaluations (the per-
+    /// iteration delta of the block tracker's `evaluated()` counter).
+    pub fn add_evaluated(&self, evaluated: u64) {
+        // Pure statistics counter: nothing is published through it.
+        self.evaluated.fetch_add(evaluated, Ordering::Relaxed);
+    }
+
     /// Device: deposit one telemetry event into the overwrite-oldest
     /// ring. Allocation-free and clock-free; a no-op when the ring was
     /// built with capacity 0.
@@ -380,13 +415,17 @@ impl GlobalMem {
     }
 
     /// Total solutions whose energy this device has evaluated, by the
-    /// paper's Theorem 1 accounting: each flip evaluates `n + 1`
-    /// solutions, and each live registered unit evaluated `n + 1` more at
-    /// tracker initialization. Agrees exactly with summing
-    /// `DeltaTracker::evaluated` over the device's surviving blocks.
+    /// paper's Theorem 1 accounting made storage-honest: the
+    /// block-reported evaluation deltas ([`GlobalMem::add_evaluated`])
+    /// plus `n + 1` for each live registered unit's tracker
+    /// initialization. On the dense arm the block deltas are exactly
+    /// `flips · (n + 1)`, reproducing the paper's formula; on the CSR
+    /// arm each flip contributes `deg(k) + 2` (see
+    /// `qubo_search::sparse`). Agrees exactly with summing
+    /// `SearchTracker::evaluated` over the device's surviving blocks.
     #[must_use]
     pub fn total_evaluated(&self, n: usize) -> u64 {
-        (self.total_flips() + self.total_units()) * (n as u64 + 1)
+        self.evaluated.load(Ordering::Relaxed) + self.total_units() * (n as u64 + 1)
     }
 }
 
@@ -491,9 +530,15 @@ mod tests {
         assert_eq!(m.total_evaluated(10), 0);
         m.add_units(3); // three blocks initialized: 3·(n+1)
         assert_eq!(m.total_evaluated(10), 33);
-        m.add_flips(7); // plus 7·(n+1)
+        // Dense blocks report flips·(n+1) evaluation deltas.
+        m.add_flips(7);
+        m.add_evaluated(7 * 11);
         assert_eq!(m.total_units(), 3);
         assert_eq!(m.total_evaluated(10), (7 + 3) * 11);
+        // A CSR block's delta is degree-honest, not a multiple of n+1.
+        m.add_flips(2);
+        m.add_evaluated(9); // e.g. deg 3 and deg 2 flips: 5 + 4
+        assert_eq!(m.total_evaluated(10), (7 + 3) * 11 + 9);
     }
 
     #[test]
@@ -501,6 +546,7 @@ mod tests {
         let m = GlobalMem::new();
         m.add_units(3);
         m.add_flips(5);
+        m.add_evaluated(5 * 11);
         m.retire_unit();
         assert_eq!(m.total_units(), 2);
         assert_eq!(m.total_evaluated(10), (5 + 2) * 11);
@@ -509,6 +555,16 @@ mod tests {
         m.retire_unit(); // over-retire saturates at zero
         assert_eq!(m.total_units(), 0);
         assert_eq!(m.total_evaluated(10), 5 * 11);
+    }
+
+    #[test]
+    fn storage_slot_reports_the_dispatched_arm() {
+        let m = GlobalMem::new();
+        assert_eq!(m.matrix_storage_name(), "unset");
+        m.set_matrix_storage(MatrixStorage::Sparse);
+        assert_eq!(m.matrix_storage_name(), "sparse");
+        m.set_matrix_storage(MatrixStorage::Dense);
+        assert_eq!(m.matrix_storage_name(), "dense");
     }
 
     #[test]

@@ -18,8 +18,8 @@ use crate::fault::{self, Corruption, FaultPlan, InjectedPanic};
 use crate::occupancy::{full_occupancy_configs, occupancy, OccupancyError};
 use crate::spec::DeviceSpec;
 use abs_telemetry::Event;
-use qubo::{BitVec, Qubo};
-use qubo_search::{DeltaAcc, DeltaTracker, FlipKernel};
+use qubo::{BitVec, MatrixStorage, Qubo, SparseQubo};
+use qubo_search::{DeltaTracker, FlipKernel, SearchTracker};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -213,31 +213,60 @@ impl Device {
     /// configuration is infeasible — the health region reports the
     /// device as dead so the host watchdog can take over its work.
     ///
-    /// The Δ accumulator width is picked once per run: blocks use narrow
-    /// `i32` accumulators whenever the problem's Δ bound fits (always
-    /// true for i16 weights at the supported sizes), falling back to
-    /// `i64` otherwise. Alongside the width, the flip kernel is detected
-    /// once per run ([`FlipKernel::detect`]) and shared by every block;
-    /// the choice is published in global memory
-    /// ([`GlobalMem::flip_kernel_name`]) for host telemetry. The flip
-    /// trajectories are identical for every width/kernel combination.
+    /// The storage arm is picked once per run by measured coupler
+    /// density ([`MatrixStorage::select`], pinnable via
+    /// `ABS_FORCE_DENSE` / `ABS_FORCE_SPARSE`): sparse instances are
+    /// converted to CSR and every block runs the O(degree) flip tier.
+    /// On the dense arm the Δ accumulator width is then picked: blocks
+    /// use narrow `i32` accumulators whenever the problem's Δ bound
+    /// fits (always true for i16 weights at the supported sizes),
+    /// falling back to `i64` otherwise, and the flip kernel is detected
+    /// once per run ([`FlipKernel::detect`]) and shared by every block.
+    /// Both choices are published in global memory
+    /// ([`GlobalMem::matrix_storage_name`],
+    /// [`GlobalMem::flip_kernel_name`]) for host telemetry. The flip
+    /// trajectories are identical for every storage/width/kernel
+    /// combination.
     pub fn run(&self, qubo: &Qubo) {
-        if DeltaTracker::<i32>::fits(qubo) {
-            let kernel = FlipKernel::detect();
-            self.mem.set_flip_kernel(kernel);
-            self.run_width::<i32>(qubo, kernel);
-        } else {
-            // Wide accumulators have no SIMD arm: record the truth.
-            self.mem.set_flip_kernel(FlipKernel::Scalar);
-            self.run_width::<i64>(qubo, FlipKernel::Scalar);
+        match MatrixStorage::select(qubo) {
+            MatrixStorage::Sparse => {
+                let sq = SparseQubo::from_dense(qubo);
+                self.mem.set_matrix_storage(MatrixStorage::Sparse);
+                // The CSR arm is scalar i64-only (its hot loop is an
+                // irregular gather, not a lane-parallel row stream):
+                // record the truth in the kernel slot too.
+                self.mem.set_flip_kernel(FlipKernel::Scalar);
+                self.run_blocks(qubo.n(), FlipKernel::Scalar, |c| {
+                    BlockRunner::sparse(&sq, c)
+                });
+            }
+            MatrixStorage::Dense => {
+                self.mem.set_matrix_storage(MatrixStorage::Dense);
+                if DeltaTracker::<i32>::fits(qubo) {
+                    let kernel = FlipKernel::detect();
+                    self.mem.set_flip_kernel(kernel);
+                    self.run_blocks(qubo.n(), kernel, |c| {
+                        BlockRunner::<DeltaTracker<'_, i32>>::with_width(qubo, c)
+                    });
+                } else {
+                    // Wide accumulators have no SIMD arm: record the truth.
+                    self.mem.set_flip_kernel(FlipKernel::Scalar);
+                    self.run_blocks(qubo.n(), FlipKernel::Scalar, |c| {
+                        BlockRunner::<DeltaTracker<'_, i64>>::with_width(qubo, c)
+                    });
+                }
+            }
         }
         if !self.mem.stopped() {
             self.mem.health().record_dead_exit();
         }
     }
 
-    fn run_width<A: DeltaAcc>(&self, qubo: &Qubo, kernel: FlipKernel) {
-        let n = qubo.n();
+    fn run_blocks<T, F>(&self, n: usize, kernel: FlipKernel, make: F)
+    where
+        T: SearchTracker,
+        F: Fn(BlockConfig) -> BlockRunner<T> + Sync,
+    {
         let Ok(total_blocks) = self.resolve_blocks(n) else {
             // Callers that want the cause use `resolve_blocks` up front
             // (the `abs` host does); here the device just reports itself
@@ -253,35 +282,33 @@ impl Device {
         let mem = &self.mem;
         let cfg = &self.config;
         let device = self.index;
+        let make = &make;
         std::thread::scope(|s| {
             for w in 0..workers {
                 s.spawn(move || {
                     /// A scheduled block plus its identity and progress.
-                    struct Slot<'q, A: DeltaAcc> {
-                        runner: BlockRunner<'q, A>,
+                    struct Slot<T: SearchTracker> {
+                        runner: BlockRunner<T>,
                         block: usize,
                         iters: u64,
                     }
-                    let mut slots: Vec<Slot<'_, A>> = (w..total_blocks)
+                    let mut slots: Vec<Slot<T>> = (w..total_blocks)
                         .step_by(workers)
                         .map(|b| Slot {
-                            runner: BlockRunner::with_width(
-                                qubo,
-                                BlockConfig {
-                                    local_steps: cfg.local_steps,
-                                    window: cfg.windows.window_for(b, n),
-                                    // Prime-stride offsets desynchronize
-                                    // blocks that share a window length.
-                                    offset: (b * 97) % n,
-                                    adaptive: cfg.adaptive,
-                                    policy: if cfg.policy_mix.is_empty() {
-                                        PolicyKind::Window
-                                    } else {
-                                        cfg.policy_mix[b % cfg.policy_mix.len()].clone()
-                                    },
-                                    kernel,
+                            runner: make(BlockConfig {
+                                local_steps: cfg.local_steps,
+                                window: cfg.windows.window_for(b, n),
+                                // Prime-stride offsets desynchronize
+                                // blocks that share a window length.
+                                offset: (b * 97) % n,
+                                adaptive: cfg.adaptive,
+                                policy: if cfg.policy_mix.is_empty() {
+                                    PolicyKind::Window
+                                } else {
+                                    cfg.policy_mix[b % cfg.policy_mix.len()].clone()
                                 },
-                            ),
+                                kernel,
+                            }),
                             block: b,
                             iters: 0,
                         })
@@ -457,9 +484,65 @@ mod tests {
         assert!(mem.total_flips() > 0);
         // i16 weights at n=32 always fit i32, so the dispatched kernel is
         // whatever detection picked — never the "unset" placeholder.
-        assert_eq!(mem.flip_kernel_name(), FlipKernel::detect().name());
+        // (Under a forced-sparse pin the CSR arm records scalar instead.)
+        if MatrixStorage::forced() != Some(MatrixStorage::Sparse) {
+            assert_eq!(mem.flip_kernel_name(), FlipKernel::detect().name());
+        }
         use crate::health::HealthStatus;
         assert_eq!(mem.health().status(), HealthStatus::Healthy);
+    }
+
+    #[test]
+    fn sparse_instance_dispatches_to_the_csr_arm() {
+        // A near-empty matrix sits under the density threshold, so the
+        // run must record the sparse storage arm (and the scalar kernel
+        // slot) and still produce exact results.
+        // (`select` honours the env pins; skip under a forced-dense pin.)
+        if MatrixStorage::forced() == Some(MatrixStorage::Dense) {
+            return;
+        }
+        let n = 64;
+        let mut q = Qubo::zero(n).unwrap();
+        q.set(0, 1, -9);
+        q.set(5, 40, 4);
+        let d = Device::new(small_config(3, 2));
+        let mem = Arc::clone(d.mem());
+        std::thread::scope(|s| {
+            s.spawn(|| d.run(&q));
+            let mut rng = StdRng::seed_from_u64(21);
+            for _ in 0..6 {
+                mem.push_target(BitVec::random(n, &mut rng));
+            }
+            while mem.counter() < 6 {
+                std::thread::yield_now();
+            }
+            mem.request_stop();
+        });
+        assert_eq!(mem.matrix_storage_name(), "sparse");
+        assert_eq!(mem.flip_kernel_name(), "scalar");
+        for r in &mem.drain_results() {
+            assert_eq!(r.energy, q.energy(&r.x));
+        }
+        // Degree-honest accounting: far below the dense projection.
+        assert!(mem.total_evaluated(n) < (mem.total_flips() + 3) * (n as u64 + 1) / 4);
+    }
+
+    #[test]
+    fn dense_instance_records_the_dense_arm() {
+        if MatrixStorage::forced() == Some(MatrixStorage::Sparse) {
+            return;
+        }
+        let q = random_qubo(32, 9);
+        let d = Device::new(small_config(2, 1));
+        let mem = Arc::clone(d.mem());
+        std::thread::scope(|s| {
+            s.spawn(|| d.run(&q));
+            while mem.counter() < 2 {
+                std::thread::yield_now();
+            }
+            mem.request_stop();
+        });
+        assert_eq!(mem.matrix_storage_name(), "dense");
     }
 
     #[test]

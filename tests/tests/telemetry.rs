@@ -147,6 +147,8 @@ fn aggregator_evaluated_matches_delta_tracker() {
         &[DeviceSample {
             flips: mem.total_flips(),
             units: mem.total_units(),
+            evaluated: mem.total_evaluated(n),
+            storage: mem.matrix_storage_name(),
             iterations: mem.total_iterations(),
             results: mem.counter(),
             rejected_records: 0,
