@@ -26,7 +26,13 @@ OPTIONS:
     --audit-stride <K> host re-checks every K-th record's energy (0 = improvements only)
     --metrics-out <PATH>       write the final metrics snapshot (.json = JSON,
                                anything else = Prometheus text exposition)
-    --metrics-interval-ms <N>  also rewrite the snapshot every N ms during the run";
+    --metrics-interval-ms <N>  also rewrite the snapshot every N ms during the run
+    --checkpoint-out <PATH>        crash-safe session checkpoint file; written on
+                                   SIGINT/SIGTERM and at every stride
+    --checkpoint-interval-ms <N>   stride between checkpoints during the run
+    --checkpoint-keep <K>          on-disk generations kept        [default: 3]
+    --resume <PATH>                resume the session from the newest valid
+                                   checkpoint generation at PATH";
 
 /// Parsed subcommand.
 #[derive(Debug, PartialEq, Eq)]
@@ -81,6 +87,10 @@ pub struct Options {
     pub audit_stride: Option<u64>,
     pub metrics_out: Option<String>,
     pub metrics_interval_ms: Option<u64>,
+    pub checkpoint_out: Option<String>,
+    pub checkpoint_interval_ms: Option<u64>,
+    pub checkpoint_keep: Option<usize>,
+    pub resume: Option<String>,
 }
 
 impl Default for Options {
@@ -99,6 +109,10 @@ impl Default for Options {
             audit_stride: None,
             metrics_out: None,
             metrics_interval_ms: None,
+            checkpoint_out: None,
+            checkpoint_interval_ms: None,
+            checkpoint_keep: None,
+            resume: None,
         }
     }
 }
@@ -220,6 +234,22 @@ pub fn parse(argv: &[String]) -> Result<Option<(Command, Options)>, String> {
                         .map_err(|_| format!("{flag}: expected an integer"))?,
                 );
             }
+            "--checkpoint-out" => opts.checkpoint_out = Some(value("path")?.clone()),
+            "--checkpoint-interval-ms" => {
+                opts.checkpoint_interval_ms = Some(
+                    value("milliseconds")?
+                        .parse()
+                        .map_err(|_| format!("{flag}: expected an integer"))?,
+                );
+            }
+            "--checkpoint-keep" => {
+                opts.checkpoint_keep = Some(
+                    value("count")?
+                        .parse()
+                        .map_err(|_| format!("{flag}: expected an integer"))?,
+                );
+            }
+            "--resume" => opts.resume = Some(value("path")?.clone()),
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -339,6 +369,33 @@ mod tests {
         assert_eq!(opts.hard_timeout_ms, Some(9000));
         assert_eq!(opts.audit_stride, Some(10));
         assert!(parse(&v(&["random", "8", "--fault-seed", "x"])).is_err());
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let (_, opts) = parse(&v(&[
+            "random",
+            "64",
+            "--checkpoint-out",
+            "run.ckpt",
+            "--checkpoint-interval-ms",
+            "500",
+            "--checkpoint-keep",
+            "5",
+            "--resume",
+            "old.ckpt",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.checkpoint_out.as_deref(), Some("run.ckpt"));
+        assert_eq!(opts.checkpoint_interval_ms, Some(500));
+        assert_eq!(opts.checkpoint_keep, Some(5));
+        assert_eq!(opts.resume.as_deref(), Some("old.ckpt"));
+        let (_, opts) = parse(&v(&["random", "64"])).unwrap().unwrap();
+        assert_eq!(opts.checkpoint_out, None);
+        assert_eq!(opts.resume, None);
+        assert!(parse(&v(&["random", "8", "--checkpoint-keep", "x"])).is_err());
+        assert!(parse(&v(&["random", "8", "--resume"])).is_err());
     }
 
     #[test]

@@ -11,11 +11,14 @@
 //! ```
 //!
 //! Exit code 0 on success, 2 on usage errors, 1 on runtime errors.
+//! SIGINT/SIGTERM stop the solve gracefully: the session checkpoints
+//! (when `--checkpoint-out` is set) and the partial result is reported
+//! with exit code 0.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // `signals` is the single allowed island
 #![warn(missing_docs)]
 
-use abs::{Abs, AbsConfig, AbsError, StopCondition};
+use abs::{AbsConfig, AbsError, AbsSession, SessionStatus, StopCondition};
 use qubo::{format, Qubo};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -24,6 +27,7 @@ use vgpu::FaultPlan;
 
 mod args;
 mod output;
+mod signals;
 
 use args::{Command, Options};
 
@@ -197,7 +201,44 @@ fn solve_and_report(q: &Qubo, opts: &Options, label: &str) -> Result<(), CliErro
         config.metrics.out = Some(std::path::PathBuf::from(path));
         config.metrics.interval = opts.metrics_interval_ms.map(Duration::from_millis);
     }
-    let result = Abs::new(config)?.solve(q)?;
+    if let Some(path) = &opts.checkpoint_out {
+        config.checkpoint.out = Some(std::path::PathBuf::from(path));
+        config.checkpoint.interval = opts.checkpoint_interval_ms.map(Duration::from_millis);
+    }
+    if let Some(k) = opts.checkpoint_keep {
+        config.checkpoint.keep = k;
+    }
+
+    // The solve runs as an explicit session so SIGINT/SIGTERM can stop
+    // it gracefully: checkpoint (if configured), then stop and report.
+    signals::install();
+    let mut session = match &opts.resume {
+        Some(path) => AbsSession::resume(config, q, std::path::Path::new(path))?,
+        None => AbsSession::start(config, q)?,
+    };
+    let mut interrupted = false;
+    let result = loop {
+        if signals::interrupted() {
+            interrupted = true;
+            if session.config().checkpoint.out.is_some() {
+                session.checkpoint_now()?;
+            }
+            break session.stop()?;
+        }
+        if session.poll()? == SessionStatus::StopConditionMet {
+            break session.stop()?;
+        }
+    };
+    if interrupted {
+        eprintln!(
+            "interrupted: session stopped gracefully{}",
+            if opts.checkpoint_out.is_some() {
+                " (checkpoint written; resume with --resume)"
+            } else {
+                ""
+            }
+        );
+    }
     if let Some(path) = &opts.metrics_out {
         // The solver already wrote the file best-effort; rewrite it
         // here so I/O failures surface as a CLI error.

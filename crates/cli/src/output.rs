@@ -24,6 +24,7 @@ struct JsonResult<'a> {
     elapsed_ms: f64,
     total_flips: u64,
     evaluated: u64,
+    search_units: u64,
     search_rate_per_s: f64,
     iterations: u64,
     degraded: bool,
@@ -48,6 +49,7 @@ pub fn to_json(label: &str, q: &Qubo, r: &SolveResult) -> Result<String, String>
         elapsed_ms: r.elapsed.as_secs_f64() * 1e3,
         total_flips: r.total_flips,
         evaluated: r.evaluated,
+        search_units: r.search_units,
         search_rate_per_s: r.search_rate,
         iterations: r.iterations,
         degraded: r.degraded,
@@ -133,6 +135,7 @@ mod tests {
         assert_eq!(v["bits"], 16);
         assert_eq!(v["label"], "t");
         assert!(v["best_energy"].is_i64());
+        assert_eq!(v["search_units"], 8);
         assert_eq!(v["solution"].as_str().unwrap().len(), 16);
         assert_eq!(v["degraded"], false);
         assert_eq!(v["devices"][0]["status"], "healthy");

@@ -1,0 +1,229 @@
+//! Crash-recovery acceptance tests: kill the CLI mid-solve (SIGKILL —
+//! no destructors, no atexit, exactly what a crash looks like), resume
+//! from the checkpoint, and hold the resumed run to *exact* accounting:
+//! the reported energy re-audits against the instance and the dense
+//! Theorem-1 invariant `evaluated == (flips + units) · (n + 1)` holds
+//! across the process boundary.
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BITS: &str = "48";
+const SEED: &str = "9";
+
+fn bin() -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_abs-cli"));
+    c.stdout(Stdio::piped()).stderr(Stdio::piped());
+    c
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("abs-crash-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Blocks until `path` exists and is non-empty, or panics at the
+/// deadline — the solver writes its first stride checkpoint within
+/// milliseconds on these tiny instances.
+fn wait_for_file(path: &std::path::Path) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        if std::fs::metadata(path)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false)
+        {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("checkpoint never appeared at {}", path.display());
+}
+
+/// Audits a `--json` solve report against the deterministic instance:
+/// the solution re-prices to the claimed energy and the accounting is
+/// internally exact.
+fn audit(stdout: &[u8]) -> serde_json::Value {
+    let v: serde_json::Value = serde_json::from_slice(stdout).expect("json report");
+    let bits: usize = BITS.parse().unwrap();
+    let seed: u64 = SEED.parse().unwrap();
+    let q = qubo_problems::random::generate(bits, seed);
+    let x = qubo::BitVec::from_bit_str(v["solution"].as_str().expect("solution")).expect("bits");
+    assert_eq!(
+        q.energy(&x),
+        v["best_energy"].as_i64().expect("energy"),
+        "reported best must re-audit exactly"
+    );
+    let flips = v["total_flips"].as_u64().expect("flips");
+    let units = v["search_units"].as_u64().expect("units");
+    let evaluated = v["evaluated"].as_u64().expect("evaluated");
+    assert_eq!(
+        evaluated,
+        (flips + units) * (bits as u64 + 1),
+        "dense accounting must stay exact across the crash"
+    );
+    v
+}
+
+fn spawn_solver(ckpt: &std::path::Path, extra: &[&str]) -> Child {
+    bin()
+        .args(["random", BITS, "--seed", SEED, "--json"])
+        .args(["--checkpoint-out", ckpt.to_str().unwrap()])
+        .args(extra)
+        .spawn()
+        .expect("spawn solver")
+}
+
+#[test]
+fn kill_9_mid_solve_then_resume_reports_exact_accounting() {
+    let dir = temp_dir("kill9");
+    let ckpt = dir.join("session.ckpt");
+
+    // Long solve, tight checkpoint stride; SIGKILL once the first
+    // generation is on disk.
+    let mut child = spawn_solver(
+        &ckpt,
+        &["--timeout-ms", "60000", "--checkpoint-interval-ms", "20"],
+    );
+    wait_for_file(&ckpt);
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+
+    // Resume: must load a CRC-valid generation, continue the cumulative
+    // accounting, and finish under its own (cumulative) budget.
+    let out = spawn_solver(
+        &ckpt,
+        &["--timeout-ms", "1500", "--resume", ckpt.to_str().unwrap()],
+    )
+    .wait_with_output()
+    .expect("resume run");
+    assert!(
+        out.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v = audit(&out.stdout);
+    // The resumed life re-registers its blocks on top of the restored
+    // baseline, so more units than one uninterrupted life reports.
+    assert!(v["search_units"].as_u64().unwrap() >= 16);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigint_checkpoints_and_exits_gracefully_then_resumes() {
+    let dir = temp_dir("sigint");
+    let ckpt = dir.join("session.ckpt");
+
+    // No stride: the only checkpoint is the one the signal path writes.
+    let child = spawn_solver(&ckpt, &["--timeout-ms", "60000"]);
+    std::thread::sleep(Duration::from_millis(300));
+    let int = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("send SIGINT");
+    assert!(int.success());
+    let out = child.wait_with_output().expect("graceful exit");
+    assert!(
+        out.status.success(),
+        "SIGINT must exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("interrupted"));
+    audit(&out.stdout);
+    wait_for_file(&ckpt);
+
+    let out = spawn_solver(
+        &ckpt,
+        &["--timeout-ms", "1500", "--resume", ckpt.to_str().unwrap()],
+    )
+    .wait_with_output()
+    .expect("resume run");
+    assert!(
+        out.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    audit(&out.stdout);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_newest_generation_falls_back_to_the_previous_one() {
+    let dir = temp_dir("fallback");
+    let ckpt = dir.join("session.ckpt");
+
+    // Produce several generations, then flip one byte of the newest.
+    let out = spawn_solver(
+        &ckpt,
+        &["--timeout-ms", "400", "--checkpoint-interval-ms", "20"],
+    )
+    .wait_with_output()
+    .expect("seeding run");
+    assert!(out.status.success());
+    let older = {
+        let mut os = ckpt.as_os_str().to_os_string();
+        os.push(".1");
+        PathBuf::from(os)
+    };
+    assert!(older.exists(), "expected at least two generations");
+    let mut bytes = std::fs::read(&ckpt).expect("read newest");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&ckpt, &bytes).expect("corrupt newest");
+
+    let metrics = dir.join("resume-metrics.json");
+    let out = spawn_solver(
+        &ckpt,
+        &[
+            "--timeout-ms",
+            "1500",
+            "--resume",
+            ckpt.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ],
+    )
+    .wait_with_output()
+    .expect("resume run");
+    assert!(
+        out.status.success(),
+        "fallback resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    audit(&out.stdout);
+    // Telemetry records the CRC rejection of the newest generation.
+    let m: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).expect("metrics")).expect("json");
+    let rejected = m["counters"]
+        .as_array()
+        .expect("counters")
+        .iter()
+        .find(|c| c["name"] == "abs_checkpoint_rejected_total")
+        .and_then(|c| c["value"].as_f64())
+        .expect("rejected counter");
+    assert!(rejected >= 1.0, "CRC rejection must be counted");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unreadable_checkpoint_is_a_clean_runtime_error() {
+    let dir = temp_dir("garbage");
+    let ckpt = dir.join("session.ckpt");
+    std::fs::write(&ckpt, b"not a checkpoint at all").expect("write garbage");
+    let out = bin()
+        .args(["random", BITS, "--seed", SEED, "--json"])
+        .args(["--resume", ckpt.to_str().unwrap()])
+        .args(["--timeout-ms", "200"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1), "runtime error, not a panic");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("checkpoint"),
+        "stderr names the subsystem: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

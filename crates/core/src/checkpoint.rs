@@ -1,0 +1,977 @@
+//! Crash-safe session checkpoints (DESIGN.md §11).
+//!
+//! A checkpoint is the host's durable snapshot of everything a resumed
+//! session needs and nothing a device can recompute: the GA pool, the
+//! two host RNG streams, the incumbent best with its exact audited
+//! energy and history, cumulative host counters, and one accounting
+//! baseline per device. The format is a versioned binary file:
+//!
+//! ```text
+//! [ header | section × section_count | file CRC32 ]
+//! header   = magic "ABSCKPT1" · version u32 · n u64 · seed u64
+//!            · generation u64 · section_count u32 · header CRC32
+//! section  = id u32 · payload_len u64 · payload · payload CRC32
+//! ```
+//!
+//! All integers are little-endian. The trailing file CRC32 covers every
+//! preceding byte, so *any* single-byte corruption — header, section
+//! framing, payload, even the per-section CRCs themselves — is detected
+//! before a single field is parsed; the header and per-section CRCs then
+//! localize damage for diagnostics. Decoding never panics on corrupt
+//! input: every read is bounds-checked and every failure is a clean
+//! [`AbsError::Checkpoint`].
+//!
+//! Durability follows the classic atomic-publish protocol: encode, write
+//! `<path>.tmp`, `fsync`, rotate the generation chain (`path` →
+//! `path.1` → … keeping the last K), rename tmp over `path`, then
+//! best-effort fsync the directory. A crash at any instant leaves the
+//! previous generation readable. [`load_checkpoint`] probes `path`,
+//! `path.1`, … and returns the newest generation that passes CRC,
+//! counting the rejected ones.
+//!
+//! The host-side I/O faults of [`vgpu::FaultPlan`] (short write, torn
+//! rename, bit flip on read) hook into [`write_checkpoint`] /
+//! [`load_checkpoint`] so the crash-consistency story is rehearsed by
+//! tests, not just asserted.
+
+use crate::error::AbsError;
+use crate::stats::HistoryPoint;
+use qubo::{BitVec, Energy};
+use qubo_ga::{OperatorUsage, PoolEntry, PoolOps};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use vgpu::FaultPlan;
+
+/// File magic: "ABSCKPT1".
+pub const MAGIC: [u8; 8] = *b"ABSCKPT1";
+/// Format version written by this build.
+pub const VERSION: u32 = 1;
+
+/// Generations probed by [`load_checkpoint`] before giving up
+/// (`path` itself plus `path.1` … `path.{MAX_GENERATIONS-1}`).
+const MAX_GENERATIONS: usize = 16;
+
+/// Decoded solution-vector length ceiling — far above any supported
+/// problem size; a backstop against absurd allocations should corrupt
+/// data ever slip past the CRCs.
+const MAX_BITS: u64 = 1 << 24;
+
+/// Decoded collection-length ceiling (pool entries, history points,
+/// device baselines), same backstop rationale as [`MAX_BITS`].
+const MAX_ITEMS: u64 = 1 << 24;
+
+const SEC_RNG: u32 = 1;
+const SEC_POOL: u32 = 2;
+const SEC_BEST: u32 = 3;
+const SEC_COUNTERS: u32 = 4;
+const SEC_DEVICES: u32 = 5;
+const SECTION_COUNT: u32 = 5;
+
+/// Accounting carried over from the previous lives of a resumed device:
+/// the device's cumulative totals at the moment the checkpoint was
+/// taken (at a quiesce boundary, so they are mutually consistent — on
+/// the dense arm `evaluated == (flips + units) · (n + 1)` holds).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeviceBaseline {
+    /// Total bit flips.
+    pub flips: u64,
+    /// Live search units (blocks) registered minus retired.
+    pub units: u64,
+    /// Total solution evaluations ([`vgpu::GlobalMem::total_evaluated`]).
+    pub evaluated: u64,
+    /// Bulk iterations completed.
+    pub iterations: u64,
+    /// Results accepted by the device's progress counter.
+    pub results: u64,
+    /// Malformed records rejected device-side.
+    pub rejected_records: u64,
+    /// Targets evicted by target-buffer overflow.
+    pub dropped_targets: u64,
+    /// Records lost to result-buffer overflow.
+    pub overflow_results: u64,
+    /// Telemetry events ever written to the device's ring.
+    pub events_written: u64,
+    /// Telemetry events lost to ring overwrite.
+    pub events_overwritten: u64,
+    /// Records the *host* audited and rejected for this device.
+    pub host_rejected: u64,
+    /// Targets requeued away from this device by the watchdog.
+    pub requeued: u64,
+}
+
+/// Everything a resumed session restores. See the module docs for the
+/// wire layout; field order here matches section order there.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Problem bit count (resume refuses a different problem size).
+    pub n: usize,
+    /// Master seed of the originating run (informational; the RNG
+    /// *streams* below are what resume actually uses).
+    pub seed: u64,
+    /// Write generation, 1-based: how many checkpoints this session
+    /// chain has published, exposed as the `abs_session_generation`
+    /// gauge.
+    pub generation: u64,
+    /// xoshiro256++ state of the host's master RNG.
+    pub master_rng: [u64; 4],
+    /// xoshiro256++ state of the GA target generator's RNG.
+    pub gen_rng: [u64; 4],
+    /// GA operator usage counters.
+    pub usage: OperatorUsage,
+    /// Pool capacity `m`.
+    pub pool_capacity: usize,
+    /// Pool entries, ascending by `(energy, bits)` as the pool stores
+    /// them.
+    pub pool_entries: Vec<PoolEntry>,
+    /// Pool insertion statistics.
+    pub pool_ops: PoolOps,
+    /// Incumbent best solution with its exact audited energy.
+    pub best: Option<(BitVec, Energy)>,
+    /// Whether the target energy had been reached.
+    pub reached_target: bool,
+    /// Cumulative time-to-target, if the target was reached.
+    pub time_to_target_ns: Option<u128>,
+    /// Best-energy improvement history (cumulative elapsed timestamps).
+    pub history: Vec<HistoryPoint>,
+    /// Results received by the host, cumulative.
+    pub received: u64,
+    /// Results inserted into the pool, cumulative.
+    pub inserted: u64,
+    /// Cumulative solve wall-clock at checkpoint time.
+    pub elapsed_ns: u128,
+    /// One accounting baseline per device, in device order.
+    pub devices: Vec<DeviceBaseline>,
+}
+
+// ---- CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) --------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 of `bytes` (IEEE polynomial, the zlib/PNG variant).
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---- encoding ----------------------------------------------------------
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u128(out: &mut Vec<u8>, v: u128) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bitvec(out: &mut Vec<u8>, x: &BitVec) {
+    put_u64(out, x.len() as u64);
+    for &w in x.words() {
+        put_u64(out, w);
+    }
+}
+
+fn put_section(out: &mut Vec<u8>, id: u32, payload: &[u8]) {
+    put_u32(out, id);
+    put_u64(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    put_u32(out, crc32(payload));
+}
+
+/// Serializes a checkpoint to its wire format.
+#[must_use]
+pub fn encode(ckpt: &Checkpoint) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, VERSION);
+    put_u64(&mut out, ckpt.n as u64);
+    put_u64(&mut out, ckpt.seed);
+    put_u64(&mut out, ckpt.generation);
+    put_u32(&mut out, SECTION_COUNT);
+    let c = crc32(&out);
+    put_u32(&mut out, c);
+
+    let mut p = Vec::new();
+    for &w in &ckpt.master_rng {
+        put_u64(&mut p, w);
+    }
+    for &w in &ckpt.gen_rng {
+        put_u64(&mut p, w);
+    }
+    put_u64(&mut p, ckpt.usage.mutate);
+    put_u64(&mut p, ckpt.usage.crossover);
+    put_u64(&mut p, ckpt.usage.copy);
+    put_u64(&mut p, ckpt.usage.immigrant);
+    put_section(&mut out, SEC_RNG, &p);
+
+    p.clear();
+    put_u64(&mut p, ckpt.pool_capacity as u64);
+    put_u64(&mut p, ckpt.pool_entries.len() as u64);
+    for e in &ckpt.pool_entries {
+        put_i64(&mut p, e.energy);
+        put_bitvec(&mut p, &e.x);
+    }
+    put_u64(&mut p, ckpt.pool_ops.inserted);
+    put_u64(&mut p, ckpt.pool_ops.duplicate);
+    put_u64(&mut p, ckpt.pool_ops.worse);
+    put_section(&mut out, SEC_POOL, &p);
+
+    p.clear();
+    match &ckpt.best {
+        Some((x, e)) => {
+            put_u8(&mut p, 1);
+            put_i64(&mut p, *e);
+            put_bitvec(&mut p, x);
+        }
+        None => put_u8(&mut p, 0),
+    }
+    put_u8(&mut p, u8::from(ckpt.reached_target));
+    match ckpt.time_to_target_ns {
+        Some(ns) => {
+            put_u8(&mut p, 1);
+            put_u128(&mut p, ns);
+        }
+        None => put_u8(&mut p, 0),
+    }
+    put_u64(&mut p, ckpt.history.len() as u64);
+    for h in &ckpt.history {
+        put_u128(&mut p, h.elapsed_ns);
+        put_i64(&mut p, h.energy);
+    }
+    put_section(&mut out, SEC_BEST, &p);
+
+    p.clear();
+    put_u64(&mut p, ckpt.received);
+    put_u64(&mut p, ckpt.inserted);
+    put_u128(&mut p, ckpt.elapsed_ns);
+    put_section(&mut out, SEC_COUNTERS, &p);
+
+    p.clear();
+    put_u64(&mut p, ckpt.devices.len() as u64);
+    for d in &ckpt.devices {
+        for v in [
+            d.flips,
+            d.units,
+            d.evaluated,
+            d.iterations,
+            d.results,
+            d.rejected_records,
+            d.dropped_targets,
+            d.overflow_results,
+            d.events_written,
+            d.events_overwritten,
+            d.host_rejected,
+            d.requeued,
+        ] {
+            put_u64(&mut p, v);
+        }
+    }
+    put_section(&mut out, SEC_DEVICES, &p);
+
+    let c = crc32(&out);
+    put_u32(&mut out, c);
+    out
+}
+
+// ---- decoding ----------------------------------------------------------
+
+fn corrupt(what: &str) -> AbsError {
+    AbsError::Checkpoint(format!("corrupted checkpoint: {what}"))
+}
+
+/// A bounds-checked little-endian reader over one CRC-verified slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], AbsError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| corrupt("truncated field"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn u8(&mut self) -> Result<u8, AbsError> {
+        let b = self.take(1)?;
+        Ok(b[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, AbsError> {
+        let b = self.take(4)?;
+        // crc: this reader only runs over slices whose CRC32 was
+        // verified by `decode` before any field is parsed.
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, AbsError> {
+        let b = self.take(8)?;
+        // crc: slice verified by `decode` before parsing (see u32).
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn i64(&mut self) -> Result<i64, AbsError> {
+        let b = self.take(8)?;
+        // crc: slice verified by `decode` before parsing (see u32).
+        Ok(i64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn u128(&mut self) -> Result<u128, AbsError> {
+        let b = self.take(16)?;
+        // crc: slice verified by `decode` before parsing (see u32).
+        Ok(u128::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7], b[8], b[9], b[10], b[11], b[12], b[13],
+            b[14], b[15],
+        ]))
+    }
+
+    fn rng_state(&mut self) -> Result<[u64; 4], AbsError> {
+        Ok([self.u64()?, self.u64()?, self.u64()?, self.u64()?])
+    }
+
+    fn bitvec(&mut self) -> Result<BitVec, AbsError> {
+        let len = self.u64()?;
+        if len == 0 || len > MAX_BITS {
+            return Err(corrupt("solution bit-length out of range"));
+        }
+        let len = len as usize;
+        let words = len.div_ceil(64);
+        let mut x = BitVec::zeros(len);
+        for w in 0..words {
+            let word = self.u64()?;
+            for b in 0..64 {
+                let i = w * 64 + b;
+                if (word >> b) & 1 == 1 {
+                    if i >= len {
+                        return Err(corrupt("solution has set bits past its length"));
+                    }
+                    x.set(i, true);
+                }
+            }
+        }
+        Ok(x)
+    }
+}
+
+/// Deserializes a checkpoint, verifying the file CRC, the header CRC and
+/// every section CRC before parsing a single field.
+///
+/// # Errors
+/// [`AbsError::Checkpoint`] on any truncation, CRC mismatch, unknown
+/// version/section, or out-of-range field — never a panic.
+pub fn decode(bytes: &[u8]) -> Result<Checkpoint, AbsError> {
+    const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8 + 4 + 4;
+    if bytes.len() < HEADER_LEN + 4 {
+        return Err(corrupt("file shorter than header"));
+    }
+    // Whole-file integrity first: any flipped byte anywhere (framing,
+    // payloads, even the embedded CRCs) fails here with one clean error.
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    let mut r = Reader::new(tail);
+    // crc: the file CRC field itself, checked against the recomputation.
+    let stored = r.u32()?;
+    if crc32(body) != stored {
+        return Err(corrupt("file CRC32 mismatch"));
+    }
+
+    let (head, mut rest) = body.split_at(HEADER_LEN);
+    let mut r = Reader::new(head);
+    if r.take(8)? != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(AbsError::Checkpoint(format!(
+            "unsupported checkpoint version {version} (this build reads {VERSION})"
+        )));
+    }
+    let n = r.u64()?;
+    if n == 0 || n > MAX_BITS {
+        return Err(corrupt("problem size out of range"));
+    }
+    let seed = r.u64()?;
+    let generation = r.u64()?;
+    let section_count = r.u32()?;
+    let header_crc = r.u32()?;
+    if crc32(&head[..HEADER_LEN - 4]) != header_crc {
+        return Err(corrupt("header CRC32 mismatch"));
+    }
+    if section_count != SECTION_COUNT {
+        return Err(corrupt("unexpected section count"));
+    }
+
+    // Decoded payload of the BEST section: incumbent, reached-target
+    // flag, time-to-target, history.
+    type BestSection = (
+        Option<(BitVec, Energy)>,
+        bool,
+        Option<u128>,
+        Vec<HistoryPoint>,
+    );
+    let mut rng: Option<([u64; 4], [u64; 4], OperatorUsage)> = None;
+    let mut pool: Option<(usize, Vec<PoolEntry>, PoolOps)> = None;
+    let mut best: Option<BestSection> = None;
+    let mut counters: Option<(u64, u64, u128)> = None;
+    let mut devices: Option<Vec<DeviceBaseline>> = None;
+
+    for _ in 0..section_count {
+        let mut fr = Reader::new(rest);
+        let id = fr.u32()?;
+        let len = fr.u64()?;
+        let len = usize::try_from(len).map_err(|_| corrupt("section length out of range"))?;
+        let payload = fr.take(len)?;
+        let section_crc = fr.u32()?;
+        if crc32(payload) != section_crc {
+            return Err(corrupt("section CRC32 mismatch"));
+        }
+        rest = &rest[fr.pos..];
+        let mut r = Reader::new(payload);
+        match id {
+            SEC_RNG => {
+                let master = r.rng_state()?;
+                let gen = r.rng_state()?;
+                let usage = OperatorUsage {
+                    mutate: r.u64()?,
+                    crossover: r.u64()?,
+                    copy: r.u64()?,
+                    immigrant: r.u64()?,
+                };
+                rng = Some((master, gen, usage));
+            }
+            SEC_POOL => {
+                let capacity = r.u64()?;
+                if capacity == 0 || capacity > MAX_ITEMS {
+                    return Err(corrupt("pool capacity out of range"));
+                }
+                let count = r.u64()?;
+                if count > capacity {
+                    return Err(corrupt("pool count exceeds capacity"));
+                }
+                let mut entries = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let energy = r.i64()?;
+                    let x = r.bitvec()?;
+                    entries.push(PoolEntry { energy, x });
+                }
+                let ops = PoolOps {
+                    inserted: r.u64()?,
+                    duplicate: r.u64()?,
+                    worse: r.u64()?,
+                };
+                pool = Some((capacity as usize, entries, ops));
+            }
+            SEC_BEST => {
+                let incumbent = match r.u8()? {
+                    0 => None,
+                    1 => {
+                        let e = r.i64()?;
+                        Some((r.bitvec()?, e))
+                    }
+                    _ => return Err(corrupt("best-present flag out of range")),
+                };
+                let reached = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(corrupt("reached-target flag out of range")),
+                };
+                let ttt = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.u128()?),
+                    _ => return Err(corrupt("time-to-target flag out of range")),
+                };
+                let count = r.u64()?;
+                if count > MAX_ITEMS {
+                    return Err(corrupt("history length out of range"));
+                }
+                let mut history = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let elapsed_ns = r.u128()?;
+                    let energy = r.i64()?;
+                    history.push(HistoryPoint { elapsed_ns, energy });
+                }
+                best = Some((incumbent, reached, ttt, history));
+            }
+            SEC_COUNTERS => {
+                counters = Some((r.u64()?, r.u64()?, r.u128()?));
+            }
+            SEC_DEVICES => {
+                let count = r.u64()?;
+                if count == 0 || count > MAX_ITEMS {
+                    return Err(corrupt("device count out of range"));
+                }
+                let mut devs = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    devs.push(DeviceBaseline {
+                        flips: r.u64()?,
+                        units: r.u64()?,
+                        evaluated: r.u64()?,
+                        iterations: r.u64()?,
+                        results: r.u64()?,
+                        rejected_records: r.u64()?,
+                        dropped_targets: r.u64()?,
+                        overflow_results: r.u64()?,
+                        events_written: r.u64()?,
+                        events_overwritten: r.u64()?,
+                        host_rejected: r.u64()?,
+                        requeued: r.u64()?,
+                    });
+                }
+                devices = Some(devs);
+            }
+            _ => return Err(corrupt("unknown section id")),
+        }
+        if !r.done() {
+            return Err(corrupt("trailing bytes in section"));
+        }
+    }
+    if !rest.is_empty() {
+        return Err(corrupt("trailing bytes after sections"));
+    }
+
+    let (master_rng, gen_rng, usage) = rng.ok_or_else(|| corrupt("missing RNG section"))?;
+    let (pool_capacity, pool_entries, pool_ops) =
+        pool.ok_or_else(|| corrupt("missing pool section"))?;
+    let (incumbent, reached_target, time_to_target_ns, history) =
+        best.ok_or_else(|| corrupt("missing best section"))?;
+    let (received, inserted, elapsed_ns) =
+        counters.ok_or_else(|| corrupt("missing counters section"))?;
+    let devices = devices.ok_or_else(|| corrupt("missing devices section"))?;
+
+    Ok(Checkpoint {
+        n: n as usize,
+        seed,
+        generation,
+        master_rng,
+        gen_rng,
+        usage,
+        pool_capacity,
+        pool_entries,
+        pool_ops,
+        best: incumbent,
+        reached_target,
+        time_to_target_ns,
+        history,
+        received,
+        inserted,
+        elapsed_ns,
+        devices,
+    })
+}
+
+// ---- atomic publish / generation-chain load ----------------------------
+
+fn with_suffix(path: &Path, suffix: &str) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(suffix);
+    PathBuf::from(os)
+}
+
+fn generation_path(path: &Path, i: usize) -> PathBuf {
+    with_suffix(path, &format!(".{i}"))
+}
+
+fn io_err(what: &str, path: &Path, e: &std::io::Error) -> AbsError {
+    AbsError::Checkpoint(format!("{what} {}: {e}", path.display()))
+}
+
+/// Shifts the generation chain down one slot: `path.{keep-1}` falls off,
+/// `path` becomes `path.1`. Missing links are skipped.
+fn rotate(path: &Path, keep: usize) -> Result<(), AbsError> {
+    if keep <= 1 {
+        return Ok(());
+    }
+    for i in (1..keep.saturating_sub(1)).rev() {
+        let from = generation_path(path, i);
+        let to = generation_path(path, i + 1);
+        match fs::rename(&from, &to) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err("cannot rotate", &from, &e)),
+        }
+    }
+    match fs::rename(path, generation_path(path, 1)) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(io_err("cannot rotate", path, &e)),
+    }
+}
+
+/// Atomically publishes `ckpt` at `path`, keeping the previous `keep - 1`
+/// generations as `path.1` … The `fault` plan (keyed by `write_index`)
+/// can inject a short write or a torn rename; both simulate crashes, so
+/// they return `Ok` — the damage is discovered, by design, only at
+/// [`load_checkpoint`] time.
+///
+/// # Errors
+/// [`AbsError::Checkpoint`] on a real filesystem error.
+pub fn write_checkpoint(
+    path: &Path,
+    ckpt: &Checkpoint,
+    keep: usize,
+    fault: Option<&FaultPlan>,
+    write_index: u64,
+) -> Result<(), AbsError> {
+    let mut bytes = encode(ckpt);
+    if let Some(keep_bytes) = fault.and_then(|f| f.take_short_write(write_index)) {
+        // Simulated crash mid-write: only a prefix reaches the disk.
+        bytes.truncate(keep_bytes);
+    }
+    let tmp = with_suffix(path, ".tmp");
+    {
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err("cannot create", &tmp, &e))?;
+        f.write_all(&bytes)
+            .map_err(|e| io_err("cannot write", &tmp, &e))?;
+        f.sync_all().map_err(|e| io_err("cannot fsync", &tmp, &e))?;
+    }
+    if fault.is_some_and(|f| f.take_torn_rename(write_index)) {
+        // Simulated crash between fsync and rename: the tmp file is left
+        // behind exactly as a real crash would leave it, and the
+        // destination keeps the previous generation.
+        return Ok(());
+    }
+    rotate(path, keep.max(1))?;
+    fs::rename(&tmp, path).map_err(|e| io_err("cannot publish", path, &e))?;
+    // Best-effort directory fsync so the rename itself is durable.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Loads the newest generation at `path` that passes CRC validation,
+/// probing `path`, `path.1`, `path.2`, … and counting rejected (corrupt
+/// or truncated) generations on the way. The `fault` plan can flip one
+/// bit of a read, keyed by the read's ordinal within this call.
+///
+/// # Errors
+/// [`AbsError::Checkpoint`] when no generation validates: the last
+/// decode error if at least one candidate existed, otherwise "no
+/// checkpoint found".
+pub fn load_checkpoint(
+    path: &Path,
+    fault: Option<&FaultPlan>,
+) -> Result<(Checkpoint, u64), AbsError> {
+    let mut rejected = 0u64;
+    let mut reads = 0u64;
+    let mut last_err: Option<AbsError> = None;
+    for i in 0..MAX_GENERATIONS {
+        let candidate = if i == 0 {
+            path.to_path_buf()
+        } else {
+            generation_path(path, i)
+        };
+        let mut bytes = match fs::read(&candidate) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(io_err("cannot read", &candidate, &e)),
+        };
+        if let Some(bit) = fault.and_then(|f| f.take_read_flip(reads)) {
+            if !bytes.is_empty() {
+                let bit = bit % (bytes.len() as u64 * 8);
+                bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+            }
+        }
+        reads += 1;
+        match decode(&bytes) {
+            Ok(ckpt) => return Ok((ckpt, rejected)),
+            Err(e) => {
+                rejected += 1;
+                last_err = Some(e);
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        AbsError::Checkpoint(format!("no checkpoint found at {}", path.display()))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(s: &str) -> BitVec {
+        BitVec::from_bit_str(s).unwrap()
+    }
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            n: 6,
+            seed: 42,
+            generation: 3,
+            master_rng: [1, 2, 3, 4],
+            gen_rng: [5, 6, 7, 8],
+            usage: OperatorUsage {
+                mutate: 10,
+                crossover: 20,
+                copy: 3,
+                immigrant: 1,
+            },
+            pool_capacity: 8,
+            pool_entries: vec![
+                PoolEntry {
+                    energy: -9,
+                    x: bv("110010"),
+                },
+                PoolEntry {
+                    energy: -4,
+                    x: bv("000111"),
+                },
+            ],
+            pool_ops: PoolOps {
+                inserted: 5,
+                duplicate: 2,
+                worse: 7,
+            },
+            best: Some((bv("110010"), -9)),
+            reached_target: false,
+            time_to_target_ns: None,
+            history: vec![
+                HistoryPoint {
+                    elapsed_ns: 1_000,
+                    energy: -4,
+                },
+                HistoryPoint {
+                    elapsed_ns: 2_500,
+                    energy: -9,
+                },
+            ],
+            received: 17,
+            inserted: 5,
+            elapsed_ns: 123_456_789,
+            devices: vec![
+                DeviceBaseline {
+                    flips: 100,
+                    units: 4,
+                    evaluated: 728,
+                    iterations: 25,
+                    results: 17,
+                    ..DeviceBaseline::default()
+                },
+                DeviceBaseline {
+                    flips: 90,
+                    units: 3,
+                    evaluated: 651,
+                    iterations: 23,
+                    results: 15,
+                    rejected_records: 1,
+                    host_rejected: 1,
+                    requeued: 2,
+                    ..DeviceBaseline::default()
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let ckpt = sample();
+        let bytes = encode(&ckpt);
+        assert_eq!(decode(&bytes).unwrap(), ckpt);
+        // Edge shapes: empty pool/history, no best, target reached.
+        let mut edge = sample();
+        edge.pool_entries.clear();
+        edge.history.clear();
+        edge.best = None;
+        edge.reached_target = true;
+        edge.time_to_target_ns = Some(u128::from(u64::MAX) + 7);
+        assert_eq!(decode(&encode(&edge)).unwrap(), edge);
+    }
+
+    #[test]
+    fn every_truncation_is_a_clean_error() {
+        let bytes = encode(&sample());
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, AbsError::Checkpoint(_)),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_flipped_byte_is_detected() {
+        let bytes = encode(&sample());
+        for i in 0..bytes.len() {
+            let mut evil = bytes.clone();
+            evil[i] ^= 0x40;
+            let err = decode(&evil).unwrap_err();
+            assert!(
+                matches!(err, AbsError::Checkpoint(_)),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_named_in_the_error() {
+        let mut ckpt = sample();
+        ckpt.generation = 1;
+        let mut bytes = encode(&ckpt);
+        // Bump the version field (offset 8) and re-stamp both CRCs so
+        // only the version check can object.
+        bytes[8] = 9;
+        const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8 + 4 + 4;
+        let hcrc = crc32(&bytes[..HEADER_LEN - 4]);
+        bytes[HEADER_LEN - 4..HEADER_LEN].copy_from_slice(&hcrc.to_le_bytes());
+        let end = bytes.len() - 4;
+        let fcrc = crc32(&bytes[..end]);
+        bytes[end..].copy_from_slice(&fcrc.to_le_bytes());
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version 9"), "{err}");
+    }
+
+    #[test]
+    fn atomic_publish_rotates_generations() {
+        let dir = std::env::temp_dir().join(format!("abs-ckpt-rotate-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.ckpt");
+        for generation in 1..=4u64 {
+            let mut ckpt = sample();
+            ckpt.generation = generation;
+            write_checkpoint(&path, &ckpt, 3, None, generation - 1).unwrap();
+        }
+        // keep = 3: path (gen 4), path.1 (gen 3), path.2 (gen 2).
+        let (newest, rejected) = load_checkpoint(&path, None).unwrap();
+        assert_eq!((newest.generation, rejected), (4, 0));
+        let older = decode(&fs::read(generation_path(&path, 1)).unwrap()).unwrap();
+        assert_eq!(older.generation, 3);
+        let oldest = decode(&fs::read(generation_path(&path, 2)).unwrap()).unwrap();
+        assert_eq!(oldest.generation, 2);
+        assert!(!generation_path(&path, 3).exists(), "gen 1 rotated away");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_write_falls_back_to_previous_generation() {
+        let dir = std::env::temp_dir().join(format!("abs-ckpt-short-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.ckpt");
+        let plan = FaultPlan::new().short_write(1, 40);
+        let mut ckpt = sample();
+        ckpt.generation = 1;
+        write_checkpoint(&path, &ckpt, 3, Some(&plan), 0).unwrap();
+        ckpt.generation = 2;
+        // The second write is torn short: its published file cannot pass
+        // CRC, so load falls back to generation 1 and counts one reject.
+        write_checkpoint(&path, &ckpt, 3, Some(&plan), 1).unwrap();
+        let (restored, rejected) = load_checkpoint(&path, None).unwrap();
+        assert_eq!((restored.generation, rejected), (1, 1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_rename_keeps_the_previous_generation_published() {
+        let dir = std::env::temp_dir().join(format!("abs-ckpt-torn-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.ckpt");
+        let plan = FaultPlan::new().torn_rename(1);
+        let mut ckpt = sample();
+        ckpt.generation = 1;
+        write_checkpoint(&path, &ckpt, 3, Some(&plan), 0).unwrap();
+        ckpt.generation = 2;
+        write_checkpoint(&path, &ckpt, 3, Some(&plan), 1).unwrap();
+        // The crash happened before rotation *and* rename: generation 1
+        // is still the published file, with nothing rejected.
+        let (restored, rejected) = load_checkpoint(&path, None).unwrap();
+        assert_eq!((restored.generation, rejected), (1, 0));
+        // The torn tmp file is left on disk, as after a real crash.
+        assert!(with_suffix(&path, ".tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_on_read_rejects_to_the_older_generation() {
+        let dir = std::env::temp_dir().join(format!("abs-ckpt-flip-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.ckpt");
+        let mut ckpt = sample();
+        ckpt.generation = 1;
+        write_checkpoint(&path, &ckpt, 3, None, 0).unwrap();
+        ckpt.generation = 2;
+        write_checkpoint(&path, &ckpt, 3, None, 1).unwrap();
+        // Read 0 (the newest generation) is corrupted in flight; the
+        // loader must reject it by CRC and fall back to generation 1.
+        let plan = FaultPlan::new().bit_flip_on_read(0, 1_000_003);
+        let (restored, rejected) = load_checkpoint(&path, Some(&plan)).unwrap();
+        assert_eq!((restored.generation, rejected), (1, 1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn all_generations_corrupt_is_a_clean_error() {
+        let dir = std::env::temp_dir().join(format!("abs-ckpt-dead-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.ckpt");
+        assert!(matches!(
+            load_checkpoint(&path, None),
+            Err(AbsError::Checkpoint(_))
+        ));
+        fs::write(&path, b"not a checkpoint").unwrap();
+        assert!(matches!(
+            load_checkpoint(&path, None),
+            Err(AbsError::Checkpoint(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

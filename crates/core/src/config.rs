@@ -69,6 +69,39 @@ pub struct MetricsConfig {
     pub interval: Option<Duration>,
 }
 
+/// Crash-safe checkpointing of the solve session (DESIGN.md §11).
+///
+/// When `out` is set, the host serializes the session — GA pool, RNG
+/// streams, best records with exact audited energies, and cumulative
+/// accounting — to a versioned binary file with per-section CRC32,
+/// published atomically (write-tmp / fsync / rename) so a crash at any
+/// instant leaves either the previous generation or the new one, never a
+/// torn file that silently resumes wrong. The last `keep` generations
+/// are retained (`path`, `path.1`, `path.2`, …); restore falls back past
+/// CRC-rejected generations to the newest valid one.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Checkpoint file path. `None` disables checkpointing entirely.
+    pub out: Option<std::path::PathBuf>,
+    /// Minimum interval between stride checkpoints written from the
+    /// poll loop. `None` with `out` set writes only explicit
+    /// checkpoints (graceful shutdown / `checkpoint_now`).
+    pub interval: Option<Duration>,
+    /// Checkpoint generations kept on disk, including the newest.
+    /// Clamped to at least 1 when writing.
+    pub keep: usize,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        Self {
+            out: None,
+            interval: None,
+            keep: 3,
+        }
+    }
+}
+
 /// When the host stops the search. Conditions compose: the run stops as
 /// soon as *any* active condition is met. At least one condition must be
 /// set.
@@ -159,6 +192,8 @@ pub struct AbsConfig {
     /// Periodic metrics exposition (the final snapshot is always
     /// attached to the result).
     pub metrics: MetricsConfig,
+    /// Crash-safe session checkpointing (disabled by default).
+    pub checkpoint: CheckpointConfig,
 }
 
 impl Default for AbsConfig {
@@ -173,6 +208,7 @@ impl Default for AbsConfig {
             initial_solutions: Vec::new(),
             watchdog: WatchdogConfig::default(),
             metrics: MetricsConfig::default(),
+            checkpoint: CheckpointConfig::default(),
         }
     }
 }
@@ -220,6 +256,11 @@ impl AbsConfig {
         if self.machine.num_devices == 0 {
             return Err(AbsError::InvalidConfig("machine needs at least one device"));
         }
+        if self.checkpoint.out.is_some() && self.checkpoint.keep == 0 {
+            return Err(AbsError::InvalidConfig(
+                "checkpointing must keep at least one generation",
+            ));
+        }
         Ok(())
     }
 }
@@ -262,6 +303,21 @@ mod tests {
     fn small_preset_is_valid_once_bounded() {
         let mut c = AbsConfig::small();
         c.stop = StopCondition::flips(100);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn checkpointing_with_zero_generations_is_rejected() {
+        let mut c = AbsConfig::small();
+        c.stop = StopCondition::flips(100);
+        c.checkpoint.out = Some("ckpt.bin".into());
+        c.checkpoint.keep = 0;
+        assert!(matches!(c.validate(), Err(AbsError::InvalidConfig(_))));
+        c.checkpoint.keep = 1;
+        c.validate().unwrap();
+        // keep == 0 without a path is inert, hence fine.
+        c.checkpoint.out = None;
+        c.checkpoint.keep = 0;
         c.validate().unwrap();
     }
 

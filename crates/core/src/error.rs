@@ -35,6 +35,9 @@ pub enum AbsError {
     /// The watchdog's hard timeout expired before any device produced a
     /// result.
     NoResult,
+    /// A checkpoint could not be written, or no on-disk generation
+    /// survived CRC validation at restore time.
+    Checkpoint(String),
 }
 
 impl AbsError {
@@ -68,6 +71,7 @@ impl fmt::Display for AbsError {
                 f,
                 "watchdog hard timeout expired before any device produced a result"
             ),
+            Self::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
         }
     }
 }
@@ -94,6 +98,8 @@ mod tests {
         .is_usage());
         assert!(!AbsError::AllDevicesFailed.is_usage());
         assert!(!AbsError::NoResult.is_usage());
+        // Checkpoint failures are runtime conditions, not caller mistakes.
+        assert!(!AbsError::Checkpoint("torn".into()).is_usage());
     }
 
     #[test]

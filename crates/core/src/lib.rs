@@ -34,14 +34,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod presets;
+pub mod session;
 pub mod solver;
 pub mod stats;
 
 pub use abs_telemetry::MetricsSnapshot;
-pub use config::{AbsConfig, MetricsConfig, StopCondition, WatchdogConfig};
+pub use checkpoint::{load_checkpoint, write_checkpoint, Checkpoint, DeviceBaseline};
+pub use config::{AbsConfig, CheckpointConfig, MetricsConfig, StopCondition, WatchdogConfig};
 pub use error::AbsError;
+pub use session::{AbsSession, SessionStatus};
 pub use solver::Abs;
 pub use stats::{write_metrics, DeviceReport, DeviceStatus, HistoryPoint, SolveResult};

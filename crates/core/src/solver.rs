@@ -1,66 +1,28 @@
-//! The ABS host: GA bookkeeping plus the asynchronous polling loop of
-//! §3.1, driving a [`vgpu::Machine`] — hardened with a watchdog that
-//! survives dead blocks, dead devices, silent stalls, and malformed
-//! records (see DESIGN.md, "Fault model and degraded mode").
+//! The ABS solver facade: [`Abs`] owns a validated configuration and
+//! runs each solve as a [`crate::AbsSession`] driven to completion on
+//! the calling thread — the asynchronous polling loop of §3.1, hardened
+//! with a watchdog that survives dead blocks, dead devices, silent
+//! stalls, and malformed records (see DESIGN.md, "Fault model and
+//! degraded mode"). The session layer (crate::session) adds the
+//! resumable lifecycle: start / poll / steal-best / checkpoint / stop.
 
 use crate::config::AbsConfig;
 use crate::error::AbsError;
-use crate::stats::{write_metrics, DeviceReport, DeviceStatus, HistoryPoint, SolveResult};
-use abs_telemetry::{Aggregator, DeviceSample, HostSample};
-use qubo::{BitVec, Energy, Qubo};
-use qubo_ga::{InsertOutcome, PoolOps, SolutionPool, TargetGenerator};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
-use vgpu::{GlobalMem, HealthStatus, Machine};
+use crate::session::AbsSession;
+use crate::stats::SolveResult;
+use qubo::Qubo;
 
 /// The Adaptive Bulk Search solver.
 ///
 /// One `Abs` value owns a validated configuration and can solve any
 /// number of problems; each [`Abs::solve`] call builds a fresh virtual
 /// machine, runs the host loop on the calling thread, and joins all
-/// device threads before returning.
+/// device threads before returning. For an explicit lifecycle
+/// (graceful shutdown, checkpoint/resume, stealing the best mid-run),
+/// drive a [`crate::AbsSession`] directly.
 #[derive(Debug)]
 pub struct Abs {
     config: AbsConfig,
-}
-
-/// Host-side view of one device during the polling loop.
-struct DeviceState {
-    /// Counter value at the last poll.
-    last_counter: u64,
-    /// Consecutive poll rounds in which *other* devices progressed but
-    /// this one did not (the watchdog's staleness clock).
-    stale_rounds: u64,
-    /// The watchdog excluded this device (stalled or dead): its targets
-    /// were requeued and it receives no new work.
-    excluded: bool,
-    /// Status to report if excluded (`Stalled` or `Dead`).
-    excluded_as: DeviceStatus,
-    /// Targets moved *from* this device to healthy ones.
-    requeued: u64,
-    /// Records the host rejected from this device (wrong length seen
-    /// host-side, or failed energy audit).
-    host_rejected: u64,
-}
-
-/// What the host loop hands to [`Abs::finish`]: everything the final
-/// [`SolveResult`] needs that is *not* read from the device memories.
-/// The memory-derived counters are read only after the machine joins
-/// its device threads.
-struct HostOutcome {
-    start: Instant,
-    best: BitVec,
-    best_energy: Energy,
-    reached_target: bool,
-    time_to_target: Option<Duration>,
-    history: Vec<HistoryPoint>,
-    received: u64,
-    inserted: u64,
-    devs: Vec<DeviceState>,
-    aggregator: Aggregator,
-    pool_ops: PoolOps,
 }
 
 impl Abs {
@@ -100,491 +62,7 @@ impl Abs {
     /// single result arrives; [`AbsError::NoResult`] if the watchdog's
     /// hard timeout expires first.
     pub fn solve(&self, qubo: &Qubo) -> Result<SolveResult, AbsError> {
-        let n = qubo.n();
-        for warm in &self.config.initial_solutions {
-            if warm.len() != n {
-                return Err(AbsError::WarmStartLength {
-                    expected: n,
-                    got: warm.len(),
-                });
-            }
-        }
-        let machine = Machine::new(&self.config.machine);
-        let blocks: Vec<usize> = machine
-            .devices()
-            .iter()
-            .enumerate()
-            .map(|(i, d)| {
-                d.resolve_blocks(n)
-                    .map_err(|source| AbsError::Occupancy { device: i, source })
-            })
-            .collect::<Result<_, _>>()?;
-        // `machine.run` joins every device thread before returning, so
-        // the accounting in `finish` reads quiescent counters — reading
-        // them inside the host closure would race late-starting workers.
-        let outcome = machine.run(qubo, |mems| self.host_loop(qubo, mems, &blocks))?;
-        let result = Self::finish(n, outcome, &machine.mems());
-        if let Some(path) = &self.config.metrics.out {
-            // Best-effort final exposition; the CLI re-writes this file
-            // itself and surfaces I/O errors to the user.
-            let _ = write_metrics(path, &result.metrics);
-        }
-        Ok(result)
-    }
-
-    fn host_loop(
-        &self,
-        qubo: &Qubo,
-        mems: &[Arc<GlobalMem>],
-        blocks: &[usize],
-    ) -> Result<HostOutcome, AbsError> {
-        let n = qubo.n();
-        let cfg = &self.config;
-        let start = Instant::now();
-
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut pool = SolutionPool::random(cfg.pool_size, n, &mut rng);
-        let mut gen = TargetGenerator::new(n, cfg.ga, cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
-
-        // Warm starts (lengths already checked in `solve`): into the
-        // pool as unevaluated parents, and to the front of every target
-        // queue so devices price them exactly.
-        for warm in &cfg.initial_solutions {
-            let _ = pool.insert(warm.clone(), qubo::energy::UNEVALUATED);
-        }
-
-        // Step 1: seed every device's target buffer.
-        for (mem, &b) in mems.iter().zip(blocks) {
-            for warm in &cfg.initial_solutions {
-                mem.push_target(warm.clone());
-            }
-            for _ in 0..b.max(1) * cfg.initial_targets_per_block.max(1) {
-                mem.push_target(gen.generate(&pool));
-            }
-        }
-
-        let mut devs: Vec<DeviceState> = mems
-            .iter()
-            .map(|_| DeviceState {
-                last_counter: 0,
-                stale_rounds: 0,
-                excluded: false,
-                excluded_as: DeviceStatus::Healthy,
-                requeued: 0,
-                host_rejected: 0,
-            })
-            .collect();
-        let mut best: Option<BitVec> = None;
-        let mut best_energy = Energy::MAX;
-        let mut history = Vec::new();
-        let mut received = 0u64;
-        let mut inserted = 0u64;
-        let mut reached_target = false;
-        let mut time_to_target = None;
-
-        let total_flips =
-            |mems: &[Arc<GlobalMem>]| -> u64 { mems.iter().map(|m| m.total_flips()).sum() };
-        let hard_deadline = cfg.watchdog.hard_timeout.map(|d| start + d);
-
-        // Telemetry: the aggregator folds device counters and drained
-        // event rings at the poll cadence; wall-clock is stamped here,
-        // on the host, never on the device (Fig. 5 discipline).
-        let mut aggregator = Aggregator::new(mems.len(), n);
-        let metrics_out = cfg.metrics.out.as_deref();
-        let mut next_metrics_write = cfg
-            .metrics
-            .interval
-            .filter(|_| metrics_out.is_some())
-            .map(|iv| start + iv);
-
-        'poll: loop {
-            // Watchdog: loud failures first. A device whose health
-            // region says Dead will never move its counter again.
-            for i in 0..mems.len() {
-                if !devs[i].excluded && mems[i].health().status() == HealthStatus::Dead {
-                    Self::fail_device(i, DeviceStatus::Dead, mems, &mut devs);
-                }
-            }
-
-            // Steps 2–4: poll counters, drain, insert, re-target.
-            let mut progressed_any = false;
-            for (i, mem) in mems.iter().enumerate() {
-                if devs[i].excluded {
-                    continue;
-                }
-                let c = mem.counter();
-                if c == devs[i].last_counter {
-                    continue;
-                }
-                devs[i].last_counter = c;
-                devs[i].stale_rounds = 0;
-                progressed_any = true;
-                let records = mem.drain_results();
-                let mut arrived = 0usize;
-                for rec in records {
-                    received += 1;
-                    if !self.accept_record(qubo, &rec.x, rec.energy, best_energy, received) {
-                        devs[i].host_rejected += 1;
-                        continue;
-                    }
-                    arrived += 1;
-                    if rec.energy < best_energy {
-                        best_energy = rec.energy;
-                        best = Some(rec.x.clone());
-                        history.push(HistoryPoint {
-                            elapsed_ns: start.elapsed().as_nanos(),
-                            energy: rec.energy,
-                        });
-                        if let Some(t) = cfg.stop.target_energy {
-                            if rec.energy <= t && time_to_target.is_none() {
-                                reached_target = true;
-                                time_to_target = Some(start.elapsed());
-                            }
-                        }
-                    }
-                    if pool.insert(rec.x, rec.energy) == InsertOutcome::Inserted {
-                        inserted += 1;
-                    }
-                }
-                // "The number of generated solutions is set to be the
-                // same as the number of newly arrived solutions."
-                for _ in 0..arrived {
-                    mem.push_target(gen.generate(&pool));
-                }
-            }
-
-            // Watchdog: silent stalls. Staleness accrues only in rounds
-            // where some *other* device progressed, so a globally slow
-            // machine (loaded CI box) never trips it.
-            if progressed_any && cfg.watchdog.stall_poll_rounds > 0 {
-                for i in 0..mems.len() {
-                    if devs[i].excluded || mems[i].counter() != devs[i].last_counter {
-                        continue;
-                    }
-                    devs[i].stale_rounds += 1;
-                    if devs[i].stale_rounds > cfg.watchdog.stall_poll_rounds {
-                        Self::fail_device(i, DeviceStatus::Stalled, mems, &mut devs);
-                    }
-                }
-            }
-
-            // Telemetry folds on the same cadence results are drained;
-            // idle spin rounds leave the device rings untouched.
-            if progressed_any {
-                Self::poll_metrics(
-                    &mut aggregator,
-                    n,
-                    mems,
-                    &devs,
-                    pool.ops(),
-                    received,
-                    inserted,
-                    start.elapsed().as_secs_f64(),
-                );
-            }
-            if let (Some(path), Some(due)) = (metrics_out, next_metrics_write) {
-                if Instant::now() >= due {
-                    if !progressed_any {
-                        Self::poll_metrics(
-                            &mut aggregator,
-                            n,
-                            mems,
-                            &devs,
-                            pool.ops(),
-                            received,
-                            inserted,
-                            start.elapsed().as_secs_f64(),
-                        );
-                    }
-                    // Periodic exposition is best-effort: an unwritable
-                    // path must not kill a running solve (the final
-                    // snapshot write surfaces errors via the CLI).
-                    let _ = write_metrics(path, &aggregator.snapshot());
-                    next_metrics_write = cfg.metrics.interval.map(|iv| Instant::now() + iv);
-                }
-            }
-
-            // Stop checks.
-            if reached_target {
-                break;
-            }
-            if let Some(to) = cfg.stop.timeout {
-                if start.elapsed() >= to {
-                    break;
-                }
-            }
-            if let Some(mf) = cfg.stop.max_flips {
-                if total_flips(mems) >= mf {
-                    break;
-                }
-            }
-            if let Some(deadline) = hard_deadline {
-                if Instant::now() >= deadline {
-                    if best.is_some() {
-                        break;
-                    }
-                    return Err(AbsError::NoResult);
-                }
-            }
-            if devs.iter().all(|d| d.excluded) {
-                if best.is_some() {
-                    break 'poll;
-                }
-                return Err(AbsError::AllDevicesFailed);
-            }
-            if !progressed_any {
-                std::thread::yield_now();
-            }
-        }
-
-        // Degenerate budgets can stop before any result arrived; the
-        // surviving devices are still running (the stop flag is raised
-        // only when this closure returns), so a result will come —
-        // unless every device has failed, which the wait must detect
-        // instead of spinning forever (the pre-hardening host hung
-        // here).
-        if best.is_none() {
-            'wait: loop {
-                for (i, mem) in mems.iter().enumerate() {
-                    for rec in mem.drain_results() {
-                        received += 1;
-                        if !self.accept_record(qubo, &rec.x, rec.energy, best_energy, received) {
-                            devs[i].host_rejected += 1;
-                            continue;
-                        }
-                        if rec.energy < best_energy {
-                            best_energy = rec.energy;
-                            best = Some(rec.x);
-                        }
-                    }
-                    if !devs[i].excluded && mems[i].health().status() == HealthStatus::Dead {
-                        Self::fail_device(i, DeviceStatus::Dead, mems, &mut devs);
-                    }
-                }
-                if best.is_some() {
-                    break 'wait;
-                }
-                if let Some(deadline) = hard_deadline {
-                    if Instant::now() >= deadline {
-                        return Err(AbsError::NoResult);
-                    }
-                }
-                if devs.iter().all(|d| d.excluded) {
-                    return Err(AbsError::AllDevicesFailed);
-                }
-                std::thread::yield_now();
-            }
-        }
-
-        // The wait loop above only exits with a result or an early
-        // `Err`, so `best` is always populated here; `NoResult` keeps the
-        // path panic-free if that ever changes.
-        let Some(best) = best else {
-            return Err(AbsError::NoResult);
-        };
-        Ok(HostOutcome {
-            start,
-            best,
-            best_energy,
-            reached_target,
-            time_to_target,
-            history,
-            received,
-            inserted,
-            devs,
-            aggregator,
-            pool_ops: pool.ops(),
-        })
-    }
-
-    /// Final accounting, run after every device thread has been joined:
-    /// only then are the per-device counters (units, flips, health)
-    /// guaranteed quiescent — a fast stop can otherwise beat a device's
-    /// workers to their first `add_units`.
-    fn finish(n: usize, mut o: HostOutcome, mems: &[Arc<GlobalMem>]) -> SolveResult {
-        let elapsed = o.start.elapsed();
-        // Final authoritative telemetry poll over quiescent counters,
-        // using the same elapsed value as the result's own rate field —
-        // so the snapshot and the SolveResult agree exactly.
-        Self::poll_metrics(
-            &mut o.aggregator,
-            n,
-            mems,
-            &o.devs,
-            o.pool_ops,
-            o.received,
-            o.inserted,
-            elapsed.as_secs_f64(),
-        );
-        let metrics = o.aggregator.snapshot();
-        let flips: u64 = mems.iter().map(|m| m.total_flips()).sum();
-        let units: u64 = mems.iter().map(|m| m.total_units()).sum();
-        let evaluated: u64 = mems.iter().map(|m| m.total_evaluated(n)).sum();
-        let devices: Vec<DeviceReport> = mems
-            .iter()
-            .zip(&o.devs)
-            .enumerate()
-            .map(|(i, (mem, d))| {
-                let health = mem.health();
-                let status = if d.excluded {
-                    d.excluded_as
-                } else {
-                    match health.status() {
-                        HealthStatus::Healthy => DeviceStatus::Healthy,
-                        HealthStatus::Degraded { .. } => DeviceStatus::Degraded,
-                        HealthStatus::Dead => DeviceStatus::Dead,
-                    }
-                };
-                DeviceReport {
-                    device: i,
-                    status,
-                    dead_blocks: health.dead_blocks(),
-                    total_blocks: health.total_blocks(),
-                    rejected_records: mem.rejected_records() + d.host_rejected,
-                    requeued_targets: d.requeued,
-                }
-            })
-            .collect();
-        SolveResult {
-            best: o.best,
-            best_energy: o.best_energy,
-            reached_target: o.reached_target,
-            time_to_target: o.time_to_target,
-            elapsed,
-            total_flips: flips,
-            evaluated,
-            search_rate: evaluated as f64 / elapsed.as_secs_f64().max(1e-12),
-            iterations: mems.iter().map(|m| m.total_iterations()).sum(),
-            results_received: o.received,
-            results_inserted: o.inserted,
-            history: o.history,
-            degraded: devices.iter().any(|d| !d.status.is_healthy()),
-            rejected_records: devices.iter().map(|d| d.rejected_records).sum(),
-            requeued_targets: devices.iter().map(|d| d.requeued_targets).sum(),
-            search_units: units,
-            devices,
-            metrics,
-        }
-    }
-
-    /// Reads one device's counters, health label and drained events
-    /// into a telemetry sample. Host-side only: this is the Fig. 5
-    /// "host polls an atomic" moment for the telemetry plane.
-    fn device_sample(mem: &GlobalMem, d: &DeviceState, n: usize) -> DeviceSample {
-        let health = mem.health();
-        let label = if d.excluded {
-            d.excluded_as.label()
-        } else {
-            match health.status() {
-                HealthStatus::Healthy => "healthy",
-                HealthStatus::Degraded { .. } => "degraded",
-                HealthStatus::Dead => "dead",
-            }
-        };
-        let drained = mem.drain_events();
-        DeviceSample {
-            flips: mem.total_flips(),
-            units: mem.total_units(),
-            evaluated: mem.total_evaluated(n),
-            iterations: mem.total_iterations(),
-            results: mem.counter(),
-            rejected_records: mem.rejected_records(),
-            dropped_targets: mem.dropped_targets(),
-            overflow_results: mem.overflow_results(),
-            dead_blocks: health.dead_blocks(),
-            total_blocks: health.total_blocks(),
-            health: label,
-            kernel: mem.flip_kernel_name(),
-            storage: mem.matrix_storage_name(),
-            events: drained.events,
-            events_written: drained.written,
-            events_overwritten: drained.overwritten,
-        }
-    }
-
-    /// Folds the current host+device state into the aggregator. The
-    /// host stamps `elapsed_secs` here, at the poll boundary.
-    #[allow(clippy::too_many_arguments)]
-    fn poll_metrics(
-        aggregator: &mut Aggregator,
-        n: usize,
-        mems: &[Arc<GlobalMem>],
-        devs: &[DeviceState],
-        pool_ops: PoolOps,
-        received: u64,
-        inserted: u64,
-        elapsed_secs: f64,
-    ) {
-        let samples: Vec<DeviceSample> = mems
-            .iter()
-            .zip(devs)
-            .map(|(m, d)| Self::device_sample(m, d, n))
-            .collect();
-        let host = HostSample {
-            results_received: received,
-            results_inserted: inserted,
-            pool_inserted: pool_ops.inserted,
-            pool_duplicate: pool_ops.duplicate,
-            pool_worse: pool_ops.worse,
-            host_rejected: devs.iter().map(|d| d.host_rejected).sum(),
-            requeued_targets: devs.iter().map(|d| d.requeued).sum(),
-            elapsed_secs,
-        };
-        aggregator.poll(&samples, &host);
-    }
-
-    /// Host-side record validation: a defensive length check on every
-    /// record, plus the energy audit of [`crate::WatchdogConfig`] — a
-    /// record is audited when it would improve the incumbent best (so
-    /// the reported best is always exact) or when the audit stride
-    /// samples it. Returns `false` for records that must be discarded.
-    ///
-    /// This is the documented deviation from the paper's "host never
-    /// computes the energy" rule: with real hardware the device is
-    /// trusted; here the fault model explicitly includes corrupted
-    /// records, so claimed improvements are re-priced before they can
-    /// displace the best.
-    fn accept_record(
-        &self,
-        qubo: &Qubo,
-        x: &BitVec,
-        claimed: Energy,
-        best_energy: Energy,
-        received: u64,
-    ) -> bool {
-        if x.len() != qubo.n() {
-            return false;
-        }
-        let stride = self.config.watchdog.audit_stride;
-        let improves = claimed < best_energy;
-        let sampled = stride > 0 && received.is_multiple_of(stride);
-        if improves || sampled {
-            return qubo.energy(x) == claimed;
-        }
-        true
-    }
-
-    /// Excludes device `i`: stops it, drains its in-flight targets and
-    /// deals them round-robin to the remaining devices (counted on the
-    /// failed device's report), and records the status it failed as.
-    fn fail_device(
-        i: usize,
-        status: DeviceStatus,
-        mems: &[Arc<GlobalMem>],
-        devs: &mut [DeviceState],
-    ) {
-        devs[i].excluded = true;
-        devs[i].excluded_as = status;
-        mems[i].request_stop();
-        let orphans = mems[i].drain_targets();
-        let healthy: Vec<usize> = (0..mems.len()).filter(|&j| !devs[j].excluded).collect();
-        if healthy.is_empty() {
-            return;
-        }
-        for (k, t) in orphans.into_iter().enumerate() {
-            mems[healthy[k % healthy.len()]].push_target(t);
-            devs[i].requeued += 1;
-        }
+        AbsSession::start(self.config.clone(), qubo)?.run_to_completion()
     }
 }
 
@@ -592,7 +70,12 @@ impl Abs {
 mod tests {
     use super::*;
     use crate::config::StopCondition;
-    use std::time::Duration;
+    use crate::stats::DeviceStatus;
+    use qubo::{BitVec, Energy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
 
     fn brute_force(q: &Qubo) -> (BitVec, Energy) {
         let n = q.n();

@@ -127,6 +127,30 @@ impl TargetGenerator {
         self.usage
     }
 
+    /// Exports the raw RNG state for checkpointing; pair with
+    /// [`TargetGenerator::restore`] to continue the exact stream.
+    #[must_use]
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuilds a generator from a checkpointed RNG state and usage
+    /// counters, continuing the operator stream exactly where the
+    /// snapshot left off.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`GaConfig::validate`]).
+    #[must_use]
+    pub fn restore(n: usize, config: GaConfig, rng_state: [u64; 4], usage: OperatorUsage) -> Self {
+        config.validate();
+        Self {
+            config,
+            n,
+            rng: SmallRng::from_state(rng_state),
+            usage,
+        }
+    }
+
     /// Draws the operator for the next target.
     fn draw_operator(&mut self) -> Operator {
         let r: f64 = self.rng.gen();
@@ -314,6 +338,22 @@ mod tests {
         for _ in 0..20 {
             assert_eq!(g1.generate(&pool), g2.generate(&pool));
         }
+    }
+
+    #[test]
+    fn restore_continues_the_stream_exactly() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let pool = SolutionPool::random(8, 32, &mut rng);
+        let mut g = TargetGenerator::new(32, GaConfig::default(), 8);
+        for _ in 0..13 {
+            let _ = g.generate(&pool);
+        }
+        let mut h = TargetGenerator::restore(32, GaConfig::default(), g.rng_state(), g.usage());
+        assert_eq!(h.usage(), g.usage());
+        for _ in 0..20 {
+            assert_eq!(g.generate(&pool), h.generate(&pool));
+        }
+        assert_eq!(h.usage(), g.usage());
     }
 
     #[test]

@@ -205,6 +205,43 @@ impl SolutionPool {
         &self.entries[a.min(b)]
     }
 
+    /// Rebuilds a pool from checkpointed entries and counters.
+    ///
+    /// The entries must already be sorted by `(energy, bits)` ascending
+    /// and strictly distinct — the order a snapshot taken via [`iter`]
+    /// preserves — and must fit in `capacity`. Violations are reported
+    /// as an error rather than panicking, so a corrupted checkpoint that
+    /// passed its CRC (or a hand-edited one) is rejected cleanly.
+    ///
+    /// [`iter`]: SolutionPool::iter
+    ///
+    /// # Errors
+    /// Returns a static description of the violated pool invariant.
+    pub fn restore(
+        capacity: usize,
+        entries: Vec<PoolEntry>,
+        ops: PoolOps,
+    ) -> Result<Self, &'static str> {
+        if capacity == 0 {
+            return Err("pool capacity must be positive");
+        }
+        if entries.len() > capacity {
+            return Err("restored pool exceeds its capacity");
+        }
+        for w in entries.windows(2) {
+            if (w[0].energy, &w[0].x) >= (w[1].energy, &w[1].x) {
+                return Err("restored pool is not strictly sorted/distinct");
+            }
+        }
+        let mut stored = Vec::with_capacity(capacity);
+        stored.extend(entries);
+        Ok(Self {
+            entries: stored,
+            capacity,
+            ops,
+        })
+    }
+
     /// Debug/test helper: panics unless the pool is sorted and distinct.
     pub fn assert_invariants(&self) {
         for w in self.entries.windows(2) {
@@ -340,5 +377,43 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = SolutionPool::empty(0);
+    }
+
+    #[test]
+    fn restore_round_trips_entries_and_ops() {
+        let mut p = SolutionPool::empty(4);
+        p.insert(bv("0011"), 5);
+        p.insert(bv("1100"), -3);
+        p.insert(bv("1100"), -3); // duplicate
+        let snapshot: Vec<PoolEntry> = p.iter().cloned().collect();
+        let q = SolutionPool::restore(p.capacity(), snapshot, p.ops()).expect("valid snapshot");
+        q.assert_invariants();
+        assert_eq!(q.len(), p.len());
+        assert_eq!(q.ops(), p.ops());
+        assert_eq!(q.best().unwrap().energy, -3);
+    }
+
+    #[test]
+    fn restore_rejects_invalid_snapshots() {
+        let good = vec![
+            PoolEntry {
+                energy: 1,
+                x: bv("01"),
+            },
+            PoolEntry {
+                energy: 0,
+                x: bv("10"),
+            },
+        ];
+        // Out of order.
+        assert!(SolutionPool::restore(4, good.clone(), PoolOps::default()).is_err());
+        // Over capacity.
+        let mut sorted = good;
+        sorted.sort_by(|a, b| (a.energy, &a.x).cmp(&(b.energy, &b.x)));
+        assert!(SolutionPool::restore(1, sorted.clone(), PoolOps::default()).is_err());
+        // Zero capacity.
+        assert!(SolutionPool::restore(0, vec![], PoolOps::default()).is_err());
+        // Valid.
+        assert!(SolutionPool::restore(4, sorted, PoolOps::default()).is_ok());
     }
 }

@@ -6,7 +6,10 @@
 //! repo-wide budget so the exception list cannot grow silently.
 
 use crate::lexer::{Lexed, Tok, TokKind};
-use crate::zones::{indexing_audited, telemetry_audited, Zone, HOT_FNS, TELEMETRY_HOT_FNS};
+use crate::zones::{
+    checkpoint_codec, checkpoint_io_allowed, indexing_audited, telemetry_audited, Zone, HOT_FNS,
+    TELEMETRY_HOT_FNS,
+};
 
 /// All rule identifiers, in report order. `--list-rules` prints these.
 pub const RULES: &[(&str, &str)] = &[
@@ -53,6 +56,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "device-unsafe-justified",
         "unsafe in the device zone needs a `// SAFETY:` comment naming the checked CPU feature or alignment invariant",
+    ),
+    (
+        "checkpoint-io-zone",
+        "checkpoint publish/load stays in the host session zone; codec decodes need a `// crc:` comment",
     ),
     (
         "crate-attrs",
@@ -558,6 +565,37 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
             );
         }
 
+        // --- checkpoint durability stays in the session zone ------------
+        if (t.is_ident("write_checkpoint") || t.is_ident("load_checkpoint"))
+            && next.is_some_and(|n| n.is_punct('('))
+            && !prev.is_some_and(|p| p.is_ident("fn"))
+            && !checkpoint_io_allowed(ctx.rel_path)
+        {
+            push(
+                "checkpoint-io-zone",
+                line,
+                ctx.zone,
+                format!(
+                    "`{}()` called outside the host session zone — checkpoint files are a session concern",
+                    t.text
+                ),
+            );
+        }
+        if checkpoint_codec(ctx.rel_path)
+            && t.is_ident("from_le_bytes")
+            && !ctx
+                .lexed
+                .comment_near(line.saturating_sub(COMMENT_WINDOW), line, "crc")
+        {
+            push(
+                "checkpoint-io-zone",
+                line,
+                ctx.zone,
+                "`from_le_bytes` decode without a neighbouring `// crc:` comment naming the verified checksum"
+                    .to_string(),
+            );
+        }
+
         // --- no-unwrap (all zones except the bench harness) -------------
         if ctx.zone != Zone::Harness
             && (t.is_ident("unwrap") || t.is_ident("expect"))
@@ -746,6 +784,57 @@ mod tests {
         // unwrap_or_else is fine.
         let src2 = "fn f(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 0) }\n";
         assert!(active(&run("crates/core/src/solver.rs", src2), "no-unwrap").is_empty());
+    }
+
+    #[test]
+    fn checkpoint_io_confined_and_codec_crc_audited() {
+        // Calls from outside the session zone are flagged; the session
+        // and the codec itself are not.
+        let call = "fn f(p: &Path) { let c = load_checkpoint(p, None); }\n";
+        assert_eq!(
+            active(
+                &run("crates/vgpu/src/device.rs", call),
+                "checkpoint-io-zone"
+            )
+            .len(),
+            1
+        );
+        assert_eq!(
+            active(&run("crates/ga/src/pool.rs", call), "checkpoint-io-zone").len(),
+            1
+        );
+        assert!(active(
+            &run("crates/core/src/session.rs", call),
+            "checkpoint-io-zone"
+        )
+        .is_empty());
+
+        // Definition sites don't count as calls.
+        let def = "pub fn write_checkpoint(p: &Path) -> Result<(), AbsError> { Ok(()) }\n";
+        assert!(active(&run("crates/vgpu/src/device.rs", def), "checkpoint-io-zone").is_empty());
+
+        // Codec decodes need the `// crc:` audit comment...
+        let bare = "fn u32(b: &[u8]) -> u32 { u32::from_le_bytes([b[0], b[1], b[2], b[3]]) }\n";
+        assert_eq!(
+            active(
+                &run("crates/core/src/checkpoint.rs", bare),
+                "checkpoint-io-zone"
+            )
+            .len(),
+            1
+        );
+        let ok = "fn u32(b: &[u8]) -> u32 {\n  // crc: slice verified before parsing\n  u32::from_le_bytes([b[0], b[1], b[2], b[3]])\n}\n";
+        assert!(active(
+            &run("crates/core/src/checkpoint.rs", ok),
+            "checkpoint-io-zone"
+        )
+        .is_empty());
+        // ...but only in the codec file.
+        assert!(active(
+            &run("crates/qubo/src/format.rs", bare),
+            "checkpoint-io-zone"
+        )
+        .is_empty());
     }
 
     #[test]

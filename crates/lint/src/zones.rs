@@ -135,6 +135,25 @@ pub fn telemetry_audited(rel_path: &str) -> bool {
     rel_path.replace('\\', "/") == "crates/vgpu/src/buffers.rs"
 }
 
+/// Files allowed to call the checkpoint publish/load entry points
+/// (`write_checkpoint` / `load_checkpoint`): the codec that owns the
+/// atomic-publish protocol and the session that owns the lifecycle.
+/// Devices, the GA, and telemetry must never touch checkpoint files —
+/// durability is a host-session concern (DESIGN.md §11).
+#[must_use]
+pub fn checkpoint_io_allowed(rel_path: &str) -> bool {
+    let p = rel_path.replace('\\', "/");
+    p == "crates/core/src/checkpoint.rs" || p == "crates/core/src/session.rs"
+}
+
+/// The checkpoint codec file: every `from_le_bytes` deserialization in
+/// it must sit under an already-verified CRC, asserted by a
+/// neighbouring `// crc:` comment (`checkpoint-io-zone`).
+#[must_use]
+pub fn checkpoint_codec(rel_path: &str) -> bool {
+    rel_path.replace('\\', "/") == "crates/core/src/checkpoint.rs"
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +189,17 @@ mod tests {
         assert!(indexing_audited("crates/search/src/sparse.rs"));
         assert!(indexing_audited("crates/qubo/src/sparse.rs"));
         assert!(!indexing_audited("crates/search/src/policy.rs"));
+    }
+
+    #[test]
+    fn checkpoint_io_is_confined_to_the_session_zone() {
+        assert!(checkpoint_io_allowed("crates/core/src/checkpoint.rs"));
+        assert!(checkpoint_io_allowed("crates/core/src/session.rs"));
+        assert!(!checkpoint_io_allowed("crates/core/src/solver.rs"));
+        assert!(!checkpoint_io_allowed("crates/vgpu/src/device.rs"));
+        assert!(!checkpoint_io_allowed("crates/ga/src/pool.rs"));
+        assert!(checkpoint_codec("crates/core/src/checkpoint.rs"));
+        assert!(!checkpoint_codec("crates/core/src/session.rs"));
     }
 
     #[test]

@@ -74,6 +74,17 @@ pub struct HostSample {
     pub host_rejected: u64,
     /// Targets requeued after device exclusion.
     pub requeued_targets: u64,
+    /// Checkpoints written by this process (cumulative).
+    pub checkpoint_writes: u64,
+    /// Checkpoints restored by this process (0 or 1: a session restores
+    /// at most once, at construction).
+    pub checkpoint_restores: u64,
+    /// On-disk checkpoint generations rejected by CRC validation at
+    /// restore time.
+    pub checkpoint_rejected: u64,
+    /// Checkpoint generation of the session chain (0 until the first
+    /// write; resumed sessions continue the chain).
+    pub session_generation: u64,
     /// Wall-clock seconds since solve start, stamped by the host.
     pub elapsed_secs: f64,
 }
@@ -109,6 +120,10 @@ pub struct Aggregator {
     pool_ops: [Arc<Counter>; 3],
     host_rejected: Arc<Counter>,
     requeued: Arc<Counter>,
+    ckpt_writes: Arc<Counter>,
+    ckpt_restores: Arc<Counter>,
+    ckpt_rejected: Arc<Counter>,
+    session_generation: Arc<Gauge>,
     polls: Arc<Counter>,
     elapsed: Arc<Gauge>,
     search_rate: Arc<Gauge>,
@@ -236,6 +251,26 @@ impl Aggregator {
                 "abs_requeued_targets_total",
                 &[],
                 "Targets requeued after device exclusion.",
+            ),
+            ckpt_writes: r.counter(
+                "abs_checkpoint_writes_total",
+                &[],
+                "Session checkpoints published to disk.",
+            ),
+            ckpt_restores: r.counter(
+                "abs_checkpoint_restores_total",
+                &[],
+                "Sessions restored from an on-disk checkpoint (0 or 1).",
+            ),
+            ckpt_rejected: r.counter(
+                "abs_checkpoint_rejected_total",
+                &[],
+                "Checkpoint generations rejected by CRC validation at restore.",
+            ),
+            session_generation: r.gauge(
+                "abs_session_generation",
+                &[],
+                "Checkpoint generation of the session chain (0 before the first write).",
             ),
             polls: r.counter("abs_polls_total", &[], "Aggregator poll boundaries."),
             elapsed: r.gauge(
@@ -382,6 +417,10 @@ impl Aggregator {
         self.pool_ops[2].set(host.pool_worse);
         self.host_rejected.set(host.host_rejected);
         self.requeued.set(host.requeued_targets);
+        self.ckpt_writes.set(host.checkpoint_writes);
+        self.ckpt_restores.set(host.checkpoint_restores);
+        self.ckpt_rejected.set(host.checkpoint_rejected);
+        self.session_generation.set(host.session_generation as f64);
         self.polls.inc();
         self.elapsed.set(host.elapsed_secs);
         // Same expression `SolveResult::search_rate` uses, so the gauge
@@ -572,6 +611,24 @@ mod tests {
             snap.gauge_with("abs_matrix_storage", "storage", "sparse"),
             Some(1.0)
         );
+    }
+
+    #[test]
+    fn checkpoint_series_track_the_host_sample() {
+        let mut a = Aggregator::new(1, 8);
+        let host = HostSample {
+            checkpoint_writes: 5,
+            checkpoint_restores: 1,
+            checkpoint_rejected: 2,
+            session_generation: 7,
+            ..HostSample::default()
+        };
+        a.poll(&[one_device_sample(1, 1, 8)], &host);
+        let snap = a.snapshot();
+        assert_eq!(snap.counter_total("abs_checkpoint_writes_total"), 5);
+        assert_eq!(snap.counter_total("abs_checkpoint_restores_total"), 1);
+        assert_eq!(snap.counter_total("abs_checkpoint_rejected_total"), 2);
+        assert_eq!(snap.gauge("abs_session_generation"), Some(7.0));
     }
 
     #[test]

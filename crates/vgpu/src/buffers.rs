@@ -101,6 +101,13 @@ pub struct GlobalMem {
     storage: AtomicU8,
     /// Stop flag raised by the host.
     stop: AtomicBool,
+    /// Checkpoint quiesce flag raised by the host; workers park at the
+    /// next iteration boundary until released (or stopped).
+    pause: AtomicBool,
+    /// Worker threads currently executing the device's block schedule.
+    active_workers: AtomicUsize,
+    /// Workers parked at the quiesce barrier.
+    paused_workers: AtomicUsize,
     /// Health sub-region written by device workers, read by the host.
     health: DeviceHealth,
     /// Telemetry event ring written by device workers, drained by the
@@ -154,6 +161,9 @@ impl GlobalMem {
             kernel: AtomicU8::new(0),
             storage: AtomicU8::new(0),
             stop: AtomicBool::new(false),
+            pause: AtomicBool::new(false),
+            active_workers: AtomicUsize::new(0),
+            paused_workers: AtomicUsize::new(0),
             health: DeviceHealth::new(),
             events: EventRing::with_capacity(event_capacity),
         }
@@ -203,6 +213,38 @@ impl GlobalMem {
         // ordering: Release pairs with the Acquire load in stopped() —
         // host writes before the stop request are visible to exiting blocks.
         self.stop.store(true, Ordering::Release);
+    }
+
+    /// Host: ask every worker of this device to park at its next
+    /// iteration boundary (the checkpoint quiesce barrier). While the
+    /// flag is up, parked workers perform no flips, so the device's
+    /// statistic counters are mutually consistent when
+    /// [`GlobalMem::quiesced`] reports true.
+    pub fn request_pause(&self) {
+        // ordering: Release pairs with the Acquire load in pause_point —
+        // host writes before the pause request are visible to parking
+        // workers.
+        self.pause.store(true, Ordering::Release);
+    }
+
+    /// Host: lower the quiesce flag; parked workers resume searching.
+    pub fn release_pause(&self) {
+        // ordering: Release pairs with the Acquire spin in pause_point.
+        self.pause.store(false, Ordering::Release);
+    }
+
+    /// Host: whether every live worker has acknowledged the quiesce
+    /// barrier (or already exited). A worker frozen by a stall fault
+    /// never acknowledges — the host pairs this predicate with a
+    /// deadline, which is still safe: a frozen worker's counters cannot
+    /// move either.
+    #[must_use]
+    pub fn quiesced(&self) -> bool {
+        // ordering: Acquire pairs with the AcqRel fetch_add in
+        // pause_point — observing the park implies every counter write
+        // the worker issued before parking is visible to the host.
+        let active = self.active_workers.load(Ordering::Acquire);
+        active == 0 || self.paused_workers.load(Ordering::Acquire) >= active
     }
 
     /// Number of targets currently waiting (diagnostics / tests).
@@ -373,6 +415,42 @@ impl GlobalMem {
     pub fn stopped(&self) -> bool {
         // ordering: Acquire pairs with the Release store in request_stop.
         self.stop.load(Ordering::Acquire)
+    }
+
+    /// Device: a worker thread announces itself before touching the
+    /// block schedule, so the host's quiesce predicate knows how many
+    /// acknowledgements to wait for.
+    pub fn worker_enter(&self) {
+        // ordering: AcqRel pairs with the Acquire load in quiesced.
+        self.active_workers.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Device: a worker thread signs off when its schedule is exhausted
+    /// or the stop flag fired.
+    pub fn worker_exit(&self) {
+        // ordering: AcqRel pairs with the Acquire load in quiesced — an
+        // exited worker no longer needs to acknowledge a pause, and its
+        // final counter writes are ordered before the sign-off.
+        self.active_workers.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Device: the quiesce barrier, called once per bulk-iteration
+    /// boundary. When the host has not requested a pause this is a
+    /// single relaxed-cost atomic load; otherwise the worker parks until
+    /// the host releases the barrier (or raises the stop flag).
+    pub fn pause_point(&self) {
+        // ordering: Acquire pairs with the Release store in request_pause.
+        if !self.pause.load(Ordering::Acquire) {
+            return;
+        }
+        // ordering: AcqRel publishes every counter write this worker
+        // issued before parking; quiesced()'s Acquire load observes them.
+        self.paused_workers.fetch_add(1, Ordering::AcqRel);
+        while self.pause.load(Ordering::Acquire) && !self.stopped() {
+            std::thread::yield_now();
+        }
+        // ordering: AcqRel keeps the un-park ordered after the spin exit.
+        self.paused_workers.fetch_sub(1, Ordering::AcqRel);
     }
 
     // ---- statistics ----------------------------------------------------
@@ -673,6 +751,77 @@ mod tests {
             });
         });
         assert_eq!(m.counter(), (producers * per) as u64);
+    }
+
+    #[test]
+    fn quiesce_barrier_parks_and_releases_workers() {
+        let m = Arc::new(GlobalMem::new());
+        let rounds = AtomicU64::new(0);
+        let ready = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let m = Arc::clone(&m);
+                let rounds = &rounds;
+                let ready = &ready;
+                s.spawn(move || {
+                    m.worker_enter();
+                    ready.fetch_add(1, Ordering::Release);
+                    while !m.stopped() {
+                        m.pause_point();
+                        rounds.fetch_add(1, Ordering::Relaxed);
+                        std::thread::yield_now();
+                    }
+                    m.worker_exit();
+                });
+            }
+            // Both workers must have announced themselves before the
+            // quiesce predicate means anything.
+            while ready.load(Ordering::Acquire) < 2 {
+                std::thread::yield_now();
+            }
+            m.request_pause();
+            while !m.quiesced() {
+                std::thread::yield_now();
+            }
+            // All workers parked: the iteration counter is frozen.
+            let frozen = rounds.load(Ordering::Relaxed);
+            for _ in 0..50 {
+                std::thread::yield_now();
+            }
+            assert_eq!(
+                rounds.load(Ordering::Relaxed),
+                frozen,
+                "parked workers must not progress"
+            );
+            m.release_pause();
+            // Workers resume and make progress again.
+            while rounds.load(Ordering::Relaxed) == frozen {
+                std::thread::yield_now();
+            }
+            m.request_stop();
+        });
+        assert!(m.quiesced(), "exited workers leave the device quiesced");
+    }
+
+    #[test]
+    fn stop_releases_a_parked_worker() {
+        let m = Arc::new(GlobalMem::new());
+        std::thread::scope(|s| {
+            let mw = Arc::clone(&m);
+            s.spawn(move || {
+                mw.worker_enter();
+                mw.pause_point();
+                mw.worker_exit();
+            });
+            m.request_pause();
+            while !m.quiesced() {
+                std::thread::yield_now();
+            }
+            // The pause flag stays up; only the stop flag lets the worker
+            // leave the barrier (graceful-shutdown path).
+            m.request_stop();
+        });
+        assert!(m.stopped());
     }
 
     #[test]

@@ -320,6 +320,9 @@ impl Device {
                         }
                     }
                     let plan = cfg.fault.as_deref();
+                    // Announce this worker to the host's quiesce
+                    // predicate; signed off on every exit path below.
+                    mem.worker_enter();
                     'outer: while !mem.stopped() {
                         if slots.is_empty() {
                             break;
@@ -329,6 +332,10 @@ impl Device {
                             if mem.stopped() {
                                 break 'outer;
                             }
+                            // Checkpoint quiesce barrier: park here (an
+                            // iteration boundary, so per-block counters
+                            // are consistent) while the host snapshots.
+                            mem.pause_point();
                             if let Some(plan) = plan {
                                 if plan.stalled(device, mem.total_iterations()) {
                                     // Simulated hang: frozen, but still
@@ -381,6 +388,7 @@ impl Device {
                             }
                         }
                     }
+                    mem.worker_exit();
                 });
             }
         });

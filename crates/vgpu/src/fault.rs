@@ -29,6 +29,10 @@
 //!   region shows nothing; only the host watchdog can notice.
 //! * [`FaultKind::DropTargets`] — targets vanish from the device's queue,
 //!   simulating lost host→device transfers.
+//! * [`FaultKind::ShortWrite`] / [`FaultKind::TornRename`] /
+//!   [`FaultKind::BitFlipOnRead`] — host-side checkpoint I/O faults
+//!   (crash mid-write, crash before rename, media corruption) consumed
+//!   by the host's checkpoint writer/loader, never by the device loop.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Once;
@@ -86,6 +90,31 @@ pub enum FaultKind {
         at_iteration: u64,
         /// Targets discarded.
         count: usize,
+    },
+    /// Host-side I/O fault: truncate the host's `at_write`-th checkpoint
+    /// file write to `keep_bytes` bytes before it reaches disk — a crash
+    /// mid-write that publishes a torn file for the CRC to catch.
+    ShortWrite {
+        /// Zero-based index of the checkpoint write this fault hits.
+        at_write: u64,
+        /// Bytes of the encoded checkpoint that survive.
+        keep_bytes: usize,
+    },
+    /// Host-side I/O fault: skip the atomic rename publishing the host's
+    /// `at_write`-th checkpoint — a crash between fsync and rename, so
+    /// the destination keeps the previous generation.
+    TornRename {
+        /// Zero-based index of the checkpoint write this fault hits.
+        at_write: u64,
+    },
+    /// Host-side I/O fault: flip one bit of the host's `at_read`-th
+    /// checkpoint file read (bit index taken modulo the file length),
+    /// simulating media corruption the CRC must detect.
+    BitFlipOnRead {
+        /// Zero-based index of the checkpoint read this fault hits.
+        at_read: u64,
+        /// Bit position to flip within the file.
+        bit: u64,
     },
 }
 
@@ -168,6 +197,30 @@ impl FaultPlan {
             at_iteration,
             count,
         });
+        self
+    }
+
+    /// Adds a short (truncated) checkpoint write.
+    #[must_use]
+    pub fn short_write(mut self, at_write: u64, keep_bytes: usize) -> Self {
+        self.push(FaultKind::ShortWrite {
+            at_write,
+            keep_bytes,
+        });
+        self
+    }
+
+    /// Adds a torn (skipped) checkpoint rename.
+    #[must_use]
+    pub fn torn_rename(mut self, at_write: u64) -> Self {
+        self.push(FaultKind::TornRename { at_write });
+        self
+    }
+
+    /// Adds a single-bit corruption of a checkpoint read.
+    #[must_use]
+    pub fn bit_flip_on_read(mut self, at_read: u64, bit: u64) -> Self {
+        self.push(FaultKind::BitFlipOnRead { at_read, bit });
         self
     }
 
@@ -297,6 +350,42 @@ impl FaultPlan {
         })
     }
 
+    // ---- lookups used by the host checkpoint I/O path ------------------
+
+    /// Fires (once) a short write planned for checkpoint write number
+    /// `write_index`; returns how many bytes of the file survive.
+    #[must_use]
+    pub fn take_short_write(&self, write_index: u64) -> Option<usize> {
+        self.take(
+            |k| matches!(k, FaultKind::ShortWrite { at_write, .. } if *at_write == write_index),
+        )
+        .map(|k| match k {
+            FaultKind::ShortWrite { keep_bytes, .. } => keep_bytes,
+            _ => unreachable!("filter admits only ShortWrite"),
+        })
+    }
+
+    /// Fires (once) a torn rename planned for checkpoint write number
+    /// `write_index`.
+    #[must_use]
+    pub fn take_torn_rename(&self, write_index: u64) -> bool {
+        self.take(|k| matches!(k, FaultKind::TornRename { at_write } if *at_write == write_index))
+            .is_some()
+    }
+
+    /// Fires (once) a bit flip planned for checkpoint read number
+    /// `read_index`; returns the bit position to flip.
+    #[must_use]
+    pub fn take_read_flip(&self, read_index: u64) -> Option<u64> {
+        self.take(
+            |k| matches!(k, FaultKind::BitFlipOnRead { at_read, .. } if *at_read == read_index),
+        )
+        .map(|k| match k {
+            FaultKind::BitFlipOnRead { bit, .. } => bit,
+            _ => unreachable!("filter admits only BitFlipOnRead"),
+        })
+    }
+
     fn take(&self, matches: impl Fn(&FaultKind) -> bool) -> Option<FaultKind> {
         for slot in &self.slots {
             if matches(&slot.kind)
@@ -410,6 +499,23 @@ mod tests {
     }
 
     #[test]
+    fn io_fault_lookups_are_keyed_and_one_shot() {
+        let plan = FaultPlan::new()
+            .short_write(1, 40)
+            .torn_rename(2)
+            .bit_flip_on_read(0, 123);
+        assert_eq!(plan.take_short_write(0), None, "wrong write index");
+        assert_eq!(plan.take_short_write(1), Some(40));
+        assert_eq!(plan.take_short_write(1), None, "one-shot");
+        assert!(!plan.take_torn_rename(1), "wrong write index");
+        assert!(plan.take_torn_rename(2));
+        assert!(!plan.take_torn_rename(2), "one-shot");
+        assert_eq!(plan.take_read_flip(1), None, "wrong read index");
+        assert_eq!(plan.take_read_flip(0), Some(123));
+        assert_eq!(plan.take_read_flip(0), None, "one-shot");
+    }
+
+    #[test]
     fn scatter_is_a_pure_function_of_its_inputs() {
         let a = FaultPlan::scatter(42, 4, 8);
         let b = FaultPlan::scatter(42, 4, 8);
@@ -429,6 +535,11 @@ mod tests {
                     | FaultKind::CorruptRecord { device, .. }
                     | FaultKind::StallDevice { device, .. }
                     | FaultKind::DropTargets { device, .. } => device,
+                    FaultKind::ShortWrite { .. }
+                    | FaultKind::TornRename { .. }
+                    | FaultKind::BitFlipOnRead { .. } => {
+                        unreachable!("scatter plans device faults only (seed {seed})")
+                    }
                 };
                 assert_ne!(device, 0, "device 0 must stay fault-free (seed {seed})");
                 if matches!(k, FaultKind::StallDevice { .. }) {

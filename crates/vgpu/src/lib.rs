@@ -84,7 +84,7 @@ pub use buffers::{GlobalMem, SolutionRecord, DEFAULT_BUFFER_CAPACITY, DEFAULT_EV
 pub use device::{Device, DeviceConfig, ResolveError};
 pub use fault::{Corruption, FaultKind, FaultPlan, InjectedPanic};
 pub use health::{DeviceHealth, HealthStatus};
-pub use machine::{Machine, MachineConfig};
+pub use machine::{Machine, MachineConfig, RunningMachine};
 pub use occupancy::{full_occupancy_configs, occupancy, Occupancy, OccupancyError};
 pub use spec::DeviceSpec;
 pub use timing::{TimingModel, PAPER_TABLE2};

@@ -93,6 +93,25 @@ impl Machine {
         })
     }
 
+    /// Starts every device on its own OS thread and hands back the
+    /// running machine. Unlike [`Machine::run`], which scopes device
+    /// lifetime to a single host closure, the returned value *owns* the
+    /// threads, so a resumable session can poll across many calls,
+    /// checkpoint in between, and stop whenever it chooses.
+    #[must_use]
+    pub fn start(self, qubo: Arc<Qubo>) -> RunningMachine {
+        let mems = self.mems();
+        let handles = self
+            .devices
+            .into_iter()
+            .map(|d| {
+                let q = Arc::clone(&qubo);
+                std::thread::spawn(move || d.run(&q))
+            })
+            .collect();
+        RunningMachine { mems, handles }
+    }
+
     /// Total flips across all devices.
     #[must_use]
     pub fn total_flips(&self) -> u64 {
@@ -111,6 +130,47 @@ impl Machine {
             .iter()
             .map(|d| d.mem().total_evaluated(n))
             .sum()
+    }
+}
+
+/// A machine whose devices run on owned background threads — the engine
+/// underneath a resumable solve session. Created by [`Machine::start`];
+/// [`RunningMachine::join`] (or dropping the value) raises every stop
+/// flag and joins the device threads.
+pub struct RunningMachine {
+    mems: Vec<Arc<GlobalMem>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RunningMachine {
+    /// Global memories of all devices, in device order (the host's view).
+    #[must_use]
+    pub fn mems(&self) -> &[Arc<GlobalMem>] {
+        &self.mems
+    }
+
+    /// Raises the stop flag on every device; blocks exit at their next
+    /// iteration boundary.
+    pub fn request_stop(&self) {
+        for m in &self.mems {
+            m.request_stop();
+        }
+    }
+
+    /// Raises every stop flag and joins all device threads. Idempotent.
+    pub fn join(&mut self) {
+        self.request_stop();
+        for h in self.handles.drain(..) {
+            // A panicking device thread already recorded itself dead in
+            // its health region; joining must not re-panic the host.
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RunningMachine {
+    fn drop(&mut self) {
+        self.join();
     }
 }
 
@@ -160,6 +220,46 @@ mod tests {
         let units: u64 = m.mems().iter().map(|mem| mem.total_units()).sum();
         assert_eq!(units, 9);
         assert_eq!(m.total_evaluated(24), (m.total_flips() + 9) * 25);
+    }
+
+    #[test]
+    fn started_machine_is_polled_across_calls_and_joined() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let q = Qubo::random(24, &mut rng);
+        let m = test_machine(2);
+        let mut running = m.start(Arc::new(q));
+        let mut rng = StdRng::seed_from_u64(22);
+        for mem in running.mems() {
+            mem.push_target(BitVec::random(24, &mut rng));
+        }
+        // Poll-style host: separate calls against the owned machine.
+        loop {
+            if running.mems().iter().all(|m| m.counter() >= 1) {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        running.join();
+        for mem in running.mems() {
+            assert!(mem.stopped());
+            assert!(mem.counter() >= 1);
+        }
+        // Joining twice is harmless.
+        running.join();
+    }
+
+    #[test]
+    fn dropping_a_running_machine_stops_and_joins() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let q = Qubo::random(16, &mut rng);
+        let m = test_machine(1);
+        let mems = m.mems();
+        {
+            let _running = m.start(Arc::new(q));
+            // Dropped immediately: Drop must raise stop and join without
+            // hanging, even though the device barely ran.
+        }
+        assert!(mems[0].stopped());
     }
 
     #[test]

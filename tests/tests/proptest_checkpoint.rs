@@ -1,0 +1,148 @@
+//! Property-based tests of the checkpoint codec (DESIGN.md §11): the
+//! wire format round-trips arbitrary session snapshots exactly, and any
+//! single-byte corruption or truncation of the encoded file is rejected
+//! as a clean [`AbsError::Checkpoint`] — never a panic, never a
+//! silently-wrong restore.
+
+use abs::checkpoint::{decode, encode};
+use abs::{AbsError, Checkpoint, DeviceBaseline, HistoryPoint};
+use proptest::prelude::*;
+use qubo::BitVec;
+use qubo_ga::{OperatorUsage, PoolEntry, PoolOps};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Builds a structurally valid checkpoint from `(n, seed)`: every shape
+/// the session can publish — empty/full pool, present/absent incumbent
+/// and time-to-target, 1–4 devices, u128 timestamps past u64::MAX.
+fn build_checkpoint(n: usize, seed: u64) -> Checkpoint {
+    let mut rng: StdRng = SeedableRng::seed_from_u64(seed);
+    let entries: Vec<PoolEntry> = (0..rng.gen_range(0..6usize))
+        .map(|_| PoolEntry {
+            energy: rng.gen_range(-10_000i64..10_000),
+            x: BitVec::random(n, &mut rng),
+        })
+        .collect();
+    let best = if rng.gen_range(0..4u32) > 0 {
+        Some((BitVec::random(n, &mut rng), rng.gen_range(-10_000i64..0)))
+    } else {
+        None
+    };
+    let reached_target = best.is_some() && rng.gen_range(0..2u32) == 1;
+    let wide = |rng: &mut StdRng| (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+    let history: Vec<HistoryPoint> = (0..rng.gen_range(0..5usize))
+        .map(|_| HistoryPoint {
+            elapsed_ns: wide(&mut rng),
+            energy: rng.gen_range(-10_000i64..10_000),
+        })
+        .collect();
+    let devices: Vec<DeviceBaseline> = (0..rng.gen_range(1..5usize))
+        .map(|_| DeviceBaseline {
+            flips: rng.next_u64(),
+            units: rng.next_u64(),
+            evaluated: rng.next_u64(),
+            iterations: rng.next_u64(),
+            results: rng.next_u64(),
+            rejected_records: rng.next_u64(),
+            dropped_targets: rng.next_u64(),
+            overflow_results: rng.next_u64(),
+            events_written: rng.next_u64(),
+            events_overwritten: rng.next_u64(),
+            host_rejected: rng.next_u64(),
+            requeued: rng.next_u64(),
+        })
+        .collect();
+    Checkpoint {
+        n,
+        seed: rng.next_u64(),
+        generation: rng.next_u64(),
+        master_rng: [
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+        ],
+        gen_rng: [
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+        ],
+        usage: OperatorUsage {
+            mutate: rng.next_u64(),
+            crossover: rng.next_u64(),
+            copy: rng.next_u64(),
+            immigrant: rng.next_u64(),
+        },
+        pool_capacity: entries.len() + rng.gen_range(1..9usize),
+        pool_entries: entries,
+        pool_ops: PoolOps {
+            inserted: rng.next_u64(),
+            duplicate: rng.next_u64(),
+            worse: rng.next_u64(),
+        },
+        best,
+        reached_target,
+        time_to_target_ns: reached_target.then(|| wide(&mut rng)),
+        history,
+        received: rng.next_u64(),
+        inserted: rng.next_u64(),
+        elapsed_ns: wide(&mut rng),
+        devices,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The codec is lossless over every reachable snapshot shape.
+    #[test]
+    fn codec_round_trips_arbitrary_checkpoints(
+        n in 1usize..=150,
+        seed in any::<u64>(),
+    ) {
+        let ckpt = build_checkpoint(n, seed);
+        let bytes = encode(&ckpt);
+        prop_assert_eq!(decode(&bytes).expect("own encoding decodes"), ckpt);
+    }
+
+    /// Flipping any bits of any byte anywhere in the file — header,
+    /// framing, payload, or the CRCs themselves — is detected before a
+    /// single field is trusted.
+    #[test]
+    fn any_flipped_byte_is_rejected_cleanly(
+        n in 1usize..=80,
+        seed in any::<u64>(),
+        at in any::<u64>(),
+        mask in 1u8..=255,
+    ) {
+        let mut bytes = encode(&build_checkpoint(n, seed));
+        let i = (at % bytes.len() as u64) as usize;
+        bytes[i] ^= mask;
+        let err = decode(&bytes).expect_err("corruption must not decode");
+        prop_assert!(matches!(err, AbsError::Checkpoint(_)), "{:?}", err);
+    }
+
+    /// Truncation at any point — the torn-write shapes a crash leaves
+    /// behind — is equally rejected.
+    #[test]
+    fn any_truncation_is_rejected_cleanly(
+        n in 1usize..=80,
+        seed in any::<u64>(),
+        at in any::<u64>(),
+    ) {
+        let bytes = encode(&build_checkpoint(n, seed));
+        let cut = (at % bytes.len() as u64) as usize;
+        let err = decode(&bytes[..cut]).expect_err("truncation must not decode");
+        prop_assert!(matches!(err, AbsError::Checkpoint(_)), "{:?}", err);
+    }
+
+    /// Appending trailing garbage after a valid file is rejected too
+    /// (the file CRC covers exactly the encoded length).
+    #[test]
+    fn trailing_garbage_is_rejected(n in 1usize..=80, seed in any::<u64>(), junk in 1usize..=16) {
+        let mut bytes = encode(&build_checkpoint(n, seed));
+        bytes.extend(std::iter::repeat_n(0xAB, junk));
+        prop_assert!(decode(&bytes).is_err());
+    }
+}

@@ -3,7 +3,7 @@
 //! aggregator's evaluated-count accounting vs a manually driven block,
 //! and the Theorem 1 search-efficiency gauge.
 
-use abs::{Abs, AbsConfig, StopCondition};
+use abs::{Abs, AbsConfig, AbsSession, StopCondition};
 use abs_telemetry::{Aggregator, DeviceSample, HostSample};
 use qubo::BitVec;
 use qubo_search::DeltaTracker;
@@ -63,6 +63,43 @@ fn snapshot_totals_equal_solve_result_fields_exactly() {
         m.counter_with("abs_pool_ops_total", "op", "inserted"),
         Some(r.results_inserted + seeded)
     );
+}
+
+/// The same exact agreement after an *early* `stop()`: the session must
+/// drain the device event rings before the final snapshot, so cutting a
+/// run short never leaves the metrics behind the scalar result.
+#[test]
+fn snapshot_totals_equal_solve_result_fields_after_early_stop() {
+    let problem = qubo_problems::random::generate(64, 7);
+    let mut config = AbsConfig::small();
+    config.seed = 7;
+    config.stop = StopCondition::flips(u64::MAX); // never met: we stop it
+    let mut session = AbsSession::start(config, &problem).expect("start");
+    for _ in 0..40 {
+        session.poll().expect("poll");
+    }
+    let r = session.stop().expect("stop");
+    let m = &r.metrics;
+    assert_eq!(m.counter_total("abs_flips_total"), r.total_flips);
+    assert_eq!(m.counter_total("abs_evaluated_total"), r.evaluated);
+    assert_eq!(m.counter_total("abs_iterations_total"), r.iterations);
+    assert_eq!(
+        m.counter_total("abs_results_received_total"),
+        r.results_received
+    );
+    assert_eq!(
+        m.counter_total("abs_results_inserted_total"),
+        r.results_inserted
+    );
+    assert_eq!(m.gauge("abs_search_rate"), Some(r.search_rate));
+    // The early-stopped accounting is still exact, not merely agreeing:
+    // the dense Theorem-1 projection holds at the quiesced counters.
+    assert_eq!(r.evaluated, (r.total_flips + r.search_units) * 65);
+    // Event histograms came along in the final drain.
+    let walks = m
+        .histogram("abs_straight_walk_length")
+        .expect("walk histogram");
+    assert!(walks.count > 0, "early stop dropped the event rings");
 }
 
 #[test]
