@@ -43,7 +43,7 @@ pub fn window(scale: Scale, out: &Path, rows: &mut Vec<AblationRow>) {
         cfg.machine.device.windows = sched;
         cfg.stop = StopCondition::flips(budget);
         let r = run(&q, cfg);
-        t.row(&[name.clone(), r.best_energy.to_string()]);
+        t.push_row(&[name.clone(), r.best_energy.to_string()]);
         rows.push(AblationRow {
             dimension: "window".into(),
             value: name,
@@ -100,7 +100,7 @@ pub fn ga_mix(scale: Scale, out: &Path, rows: &mut Vec<AblationRow>) {
         cfg.ga = ga;
         cfg.stop = StopCondition::flips(budget);
         let r = run(&q, cfg);
-        t.row(&[name.into(), (-r.best_energy).to_string()]);
+        t.push_row(&[name.into(), (-r.best_energy).to_string()]);
         rows.push(AblationRow {
             dimension: "ga".into(),
             value: name.into(),
@@ -125,7 +125,7 @@ pub fn pool(scale: Scale, out: &Path, rows: &mut Vec<AblationRow>) {
         cfg.pool_size = m;
         cfg.stop = StopCondition::flips(budget);
         let r = run(&q, cfg);
-        t.row(&[m.to_string(), r.best_energy.to_string()]);
+        t.push_row(&[m.to_string(), r.best_energy.to_string()]);
         rows.push(AblationRow {
             dimension: "pool".into(),
             value: m.to_string(),
@@ -162,7 +162,7 @@ pub fn adaptive(scale: Scale, out: &Path, rows: &mut Vec<AblationRow>) {
         cfg.machine.device.adaptive = mode;
         cfg.stop = StopCondition::flips(budget);
         let r = run(&q, cfg);
-        t.row(&[name.clone(), r.best_energy.to_string()]);
+        t.push_row(&[name.clone(), r.best_energy.to_string()]);
         rows.push(AblationRow {
             dimension: "adaptive".into(),
             value: name,
@@ -207,7 +207,7 @@ pub fn policy_mix(scale: Scale, out: &Path, rows: &mut Vec<AblationRow>) {
         cfg.machine.device.policy_mix = mix;
         cfg.stop = StopCondition::flips(budget);
         let r = run(&q, cfg);
-        t.row(&[name.into(), r.best_energy.to_string()]);
+        t.push_row(&[name.into(), r.best_energy.to_string()]);
         rows.push(AblationRow {
             dimension: "policy_mix".into(),
             value: name.into(),

@@ -72,7 +72,7 @@ fn run_tabu_for(q: &Qubo, budget: Duration, seed: u64) -> (Energy, f64) {
 fn compare_on(label: &str, q: &Qubo, budget_ms: u64, rows: &mut Vec<BaselineRow>, t: &mut Table) {
     let budget = Duration::from_millis(budget_ms);
     let mut record = |solver: &str, energy: Energy, elapsed: f64| {
-        t.row(&[
+        t.push_row(&[
             label.into(),
             solver.into(),
             energy.to_string(),

@@ -62,7 +62,7 @@ pub fn report(scale: Scale, out: &Path) {
             local_search(&mut tr, &mut p, m);
             tr.work() as f64 / tr.evaluated() as f64
         };
-        t.row(&[
+        t.push_row(&[
             n.to_string(),
             m.to_string(),
             format!("{e1:.1}"),

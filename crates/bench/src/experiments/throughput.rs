@@ -70,7 +70,7 @@ pub fn table2(scale: Scale, large: bool, out: &Path) {
                 .find(|&&(pn, pp, _)| pn == n && pp == occ.bits_per_thread)
                 .map_or(f64::NAN, |&(_, _, tps)| tps * 1e12);
             let modeled = model.search_rate(n, &occ, 4);
-            t.row(&[
+            t.push_row(&[
                 n.to_string(),
                 occ.bits_per_thread.to_string(),
                 occ.threads_per_block.to_string(),
@@ -134,7 +134,7 @@ pub fn fig8(scale: Scale, out: &Path) {
         let measured = r.search_rate;
         let speed = measured / *base.get_or_insert(measured);
         let modeled = model.search_rate(n, &occ, devices);
-        t.row(&[
+        t.push_row(&[
             devices.to_string(),
             sci(measured),
             format!("{speed:.2}×"),
@@ -228,7 +228,7 @@ pub fn table3(scale: Scale, out: &Path) {
             "RTX 2080 Ti ×4",
         ),
     ] {
-        t.row(&[
+        t.push_row(&[
             sys.into(),
             bits.into(),
             conn.into(),
@@ -236,14 +236,14 @@ pub fn table3(scale: Scale, out: &Path) {
             tech.into(),
         ]);
     }
-    t.row(&[
+    t.push_row(&[
         "ABS (this repo, modeled)".into(),
         "32,768".into(),
         "fully-connected".into(),
         sci(model_peak),
         "calibrated RTX 2080 Ti ×4 model".into(),
     ]);
-    t.row(&[
+    t.push_row(&[
         "ABS (this repo, measured)".into(),
         "32,768".into(),
         "fully-connected".into(),

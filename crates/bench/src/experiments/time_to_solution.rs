@@ -76,7 +76,7 @@ pub fn table1a(scale: Scale, large: bool, out: &Path) {
             inst.name,
             crate::chart::sparkline(&trace, 32)
         );
-        t.row(&[
+        t.push_row(&[
             inst.name.into(),
             inst.n.to_string(),
             family.into(),
@@ -170,7 +170,7 @@ pub fn table1b(scale: Scale, large: bool, out: &Path) {
         let final_len = tq
             .decode(&r.best)
             .map(|tour| inst.tour_length(&tour) as i64);
-        t.row(&[
+        t.push_row(&[
             e.name.into(),
             e.bits.to_string(),
             format!("{ref_len}{}", if exact { " (exact)" } else { " (2-opt)" }),
@@ -240,7 +240,7 @@ pub fn table1c(scale: Scale, large: bool, out: &Path) {
         let r = run(&q, report_config(16, budget));
         let target = (r.best_energy as f64 * 0.99).floor() as i64;
         let tts = time_to_fraction(&r, 0.99);
-        t.row(&[
+        t.push_row(&[
             e.bits.to_string(),
             r.best_energy.to_string(),
             target.to_string(),

@@ -23,7 +23,7 @@ impl Table {
     ///
     /// # Panics
     /// Panics on a column-count mismatch.
-    pub fn row(&mut self, cells: &[String]) {
+    pub fn push_row(&mut self, cells: &[String]) {
         assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
         self.rows.push(cells.to_vec());
     }
@@ -91,8 +91,8 @@ mod tests {
     #[test]
     fn renders_aligned_markdown() {
         let mut t = Table::new("demo", &["a", "long-header"]);
-        t.row(&["1".into(), "2".into()]);
-        t.row(&["333".into(), "4".into()]);
+        t.push_row(&["1".into(), "2".into()]);
+        t.push_row(&["333".into(), "4".into()]);
         let s = t.render();
         assert!(s.contains("### demo"));
         assert!(s.contains("| a   | long-header |"));
@@ -104,7 +104,7 @@ mod tests {
     #[should_panic(expected = "column count mismatch")]
     fn mismatched_row_panics() {
         let mut t = Table::new("x", &["a"]);
-        t.row(&["1".into(), "2".into()]);
+        t.push_row(&["1".into(), "2".into()]);
     }
 
     #[test]

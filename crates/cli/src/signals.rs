@@ -45,8 +45,9 @@ mod imp {
     static INSTALLED: AtomicBool = AtomicBool::new(false);
 
     pub fn install() {
-        // ordering: one-shot install guard; SeqCst makes the winner of
-        // a concurrent race unambiguous (install is idempotent anyway).
+        // ordering: one-shot guard — the SeqCst swap pairs with the
+        // competing SeqCst swap in install; the winner of a concurrent
+        // race is unambiguous (install is idempotent anyway).
         if INSTALLED.swap(true, Ordering::SeqCst) {
             return;
         }

@@ -1,0 +1,502 @@
+//! Workspace symbol table and conservative call graph.
+//!
+//! Resolution is heuristic — abs-lint has no type information — and
+//! errs toward *more* edges inside the workspace and *no* edges into
+//! code it cannot see:
+//!
+//! * `Type::helper(...)` resolves to workspace fns in an `impl Type`
+//!   block (any file). An uppercase segment with no workspace impl is
+//!   an external type (`u64::from_le_bytes`) — no edge.
+//! * `self.helper(...)` resolves to methods of the caller's impl type,
+//!   falling back to every workspace method of that name.
+//! * `x.helper(...)` (receiver type unknown) resolves to **every**
+//!   workspace method named `helper` — the deliberate
+//!   over-approximation that makes zone propagation conservative.
+//! * `helper(...)` resolves to free fns only, preferring the caller's
+//!   module, then file, then crate.
+//! * Macros never form edges (the reachability pass reads their names
+//!   directly).
+//!
+//! A call edge can be severed by an audited `// zone: host-only --`
+//! comment on (or just above) the call line, asserting the callee runs
+//! only on host threads. That comment is an invariant claim like
+//! `// SAFETY:` — it is how a genuinely-host-only helper that shares a
+//! name with device-reachable code is kept out of the device closure,
+//! and every one of them is grep-able.
+
+use crate::lexer::Lexed;
+use crate::parse::{Call, FnItem, ParsedFile, Recv};
+use crate::zones::Zone;
+use std::collections::HashMap;
+
+/// Comment prefix that severs the outgoing call edges of a line.
+pub const EDGE_CUT_KEY: &str = "zone: host-only";
+
+/// A cut comment covers its own span plus the next line, exactly like
+/// an `abs-lint: allow` marker — wide enough for the comment-above-call
+/// idiom, narrow enough not to swallow the following statement.
+const CUT_WINDOW: u32 = 1;
+
+/// One source file prepared for graph building.
+#[derive(Debug)]
+pub struct GraphFile {
+    /// Workspace-relative `/`-separated path.
+    pub rel_path: String,
+    /// Path-based zone of the file.
+    pub zone: Zone,
+    /// Lexer output (tokens + comments), kept for the body scans of the
+    /// whole-program passes.
+    pub lexed: Lexed,
+    /// Parsed item skeleton.
+    pub parsed: ParsedFile,
+    /// Lines whose outgoing call edges are severed by an
+    /// [`EDGE_CUT_KEY`] comment.
+    pub cut_lines: Vec<u32>,
+}
+
+impl GraphFile {
+    /// Builds a graph file from a lexed + parsed source.
+    #[must_use]
+    pub fn new(rel_path: String, zone: Zone, lexed: Lexed, parsed: ParsedFile) -> Self {
+        // A cut comment covers its own line span plus the next
+        // CUT_WINDOW lines, mirroring `comment_near`.
+        let mut cut_lines = Vec::new();
+        for c in &lexed.comments {
+            if c.text.contains(EDGE_CUT_KEY) {
+                for l in c.line..=c.end_line + CUT_WINDOW {
+                    cut_lines.push(l);
+                }
+            }
+        }
+        Self {
+            rel_path,
+            zone,
+            lexed,
+            parsed,
+            cut_lines,
+        }
+    }
+}
+
+/// One call-graph node: a non-test fn item in one file.
+#[derive(Clone, Copy, Debug)]
+pub struct Node {
+    /// Index into [`Graph::files`].
+    pub file: usize,
+    /// Index into that file's `parsed.fns`.
+    pub fn_idx: usize,
+}
+
+/// One resolved call edge.
+#[derive(Clone, Copy, Debug)]
+pub struct Edge {
+    /// Callee node index.
+    pub callee: usize,
+    /// Call-site line in the caller's file.
+    pub line: u32,
+}
+
+/// Predecessor bookkeeping from a reachability walk: how a node was
+/// first reached.
+#[derive(Clone, Copy, Debug)]
+pub struct Provenance {
+    /// Predecessor node (`None` for entry points).
+    pub pred: Option<usize>,
+    /// Call-site line in the predecessor's file (0 for entry points).
+    pub line: u32,
+}
+
+/// The whole-workspace call graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// All prepared files.
+    pub files: Vec<GraphFile>,
+    /// All non-test fn nodes.
+    pub nodes: Vec<Node>,
+    /// Name → node indices.
+    pub by_name: HashMap<String, Vec<usize>>,
+    /// Outgoing edges per node (parallel to `nodes`).
+    pub edges: Vec<Vec<Edge>>,
+}
+
+fn crate_of(rel_path: &str) -> &str {
+    rel_path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+}
+
+/// Whether a lowercase path segment is this crate's import name. The
+/// workspace convention maps `crates/<dir>` to a lib imported as
+/// `<dir>`, `abs_<dir>`, or `qubo_<dir>` (hyphens become underscores);
+/// `crates/core` is imported as plain `abs`.
+fn crate_import_matches(seg: &str, krate: &str) -> bool {
+    seg == krate
+        || seg.strip_suffix(krate).is_some_and(|p| p.ends_with('_'))
+        || (seg == "abs" && krate == "core")
+}
+
+fn file_stem(rel_path: &str) -> &str {
+    rel_path
+        .rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or("")
+}
+
+impl Graph {
+    /// Builds the graph over `files`.
+    #[must_use]
+    pub fn build(files: Vec<GraphFile>) -> Self {
+        let mut g = Graph {
+            files,
+            ..Graph::default()
+        };
+        for (fi, f) in g.files.iter().enumerate() {
+            for (ii, item) in f.parsed.fns.iter().enumerate() {
+                if item.is_test {
+                    continue;
+                }
+                let ni = g.nodes.len();
+                g.nodes.push(Node {
+                    file: fi,
+                    fn_idx: ii,
+                });
+                g.by_name.entry(item.name.clone()).or_default().push(ni);
+            }
+        }
+        g.edges = vec![Vec::new(); g.nodes.len()];
+        for ni in 0..g.nodes.len() {
+            let node = g.nodes[ni];
+            let file = &g.files[node.file];
+            let item = &file.parsed.fns[node.fn_idx];
+            let mut out: Vec<Edge> = Vec::new();
+            for call in &item.calls {
+                if file.cut_lines.contains(&call.line) {
+                    continue;
+                }
+                for callee in resolve_call(&g, call, ni) {
+                    if callee != ni && !out.iter().any(|e| e.callee == callee) {
+                        out.push(Edge {
+                            callee,
+                            line: call.line,
+                        });
+                    }
+                }
+            }
+            g.edges[ni] = out;
+        }
+        g
+    }
+
+    /// The fn item of a node.
+    #[must_use]
+    pub fn item(&self, ni: usize) -> &FnItem {
+        let n = self.nodes[ni];
+        &self.files[n.file].parsed.fns[n.fn_idx]
+    }
+
+    /// The file path of a node.
+    #[must_use]
+    pub fn path(&self, ni: usize) -> &str {
+        &self.files[self.nodes[ni].file].rel_path
+    }
+
+    /// Display name of a node (`Type::fn` or `fn`).
+    #[must_use]
+    pub fn display(&self, ni: usize) -> String {
+        let item = self.item(ni);
+        match &item.impl_ty {
+            Some(t) => format!("{t}::{}", item.name),
+            None => item.name.clone(),
+        }
+    }
+
+    /// Breadth-first reachability from `entries`, returning provenance
+    /// for every reached node (including the entries themselves).
+    #[must_use]
+    pub fn reachable(&self, entries: &[usize]) -> HashMap<usize, Provenance> {
+        let mut seen: HashMap<usize, Provenance> = HashMap::new();
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &e in entries {
+            if seen
+                .insert(
+                    e,
+                    Provenance {
+                        pred: None,
+                        line: 0,
+                    },
+                )
+                .is_none()
+            {
+                queue.push_back(e);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for e in &self.edges[n] {
+                if let std::collections::hash_map::Entry::Vacant(slot) = seen.entry(e.callee) {
+                    slot.insert(Provenance {
+                        pred: Some(n),
+                        line: e.line,
+                    });
+                    queue.push_back(e.callee);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Renders the call chain that reached `node` as
+    /// `entry (file:line) → ... → node`, following provenance.
+    #[must_use]
+    pub fn chain(&self, reach: &HashMap<usize, Provenance>, node: usize) -> String {
+        let mut hops: Vec<String> = Vec::new();
+        let mut cur = node;
+        let mut guard = 0usize;
+        while let Some(p) = reach.get(&cur) {
+            match p.pred {
+                Some(pred) => {
+                    hops.push(format!(
+                        "{} ({}:{})",
+                        self.display(cur),
+                        self.path(pred),
+                        p.line
+                    ));
+                    cur = pred;
+                }
+                None => {
+                    hops.push(self.display(cur));
+                    break;
+                }
+            }
+            guard += 1;
+            if guard > self.nodes.len() + 1 {
+                break; // defensive: provenance is acyclic by construction
+            }
+        }
+        hops.reverse();
+        hops.join(" -> ")
+    }
+}
+
+/// One preference tier of free-fn resolution (module, file, crate).
+type Tier<'a> = Box<dyn Fn(&usize) -> bool + 'a>;
+
+/// Resolves one call site to candidate callee nodes.
+fn resolve_call(g: &Graph, call: &Call, caller: usize) -> Vec<usize> {
+    let Some(cands) = g.by_name.get(&call.name) else {
+        return Vec::new();
+    };
+    let caller_node = g.nodes[caller];
+    let caller_item = g.item(caller);
+    let caller_path = &g.files[caller_node.file].rel_path;
+    let methods = |c: &usize| g.item(*c).impl_ty.is_some();
+    match &call.recv {
+        Recv::Macro => Vec::new(),
+        Recv::Path(seg) if seg == "Self" => {
+            let own: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| g.item(c).impl_ty == caller_item.impl_ty)
+                .collect();
+            if own.is_empty() {
+                cands.iter().copied().filter(methods).collect()
+            } else {
+                own
+            }
+        }
+        Recv::Path(seg) if seg.starts_with(char::is_uppercase) => {
+            // Workspace type: its impls; external type: no edge.
+            cands
+                .iter()
+                .copied()
+                .filter(|&c| g.item(c).impl_ty.as_deref() == Some(seg.as_str()))
+                .collect()
+        }
+        Recv::Path(seg) => {
+            // Module path segment: same-module / same-stem free fns,
+            // `crate`/`self`/`super` scoped to the caller's crate.
+            let scoped: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    let item = g.item(c);
+                    let path = g.path(c);
+                    if item.impl_ty.is_some() {
+                        return false;
+                    }
+                    match seg.as_str() {
+                        "crate" | "super" | "self" => crate_of(path) == crate_of(caller_path),
+                        s => {
+                            item.module.last().is_some_and(|m| m == s)
+                                || file_stem(path) == s
+                                || crate_import_matches(s, crate_of(path))
+                        }
+                    }
+                })
+                .collect();
+            scoped
+        }
+        Recv::SelfRecv => {
+            let own: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    g.item(c).impl_ty.is_some() && g.item(c).impl_ty == caller_item.impl_ty
+                })
+                .collect();
+            if own.is_empty() {
+                cands.iter().copied().filter(methods).collect()
+            } else {
+                own
+            }
+        }
+        Recv::Var => cands.iter().copied().filter(methods).collect(),
+        Recv::Free => {
+            let free: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| g.item(c).impl_ty.is_none())
+                .collect();
+            let tiers: [Tier<'_>; 3] = [
+                Box::new(|&c: &usize| {
+                    g.path(c) == caller_path && g.item(c).module == caller_item.module
+                }),
+                Box::new(|&c: &usize| g.path(c) == caller_path),
+                Box::new(|&c: &usize| crate_of(g.path(c)) == crate_of(caller_path)),
+            ];
+            for tier in &tiers {
+                let t: Vec<usize> = free.iter().copied().filter(|c| tier(c)).collect();
+                if !t.is_empty() {
+                    return t;
+                }
+            }
+            free
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+    use crate::zones::classify;
+
+    fn build(files: &[(&str, &str)]) -> Graph {
+        let gfs = files
+            .iter()
+            .map(|(path, src)| {
+                let lexed = lex(src);
+                let parsed = parse(&lexed);
+                GraphFile::new(path.to_string(), classify(path), lexed, parsed)
+            })
+            .collect();
+        Graph::build(gfs)
+    }
+
+    fn node(g: &Graph, name: &str) -> usize {
+        g.by_name[name][0]
+    }
+
+    #[test]
+    fn cross_file_edges_resolve_by_name_and_receiver() {
+        let g = build(&[
+            (
+                "crates/search/src/tracker.rs",
+                "impl Tracker { fn flip(&mut self) { self.step(); helper(); } \
+                 fn step(&mut self) {} }\nfn helper() { qubo::Matrix::get(); }",
+            ),
+            (
+                "crates/qubo/src/matrix.rs",
+                "impl Matrix { fn get() {} }\nfn unrelated() {}",
+            ),
+        ]);
+        let flip = node(&g, "flip");
+        let callees: Vec<String> = g.edges[flip].iter().map(|e| g.display(e.callee)).collect();
+        assert!(
+            callees.contains(&"Tracker::step".to_string()),
+            "{callees:?}"
+        );
+        assert!(callees.contains(&"helper".to_string()));
+        // helper -> Matrix::get across crates via the Type:: path.
+        let helper = node(&g, "helper");
+        let callees: Vec<String> = g.edges[helper]
+            .iter()
+            .map(|e| g.display(e.callee))
+            .collect();
+        assert_eq!(callees, ["Matrix::get"]);
+        // unrelated is not reachable from flip.
+        let reach = g.reachable(&[flip]);
+        assert!(!reach.contains_key(&node(&g, "unrelated")));
+        assert!(reach.contains_key(&node(&g, "get")));
+    }
+
+    #[test]
+    fn unknown_receiver_fans_out_to_all_methods_only() {
+        let g = build(&[
+            (
+                "crates/search/src/local.rs",
+                "fn drive(x: &mut T) { x.update(0); }",
+            ),
+            (
+                "crates/qubo/src/storage.rs",
+                "impl Csr { fn update(&mut self, v: i64) {} }\n\
+                 impl Dense { fn update(&mut self, v: i64) {} }\n\
+                 fn update() {}",
+            ),
+        ]);
+        let drive = node(&g, "drive");
+        let callees: Vec<String> = g.edges[drive].iter().map(|e| g.display(e.callee)).collect();
+        assert_eq!(callees.len(), 2, "{callees:?}");
+        assert!(callees.contains(&"Csr::update".to_string()));
+        assert!(callees.contains(&"Dense::update".to_string()));
+    }
+
+    #[test]
+    fn external_types_produce_no_edges() {
+        let g = build(&[(
+            "crates/search/src/local.rs",
+            "fn f() { let x = u64::from_le_bytes(b); Vec::with_capacity(4); }\n\
+             fn with_capacity() {}",
+        )]);
+        // Vec:: is not a workspace impl type: no edge to the free fn.
+        assert!(g.edges[node(&g, "f")].is_empty());
+    }
+
+    #[test]
+    fn edge_cut_comment_severs_the_call() {
+        let g = build(&[(
+            "crates/search/src/local.rs",
+            "fn f() {\n  // zone: host-only -- poll loop callback, never on device threads\n  helper();\n  other();\n}\nfn helper() {}\nfn other() {}",
+        )]);
+        let f = node(&g, "f");
+        let callees: Vec<String> = g.edges[f].iter().map(|e| g.display(e.callee)).collect();
+        assert!(!callees.contains(&"helper".to_string()), "{callees:?}");
+        assert!(callees.contains(&"other".to_string()));
+    }
+
+    #[test]
+    fn chains_render_entry_to_leaf() {
+        let g = build(&[(
+            "crates/search/src/tracker.rs",
+            "fn flip() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}",
+        )]);
+        let reach = g.reachable(&[node(&g, "flip")]);
+        let chain = g.chain(&reach, node(&g, "leaf"));
+        assert_eq!(
+            chain,
+            "flip -> mid (crates/search/src/tracker.rs:1) -> leaf (crates/search/src/tracker.rs:2)"
+        );
+    }
+
+    #[test]
+    fn test_fns_are_not_nodes() {
+        let g = build(&[(
+            "crates/search/src/tracker.rs",
+            "#[cfg(test)]\nmod tests { fn t() {} }\nfn live() {}",
+        )]);
+        assert!(!g.by_name.contains_key("t"));
+        assert!(g.by_name.contains_key("live"));
+    }
+}

@@ -10,28 +10,43 @@
 //!
 //! * [`lexer`] — a small std-only Rust lexer (tokens + comments), so the
 //!   rules see code, not lines.
+//! * [`parse`] — item-level parsing: functions, impl blocks, call
+//!   sites, with exact `#[cfg(test)]` gating semantics.
+//! * [`callgraph`] — the conservative whole-workspace call graph the
+//!   transitive passes walk.
 //! * [`zones`] — the device / host-ga / host / neutral / harness zone
-//!   map, by path.
-//! * [`rules`] — deny-by-default diagnostics with inline
+//!   map, by path, plus transitive zone propagation over the graph.
+//! * [`rules`] — deny-by-default per-file diagnostics with inline
 //!   `// abs-lint: allow(<rule>) -- <reason>` exceptions, counted
 //!   against a pinned budget.
+//! * [`pairing`] — the cross-checked Release/Acquire pairing table.
+//! * [`reach`] — panic- and allocation-reachability from the hot path.
 //! * [`model`] — an exhaustive interleaving model check of the
 //!   `GlobalMem` counter/overflow/eviction protocol.
 //! * [`report`] — human and JSON rendering.
+//! * [`sarif`] — SARIF v2.1.0 rendering, the diff-aware `--changed-since`
+//!   filter, and the committed-baseline gate.
 //!
-//! See `DESIGN.md` §9 for the rule → paper-clause mapping.
+//! See `DESIGN.md` §9 for the rule → paper-clause mapping and §9.5 for
+//! the generated atomic-pairing appendix.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
 pub mod model;
+pub mod pairing;
+pub mod parse;
+pub mod reach;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 pub mod zones;
 
+use callgraph::{Graph, GraphFile};
 use report::Report;
-use rules::{parse_markers, FileCtx};
+use rules::{apply_markers, parse_markers, FileCtx};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -71,16 +86,11 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-/// Lints the workspace at `root`. `budget` is the marker budget to
-/// enforce (`None` disables the budget gate).
-pub fn lint_tree(root: &Path, budget: Option<usize>) -> Result<Report, String> {
+/// Lexes, parses, and classifies every workspace source file, building
+/// the whole-program call graph the transitive passes walk.
+pub fn build_graph(root: &Path) -> Result<Graph, String> {
     let files = collect_sources(root)?;
-    let mut report = Report {
-        root: root.display().to_string(),
-        files_scanned: files.len(),
-        budget,
-        ..Report::default()
-    };
+    let mut gfs = Vec::with_capacity(files.len());
     for path in &files {
         let src =
             fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -90,17 +100,65 @@ pub fn lint_tree(root: &Path, budget: Option<usize>) -> Result<Report, String> {
             .to_string_lossy()
             .replace('\\', "/");
         let lexed = lexer::lex(&src);
-        report.allow_markers += parse_markers(&lexed).len();
+        let parsed = parse::parse(&lexed);
+        let zone = zones::classify(&rel);
+        gfs.push(GraphFile::new(rel, zone, lexed, parsed));
+    }
+    Ok(Graph::build(gfs))
+}
+
+/// Lints the workspace at `root`: the per-file rule passes plus the
+/// whole-program passes (zone propagation, atomic pairing, panic/alloc
+/// reachability). `budget` is the marker budget to enforce (`None`
+/// disables the budget gate).
+pub fn lint_tree(root: &Path, budget: Option<usize>) -> Result<Report, String> {
+    let graph = build_graph(root)?;
+    Ok(lint_graph(&graph, root, budget))
+}
+
+/// Lints a pre-built graph (so callers needing the graph afterwards —
+/// the `--zones` and `--pairing-table` reports — parse the tree once).
+#[must_use]
+pub fn lint_graph(graph: &Graph, root: &Path, budget: Option<usize>) -> Report {
+    let mut report = Report {
+        root: root.display().to_string(),
+        files_scanned: graph.files.len(),
+        budget,
+        ..Report::default()
+    };
+
+    // Per-file passes (markers applied inside check_file).
+    let mut markers_by_file = std::collections::HashMap::new();
+    for gf in &graph.files {
+        let markers = parse_markers(&gf.lexed);
+        report.allow_markers += markers.len();
+        markers_by_file.insert(gf.rel_path.as_str(), markers);
         let ctx = FileCtx {
-            rel_path: &rel,
-            zone: zones::classify(&rel),
-            lexed: &lexed,
+            rel_path: &gf.rel_path,
+            zone: gf.zone,
+            lexed: &gf.lexed,
         };
         for mut f in rules::check_file(&ctx) {
-            f.file = rel.clone();
+            f.file = gf.rel_path.clone();
             report.findings.push(f);
         }
     }
+
+    // Whole-program passes. Allow markers suppress these findings
+    // exactly like per-file ones.
+    let mut whole: Vec<rules::Finding> = Vec::new();
+    let (prop, _inferred) = zones::propagate(graph);
+    whole.extend(prop);
+    whole.extend(pairing::check_table(&pairing::build_table(&graph.files)));
+    whole.extend(reach::check_panic_reachability(graph));
+    whole.extend(reach::check_alloc_reachability(graph));
+    for f in &mut whole {
+        if let Some(markers) = markers_by_file.get(f.file.as_str()) {
+            apply_markers(std::slice::from_mut(f), markers);
+        }
+    }
+    report.findings.extend(whole);
+
     if report.over_budget() {
         report.findings.push(rules::Finding {
             file: BUDGET_FILE.to_string(),
@@ -117,8 +175,8 @@ pub fn lint_tree(root: &Path, budget: Option<usize>) -> Result<Report, String> {
     }
     report
         .findings
-        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    Ok(report)
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
 }
 
 /// Reads the budget file under `root`, if present.

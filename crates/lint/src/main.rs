@@ -2,9 +2,21 @@
 //! model check.
 //!
 //! ```text
-//! abs-lint [--root DIR] [--format human|json] [--no-budget]
-//!          [--model-check [DEPTH]] [--list-rules]
+//! abs-lint [--root DIR] [--format human|json|sarif] [--no-budget]
+//!          [--changed-since REV] [--no-baseline] [--update-baseline]
+//!          [--model-check [DEPTH]] [--lint-and-model-check [DEPTH]]
+//!          [--pairing-table md|json] [--zones] [--list-rules]
 //! ```
+//!
+//! * `--format sarif` emits a SARIF v2.1.0 log for code-scanning UIs.
+//! * `--changed-since REV` keeps only findings on lines changed since
+//!   `REV` (via `git diff --unified=0`) — the PR-review mode.
+//! * A committed `.abs-lint.baseline` at the root downgrades known
+//!   findings to non-gating; `--update-baseline` rewrites it from the
+//!   current tree and `--no-baseline` ignores it.
+//! * `--pairing-table md|json` prints the cross-checked atomic pairing
+//!   table (the DESIGN.md §9.5 appendix is generated from `md`).
+//! * `--zones` prints the transitive device-zone inference table.
 //!
 //! Exit codes: 0 clean, 1 violations or model-check failure, 2 usage or
 //! I/O error.
@@ -12,26 +24,46 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use abs_lint::{lint_tree, model, read_budget, report::json_str, rules::RULES};
+use abs_lint::{
+    build_graph, lint_graph, model, pairing, read_budget, report::json_str, rules::RULES, sarif,
+    zones,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 struct Args {
     root: PathBuf,
-    json: bool,
+    format: Format,
     budget: bool,
+    baseline: bool,
+    update_baseline: bool,
+    changed_since: Option<String>,
     model_check: Option<usize>,
     list_rules: bool,
+    pairing_table: Option<&'static str>,
+    zones_report: bool,
     lint: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::from("."),
-        json: false,
+        format: Format::Human,
         budget: true,
+        baseline: true,
+        update_baseline: false,
+        changed_since: None,
         model_check: None,
         list_rules: false,
+        pairing_table: None,
+        zones_report: false,
         lint: true,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -46,14 +78,37 @@ fn parse_args() -> Result<Args, String> {
             "--format" => {
                 i += 1;
                 match argv.get(i).map(String::as_str) {
-                    Some("json") => args.json = true,
-                    Some("human") => args.json = false,
-                    other => return Err(format!("--format must be human|json, got {other:?}")),
+                    Some("json") => args.format = Format::Json,
+                    Some("human") => args.format = Format::Human,
+                    Some("sarif") => args.format = Format::Sarif,
+                    other => {
+                        return Err(format!("--format must be human|json|sarif, got {other:?}"))
+                    }
                 }
             }
             "--no-budget" => args.budget = false,
+            "--no-baseline" => args.baseline = false,
+            "--update-baseline" => args.update_baseline = true,
+            "--changed-since" => {
+                i += 1;
+                let v = argv.get(i).ok_or("--changed-since needs a git rev")?;
+                args.changed_since = Some(v.clone());
+            }
             "--list-rules" => {
                 args.list_rules = true;
+                args.lint = false;
+            }
+            "--pairing-table" => {
+                i += 1;
+                match argv.get(i).map(String::as_str) {
+                    Some("md") => args.pairing_table = Some("md"),
+                    Some("json") => args.pairing_table = Some("json"),
+                    other => return Err(format!("--pairing-table must be md|json, got {other:?}")),
+                }
+                args.lint = false;
+            }
+            "--zones" => {
+                args.zones_report = true;
                 args.lint = false;
             }
             "--model-check" => {
@@ -100,7 +155,45 @@ fn main() -> ExitCode {
 
     let mut failed = false;
 
-    if args.lint {
+    if args.lint || args.pairing_table.is_some() || args.zones_report {
+        let graph = match build_graph(&args.root) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("abs-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+
+        if let Some(fmt) = args.pairing_table {
+            let table = pairing::build_table(&graph.files);
+            if fmt == "md" {
+                print!("{}", pairing::to_markdown(&table));
+            } else {
+                println!("{}", pairing::to_json(&table));
+            }
+            let dangling = pairing::check_table(&table);
+            for f in &dangling {
+                eprintln!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+            }
+            return if dangling.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+
+        if args.zones_report {
+            let (_, inferred) = zones::propagate(&graph);
+            for z in &inferred {
+                println!(
+                    "{}:{}: {} device-inferred via {}",
+                    z.file, z.line, z.name, z.chain
+                );
+            }
+            println!("abs-lint: {} device-inferred function(s)", inferred.len());
+            return ExitCode::SUCCESS;
+        }
+
         let budget = if args.budget {
             match read_budget(&args.root) {
                 Ok(b) => b,
@@ -112,17 +205,48 @@ fn main() -> ExitCode {
         } else {
             None
         };
-        let report = match lint_tree(&args.root, budget) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("abs-lint: {e}");
+        let mut report = lint_graph(&graph, &args.root, budget);
+
+        // Diff-aware mode: keep only findings on changed lines.
+        if let Some(rev) = &args.changed_since {
+            match sarif::changed_lines(&args.root, rev) {
+                Ok(changed) => {
+                    report.findings =
+                        sarif::filter_changed(std::mem::take(&mut report.findings), &changed);
+                }
+                Err(e) => {
+                    eprintln!("abs-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+
+        let baseline_path = args.root.join(sarif::BASELINE_FILE);
+        if args.update_baseline {
+            let content = sarif::write_baseline(&report.findings);
+            if let Err(e) = std::fs::write(&baseline_path, content) {
+                eprintln!("abs-lint: cannot write {}: {e}", baseline_path.display());
                 return ExitCode::from(2);
             }
-        };
-        if args.json {
-            println!("{}", report.json());
-        } else {
-            print!("{}", report.human());
+            println!("abs-lint: baseline written to {}", baseline_path.display());
+            return ExitCode::SUCCESS;
+        }
+        if args.baseline {
+            if let Ok(content) = std::fs::read_to_string(&baseline_path) {
+                let n = sarif::apply_baseline(&mut report.findings, &content);
+                if n > 0 && args.format == Format::Human {
+                    eprintln!(
+                        "abs-lint: {n} finding(s) suppressed by {}",
+                        sarif::BASELINE_FILE
+                    );
+                }
+            }
+        }
+
+        match args.format {
+            Format::Json => println!("{}", report.json()),
+            Format::Sarif => println!("{}", sarif::to_sarif(&report)),
+            Format::Human => print!("{}", report.human()),
         }
         failed |= !report.ok();
     }
@@ -130,7 +254,7 @@ fn main() -> ExitCode {
     if let Some(depth) = args.model_check {
         match model::run_model_check(depth) {
             Ok(runs) => {
-                if args.json {
+                if args.format == Format::Json {
                     let mut s = String::from("{\"model_check\":{\"depth\":");
                     s.push_str(&depth.to_string());
                     s.push_str(",\"ok\":true,\"configs\":[");

@@ -1,0 +1,571 @@
+//! Verified atomic pairing: the Release/Acquire table.
+//!
+//! The per-file `ordering-pair-named` rule only checks that an
+//! `// ordering:` comment *exists* next to a non-Relaxed atomic
+//! operation. This pass parses those comments into a pairing table and
+//! cross-checks it:
+//!
+//! * every non-Relaxed site's comment must contain a parseable
+//!   `pairs with [the <Ordering>] <op...> in <fn>` clause;
+//! * the named partner function must exist and contain a non-Relaxed
+//!   site **on the same atomic field**;
+//! * the partner's ordering must be complementary (a release-side
+//!   store needs an acquire-capable partner and vice versa; RMW sites
+//!   are both sides, and may pair with themselves — competing
+//!   claimants);
+//! * the partner's own comment must name this site's function back, so
+//!   both halves of the protocol point at each other.
+//!
+//! The cross-checked table is emitted as a machine-readable JSON
+//! artifact and as the generated DESIGN.md appendix (`--pairing-table
+//! json|md`); the weekly CI job diffs the committed appendix against
+//! the regenerated one, so the documentation cannot drift from the
+//! code.
+
+use crate::callgraph::GraphFile;
+use crate::lexer::TokKind;
+use crate::report::json_str;
+use crate::rules::Finding;
+
+/// Comment window, matching the per-file rules.
+const COMMENT_WINDOW: u32 = 2;
+
+/// Atomic method names whose calls form pairing sites.
+const ATOMIC_OPS: &[&str] = &[
+    "store",
+    "load",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ORDERINGS: &[&str] = &["AcqRel", "Acquire", "Release", "SeqCst"];
+
+/// One non-Relaxed atomic operation site.
+#[derive(Clone, Debug)]
+pub struct AtomicSite {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the operation.
+    pub line: u32,
+    /// Enclosing function name.
+    pub func: String,
+    /// Atomic field (receiver) name.
+    pub field: String,
+    /// Operation (`store`, `load`, `fetch_add`, ...).
+    pub op: String,
+    /// Success ordering (`Acquire`, `Release`, `AcqRel`, `SeqCst`).
+    pub ordering: String,
+    /// Partner functions named by the `pairs with ... in <fn>` clause
+    /// (one load may pair against stores in several functions).
+    pub partners: Vec<String>,
+    /// Partner ordering named by the clause, if stated.
+    pub partner_ord: Option<String>,
+}
+
+impl AtomicSite {
+    fn is_rmw(&self) -> bool {
+        self.op != "store" && self.op != "load"
+    }
+
+    fn release_side(&self) -> bool {
+        self.op != "load" && matches!(self.ordering.as_str(), "Release" | "AcqRel" | "SeqCst")
+    }
+
+    fn acquire_side(&self) -> bool {
+        (self.op == "load" || self.is_rmw())
+            && matches!(self.ordering.as_str(), "Acquire" | "AcqRel" | "SeqCst")
+    }
+}
+
+/// The workspace pairing table.
+#[derive(Debug, Default)]
+pub struct PairingTable {
+    /// All non-Relaxed sites in non-test code, sorted by (file, line).
+    pub sites: Vec<AtomicSite>,
+}
+
+/// Parses the pairing clause out of one ordering comment. Returns
+/// `(partner_ordering, partner_fns)` when a `pairs with ... in <fn>`
+/// clause is present and names at least one function. Every `in <name>`
+/// inside the clause contributes a partner, so one load can pair
+/// against stores in several functions.
+fn parse_pairing_clause(text: &str) -> Option<(Option<String>, Vec<String>)> {
+    let rest = &text[text.find("pairs with")? + "pairs with".len()..];
+    // Everything past the em-dash/sentence end is prose. Merged `//`
+    // runs join with newlines — collapse whitespace so a clause may
+    // wrap across comment lines.
+    let clause = rest.split(['—', ';']).next().unwrap_or(rest);
+    let clause: String = clause.split_whitespace().collect::<Vec<_>>().join(" ");
+    let clause = clause.as_str();
+    let ord = ORDERINGS
+        .iter()
+        .find(|o| clause.contains(*o))
+        .map(|o| (*o).to_string());
+    let mut partners = Vec::new();
+    let mut search = clause;
+    while let Some(pos) = search.find(" in ") {
+        let after = &search[pos + 4..];
+        // Merged `//` runs keep their sigils, so a name that starts a
+        // wrapped line may be prefixed by `//` — strip sigils too.
+        let name: String = after
+            .trim_start_matches(['`', ' ', '/', '*', '!'])
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() && !partners.contains(&name) {
+            partners.push(name);
+        }
+        search = after;
+    }
+    if partners.is_empty() {
+        None
+    } else {
+        Some((ord, partners))
+    }
+}
+
+/// Extracts every non-Relaxed atomic site (with its parsed pairing
+/// clause) from the prepared files.
+#[must_use]
+pub fn build_table(files: &[GraphFile]) -> PairingTable {
+    let mut sites = Vec::new();
+    for f in files {
+        let toks = &f.lexed.toks;
+        // One site per call: compare_exchange carries two Ordering
+        // arguments that resolve to the same open paren.
+        let mut seen_calls: Vec<usize> = Vec::new();
+        for k in 0..toks.len() {
+            if !(toks[k].is_ident("Ordering")
+                && toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(k + 2).is_some_and(|t| t.is_punct(':'))
+                && toks
+                    .get(k + 3)
+                    .is_some_and(|t| ORDERINGS.contains(&t.text.as_str())))
+            {
+                continue;
+            }
+            // Walk back to the unbalanced `(` of the enclosing call.
+            let mut depth = 0i32;
+            let mut j = k;
+            let open = loop {
+                if j == 0 {
+                    break None;
+                }
+                j -= 1;
+                if toks[j].is_punct(')') {
+                    depth += 1;
+                } else if toks[j].is_punct('(') {
+                    if depth == 0 {
+                        break Some(j);
+                    }
+                    depth -= 1;
+                }
+            };
+            let Some(open) = open else { continue };
+            if seen_calls.contains(&open) {
+                continue; // failure ordering of the same call
+            }
+            let Some(method) = open
+                .checked_sub(1)
+                .map(|m| &toks[m])
+                .filter(|m| m.kind == TokKind::Ident && ATOMIC_OPS.contains(&m.text.as_str()))
+            else {
+                continue;
+            };
+            seen_calls.push(open);
+            let field = open
+                .checked_sub(2)
+                .filter(|&d| toks[d].is_punct('.'))
+                .and_then(|d| d.checked_sub(1))
+                .map(|fi| &toks[fi])
+                .filter(|t| t.kind == TokKind::Ident)
+                .map_or_else(|| "<expr>".to_string(), |t| t.text.clone());
+            let line = method.line;
+            // Test code is outside the protocol.
+            let func = match f.parsed.fn_at_line(line) {
+                Some(item) if !item.is_test => item.name.clone(),
+                _ => continue,
+            };
+            // The *closest* ordering comment governs: two sites a line
+            // apart each bind to the comment directly above them.
+            let clause = f
+                .lexed
+                .comments
+                .iter()
+                .filter(|c| {
+                    c.end_line >= line.saturating_sub(COMMENT_WINDOW)
+                        && c.line <= line
+                        && c.text.contains("ordering:")
+                })
+                .max_by_key(|c| c.line)
+                .and_then(|c| parse_pairing_clause(&c.text));
+            let (partner_ord, partners) = match clause {
+                Some((o, p)) => (o, p),
+                None => (None, Vec::new()),
+            };
+            sites.push(AtomicSite {
+                file: f.rel_path.clone(),
+                line,
+                func,
+                field,
+                op: method.text.clone(),
+                ordering: toks[k + 3].text.clone(),
+                partners,
+                partner_ord,
+            });
+        }
+    }
+    sites.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    PairingTable { sites }
+}
+
+/// Cross-checks the table, returning `atomic-pairing` findings.
+#[must_use]
+pub fn check_table(table: &PairingTable) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut push = |site: &AtomicSite, message: String| {
+        findings.push(Finding {
+            file: site.file.clone(),
+            line: site.line,
+            rule: "atomic-pairing",
+            zone: "neutral",
+            message,
+            allowed: false,
+        });
+    };
+    for s in &table.sites {
+        if s.partners.is_empty() {
+            push(
+                s,
+                format!(
+                    "Ordering::{} {} on `{}` has no parseable pairing clause — write \
+                     `// ordering: ... pairs with the <Ordering> <op> in <fn>`",
+                    s.ordering, s.op, s.field
+                ),
+            );
+            continue;
+        }
+        // Every named partner must exist as a non-Relaxed site on the
+        // same atomic field.
+        let mut dangling = false;
+        for partner in &s.partners {
+            if !table
+                .sites
+                .iter()
+                .any(|t| &t.func == partner && t.field == s.field)
+            {
+                dangling = true;
+                push(
+                    s,
+                    format!(
+                        "pairing names `{partner}` but no non-Relaxed site on `{}` exists in a \
+                         function of that name",
+                        s.field
+                    ),
+                );
+            }
+        }
+        if dangling {
+            continue;
+        }
+        let candidates: Vec<&AtomicSite> = table
+            .sites
+            .iter()
+            .filter(|t| s.partners.contains(&t.func) && t.field == s.field)
+            .collect();
+        // Complementarity: a pure store needs an acquire-capable
+        // partner; a pure load needs a release-capable one; an RMW is
+        // both sides and accepts either (including itself).
+        let complementary = candidates.iter().any(|t| {
+            if s.op == "store" {
+                t.acquire_side()
+            } else if s.op == "load" {
+                t.release_side()
+            } else {
+                t.acquire_side() || t.release_side()
+            }
+        });
+        let partners = s.partners.join("`/`");
+        if !complementary {
+            push(
+                s,
+                format!(
+                    "partner `{partners}` has no complementary ordering on `{}` (this side is \
+                     Ordering::{} {})",
+                    s.field, s.ordering, s.op
+                ),
+            );
+        }
+        if let Some(po) = &s.partner_ord {
+            if !candidates.iter().any(|t| &t.ordering == po) {
+                push(
+                    s,
+                    format!(
+                        "pairing claims the partner in `{partners}` uses Ordering::{po}, but its \
+                         sites on `{}` use {}",
+                        s.field,
+                        candidates
+                            .iter()
+                            .map(|t| t.ordering.as_str())
+                            .collect::<Vec<_>>()
+                            .join("/")
+                    ),
+                );
+            }
+        }
+        // Reciprocity: some partner site must name this function back (a
+        // same-function RMW self-pair satisfies it by naming itself).
+        let named_back = candidates
+            .iter()
+            .any(|t| t.partners.iter().any(|p| p == &s.func));
+        if !named_back {
+            push(
+                s,
+                format!(
+                    "partner site in `{partners}` does not name `{}` back — both halves of the \
+                     protocol must point at each other",
+                    s.func
+                ),
+            );
+        }
+    }
+    findings
+}
+
+/// Renders the table as the generated DESIGN.md appendix (markdown).
+#[must_use]
+pub fn to_markdown(table: &PairingTable) -> String {
+    let mut s = String::from(
+        "| Site | Function | Field | Op | Ordering | Pairs with |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    for site in &table.sites {
+        s.push_str(&format!(
+            "| `{}:{}` | `{}` | `{}` | `{}` | {} | {} |\n",
+            site.file,
+            site.line,
+            site.func,
+            site.field,
+            site.op,
+            site.ordering,
+            match (&site.partners[..], &site.partner_ord) {
+                ([], _) => "—".to_string(),
+                (ps, Some(o)) => format!("{o} in `{}`", ps.join("`, `")),
+                (ps, None) => format!("`{}`", ps.join("`, `")),
+            }
+        ));
+    }
+    s.push_str(&format!("\n{} non-Relaxed sites.\n", table.sites.len()));
+    s
+}
+
+/// Renders the table as a machine-readable JSON artifact.
+#[must_use]
+pub fn to_json(table: &PairingTable) -> String {
+    let mut s = String::from("{\"atomic_pairing\":[");
+    for (i, site) in table.sites.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"fn\":{},\"field\":{},\"op\":{},\"ordering\":{},\
+             \"partners\":[{}],\"partner_ordering\":{}}}",
+            json_str(&site.file),
+            site.line,
+            json_str(&site.func),
+            json_str(&site.field),
+            json_str(&site.op),
+            json_str(&site.ordering),
+            site.partners
+                .iter()
+                .map(|p| json_str(p))
+                .collect::<Vec<_>>()
+                .join(","),
+            site.partner_ord.as_deref().map_or("null".into(), json_str),
+        ));
+    }
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+    use crate::zones::classify;
+
+    fn table(files: &[(&str, &str)]) -> PairingTable {
+        let gfs: Vec<GraphFile> = files
+            .iter()
+            .map(|(path, src)| {
+                let lexed = lex(src);
+                let parsed = parse(&lexed);
+                GraphFile::new(path.to_string(), classify(path), lexed, parsed)
+            })
+            .collect();
+        build_table(&gfs)
+    }
+
+    const PAIRED: &str = "\
+impl Mem {
+    fn publish(&self) {
+        // ordering: Release pairs with the Acquire load in counter.
+        self.count.fetch_add(1, Ordering::Release);
+    }
+    fn counter(&self) -> u64 {
+        // ordering: Acquire pairs with the Release fetch_add in publish.
+        self.count.load(Ordering::Acquire)
+    }
+}
+";
+
+    #[test]
+    fn well_paired_sites_cross_check_clean() {
+        let t = table(&[("crates/vgpu/src/buffers.rs", PAIRED)]);
+        assert_eq!(t.sites.len(), 2);
+        assert_eq!(t.sites[0].func, "publish");
+        assert_eq!(t.sites[0].field, "count");
+        assert_eq!(t.sites[0].op, "fetch_add");
+        assert_eq!(t.sites[0].partners, ["counter"]);
+        assert_eq!(t.sites[0].partner_ord.as_deref(), Some("Acquire"));
+        assert!(check_table(&t).is_empty(), "{:?}", check_table(&t));
+    }
+
+    #[test]
+    fn missing_clause_dangling_partner_and_no_backref_are_findings() {
+        // No clause at all.
+        let t = table(&[(
+            "crates/vgpu/src/health.rs",
+            "fn f(&self) {\n  // ordering: total order guard.\n  self.x.store(1, Ordering::Release);\n}\n",
+        )]);
+        let fs = check_table(&t);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("no parseable pairing clause"));
+
+        // Clause names a fn with no matching site.
+        let t = table(&[(
+            "crates/vgpu/src/health.rs",
+            "fn f(&self) {\n  // ordering: Release pairs with the Acquire load in ghost.\n  self.x.store(1, Ordering::Release);\n}\n",
+        )]);
+        let fs = check_table(&t);
+        assert!(fs.iter().any(|f| f.message.contains("ghost")), "{fs:?}");
+
+        // Partner exists but does not name this site back.
+        let t = table(&[(
+            "crates/vgpu/src/health.rs",
+            "\
+fn f(&self) {
+    // ordering: Release pairs with the Acquire load in g.
+    self.x.store(1, Ordering::Release);
+}
+fn g(&self) {
+    // ordering: Acquire pairs with the Release store in other.
+    self.x.load(Ordering::Acquire);
+}
+fn other(&self) {
+    // ordering: Release pairs with the Acquire load in g.
+    self.x.store(2, Ordering::Release);
+}
+",
+        )]);
+        let fs = check_table(&t);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("does not name `f` back"));
+    }
+
+    #[test]
+    fn ordering_mismatch_is_a_finding() {
+        // Both sides Relaxed-free but partner is a plain Release store
+        // when this side needs an acquire-capable op... here partner
+        // stores only, so a store→store pair must fail.
+        let t = table(&[(
+            "crates/vgpu/src/health.rs",
+            "\
+fn f(&self) {
+    // ordering: Release pairs with the Release store in g.
+    self.x.store(1, Ordering::Release);
+}
+fn g(&self) {
+    // ordering: Release pairs with the Release store in f.
+    self.x.store(2, Ordering::Release);
+}
+",
+        )]);
+        let fs = check_table(&t);
+        assert!(
+            fs.iter()
+                .any(|f| f.message.contains("no complementary ordering")),
+            "{fs:?}"
+        );
+    }
+
+    #[test]
+    fn one_load_may_pair_against_stores_in_two_fns() {
+        let t = table(&[(
+            "crates/vgpu/src/buffers.rs",
+            "\
+fn enter(&self) {
+    // ordering: Release pairs with the Acquire load in quiesced.
+    self.n.fetch_add(1, Ordering::Release);
+}
+fn exit(&self) {
+    // ordering: Release pairs with the Acquire load in quiesced.
+    self.n.fetch_sub(1, Ordering::Release);
+}
+fn quiesced(&self) -> bool {
+    // ordering: Acquire pairs with the Release fetch_add in enter and
+    // the Release fetch_sub in exit.
+    self.n.load(Ordering::Acquire) == 0
+}
+",
+        )]);
+        assert_eq!(t.sites[2].partners, ["enter", "exit"]);
+        assert!(check_table(&t).is_empty(), "{:?}", check_table(&t));
+    }
+
+    #[test]
+    fn rmw_may_pair_with_itself() {
+        let t = table(&[(
+            "crates/vgpu/src/fault.rs",
+            "fn take(&self) {\n  // ordering: AcqRel pairs with the competing AcqRel compare_exchange in take.\n  slot.fired.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire);\n}\n",
+        )]);
+        assert_eq!(t.sites.len(), 1, "failure ordering must not double-count");
+        assert_eq!(t.sites[0].ordering, "AcqRel");
+        assert!(check_table(&t).is_empty(), "{:?}", check_table(&t));
+    }
+
+    #[test]
+    fn test_code_and_relaxed_sites_are_outside_the_table() {
+        let t = table(&[(
+            "crates/vgpu/src/buffers.rs",
+            "\
+fn live(&self) { self.n.fetch_add(1, Ordering::Relaxed); }
+#[cfg(test)]
+mod tests {
+    fn t() { x.store(1, Ordering::Release); }
+}
+",
+        )]);
+        assert!(t.sites.is_empty(), "{:?}", t.sites);
+    }
+
+    #[test]
+    fn renders_markdown_and_json() {
+        let t = table(&[("crates/vgpu/src/buffers.rs", PAIRED)]);
+        let md = to_markdown(&t);
+        assert!(md.contains("| `crates/vgpu/src/buffers.rs:4` | `publish` | `count` |"));
+        assert!(md.contains("2 non-Relaxed sites."));
+        let js = to_json(&t);
+        assert!(js.contains("\"fn\":\"publish\""));
+        assert!(js.contains("\"partners\":[\"counter\"]"));
+        assert!(js.contains("\"partner_ordering\":\"Acquire\""));
+    }
+}

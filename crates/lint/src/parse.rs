@@ -1,0 +1,713 @@
+//! Item-level parsing on top of the lexer: fn items, impl blocks,
+//! nested modules, and call sites.
+//!
+//! The per-file rules see tokens; the whole-program passes (zone
+//! propagation, atomic pairing, panic reachability) need *structure*:
+//! which function a token belongs to, which type an `impl` block
+//! extends, whether an item is `#[cfg(test)]`-gated, and which calls a
+//! function body makes. This module recovers exactly that much shape —
+//! it is not a Rust parser, just a conservative item skeleton:
+//!
+//! * unknown constructs degrade to "skip a token", never to a wrong
+//!   span;
+//! * call sites are recorded by name plus a receiver hint
+//!   (`self.`, `Type::`, `var.`, free, macro) — resolution happens in
+//!   [`crate::callgraph`];
+//! * nested `fn` items get their own entry and their tokens are
+//!   excluded from the enclosing body's call scan.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// Receiver hint for one call site, used by the name-resolution
+/// heuristic in the call graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Recv {
+    /// Free function call: `helper(...)`.
+    Free,
+    /// Method call on `self`: `self.helper(...)` (directly, not through
+    /// a field chain).
+    SelfRecv,
+    /// Method call on some other expression: `x.helper(...)`,
+    /// `f().helper(...)` — receiver type unknown.
+    Var,
+    /// Path call: `Seg::helper(...)`, carrying the segment directly
+    /// before the called name (`Seg`). `Self::x` carries `Self`.
+    Path(String),
+    /// Macro invocation: `helper!(...)` — never a call-graph edge, but
+    /// the panic-reachability pass inspects the name.
+    Macro,
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct Call {
+    /// Called name (function, method, or macro name).
+    pub name: String,
+    /// Receiver hint.
+    pub recv: Recv,
+    /// 1-based source line of the call.
+    pub line: u32,
+}
+
+/// One parsed `fn` item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub impl_ty: Option<String>,
+    /// Nested module path within the file (empty at file level).
+    pub module: Vec<String>,
+    /// `true` if the item (or an enclosing module) is test-gated.
+    pub is_test: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based line of the body's closing brace (== `line` for
+    /// body-less trait method declarations).
+    pub end_line: u32,
+    /// Token-index range of the body including braces, if a body exists.
+    pub body: Option<(usize, usize)>,
+    /// Call sites in the body (nested fn items excluded).
+    pub calls: Vec<Call>,
+    /// Lines of panicking `[]` index expressions in the body.
+    pub index_lines: Vec<u32>,
+}
+
+/// Parse result for one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Every `fn` item in the file, in source order.
+    pub fns: Vec<FnItem>,
+}
+
+impl ParsedFile {
+    /// The innermost function item containing `line`, if any.
+    #[must_use]
+    pub fn fn_at_line(&self, line: u32) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.line <= line && line <= f.end_line)
+            .min_by_key(|f| f.end_line - f.line)
+    }
+}
+
+/// Does an attribute token slice (the tokens strictly between the outer
+/// `[` and `]`) gate its item to test builds?
+///
+/// Gating forms: `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]`,
+/// and `#[cfg_attr(pred, ..., test, ...)]` (conditionally-applied
+/// `#[test]`). **Not** gating: `#[cfg(not(test))]`,
+/// `#[cfg_attr(not(test), ...)]` (the predicate mentions `test` but the
+/// item exists in non-test builds), and any attribute that merely
+/// contains the word `test` deeper inside (`#[cfg(any(test, ...))]` is
+/// deliberately not exempt: the item is compiled in non-test builds
+/// too).
+#[must_use]
+pub fn attr_is_test_gated(inner: &[Tok]) -> bool {
+    let Some(first) = inner.first() else {
+        return false;
+    };
+    if first.is_ident("test") {
+        return true; // #[test] (incl. e.g. #[test] with no args)
+    }
+    if first.is_ident("cfg") {
+        // cfg(test) or cfg(all(test, ...)): `test` as a bare predicate
+        // at depth 1, or at depth 2 directly under `all(`.
+        let mut depth = 0i32;
+        let mut combinator: Vec<String> = Vec::new();
+        for (k, t) in inner.iter().enumerate() {
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                combinator.pop();
+            } else if t.kind == TokKind::Ident && inner.get(k + 1).is_some_and(|n| n.is_punct('('))
+            {
+                combinator.push(t.text.clone());
+            } else if t.is_ident("test") {
+                // Bare `test` predicate: gating at depth 1 (cfg(test))
+                // or under a chain of `all(...)` combinators only.
+                let under_all_only = combinator.iter().skip(1).all(|c| c == "all");
+                if depth >= 1 && under_all_only {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+    if first.is_ident("cfg_attr") {
+        // cfg_attr(pred, applied...): gating iff the applied attribute
+        // list contains a standalone `test` at the list's top level.
+        let mut depth = 0i32;
+        let mut seen_comma_at_top = false;
+        for (k, t) in inner.iter().enumerate() {
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+            } else if t.is_punct(',') && depth == 1 {
+                seen_comma_at_top = true;
+            } else if seen_comma_at_top && depth == 1 && t.is_ident("test") {
+                // Standalone applied attr, not a path segment / argument.
+                let next_ok = inner
+                    .get(k + 1)
+                    .is_none_or(|n| n.is_punct(',') || n.is_punct(')'));
+                let prev_ok = k
+                    .checked_sub(1)
+                    .and_then(|j| inner.get(j))
+                    .is_some_and(|p| p.is_punct(','));
+                if prev_ok && next_ok {
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+    false
+}
+
+/// Keywords that look like `ident (` but are not calls.
+fn is_expr_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "in"
+            | "as"
+            | "move"
+            | "let"
+            | "mut"
+            | "ref"
+            | "else"
+            | "unsafe"
+            | "where"
+            | "await"
+            | "break"
+            | "continue"
+            | "fn"
+            | "impl"
+            | "dyn"
+            | "pub"
+            | "crate"
+    )
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    fns: Vec<FnItem>,
+}
+
+/// Finds the token index of the `}` matching the `{` at `open`.
+fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct('{') {
+            depth += 1;
+        } else if toks[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Finds the token index of the `]` matching the `[` at `open`.
+fn match_bracket(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct('[') {
+            depth += 1;
+        } else if toks[i].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+impl<'a> Parser<'a> {
+    /// Parses items in `[i, end)`; returns the index after the range.
+    fn items(
+        &mut self,
+        mut i: usize,
+        end: usize,
+        module: &[String],
+        impl_ty: Option<&str>,
+        in_test: bool,
+    ) -> usize {
+        let toks = self.toks;
+        let mut pending_test = false;
+        while i < end {
+            let t = &toks[i];
+            // Attribute: classify test gating, then skip.
+            if t.is_punct('#') {
+                let mut j = i + 1;
+                if j < end && toks[j].is_punct('!') {
+                    j += 1;
+                }
+                if j < end && toks[j].is_punct('[') {
+                    let close = match_bracket(toks, j).min(end - 1);
+                    pending_test |= attr_is_test_gated(&toks[j + 1..close]);
+                    i = close + 1;
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            if t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            match t.text.as_str() {
+                "mod" => {
+                    let name = toks
+                        .get(i + 1)
+                        .filter(|n| n.kind == TokKind::Ident)
+                        .map(|n| n.text.clone());
+                    // `mod name {` inline module; `mod name;` out-of-line.
+                    if let (Some(name), Some(open)) = (
+                        name,
+                        toks.get(i + 2).filter(|o| o.is_punct('{')).map(|_| i + 2),
+                    ) {
+                        let close = match_brace(toks, open).min(end - 1);
+                        let mut path = module.to_vec();
+                        path.push(name);
+                        self.items(open + 1, close, &path, None, in_test || pending_test);
+                        i = close + 1;
+                    } else {
+                        i += 2; // skip `mod name;`
+                    }
+                    pending_test = false;
+                }
+                "impl" | "trait" => {
+                    // Scan the header to `{` (or `;` for `trait Alias =`),
+                    // collecting path idents at angle-depth 0. The last
+                    // collected ident before `{` is the type name; a `for`
+                    // resets collection so `impl Trait for Type` yields
+                    // `Type`.
+                    let is_trait = t.text == "trait";
+                    let mut j = i + 1;
+                    let mut angle = 0i32;
+                    let mut last_ident: Option<String> = None;
+                    while j < end {
+                        let h = &toks[j];
+                        if h.is_punct('<') {
+                            angle += 1;
+                        } else if h.is_punct('>') {
+                            // `->` in a generic bound (`Fn() -> T`) does
+                            // not close an angle bracket.
+                            let arrow = j.checked_sub(1).is_some_and(|k| toks[k].is_punct('-'));
+                            if !arrow {
+                                angle -= 1;
+                            }
+                        } else if angle == 0 {
+                            if h.is_punct('{') || h.is_punct(';') {
+                                break;
+                            }
+                            if h.is_ident("for") {
+                                last_ident = None;
+                            } else if h.kind == TokKind::Ident && !h.is_ident("where") {
+                                last_ident = Some(h.text.clone());
+                            }
+                        }
+                        j += 1;
+                    }
+                    if j < end && toks[j].is_punct('{') {
+                        let close = match_brace(toks, j).min(end - 1);
+                        let ty = if is_trait {
+                            // Trait name is the *first* ident after `trait`.
+                            toks.get(i + 1)
+                                .filter(|n| n.kind == TokKind::Ident)
+                                .map(|n| n.text.clone())
+                        } else {
+                            last_ident
+                        };
+                        self.items(j + 1, close, module, ty.as_deref(), in_test || pending_test);
+                        i = close + 1;
+                    } else {
+                        i = j + 1;
+                    }
+                    pending_test = false;
+                }
+                "fn" => {
+                    i = self.fn_item(i, end, module, impl_ty, in_test || pending_test);
+                    pending_test = false;
+                }
+                "macro_rules" => {
+                    // `macro_rules! name { ... }` — skip the whole body.
+                    let mut j = i + 1;
+                    while j < end && !toks[j].is_punct('{') {
+                        j += 1;
+                    }
+                    i = if j < end {
+                        match_brace(toks, j).min(end - 1) + 1
+                    } else {
+                        end
+                    };
+                    pending_test = false;
+                }
+                "struct" | "enum" | "union" => {
+                    // Body is `{...}` / `(...);` / `;` after the header.
+                    let mut j = i + 1;
+                    while j < end && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                        j += 1;
+                    }
+                    i = if j < end && toks[j].is_punct('{') {
+                        match_brace(toks, j).min(end - 1) + 1
+                    } else {
+                        j + 1
+                    };
+                    pending_test = false;
+                }
+                "use" | "const" | "static" | "type" => {
+                    // Skip to `;` at brace depth 0 (initializers may
+                    // contain blocks).
+                    let mut depth = 0i32;
+                    let mut j = i + 1;
+                    while j < end {
+                        if toks[j].is_punct('{') {
+                            depth += 1;
+                        } else if toks[j].is_punct('}') {
+                            depth -= 1;
+                        } else if toks[j].is_punct(';') && depth == 0 {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    i = j + 1;
+                    pending_test = false;
+                }
+                _ => {
+                    i += 1;
+                }
+            }
+        }
+        end
+    }
+
+    /// Parses one `fn` item whose `fn` keyword is at `i`; returns the
+    /// index after the item.
+    fn fn_item(
+        &mut self,
+        i: usize,
+        end: usize,
+        module: &[String],
+        impl_ty: Option<&str>,
+        is_test: bool,
+    ) -> usize {
+        let toks = self.toks;
+        let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+            return i + 1;
+        };
+        // Signature: scan to the body `{` at paren/bracket depth 0, or a
+        // `;` (trait method declaration). `->` guards `>` as above; the
+        // signature cannot contain a bare `{` outside the body.
+        let mut j = i + 2;
+        let mut pdepth = 0i32;
+        while j < end {
+            let t = &toks[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                pdepth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                pdepth -= 1;
+            } else if (t.is_punct('{') || t.is_punct(';')) && pdepth == 0 {
+                break;
+            }
+            j += 1;
+        }
+        let mut item = FnItem {
+            name: name_tok.text.clone(),
+            impl_ty: impl_ty.map(str::to_string),
+            module: module.to_vec(),
+            is_test,
+            line: toks[i].line,
+            end_line: toks[i].line,
+            body: None,
+            calls: Vec::new(),
+            index_lines: Vec::new(),
+        };
+        if j >= end || toks[j].is_punct(';') {
+            // Declaration without a body.
+            item.end_line = toks[j.min(end - 1)].line;
+            self.fns.push(item);
+            return (j + 1).min(end);
+        }
+        let close = match_brace(toks, j).min(end - 1);
+        item.end_line = toks[close].line;
+        item.body = Some((j, close));
+        let idx = self.fns.len();
+        self.fns.push(item);
+        self.scan_body(j + 1, close, idx, module, impl_ty, is_test);
+        close + 1
+    }
+
+    /// Scans a body range for call sites and index expressions,
+    /// attributing them to `fn_idx`. Nested `fn` items are parsed as
+    /// their own entries and excluded from this scan.
+    fn scan_body(
+        &mut self,
+        start: usize,
+        end: usize,
+        fn_idx: usize,
+        module: &[String],
+        impl_ty: Option<&str>,
+        is_test: bool,
+    ) {
+        let toks = self.toks;
+        let mut i = start;
+        while i < end {
+            let t = &toks[i];
+            // Nested fn item: own entry, skipped here.
+            if t.is_ident("fn") && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) {
+                i = self.fn_item(i, end, module, impl_ty, is_test);
+                continue;
+            }
+            // Panicking index expression: `expr[...]` (same prev-token
+            // discrimination as the per-file rule).
+            if t.is_punct('[')
+                && i.checked_sub(1).is_some_and(|k| {
+                    let p = &toks[k];
+                    (p.kind == TokKind::Ident && !is_expr_keyword(&p.text))
+                        || p.is_punct(']')
+                        || p.is_punct(')')
+                })
+            {
+                self.fns[fn_idx].index_lines.push(t.line);
+                i += 1;
+                continue;
+            }
+            if t.kind == TokKind::Ident && !is_expr_keyword(&t.text) {
+                let next = toks.get(i + 1);
+                // Macro call: `name!(...)` / `name![...]` / `name!{...}`.
+                if next.is_some_and(|n| n.is_punct('!'))
+                    && toks
+                        .get(i + 2)
+                        .is_some_and(|n| n.is_punct('(') || n.is_punct('[') || n.is_punct('{'))
+                {
+                    self.fns[fn_idx].calls.push(Call {
+                        name: t.text.clone(),
+                        recv: Recv::Macro,
+                        line: t.line,
+                    });
+                    i += 2;
+                    continue;
+                }
+                if next.is_some_and(|n| n.is_punct('(')) {
+                    let recv = self.receiver_of(i);
+                    self.fns[fn_idx].calls.push(Call {
+                        name: t.text.clone(),
+                        recv,
+                        line: t.line,
+                    });
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Receiver hint for the call whose name token sits at `i`.
+    fn receiver_of(&self, i: usize) -> Recv {
+        let toks = self.toks;
+        let Some(prev) = i.checked_sub(1).map(|k| &toks[k]) else {
+            return Recv::Free;
+        };
+        if prev.is_punct('.') {
+            return match i.checked_sub(2).map(|k| &toks[k]) {
+                Some(p) if p.is_ident("self") => {
+                    // `self.helper(...)` only when `self` is not itself a
+                    // field access tail (`x.self` is not Rust).
+                    Recv::SelfRecv
+                }
+                _ => Recv::Var,
+            };
+        }
+        // Path call: `Seg::name(` — `::` lexes as two `:` puncts.
+        if prev.is_punct(':') && i.checked_sub(2).is_some_and(|k| toks[k].is_punct(':')) {
+            if let Some(seg) = i
+                .checked_sub(3)
+                .map(|k| &toks[k])
+                .filter(|s| s.kind == TokKind::Ident)
+            {
+                return Recv::Path(seg.text.clone());
+            }
+            // `<T as Trait>::name(` and friends: give up on the segment.
+            return Recv::Var;
+        }
+        Recv::Free
+    }
+}
+
+/// Parses one lexed file into its fn-item skeleton.
+#[must_use]
+pub fn parse(lexed: &Lexed) -> ParsedFile {
+    let mut p = Parser {
+        toks: &lexed.toks,
+        fns: Vec::new(),
+    };
+    let end = lexed.toks.len();
+    p.items(0, end, &[], None, false);
+    ParsedFile { fns: p.fns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn fn_items_with_impl_and_module_context() {
+        let src = "\
+fn free() { helper(1); }
+impl Tracker {
+    fn method(&self) { self.free(); other.run(); Qubo::load(); }
+}
+mod inner {
+    fn nested_mod_fn() {}
+}
+";
+        let p = parse_src(src);
+        let names: Vec<_> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["free", "method", "nested_mod_fn"]);
+        assert_eq!(p.fns[1].impl_ty.as_deref(), Some("Tracker"));
+        assert_eq!(p.fns[2].module, ["inner"]);
+        let calls: Vec<_> = p.fns[1]
+            .calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.recv.clone()))
+            .collect();
+        assert_eq!(
+            calls,
+            [
+                ("free", Recv::SelfRecv),
+                ("run", Recv::Var),
+                ("load", Recv::Path("Qubo".into())),
+            ]
+        );
+        assert_eq!(p.fns[0].calls[0].recv, Recv::Free);
+    }
+
+    #[test]
+    fn impl_trait_for_type_resolves_to_the_type() {
+        let p = parse_src("impl fmt::Display for GlobalMem { fn fmt(&self) {} }");
+        assert_eq!(p.fns[0].impl_ty.as_deref(), Some("GlobalMem"));
+        let p = parse_src("impl<T: Fn() -> u8> Wrapper<T> { fn get(&self) {} }");
+        assert_eq!(p.fns[0].impl_ty.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn cfg_test_gating_is_exact() {
+        let gated = |attr: &str| {
+            let l = lex(attr);
+            // Strip the `#`, `[`, `]` tokens.
+            attr_is_test_gated(&l.toks[2..l.toks.len() - 1])
+        };
+        assert!(gated("#[test]"));
+        assert!(gated("#[cfg(test)]"));
+        assert!(gated("#[cfg(all(test, feature = \"x\"))]"));
+        assert!(gated("#[cfg_attr(feature = \"x\", test)]"));
+        assert!(!gated("#[cfg(not(test))]"));
+        assert!(!gated("#[cfg_attr(not(test), deny(missing_docs))]"));
+        assert!(!gated("#[cfg(any(test, feature = \"x\"))]"));
+        assert!(!gated("#[cfg(feature = \"test\")]"));
+        assert!(!gated("#[derive(Clone)]"));
+    }
+
+    #[test]
+    fn nested_test_modules_gate_their_items() {
+        let src = "\
+mod outer {
+    #[cfg(test)]
+    mod tests {
+        fn helper() {}
+        mod deeper { fn deepest() {} }
+    }
+    fn live() {}
+}
+#[cfg(not(test))]
+fn not_test_gated() {}
+";
+        let p = parse_src(src);
+        let by_name = |n: &str| p.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(by_name("helper").is_test);
+        assert!(by_name("deepest").is_test);
+        assert!(!by_name("live").is_test);
+        assert!(!by_name("not_test_gated").is_test);
+        assert_eq!(by_name("deepest").module, ["outer", "tests", "deeper"]);
+    }
+
+    #[test]
+    fn macros_and_indexing_are_recorded() {
+        let src = "\
+fn hot(d: &[i32], k: usize) -> i32 {
+    if bad { panic!(\"boom\"); }
+    let v = d[k];
+    probe.observe(v);
+    v
+}
+";
+        let p = parse_src(src);
+        let f = &p.fns[0];
+        assert!(f
+            .calls
+            .iter()
+            .any(|c| c.name == "panic" && c.recv == Recv::Macro));
+        assert_eq!(f.index_lines, [3]);
+        assert!(f.calls.iter().any(|c| c.name == "observe"));
+    }
+
+    #[test]
+    fn nested_fns_get_their_own_entries() {
+        let src = "\
+fn outer() {
+    fn inner() { leaf(); }
+    inner();
+}
+";
+        let p = parse_src(src);
+        let outer = p.fns.iter().find(|f| f.name == "outer").unwrap();
+        let inner = p.fns.iter().find(|f| f.name == "inner").unwrap();
+        assert!(outer.calls.iter().any(|c| c.name == "inner"));
+        assert!(!outer.calls.iter().any(|c| c.name == "leaf"));
+        assert!(inner.calls.iter().any(|c| c.name == "leaf"));
+    }
+
+    #[test]
+    fn fn_at_line_returns_the_innermost_item() {
+        let src = "fn a() {\n  fn b() {\n    x();\n  }\n}\n";
+        let p = parse_src(src);
+        assert_eq!(p.fn_at_line(3).unwrap().name, "b");
+        assert_eq!(p.fn_at_line(1).unwrap().name, "a");
+        assert!(p.fn_at_line(99).is_none());
+    }
+
+    #[test]
+    fn trait_methods_and_declarations() {
+        let src = "\
+trait Storage {
+    fn row(&self) -> u32;
+    fn diag(&self) -> u32 { self.row() }
+}
+";
+        let p = parse_src(src);
+        let decl = p.fns.iter().find(|f| f.name == "row").unwrap();
+        assert!(decl.body.is_none());
+        let def = p.fns.iter().find(|f| f.name == "diag").unwrap();
+        assert_eq!(def.impl_ty.as_deref(), Some("Storage"));
+        assert!(def.calls.iter().any(|c| c.name == "row"));
+    }
+}

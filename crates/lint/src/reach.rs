@@ -1,0 +1,287 @@
+//! Panic- and allocation-reachability from the per-flip hot path.
+//!
+//! The per-file rules only see panics and allocations written directly
+//! inside a hot function's body; a hot function can launder either
+//! through a helper — in the same file or across crates — and stay
+//! invisible. This pass walks the call graph instead:
+//!
+//! * **`hot-panic-reachable`** — from the [`HOT_FNS`] entry points and
+//!   every function of the vgpu block driver (`vgpu/src/block.rs`),
+//!   any transitively reachable `panic!` / `unreachable!` / `todo!` /
+//!   `unimplemented!` macro, any `unwrap()`/`expect()` inside
+//!   harness-zone code (which the per-file `no-unwrap` rule exempts),
+//!   and any unaudited panicking `[]` index in a device-zone file
+//!   outside the per-file audit set is flagged, with the call chain
+//!   that reaches it. An `// invariant:` comment at the site (the same
+//!   escape the per-file indexing audit uses) marks it as reasoned.
+//! * **`hot-alloc-reachable`** — from the [`HOT_FNS`] entry points
+//!   only (the block driver allocates legitimately at init), any
+//!   reachable function body containing an allocation marker is
+//!   flagged unless the function is itself a named hot function in a
+//!   device file (already covered per-file by `device-no-alloc`).
+//!
+//! Both walks honour the `// zone: host-only --` edge cuts described in
+//! [`crate::callgraph`].
+
+use crate::callgraph::{Graph, Provenance};
+use crate::lexer::TokKind;
+use crate::parse::Recv;
+use crate::rules::{Finding, ALLOC_IDENTS};
+use crate::zones::{indexing_audited, Zone, HOT_FNS};
+use std::collections::HashMap;
+
+/// Comment window for `invariant:` audits, matching the per-file rules.
+const COMMENT_WINDOW: u32 = 2;
+
+/// Macro names that unconditionally panic.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Node indices of the panic-reachability entry points: hot functions
+/// in device files plus the whole block driver.
+fn panic_entries(graph: &Graph) -> Vec<usize> {
+    (0..graph.nodes.len())
+        .filter(|&n| {
+            let file = &graph.files[graph.nodes[n].file];
+            let item = graph.item(n);
+            (file.zone == Zone::Device && HOT_FNS.contains(&item.name.as_str()))
+                || file.rel_path == "crates/vgpu/src/block.rs"
+        })
+        .collect()
+}
+
+/// Node indices of the allocation-reachability entry points: hot
+/// functions in device files.
+fn alloc_entries(graph: &Graph) -> Vec<usize> {
+    (0..graph.nodes.len())
+        .filter(|&n| {
+            graph.files[graph.nodes[n].file].zone == Zone::Device
+                && HOT_FNS.contains(&graph.item(n).name.as_str())
+        })
+        .collect()
+}
+
+fn audited(graph: &Graph, node: usize, line: u32) -> bool {
+    let file = &graph.files[graph.nodes[node].file];
+    file.lexed
+        .comment_near(line.saturating_sub(COMMENT_WINDOW), line, "invariant")
+}
+
+fn sorted_reached(reach: &HashMap<usize, Provenance>) -> Vec<usize> {
+    let mut v: Vec<usize> = reach.keys().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Runs the panic-reachability walk, returning findings with chains.
+#[must_use]
+pub fn check_panic_reachability(graph: &Graph) -> Vec<Finding> {
+    let reach = graph.reachable(&panic_entries(graph));
+    let mut findings = Vec::new();
+    for n in sorted_reached(&reach) {
+        let file = &graph.files[graph.nodes[n].file];
+        let item = graph.item(n);
+        let chain = graph.chain(&reach, n);
+        // Unconditional panic macros, anywhere reached.
+        for c in &item.calls {
+            if c.recv == Recv::Macro
+                && PANIC_MACROS.contains(&c.name.as_str())
+                && !audited(graph, n, c.line)
+            {
+                findings.push(Finding {
+                    file: file.rel_path.clone(),
+                    line: c.line,
+                    rule: "hot-panic-reachable",
+                    zone: file.zone.label(),
+                    message: format!(
+                        "`{}!` reachable from the hot path via {} — guard it or state the \
+                         `// invariant:` that makes it unreachable",
+                        c.name, chain
+                    ),
+                    allowed: false,
+                });
+            }
+            // Harness-zone unwrap/expect: exempt from the per-file
+            // `no-unwrap` rule, but not from the hot path.
+            if file.zone == Zone::Harness
+                && matches!(c.recv, Recv::Var | Recv::SelfRecv)
+                && (c.name == "unwrap" || c.name == "expect")
+                && !audited(graph, n, c.line)
+            {
+                findings.push(Finding {
+                    file: file.rel_path.clone(),
+                    line: c.line,
+                    rule: "hot-panic-reachable",
+                    zone: file.zone.label(),
+                    message: format!(
+                        "harness `.{}()` reachable from the hot path via {}",
+                        c.name, chain
+                    ),
+                    allowed: false,
+                });
+            }
+        }
+        // Unaudited indexing in device files outside the per-file audit
+        // set (tracker/local/sparse carry their own rule).
+        if file.zone == Zone::Device && !indexing_audited(&file.rel_path) {
+            let mut lines: Vec<u32> = item.index_lines.clone();
+            lines.sort_unstable();
+            lines.dedup();
+            for line in lines {
+                if !audited(graph, n, line) {
+                    findings.push(Finding {
+                        file: file.rel_path.clone(),
+                        line,
+                        rule: "hot-panic-reachable",
+                        zone: file.zone.label(),
+                        message: format!(
+                            "panicking [] indexing reachable from the hot path via {} without a \
+                             neighbouring `invariant:` comment",
+                            chain
+                        ),
+                        allowed: false,
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Runs the allocation-reachability walk, returning findings with
+/// chains.
+#[must_use]
+pub fn check_alloc_reachability(graph: &Graph) -> Vec<Finding> {
+    let reach = graph.reachable(&alloc_entries(graph));
+    let mut findings = Vec::new();
+    for n in sorted_reached(&reach) {
+        let file = &graph.files[graph.nodes[n].file];
+        let item = graph.item(n);
+        // Named hot fns in device files are already policed per-file by
+        // `device-no-alloc`; this pass covers the helpers they call.
+        if file.zone == Zone::Device && HOT_FNS.contains(&item.name.as_str()) {
+            continue;
+        }
+        let Some((b0, b1)) = item.body else { continue };
+        let chain = graph.chain(&reach, n);
+        let toks = &file.lexed.toks;
+        for k in b0..=b1 {
+            let t = &toks[k];
+            if t.kind != TokKind::Ident || !ALLOC_IDENTS.contains(&t.text.as_str()) {
+                continue;
+            }
+            // Same macro/path discrimination as `device-no-alloc`.
+            let is_macro = toks.get(k + 1).is_some_and(|n| n.is_punct('!'));
+            let flagged = match t.text.as_str() {
+                "vec" | "format" => is_macro,
+                _ => true,
+            };
+            if flagged && !audited(graph, n, t.line) {
+                findings.push(Finding {
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    rule: "hot-alloc-reachable",
+                    zone: file.zone.label(),
+                    message: format!(
+                        "possible heap allocation (`{}`) reachable from the per-flip path via {}",
+                        t.text, chain
+                    ),
+                    allowed: false,
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::GraphFile;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+    use crate::zones::classify;
+
+    fn build(files: &[(&str, &str)]) -> Graph {
+        let gfs = files
+            .iter()
+            .map(|(path, src)| {
+                let lexed = lex(src);
+                let parsed = parse(&lexed);
+                GraphFile::new(path.to_string(), classify(path), lexed, parsed)
+            })
+            .collect();
+        Graph::build(gfs)
+    }
+
+    #[test]
+    fn transitive_panic_is_flagged_with_chain() {
+        let g = build(&[
+            (
+                "crates/search/src/tracker.rs",
+                "fn flip(&mut self) { helper(); }\nfn helper() { deep(); }\n\
+                 fn deep() { panic!(\"laundered\"); }",
+            ),
+            ("crates/qubo/src/matrix.rs", "fn unrelated() { panic!(); }"),
+        ]);
+        let fs = check_panic_reachability(&g);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].file, "crates/search/src/tracker.rs");
+        assert_eq!(fs[0].line, 3);
+        assert!(fs[0].message.contains("flip"), "{}", fs[0].message);
+        assert!(fs[0].message.contains("deep"), "{}", fs[0].message);
+    }
+
+    #[test]
+    fn invariant_comment_audits_a_reached_panic() {
+        let g = build(&[(
+            "crates/search/src/tracker.rs",
+            "fn flip(&mut self) { helper(); }\n\
+             fn helper() {\n  // invariant: caller pinned n >= 1\n  panic!(\"guarded\");\n}",
+        )]);
+        assert!(check_panic_reachability(&g).is_empty());
+    }
+
+    #[test]
+    fn cross_crate_alloc_laundering_is_flagged() {
+        let g = build(&[
+            (
+                "crates/search/src/tracker.rs",
+                "impl T { fn flip(&mut self) { scratch(); } }",
+            ),
+            (
+                "crates/qubo/src/bitvec.rs",
+                "fn scratch() { let v = vec![0u8; 64]; }",
+            ),
+        ]);
+        let fs = check_alloc_reachability(&g);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].file, "crates/qubo/src/bitvec.rs");
+        assert!(fs[0].message.contains("flip"), "{}", fs[0].message);
+    }
+
+    #[test]
+    fn block_driver_is_a_panic_entry_but_not_an_alloc_entry() {
+        let g = build(&[(
+            "crates/vgpu/src/block.rs",
+            "fn run_block() { let v = Vec::new(); boom(); }\nfn boom() { panic!(); }",
+        )]);
+        // The init-path Vec in the driver is fine; the panic is not.
+        assert!(check_alloc_reachability(&g).is_empty());
+        let fs = check_panic_reachability(&g);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].file, "crates/vgpu/src/block.rs");
+    }
+
+    #[test]
+    fn device_indexing_outside_the_audit_set_needs_invariants() {
+        let g = build(&[(
+            "crates/search/src/policy.rs",
+            "fn select(d: &[i64], k: usize) -> i64 { d[k] }\n\
+             fn cold(d: &[i64], k: usize) -> i64 { d[k] }",
+        )]);
+        let fs = check_panic_reachability(&g);
+        // `select` is a hot entry; `cold` is not reached from it.
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].line, 1);
+    }
+}

@@ -66,6 +66,22 @@ pub const RULES: &[(&str, &str)] = &[
         "crate roots must carry #![forbid(unsafe_code)] (or a justified #![deny]) and #![warn(missing_docs)]",
     ),
     (
+        "zone-propagation",
+        "functions reachable from the device zone inherit its purity rules (no rand/clock/float), wherever they live",
+    ),
+    (
+        "atomic-pairing",
+        "every non-Relaxed atomic site must name a partner that exists, complements its ordering, and names it back",
+    ),
+    (
+        "hot-panic-reachable",
+        "no panic!/unaudited indexing/harness unwrap transitively reachable from the per-flip hot path or the block driver",
+    ),
+    (
+        "hot-alloc-reachable",
+        "no heap allocation in helpers transitively reachable from the per-flip hot path",
+    ),
+    (
         "bad-allow-marker",
         "abs-lint allow marker without a `-- <reason>` trailer",
     ),
@@ -172,10 +188,12 @@ fn find_spans(toks: &[Tok]) -> Spans {
                     }
                     k += 1;
                 }
-                let is_test_attr = toks[j..=k.min(toks.len() - 1)]
-                    .iter()
-                    .any(|t| t.is_ident("test"));
-                spans.attr_tok.push((i, k.min(toks.len() - 1)));
+                let k = k.min(toks.len() - 1);
+                // Exact cfg semantics: `#[cfg(not(test))]` and
+                // `#[cfg(any(test, ...))]` compile in non-test builds
+                // and stay rule-checked.
+                let is_test_attr = crate::parse::attr_is_test_gated(&toks[j + 1..k]);
+                spans.attr_tok.push((i, k));
                 pending_test |= is_test_attr;
                 i = k + 1;
                 continue;
@@ -316,7 +334,7 @@ pub struct FileCtx<'a> {
 /// Allocation markers on the hot path. `clone` is deliberately absent:
 /// cloning the best solution on an improvement is the rare path and is
 /// part of the protocol (records are owned by the buffer).
-const ALLOC_IDENTS: &[&str] = &[
+pub const ALLOC_IDENTS: &[&str] = &[
     "vec",
     "Vec",
     "Box",
@@ -611,8 +629,16 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
         }
     }
 
-    // Apply allow markers: a marker covers its own line and the next.
-    for f in &mut findings {
+    apply_markers(&mut findings, &markers);
+    findings
+}
+
+/// Applies allow markers to findings in place: a marker covers its own
+/// line and the next. Whole-program passes reuse this so a marker
+/// suppresses e.g. a `zone-propagation` finding exactly like a per-file
+/// one.
+pub fn apply_markers(findings: &mut [Finding], markers: &[AllowMarker]) {
+    for f in findings {
         if f.rule == "bad-allow-marker" {
             continue;
         }
@@ -622,7 +648,6 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
             f.allowed = true;
         }
     }
-    findings
 }
 
 /// Keywords that can directly precede `[` without it being an index
@@ -669,6 +694,43 @@ mod tests {
         let fs = run("crates/search/src/tracker.rs", src);
         assert!(active(&fs, "device-no-rand").is_empty());
         assert!(active(&fs, "no-unwrap").is_empty());
+    }
+
+    #[test]
+    fn not_test_and_cfg_attr_do_not_gate() {
+        // Regression: `#[cfg(not(test))]` items compile in non-test
+        // builds — the old span pass exempted them because the
+        // attribute mentions `test`.
+        let src = "#[cfg(not(test))]\nfn live(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let fs = run("crates/core/src/solver.rs", src);
+        assert_eq!(active(&fs, "no-unwrap").len(), 1);
+
+        let src = "#[cfg_attr(not(test), allow(dead_code))]\nfn live(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let fs = run("crates/core/src/solver.rs", src);
+        assert_eq!(active(&fs, "no-unwrap").len(), 1);
+
+        // `#[cfg(any(test, feature))]` is compiled without cfg(test) too.
+        let src =
+            "#[cfg(any(test, feature = \"slow\"))]\nfn maybe(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let fs = run("crates/core/src/solver.rs", src);
+        assert_eq!(active(&fs, "no-unwrap").len(), 1);
+
+        // ...while a conditionally-applied `test` attribute still gates.
+        let src =
+            "#[cfg_attr(feature = \"harness\", test)]\nfn t(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let fs = run("crates/core/src/solver.rs", src);
+        assert!(active(&fs, "no-unwrap").is_empty());
+    }
+
+    #[test]
+    fn nested_test_mod_keeps_following_code_checked() {
+        // Regression: items *after* a `#[cfg(test)] mod` must stay
+        // rule-checked (the span must close at the mod's brace).
+        let src = "#[cfg(test)]\nmod tests {\n  fn g() { x.unwrap(); }\n}\nfn live(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let fs = run("crates/core/src/solver.rs", src);
+        let hits = active(&fs, "no-unwrap");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 5);
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! SARIF v2.1.0 rendering, the diff-aware `--changed-since` filter,
+//! and the committed-baseline gate.
+//!
+//! SARIF is the interchange format code-scanning UIs ingest; emitting
+//! it lets CI annotate the exact offending lines on a pull request
+//! instead of pointing reviewers at a build log. The JSON is
+//! hand-rolled (the lint crate is deliberately dependency-free), using
+//! the same escaper as the plain JSON report.
+//!
+//! Diff-aware mode shells out to `git diff --unified=0 <rev>` and keeps
+//! only findings whose line falls inside a changed hunk — PR runs stay
+//! quiet about pre-existing debt while push runs see everything. The
+//! baseline file (`.abs-lint.baseline`) is the committed ledger of that
+//! debt: one `rule<TAB>file<TAB>message` triple per line, compared
+//! line-number-insensitively so unrelated edits do not churn it.
+
+use crate::report::{json_str, Report};
+use crate::rules::{Finding, RULES};
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::Command;
+
+/// Renders a report as a SARIF v2.1.0 log with one run.
+#[must_use]
+pub fn to_sarif(report: &Report) -> String {
+    let mut s = String::from(
+        "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/\
+         Schemata/sarif-schema-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":\
+         {\"driver\":{\"name\":\"abs-lint\",\"informationUri\":\
+         \"https://example.invalid/abs-lint\",\"rules\":[",
+    );
+    for (i, (id, desc)) in RULES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}}}}",
+            json_str(id),
+            json_str(desc)
+        ));
+    }
+    s.push_str("]}},\"results\":[");
+    let active: Vec<&Finding> = report.findings.iter().filter(|f| !f.allowed).collect();
+    for (i, f) in active.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"ruleId\":{},\"level\":\"error\",\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+             {{\"uri\":{}}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+            json_str(f.rule),
+            json_str(&format!("[{}] {}", f.zone, f.message)),
+            json_str(&f.file),
+            f.line.max(1)
+        ));
+    }
+    s.push_str("]}]}");
+    s
+}
+
+/// Changed line ranges per workspace-relative file, from
+/// `git diff --unified=0 <rev>`.
+pub type ChangedLines = HashMap<String, Vec<(u32, u32)>>;
+
+/// Runs git under `root` and parses the zero-context diff against
+/// `rev` into per-file changed line ranges (new-side line numbers).
+pub fn changed_lines(root: &Path, rev: &str) -> Result<ChangedLines, String> {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--unified=0", rev, "--", "crates"])
+        .output()
+        .map_err(|e| format!("cannot run git diff: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "git diff --unified=0 {rev} failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    Ok(parse_diff(&String::from_utf8_lossy(&out.stdout)))
+}
+
+/// Parses `+++ b/<path>` headers and `@@ -a[,b] +c[,d] @@` hunks.
+#[must_use]
+pub fn parse_diff(diff: &str) -> ChangedLines {
+    let mut out: ChangedLines = HashMap::new();
+    let mut file: Option<String> = None;
+    for line in diff.lines() {
+        if let Some(p) = line.strip_prefix("+++ b/") {
+            file = Some(p.trim().to_string());
+        } else if line.starts_with("+++ ") {
+            file = None; // deleted file (`+++ /dev/null`)
+        } else if let (Some(f), Some(rest)) = (&file, line.strip_prefix("@@ ")) {
+            // New side: `+c` or `+c,d` before the closing `@@`.
+            let Some(plus) = rest.find('+') else { continue };
+            let new = rest[plus + 1..]
+                .split_whitespace()
+                .next()
+                .unwrap_or_default();
+            let mut parts = new.split(',');
+            let start: u32 = parts.next().unwrap_or("0").parse().unwrap_or(0);
+            let count: u32 = parts.next().map_or(1, |c| c.parse().unwrap_or(1));
+            if count > 0 {
+                out.entry(f.clone())
+                    .or_default()
+                    .push((start, start + count - 1));
+            }
+        }
+    }
+    out
+}
+
+/// Keeps only findings whose line falls inside a changed range (the
+/// budget gate, keyed to the budget file, survives iff that file
+/// changed).
+#[must_use]
+pub fn filter_changed(findings: Vec<Finding>, changed: &ChangedLines) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| {
+            changed
+                .get(&f.file)
+                .is_some_and(|ranges| ranges.iter().any(|&(a, b)| f.line >= a && f.line <= b))
+        })
+        .collect()
+}
+
+/// Name of the committed baseline file at the workspace root.
+pub const BASELINE_FILE: &str = ".abs-lint.baseline";
+
+/// One baseline entry key: line numbers are deliberately excluded so
+/// unrelated edits above a baselined finding do not churn the file.
+fn baseline_key(f: &Finding) -> String {
+    format!("{}\t{}\t{}", f.rule, f.file, f.message)
+}
+
+/// Serializes the active findings as baseline content (sorted,
+/// deduplicated, one entry per line).
+#[must_use]
+pub fn write_baseline(findings: &[Finding]) -> String {
+    let mut keys: Vec<String> = findings
+        .iter()
+        .filter(|f| !f.allowed)
+        .map(baseline_key)
+        .collect();
+    keys.sort();
+    keys.dedup();
+    let mut s = String::from(
+        "# abs-lint baseline: known findings excluded from the gate.\n\
+         # Regenerate with `abs-lint --update-baseline`; shrink only.\n",
+    );
+    for k in &keys {
+        s.push_str(k);
+        s.push('\n');
+    }
+    s
+}
+
+/// Marks findings present in the baseline as `allowed` (they report
+/// but do not gate). Returns the number suppressed.
+pub fn apply_baseline(findings: &mut [Finding], baseline: &str) -> usize {
+    let entries: std::collections::HashSet<&str> = baseline
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let mut n = 0;
+    for f in findings {
+        if !f.allowed && entries.contains(baseline_key(f).as_str()) {
+            f.allowed = true;
+            n += 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: u32, message: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            zone: "neutral",
+            message: message.to_string(),
+            allowed: false,
+        }
+    }
+
+    #[test]
+    fn sarif_names_every_rule_and_active_finding() {
+        let mut report = Report::default();
+        report.findings.push(finding(
+            "no-unwrap",
+            "crates/core/src/solver.rs",
+            7,
+            ".unwrap() outside tests",
+        ));
+        report.findings.push(Finding {
+            allowed: true,
+            ..finding("device-no-float", "crates/search/src/policy.rs", 9, "f64")
+        });
+        let s = to_sarif(&report);
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        for (id, _) in RULES {
+            assert!(s.contains(&format!("\"id\":\"{id}\"")), "missing rule {id}");
+        }
+        // Active finding present with its location; allowed one absent.
+        assert!(s.contains("\"uri\":\"crates/core/src/solver.rs\""));
+        assert!(s.contains("\"startLine\":7"));
+        assert!(!s.contains("crates/search/src/policy.rs\""));
+    }
+
+    #[test]
+    fn diff_parsing_handles_hunks_and_deletions() {
+        let diff = "\
+diff --git a/crates/a/src/lib.rs b/crates/a/src/lib.rs
+--- a/crates/a/src/lib.rs
++++ b/crates/a/src/lib.rs
+@@ -10,2 +12,3 @@ fn f() {
++x
+@@ -30 +40 @@ fn g() {
++y
+diff --git a/crates/b/src/old.rs b/crates/b/src/old.rs
+--- a/crates/b/src/old.rs
++++ /dev/null
+@@ -1,5 +0,0 @@
+";
+        let c = parse_diff(diff);
+        assert_eq!(c["crates/a/src/lib.rs"], vec![(12, 14), (40, 40)]);
+        assert!(!c.contains_key("crates/b/src/old.rs"));
+
+        let fs = vec![
+            finding("no-unwrap", "crates/a/src/lib.rs", 13, "inside hunk"),
+            finding("no-unwrap", "crates/a/src/lib.rs", 20, "outside hunk"),
+            finding("no-unwrap", "crates/c/src/lib.rs", 13, "untouched file"),
+        ];
+        let kept = filter_changed(fs, &c);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].message, "inside hunk");
+    }
+
+    #[test]
+    fn baseline_round_trips_and_ignores_line_shifts() {
+        let fs = vec![
+            finding(
+                "no-unwrap",
+                "crates/a/src/lib.rs",
+                7,
+                ".unwrap() outside tests",
+            ),
+            Finding {
+                allowed: true,
+                ..finding("device-no-float", "crates/a/src/lib.rs", 9, "f64")
+            },
+        ];
+        let content = write_baseline(&fs);
+        assert!(content.contains("no-unwrap\tcrates/a/src/lib.rs\t.unwrap() outside tests"));
+        assert!(
+            !content.contains("device-no-float"),
+            "allowed findings stay out"
+        );
+
+        // Same finding at a different line is still baselined...
+        let mut shifted = vec![finding(
+            "no-unwrap",
+            "crates/a/src/lib.rs",
+            99,
+            ".unwrap() outside tests",
+        )];
+        assert_eq!(apply_baseline(&mut shifted, &content), 1);
+        assert!(shifted[0].allowed);
+
+        // ...a new finding is not.
+        let mut fresh = vec![finding(
+            "no-unwrap",
+            "crates/a/src/lib.rs",
+            3,
+            "new message",
+        )];
+        assert_eq!(apply_baseline(&mut fresh, &content), 0);
+        assert!(!fresh[0].allowed);
+    }
+}

@@ -6,6 +6,10 @@
 //! only in global memory. The zones encode that split by path, so the
 //! rules stay deny-by-default and the mapping is auditable in one place.
 
+use crate::callgraph::Graph;
+use crate::lexer::TokKind;
+use crate::rules::Finding;
+
 /// The invariant zone of one source file.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Zone {
@@ -152,6 +156,85 @@ pub fn checkpoint_io_allowed(rel_path: &str) -> bool {
 #[must_use]
 pub fn checkpoint_codec(rel_path: &str) -> bool {
     rel_path.replace('\\', "/") == "crates/core/src/checkpoint.rs"
+}
+
+/// One zone inference: a function outside the device files that the
+/// call graph proves reachable from the device zone, with the chain
+/// that reached it.
+#[derive(Clone, Debug)]
+pub struct ZoneInference {
+    /// File the inferred-device function lives in.
+    pub file: String,
+    /// Line of its `fn` keyword.
+    pub line: u32,
+    /// Display name (`Type::fn` or `fn`).
+    pub name: String,
+    /// Call chain from a device-zone entry point.
+    pub chain: String,
+}
+
+/// Transitive zone propagation: every function reachable from a
+/// device-zone file inherits the device purity rules (no rand, no
+/// clock, no float) regardless of which file it lives in. Returns the
+/// purity findings plus the full inference table for the
+/// `--zones` report.
+#[must_use]
+pub fn propagate(graph: &Graph) -> (Vec<Finding>, Vec<ZoneInference>) {
+    let entries: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&n| graph.files[graph.nodes[n].file].zone == Zone::Device)
+        .collect();
+    let reach = graph.reachable(&entries);
+    let mut reached: Vec<usize> = reach.keys().copied().collect();
+    reached.sort_unstable();
+
+    let mut findings = Vec::new();
+    let mut inferred = Vec::new();
+    for n in reached {
+        let file = &graph.files[graph.nodes[n].file];
+        if file.zone == Zone::Device {
+            continue; // per-file rules already cover device files
+        }
+        let item = graph.item(n);
+        let chain = graph.chain(&reach, n);
+        inferred.push(ZoneInference {
+            file: file.rel_path.clone(),
+            line: item.line,
+            name: graph.display(n),
+            chain: chain.clone(),
+        });
+        let Some((b0, b1)) = item.body else { continue };
+        let toks = &file.lexed.toks;
+        for k in b0..=b1 {
+            let t = &toks[k];
+            let next = toks.get(k + 1);
+            let hit = if t.is_ident("rand") && next.is_some_and(|n| n.is_punct(':')) {
+                Some("rand crate")
+            } else if t.is_ident("Instant") || t.is_ident("SystemTime") {
+                Some("wall clock")
+            } else if t.is_ident("f32") || t.is_ident("f64") || t.kind == TokKind::Float {
+                Some("floating point")
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                findings.push(Finding {
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    rule: "zone-propagation",
+                    zone: file.zone.label(),
+                    message: format!(
+                        "{} (`{}`) in `{}`, which is device-inferred via {}",
+                        what,
+                        t.text,
+                        graph.display(n),
+                        chain
+                    ),
+                    allowed: false,
+                });
+            }
+        }
+    }
+    (findings, inferred)
 }
 
 #[cfg(test)]

@@ -198,7 +198,157 @@ fn list_rules_names_every_rule() {
         "crate-attrs",
         "bad-allow-marker",
         "allow-budget",
+        "zone-propagation",
+        "atomic-pairing",
+        "hot-panic-reachable",
+        "hot-alloc-reachable",
     ] {
         assert!(stdout.contains(rule), "missing {rule}");
     }
+}
+
+/// Committed fixture corpus root (`crates/lint/tests/fixtures/`).
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn good_corpus_is_whole_program_clean() {
+    let out = bin()
+        .args(["--root"])
+        .arg(fixtures().join("good"))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "good corpus must lint clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn bad_corpus_trips_every_whole_program_pass() {
+    let out = bin()
+        .args(["--root"])
+        .arg(fixtures().join("bad"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The seeded cross-file defects: a device-inferred float, a
+    // hot-path panic, a hot-path allocation, and a dangling atomic
+    // pairing — each caught by its transitive pass, with the call
+    // chain in the message.
+    assert!(stdout.contains("zone-propagation"), "{stdout}");
+    assert!(stdout.contains("hot-panic-reachable"), "{stdout}");
+    assert!(stdout.contains("hot-alloc-reachable"), "{stdout}");
+    assert!(stdout.contains("atomic-pairing"), "{stdout}");
+    assert!(stdout.contains("flip -> bad_step"), "{stdout}");
+    assert!(
+        stdout.contains("no non-Relaxed site on `ready`"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn sarif_output_matches_golden() {
+    let out = bin()
+        .args(["--format", "sarif", "--root"])
+        .arg(fixtures().join("bad"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let got = String::from_utf8_lossy(&out.stdout);
+    let want = fs::read_to_string(fixtures().join("bad.sarif")).unwrap();
+    assert_eq!(
+        got.trim_end(),
+        want.trim_end(),
+        "SARIF drifted from the golden; regenerate \
+         tests/fixtures/bad.sarif if the change is intentional"
+    );
+}
+
+#[test]
+fn pairing_table_matches_golden() {
+    let out = bin()
+        .args(["--pairing-table", "md", "--root"])
+        .arg(fixtures().join("good"))
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "good corpus pairing table is clean");
+    let got = String::from_utf8_lossy(&out.stdout);
+    let want = fs::read_to_string(fixtures().join("good.pairing.md")).unwrap();
+    assert_eq!(
+        got.trim_end(),
+        want.trim_end(),
+        "pairing table drifted from the golden; regenerate \
+         tests/fixtures/good.pairing.md if the change is intentional"
+    );
+}
+
+#[test]
+fn pairing_table_exits_nonzero_on_dangling_partner() {
+    let out = bin()
+        .args(["--pairing-table", "md", "--root"])
+        .arg(fixtures().join("bad"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn changed_since_filters_to_touched_lines() {
+    // An unreadable rev is a usage error, not a silent full run.
+    let f = Fixture::new(
+        "changed",
+        &[(
+            "crates/core/src/solver.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )],
+    );
+    let out = bin()
+        .args(["--changed-since", "no-such-rev", "--root"])
+        .arg(&f.root)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn baseline_excludes_known_findings_and_update_writes_it() {
+    let f = Fixture::new(
+        "baseline",
+        &[(
+            "crates/core/src/solver.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )],
+    );
+    // Fresh tree: the unwrap is a violation.
+    let out = bin().args(["--root"]).arg(&f.root).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    // Accept the debt into the baseline...
+    let out = bin()
+        .args(["--update-baseline", "--root"])
+        .arg(&f.root)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(f.root.join(".abs-lint.baseline").exists());
+    // ...and the same tree now gates clean.
+    let out = bin().args(["--root"]).arg(&f.root).output().unwrap();
+    assert!(
+        out.status.success(),
+        "baselined finding must not gate:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    // A *new* finding still gates.
+    fs::write(
+        f.root.join("crates/core/src/fresh.rs"),
+        "fn g(x: Option<u8>) -> u8 { x.expect(\"regression\") }\n",
+    )
+    .unwrap();
+    let out = bin().args(["--root"]).arg(&f.root).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fresh.rs"), "{stdout}");
 }

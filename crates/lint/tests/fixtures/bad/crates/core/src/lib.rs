@@ -1,0 +1,17 @@
+//! Bad fixture core crate: reached from the device hot path, this
+//! helper floats (zone-propagation), allocates (hot-alloc-reachable),
+//! and can panic (hot-panic-reachable / no-unwrap).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A helper the device zone must never reach in this shape.
+#[must_use]
+pub fn bad_step(v: i64) -> i64 {
+    if v == i64::MIN {
+        panic!("bad_step: sentinel input");
+    }
+    let scaled = (v as f64) * 1.5;
+    let boxed = vec![scaled as i64];
+    boxed.first().copied().unwrap()
+}

@@ -1,0 +1,13 @@
+//! Bad fixture: the device hot path leaks into a helper crate that
+//! uses floats, panics, and allocates — all invisible to a per-file
+//! lint, all caught by the whole-program passes.
+
+/// Hot entry point (named in `HOT_FNS`): itself clean, but its only
+/// callee breaks every transitive rule.
+pub fn flip(d: &mut [i64], k: usize) -> i64 {
+    // invariant: k < d.len(), guaranteed by the caller contract.
+    let v = abs_core::bad_step(d[k]);
+    // invariant: same k < d.len() bound as above.
+    d[k] = v;
+    v
+}

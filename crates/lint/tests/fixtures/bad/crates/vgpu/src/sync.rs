@@ -1,0 +1,19 @@
+//! Bad fixture: a Release store whose pairing comment names a load
+//! that does not exist — the per-file `ordering-pair-named` check is
+//! satisfied, only the cross-checked table catches the stale name.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Ready flag with a dangling pairing comment.
+#[derive(Default)]
+pub struct Flag {
+    ready: AtomicBool,
+}
+
+impl Flag {
+    /// Publishes readiness to a consumer that was deleted long ago.
+    pub fn publish(&self) {
+        // ordering: Release pairs with the Acquire load in consume.
+        self.ready.store(true, Ordering::Release);
+    }
+}

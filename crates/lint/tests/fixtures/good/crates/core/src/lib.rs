@@ -1,0 +1,12 @@
+//! Good fixture core crate: the helper the device hot path calls into.
+//! Integer-only and panic-free, so zone propagation infers a device
+//! obligation here and finds nothing to report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Saturating step, callable from the device hot path.
+#[must_use]
+pub fn clamp_step(v: i64) -> i64 {
+    v.saturating_add(1)
+}

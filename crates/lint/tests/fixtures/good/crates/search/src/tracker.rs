@@ -1,0 +1,12 @@
+//! Good fixture: a device hot-path entry whose only cross-file callee
+//! is a clean integer helper — every whole-program pass stays silent.
+
+/// Hot entry point (named in `HOT_FNS`): pure integer update routed
+/// through a helper that lives in another crate and zone.
+pub fn flip(d: &mut [i64], k: usize) -> i64 {
+    // invariant: k < d.len(), guaranteed by the caller contract.
+    let v = abs_core::clamp_step(d[k]);
+    // invariant: same k < d.len() bound as above.
+    d[k] = v;
+    v
+}

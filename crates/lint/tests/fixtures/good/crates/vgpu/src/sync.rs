@@ -1,0 +1,25 @@
+//! Good fixture: a correctly paired Release/Acquire flag — both sides
+//! name each other, orderings complement, the field matches.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One-way ready flag.
+#[derive(Default)]
+pub struct Flag {
+    ready: AtomicBool,
+}
+
+impl Flag {
+    /// Publishes readiness to the consumer.
+    pub fn publish(&self) {
+        // ordering: Release pairs with the Acquire load in consume.
+        self.ready.store(true, Ordering::Release);
+    }
+
+    /// Observes readiness; everything written before `publish` is
+    /// visible once this returns true.
+    pub fn consume(&self) -> bool {
+        // ordering: Acquire pairs with the Release store in publish.
+        self.ready.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,128 @@
+//! Lockstep test: the whole-program driver must run the PR-3 per-file
+//! rules *unchanged*. For a corpus seeded with one violation per
+//! original rule, the findings produced by `rules::check_file` directly
+//! must equal the per-file subset of the `lint_graph` report, finding
+//! for finding.
+
+use abs_lint::rules::{check_file, FileCtx, Finding};
+use abs_lint::{build_graph, lint_graph};
+use std::fs;
+use std::path::PathBuf;
+
+/// Rules introduced by the whole-program passes (plus the budget gate),
+/// excluded when comparing against the per-file engine.
+const WHOLE_PROGRAM_RULES: &[&str] = &[
+    "zone-propagation",
+    "atomic-pairing",
+    "hot-panic-reachable",
+    "hot-alloc-reachable",
+    "allow-budget",
+];
+
+/// The PR-3 style corpus: per-file violations only, each visible to a
+/// single-file scan.
+const CORPUS: &[(&str, &str)] = &[
+    (
+        // Device zone: rand, clock, float, alloc, unaudited indexing,
+        // unwrap.
+        "crates/search/src/tracker.rs",
+        "use rand::Rng;\n\
+         use std::time::Instant;\n\
+         fn flip(d: &[i64]) -> f64 {\n\
+             let v = vec![1u8];\n\
+             let _ = (d[0], v.first().unwrap());\n\
+             1.5\n\
+         }\n",
+    ),
+    (
+        // Host GA zone: energy evaluation.
+        "crates/ga/src/pool.rs",
+        "fn fitness(q: &Qubo, x: &BitVec) -> i64 { q.energy(x) }\n",
+    ),
+    (
+        // Unjustified SeqCst and an unpaired Release.
+        "crates/vgpu/src/sync.rs",
+        "use std::sync::atomic::{AtomicBool, Ordering};\n\
+         fn f(a: &AtomicBool) {\n\
+             a.store(true, Ordering::SeqCst);\n\
+             a.store(false, Ordering::Release);\n\
+         }\n",
+    ),
+    (
+        // Crate root missing the mandatory attributes, plus a marker
+        // with no reason.
+        "crates/core/src/lib.rs",
+        "// abs-lint: allow(no-unwrap)\n\
+         pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    ),
+];
+
+fn corpus_root() -> PathBuf {
+    let root = std::env::temp_dir().join(format!("abs-lint-lockstep-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    for (rel, src) in CORPUS {
+        let p = root.join(rel);
+        fs::create_dir_all(p.parent().unwrap()).unwrap();
+        fs::write(&p, src).unwrap();
+    }
+    root
+}
+
+/// A finding reduced to its identity for comparison.
+fn key(f: &Finding) -> (String, u32, &'static str, bool) {
+    (f.file.clone(), f.line, f.rule, f.allowed)
+}
+
+#[test]
+fn per_file_rules_fire_identically_under_the_whole_program_driver() {
+    let root = corpus_root();
+    let graph = build_graph(&root).unwrap();
+
+    // Old engine: check_file per file, exactly as PR 3 ran it.
+    let mut old: Vec<(String, u32, &'static str, bool)> = Vec::new();
+    for gf in &graph.files {
+        let ctx = FileCtx {
+            rel_path: &gf.rel_path,
+            zone: gf.zone,
+            lexed: &gf.lexed,
+        };
+        for mut f in check_file(&ctx) {
+            f.file = gf.rel_path.clone();
+            old.push(key(&f));
+        }
+    }
+    old.sort();
+
+    // New engine: the whole-program report, minus the new passes.
+    let report = lint_graph(&graph, &root, None);
+    let mut new: Vec<(String, u32, &'static str, bool)> = report
+        .findings
+        .iter()
+        .filter(|f| !WHOLE_PROGRAM_RULES.contains(&f.rule))
+        .map(key)
+        .collect();
+    new.sort();
+
+    assert_eq!(old, new, "per-file rules drifted under the new driver");
+
+    // The corpus is only meaningful if it actually exercises the old
+    // rule set broadly.
+    let fired: std::collections::BTreeSet<&str> = old.iter().map(|k| k.2).collect();
+    for rule in [
+        "device-no-rand",
+        "device-no-clock",
+        "device-no-float",
+        "device-no-alloc",
+        "device-index-invariant",
+        "no-unwrap",
+        "hostga-no-energy",
+        "ordering-seqcst-justified",
+        "ordering-pair-named",
+        "crate-attrs",
+        "bad-allow-marker",
+    ] {
+        assert!(fired.contains(rule), "corpus no longer trips {rule}");
+    }
+
+    let _ = fs::remove_dir_all(&root);
+}

@@ -73,9 +73,12 @@ pub fn window_argmin<A: DeltaAcc>(deltas: &[A], start: usize, len: usize) -> usi
     assert!(start < n, "window start {start} out of range {n}");
     let l = len.clamp(1, n);
     let first_len = l.min(n - start);
+    // invariant: start < n asserted above and start+first_len <= n by
+    // the min against n-start.
     let (i1, v1) = slice_min_first(&deltas[start..start + first_len]);
     let rest = l - first_len;
     if rest > 0 {
+        // invariant: rest = l - first_len <= n since l <= n.
         let (i2, v2) = slice_min_first(&deltas[..rest]);
         if v2 < v1 {
             return i2;
@@ -89,12 +92,18 @@ pub fn window_argmin<A: DeltaAcc>(deltas: &[A], start: usize, len: usize) -> usi
 /// auto-vectorizes; the locate pass is rarely the bottleneck at window
 /// sizes).
 fn slice_min_first<A: DeltaAcc>(s: &[A]) -> (usize, A) {
+    // invariant: callers pass non-empty slices (window_argmin clamps
+    // len to [1, n]), so s[0] and s[1..] are in bounds.
     let mut min_v = s[0];
     for &v in &s[1..] {
         min_v = min_v.min(v);
     }
-    // abs-lint: allow(no-unwrap) -- min_v was read out of `s` above, so the locate scan cannot miss
-    let i = s.iter().position(|&v| v == min_v).expect("min exists");
+    // invariant: min_v was read out of `s` above, so the locate scan
+    // stops before i leaves the slice.
+    let mut i = 0;
+    while s[i] != min_v {
+        i += 1;
+    }
     (i, min_v)
 }
 
@@ -257,6 +266,7 @@ impl<A: DeltaAcc> SelectionPolicy<A> for MetropolisPolicy {
         let mut k = 0;
         for _ in 0..self.max_tries {
             k = self.rng.gen_range(0..n);
+            // invariant: k < n = deltas.len() by the gen_range bound.
             let d = deltas[k].to_energy();
             if d <= 0 {
                 break;

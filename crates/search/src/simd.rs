@@ -225,6 +225,7 @@ pub fn flip_update(
 /// min accumulators, written so every operation is lane-independent and
 /// the autovectorizer keeps full vectors.
 fn flip_update_lanes(d: &mut [i32], row: &[i16], xw: &[u64], k: usize, xk: bool) -> i32 {
+    // invariant: k < d.len() = row.len(), asserted by flip_update.
     let d_k_new = -d[k];
     // Pre-bias: the uniform sweep below adds exactly +2·W_kk to lane k
     // (its XOR bit is x_k ⊕ x_k = 0), so starting it at -Δ_k - 2·W_kk
@@ -232,6 +233,7 @@ fn flip_update_lanes(d: &mut [i32], row: &[i16], xw: &[u64], k: usize, xk: bool)
     // The transient value may wrap; the wrapping add cancels the wrap
     // exactly, and only the final value is ever observed (by the min
     // fold here and by callers).
+    // invariant: k < d.len() = row.len(), asserted by flip_update.
     d[k] = d_k_new.wrapping_sub(i32::from(row[k]) << 1);
     let xk_mask = if xk { u64::MAX } else { 0 };
     let mut min_l = [i32::MAX; CHUNK];
@@ -250,12 +252,16 @@ fn flip_update_lanes(d: &mut [i32], row: &[i16], xw: &[u64], k: usize, xk: bool)
             // (w2 ^ m) - m = ±w2: the whole Eq. (16) increment without
             // a multiply (pad lanes have w2 = 0, so they stay inert and
             // keep their i32::MAX sentinels).
+            // invariant: j < CHUNK = dc.len() = wc.len() = min_l.len()
+            // (chunks_exact yields exactly CHUNK-long slices).
             let w2 = i32::from(wc[j]) << 1;
             let v = dc[j].wrapping_add((w2 ^ m) - m);
+            // invariant: same j < CHUNK bound as above.
             dc[j] = v;
             min_l[j] = min_l[j].min(v);
         }
     }
+    // invariant: CHUNK >= 1, so lane 0 exists and 1.. is in range.
     let mut m = min_l[0];
     for &v in &min_l[1..] {
         m = m.min(v);
@@ -283,10 +289,12 @@ unsafe fn flip_update_avx2(d: &mut [i32], row: &[i16], xw: &[u64], k: usize, xk:
         _mm_loadu_si128, _mm_min_epi32, _mm_shuffle_epi32,
     };
 
+    // invariant: k < d.len() = row.len(), asserted by flip_update.
     let d_k_new = -d[k];
     // Pre-bias (see the portable arm): the uniform sweep adds exactly
     // +2·W_kk to lane k, landing it on -Δ_k without any per-lane index
     // mask; vector adds wrap, cancelling any transient wrap here.
+    // invariant: k < d.len() = row.len(), asserted by flip_update.
     d[k] = d_k_new.wrapping_sub(i32::from(row[k]) << 1);
     let xk_mask = if xk { u64::MAX } else { 0 };
     let lane_idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
@@ -353,10 +361,12 @@ unsafe fn flip_update_avx512(d: &mut [i32], row: &[i16], xw: &[u64], k: usize, x
 
     /// Lanes per 512-bit vector.
     const L: usize = 16;
+    // invariant: k < d.len() = row.len(), asserted by flip_update.
     let d_k_new = -d[k];
     // Pre-bias (see the portable arm): the uniform sweep adds exactly
     // +2·W_kk to lane k, landing it on -Δ_k without any per-lane index
     // mask; vector adds wrap, cancelling any transient wrap here.
+    // invariant: k < d.len() = row.len(), asserted by flip_update.
     d[k] = d_k_new.wrapping_sub(i32::from(row[k]) << 1);
     let xk_mask = if xk { u64::MAX } else { 0 };
     let mut vmin = _mm512_set1_epi32(i32::MAX);
@@ -404,9 +414,12 @@ pub fn window_argmin(kernel: FlipKernel, deltas: &[i32], start: usize, len: usiz
     assert!(start < n, "window start {start} out of range {n}");
     let l = len.clamp(1, n);
     let first_len = l.min(n - start);
+    // invariant: start < n asserted above and start + first_len <= n
+    // by the min against n - start.
     let (i1, v1) = slice_min_first(kernel, &deltas[start..start + first_len]);
     let rest = l - first_len;
     if rest > 0 {
+        // invariant: rest = l - first_len <= n since l <= n.
         let (i2, v2) = slice_min_first(kernel, &deltas[..rest]);
         if v2 < v1 {
             return i2;
@@ -439,11 +452,14 @@ fn slice_min_first(kernel: FlipKernel, s: &[i32]) -> (usize, i32) {
 /// Portable arm: a lane-independent min fold, then one locate scan
 /// (both straight-line and autovectorizable).
 fn slice_min_first_lanes(s: &[i32]) -> (usize, i32) {
+    // invariant: callers pass non-empty slices (flip_update's sweep and
+    // window_argmin's clamp to [1, n] both guarantee it).
     let mut min_v = s[0];
     for &v in &s[1..] {
         min_v = min_v.min(v);
     }
-    // min_v was read out of `s` above, so the locate scan cannot miss.
+    // invariant: min_v was read out of `s` above, so the locate scan
+    // stops before i leaves the slice.
     let mut i = 0;
     while s[i] != min_v {
         i += 1;
@@ -495,11 +511,13 @@ unsafe fn slice_min_first_avx2(s: &[i32]) -> (usize, i32) {
         }
         for j in 0..LANES {
             let (bi, bv) = best;
+            // invariant: j < LANES = vals.len() = idxs.len().
             if vals[j] < bv || (vals[j] == bv && (idxs[j] as usize) < bi) {
                 best = (idxs[j] as usize, vals[j]);
             }
         }
     }
+    // invariant: chunks * LANES <= s.len() by construction of chunks.
     for (off, &v) in s[chunks * LANES..].iter().enumerate() {
         if v < best.1 {
             best = (chunks * LANES + off, v);

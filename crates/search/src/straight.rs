@@ -53,6 +53,7 @@ pub fn straight_search<T: SearchTracker + ?Sized>(tracker: &mut T, target: &BitV
         // Greedily select the differing bit with minimum Δ: walk the
         // packed diff words via trailing_zeros (one step per set bit).
         let mut best: Option<(usize, T::Acc)> = None;
+        // invariant: nw <= DIFF_WORDS, returned by diff_words_into.
         for (wi, &word) in diff[..nw].iter().enumerate() {
             let mut w = word;
             while w != 0 {

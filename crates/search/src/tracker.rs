@@ -465,12 +465,13 @@ impl<'a, A: DeltaAcc> DeltaTracker<'a, A> {
             self.best_e = e_new;
         }
         if e_new + min_d.to_energy() < self.best_e {
-            let i = self
-                .deltas()
-                .iter()
-                .position(|&v| v == min_d)
-                // abs-lint: allow(no-unwrap) -- min_d was folded from d's own entries, the scan cannot miss
-                .expect("min exists");
+            let d = self.deltas();
+            // invariant: min_d was folded from d's own entries, so the
+            // locate scan stops before i leaves the slice.
+            let mut i = 0;
+            while d[i] != min_d {
+                i += 1;
+            }
             self.best.copy_from(&self.x);
             self.best.flip(i);
             self.best_e = e_new + min_d.to_energy();

@@ -40,6 +40,7 @@ impl WindowSchedule {
             }
             Self::Cycle(ls) => {
                 assert!(!ls.is_empty(), "empty window cycle");
+                // invariant: index < ls.len() by the modulo.
                 ls[block % ls.len()].clamp(1, n.max(1))
             }
         }

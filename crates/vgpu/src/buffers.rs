@@ -241,9 +241,12 @@ impl GlobalMem {
     #[must_use]
     pub fn quiesced(&self) -> bool {
         // ordering: Acquire pairs with the AcqRel fetch_add in
+        // worker_enter and the AcqRel fetch_sub in worker_exit — the
+        // roster is read after every sign-on/sign-off it must count.
+        let active = self.active_workers.load(Ordering::Acquire);
+        // ordering: Acquire pairs with the AcqRel fetch_add in
         // pause_point — observing the park implies every counter write
         // the worker issued before parking is visible to the host.
-        let active = self.active_workers.load(Ordering::Acquire);
         active == 0 || self.paused_workers.load(Ordering::Acquire) >= active
     }
 
@@ -443,13 +446,19 @@ impl GlobalMem {
         if !self.pause.load(Ordering::Acquire) {
             return;
         }
-        // ordering: AcqRel publishes every counter write this worker
-        // issued before parking; quiesced()'s Acquire load observes them.
+        // ordering: AcqRel pairs with the Acquire load in quiesced —
+        // the park publishes every counter write this worker issued
+        // before parking.
         self.paused_workers.fetch_add(1, Ordering::AcqRel);
+        // ordering: Acquire spin pairs with the Release store in
+        // release_pause — the un-park observes every host write issued
+        // before the barrier came down.
         while self.pause.load(Ordering::Acquire) && !self.stopped() {
             std::thread::yield_now();
         }
-        // ordering: AcqRel keeps the un-park ordered after the spin exit.
+        // ordering: AcqRel pairs with the Acquire load in quiesced —
+        // the un-park is ordered after the spin exit so a fresh pause
+        // never counts a stale acknowledgement.
         self.paused_workers.fetch_sub(1, Ordering::AcqRel);
     }
 

@@ -391,9 +391,9 @@ impl FaultPlan {
             if matches(&slot.kind)
                 && slot
                     .fired
-                    // ordering: AcqRel pairs with competing claims on this
-                    // slot — exactly one claimant wins, and its use of the
-                    // fault is ordered after the claim.
+                    // ordering: AcqRel pairs with the competing AcqRel
+                    // compare_exchange in take — exactly one claimant wins,
+                    // and its use of the fault is ordered after the claim.
                     .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
             {
