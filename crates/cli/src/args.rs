@@ -11,6 +11,7 @@ USAGE:
     abs-cli tsp    <name>       [OPTIONS]   solve a TSPLIB stand-in (e.g. berlin52)
     abs-cli info   <file.qubo>              print instance statistics
     abs-cli verify <file.qubo> <file.sol>   recompute and check a saved solution
+    abs-cli serve  [SERVER OPTIONS]         run the HTTP job server (abs-server)
 
 OPTIONS:
     --timeout-ms <N>   wall-clock budget in milliseconds   [default: 1000]
@@ -20,6 +21,8 @@ OPTIONS:
     --seed <S>         master seed                         [default: 0]
     --preset <P>       family preset: maxcut | tsp | random
     --save <PATH>      write the best solution to a .sol file
+    --problem-json     (solve) the input file is the JSON problem format
+                       {\"format\": \"dense\"|\"edge-list\", ...} instead of .qubo text
     --json             machine-readable output
     --fault-seed <S>   inject a seeded deterministic fault plan (testing)
     --hard-timeout-ms <N>  watchdog wall-clock ceiling on the whole solve
@@ -69,6 +72,11 @@ pub enum Command {
         /// Path to the `.sol` file.
         solution: String,
     },
+    /// Run the HTTP job server; arguments pass through to `abs-server`.
+    Serve {
+        /// Verbatim server arguments (parsed by `abs_server::args`).
+        args: Vec<String>,
+    },
 }
 
 /// Parsed options.
@@ -82,6 +90,7 @@ pub struct Options {
     pub preset: Option<String>,
     pub save: Option<String>,
     pub json: bool,
+    pub problem_json: bool,
     pub fault_seed: Option<u64>,
     pub hard_timeout_ms: Option<u64>,
     pub audit_stride: Option<u64>,
@@ -104,6 +113,7 @@ impl Default for Options {
             preset: None,
             save: None,
             json: false,
+            problem_json: false,
             fault_seed: None,
             hard_timeout_ms: None,
             audit_stride: None,
@@ -156,6 +166,16 @@ pub fn parse(argv: &[String]) -> Result<Option<(Command, Options)>, String> {
         "tsp" => Command::Tsp {
             name: positional(&mut it, "instance name")?,
         },
+        // Server flags differ from solve flags; hand them through
+        // verbatim for `abs_server::args` to parse.
+        "serve" => {
+            return Ok(Some((
+                Command::Serve {
+                    args: it.cloned().collect(),
+                },
+                Options::default(),
+            )));
+        }
         other => return Err(format!("unknown command {other:?}")),
     };
 
@@ -205,6 +225,7 @@ pub fn parse(argv: &[String]) -> Result<Option<(Command, Options)>, String> {
             }
             "--save" => opts.save = Some(value("path")?.clone()),
             "--json" => opts.json = true,
+            "--problem-json" => opts.problem_json = true,
             "--fault-seed" => {
                 opts.fault_seed = Some(
                     value("seed")?
@@ -396,6 +417,37 @@ mod tests {
         assert_eq!(opts.resume, None);
         assert!(parse(&v(&["random", "8", "--checkpoint-keep", "x"])).is_err());
         assert!(parse(&v(&["random", "8", "--resume"])).is_err());
+    }
+
+    #[test]
+    fn serve_passes_arguments_through() {
+        let (cmd, _) = parse(&v(&["serve", "--port", "8080", "--spool", "sp"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                args: v(&["--port", "8080", "--spool", "sp"])
+            }
+        );
+        // Even flags that look like solve options pass through untouched.
+        let (cmd, _) = parse(&v(&["serve", "--help"])).unwrap().unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                args: v(&["--help"])
+            }
+        );
+    }
+
+    #[test]
+    fn problem_json_flag_parses() {
+        let (_, opts) = parse(&v(&["solve", "p.json", "--problem-json"]))
+            .unwrap()
+            .unwrap();
+        assert!(opts.problem_json);
+        let (_, opts) = parse(&v(&["solve", "p.qubo"])).unwrap().unwrap();
+        assert!(!opts.problem_json);
     }
 
     #[test]

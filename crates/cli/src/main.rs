@@ -143,7 +143,11 @@ fn run(cmd: Command, opts: &Options) -> Result<(), CliError> {
         Command::Solve { path } => {
             let text = std::fs::read_to_string(&path)
                 .map_err(|e| rt(format!("cannot read {path}: {e}")))?;
-            let q = format::parse(&text).map_err(|e| rt(e.to_string()))?;
+            let q = if opts.problem_json {
+                qubo::json::parse_problem(&text).map_err(|e| rt(e.to_string()))?
+            } else {
+                format::parse(&text).map_err(|e| rt(e.to_string()))?
+            };
             solve_and_report(&q, opts, &path)
         }
         Command::Random { bits } => {
@@ -163,6 +167,16 @@ fn run(cmd: Command, opts: &Options) -> Result<(), CliError> {
             let tsp = qubo_problems::tsplib::instance(inst.name);
             let tq = qubo_problems::tsp::to_qubo(&tsp).map_err(|e| rt(e.to_string()))?;
             solve_and_report(tq.qubo(), opts, &format!("tsp-{name}"))
+        }
+        Command::Serve { args } => {
+            let config = match abs_server::args::parse(&args).map_err(CliError::Usage)? {
+                None => {
+                    print!("{}", abs_server::args::USAGE);
+                    return Ok(());
+                }
+                Some(config) => config,
+            };
+            abs_server::run(&config).map_err(|e| rt(e.to_string()))
         }
     }
 }

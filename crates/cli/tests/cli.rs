@@ -311,3 +311,102 @@ fn metrics_out_unwritable_path_exits_1() {
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot write"));
 }
+
+#[test]
+fn problem_json_solves_a_json_problem_file() {
+    let path = tmp_qubo_file(
+        "problem.json",
+        r#"{"format": "dense", "n": 3, "upper": [-5, 2, 0, -3, 1, -8]}"#,
+    );
+    let out = bin()
+        .arg("solve")
+        .arg(&path)
+        .args(["--problem-json", "--timeout-ms", "200", "--json"])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("JSON output");
+    // Optimum of this 3-bit instance: x = 101 → -5 - 8 + 2·0 = -13.
+    assert_eq!(v["best_energy"].as_i64(), Some(-13));
+}
+
+#[test]
+fn problem_json_rejections_are_loud() {
+    let path = tmp_qubo_file(
+        "bad-problem.json",
+        r#"{"format": "dense", "n": 3, "upper": [1, 2]}"#,
+    );
+    let out = bin()
+        .arg("solve")
+        .arg(&path)
+        .args(["--problem-json", "--timeout-ms", "50"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("upper triangle"));
+}
+
+#[test]
+fn serve_help_and_usage_errors() {
+    let out = bin().args(["serve", "--help"]).output().expect("run");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("--queue-depth"));
+
+    let out = bin().args(["serve", "--bogus"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+}
+
+#[test]
+fn serve_runs_the_job_server_until_sigterm() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    let mut child = bin()
+        .args(["serve", "--port", "0", "--http-workers", "1"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("startup line");
+    let port: u16 = line
+        .trim()
+        .rsplit(':')
+        .next()
+        .and_then(|p| p.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable startup line {line:?}"));
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = reader.read_to_string(&mut sink);
+    });
+
+    // One metrics request proves the server answers.
+    let mut stream = std::net::TcpStream::connect(("127.0.0.1", port)).expect("connect to serve");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("write");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    assert!(raw.starts_with("HTTP/1.1 200"), "{raw:?}");
+    assert!(raw.contains("abs_server_http_requests_total"));
+
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill");
+    assert!(status.success());
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            assert!(status.success(), "drain exits 0, got {status:?}");
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "serve did not drain");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}

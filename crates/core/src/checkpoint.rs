@@ -651,10 +651,13 @@ fn rotate(path: &Path, keep: usize) -> Result<(), AbsError> {
 /// generations as `path.1` … The `fault` plan (keyed by `write_index`)
 /// can inject a short write or a torn rename; both simulate crashes, so
 /// they return `Ok` — the damage is discovered, by design, only at
-/// [`load_checkpoint`] time.
+/// [`load_checkpoint`] time. A planned write *denial*
+/// ([`vgpu::FaultKind::DenyWrite`]) is different: it models a full disk
+/// or revoked permission and returns the same [`AbsError::Checkpoint`]
+/// a real filesystem refusal would, before any file is touched.
 ///
 /// # Errors
-/// [`AbsError::Checkpoint`] on a real filesystem error.
+/// [`AbsError::Checkpoint`] on a real (or injected) filesystem error.
 pub fn write_checkpoint(
     path: &Path,
     ckpt: &Checkpoint,
@@ -662,6 +665,13 @@ pub fn write_checkpoint(
     fault: Option<&FaultPlan>,
     write_index: u64,
 ) -> Result<(), AbsError> {
+    if fault.is_some_and(|f| f.take_deny_write(write_index)) {
+        let denied = std::io::Error::new(
+            std::io::ErrorKind::PermissionDenied,
+            "injected write denial",
+        );
+        return Err(io_err("cannot create", path, &denied));
+    }
     let mut bytes = encode(ckpt);
     if let Some(keep_bytes) = fault.and_then(|f| f.take_short_write(write_index)) {
         // Simulated crash mid-write: only a prefix reaches the disk.

@@ -446,6 +446,38 @@ impl AbsSession {
         base + live
     }
 
+    /// Cumulative search units started, baseline plus live — the `m` of
+    /// the Theorem-1 projection `(flips + m) × (n + 1)`.
+    #[must_use]
+    pub fn total_units(&self) -> u64 {
+        let base: u64 = self.baselines.iter().map(|b| b.units).sum();
+        let live: u64 = self.machine.mems().iter().map(|m| m.total_units()).sum();
+        base + live
+    }
+
+    /// Cumulative solutions evaluated, baseline plus live.
+    #[must_use]
+    pub fn total_evaluated(&self) -> u64 {
+        let base: u64 = self.baselines.iter().map(|b| b.evaluated).sum();
+        let live: u64 = self
+            .machine
+            .mems()
+            .iter()
+            .map(|m| m.total_evaluated(self.n))
+            .sum();
+        base + live
+    }
+
+    /// A live snapshot of the telemetry registry, as folded at the most
+    /// recent progressed [`poll`](AbsSession::poll) round. This is what
+    /// a long-running host (the `abs-server` `/metrics` endpoint)
+    /// exposes mid-solve; the authoritative end-of-run snapshot still
+    /// arrives in [`SolveResult::metrics`](crate::SolveResult).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> abs_telemetry::MetricsSnapshot {
+        self.aggregator.snapshot()
+    }
+
     /// Runs one host poll round: watchdog, drain/insert/re-target,
     /// telemetry fold, periodic metrics and stride checkpoints, stop
     /// checks. Yields the thread when nothing progressed, so a driver
@@ -1139,6 +1171,36 @@ mod tests {
         cfg2.machine.num_devices = 2;
         let err = AbsSession::resume(cfg2, &q, &path).unwrap_err();
         assert!(matches!(err, AbsError::Checkpoint(_)));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn denied_checkpoint_write_surfaces_through_poll() {
+        // A stride checkpoint whose write the filesystem refuses must
+        // come back as `Err(Checkpoint)` from `poll`, not vanish into a
+        // log line — the serving layer turns this into `Failed{reason}`.
+        let mut rng = StdRng::seed_from_u64(29);
+        let q = Qubo::random(32, &mut rng);
+        let path = temp_path("deny");
+        let mut cfg = small_cfg(StopCondition::flips(u64::MAX / 2));
+        cfg.checkpoint.out = Some(path.clone());
+        cfg.checkpoint.interval = Some(Duration::from_millis(1));
+        cfg.machine.device.fault = Some(std::sync::Arc::new(
+            vgpu::FaultPlan::default().deny_write(0),
+        ));
+        let mut session = AbsSession::start(cfg, &q).unwrap();
+        let err = loop {
+            match session.poll() {
+                Ok(_) => {}
+                Err(e) => break e,
+            }
+        };
+        match err {
+            AbsError::Checkpoint(reason) => {
+                assert!(reason.contains("injected write denial"), "{reason}");
+            }
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 

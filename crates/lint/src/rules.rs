@@ -82,6 +82,10 @@ pub const RULES: &[(&str, &str)] = &[
         "no heap allocation in helpers transitively reachable from the per-flip hot path",
     ),
     (
+        "server-no-unwrap-in-handler",
+        "HTTP handlers (server-zone `handle_*` fns) must not panic: no unwrap/expect/panic-family macros",
+    ),
+    (
         "bad-allow-marker",
         "abs-lint allow marker without a `-- <reason>` trailer",
     ),
@@ -131,6 +135,8 @@ struct Spans {
     hot: Vec<(u32, u32)>,
     /// Bodies of telemetry record/observe entry points.
     telemetry_hot: Vec<(u32, u32)>,
+    /// Bodies of server HTTP handlers (`handle_*` functions).
+    handler: Vec<(u32, u32)>,
     /// Token-index ranges of attributes (`#[...]` / `#![...]`).
     attr_tok: Vec<(usize, usize)>,
 }
@@ -227,15 +233,18 @@ fn find_spans(toks: &[Tok]) -> Spans {
             i = end + 1;
             continue;
         }
-        // Hot function body (per-flip kernel or telemetry entry point).
+        // Hot function body (per-flip kernel, telemetry entry point, or
+        // server HTTP handler).
         if toks[i].is_ident("fn")
             && toks.get(i + 1).is_some_and(|t| {
                 t.kind == TokKind::Ident
                     && (HOT_FNS.contains(&t.text.as_str())
-                        || TELEMETRY_HOT_FNS.contains(&t.text.as_str()))
+                        || TELEMETRY_HOT_FNS.contains(&t.text.as_str())
+                        || t.text.starts_with("handle_"))
             })
         {
             let telemetry = TELEMETRY_HOT_FNS.contains(&toks[i + 1].text.as_str());
+            let handler = toks[i + 1].text.starts_with("handle_");
             let mut k = i + 2;
             let mut pdepth = 0i32;
             while k < toks.len() {
@@ -260,6 +269,9 @@ fn find_spans(toks: &[Tok]) -> Spans {
                 }
                 if telemetry {
                     spans.telemetry_hot.push(span);
+                }
+                if handler {
+                    spans.handler.push(span);
                 }
                 // Do not skip: nested tokens are still rule-checked.
             }
@@ -627,6 +639,39 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
                 format!(".{}() outside tests", t.text),
             );
         }
+
+        // --- server handlers never panic --------------------------------
+        // A handler thread that unwinds poisons the shared job store for
+        // every later request, so `handle_*` bodies are held to a
+        // stricter bar than plain `no-unwrap`: the panic-family macros
+        // are banned outright, and unwrap/expect is reported under this
+        // rule too (a marker for the generic rule must not excuse a
+        // handler).
+        if ctx.zone == Zone::Server && in_spans(line, &spans.handler) {
+            let is_panic_macro = matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            ) && t.kind == TokKind::Ident
+                && next.is_some_and(|n| n.is_punct('!'));
+            let is_unwrap = (t.is_ident("unwrap") || t.is_ident("expect"))
+                && prev.is_some_and(|p| p.is_punct('.'))
+                && next.is_some_and(|n| n.is_punct('('));
+            if is_panic_macro {
+                push(
+                    "server-no-unwrap-in-handler",
+                    line,
+                    ctx.zone,
+                    format!("`{}!` inside an HTTP handler", t.text),
+                );
+            } else if is_unwrap {
+                push(
+                    "server-no-unwrap-in-handler",
+                    line,
+                    ctx.zone,
+                    format!(".{}() inside an HTTP handler", t.text),
+                );
+            }
+        }
     }
 
     apply_markers(&mut findings, &markers);
@@ -913,6 +958,31 @@ mod tests {
         let deny = "#![deny(unsafe_code)]\n#![warn(missing_docs)]\npub mod x;\n";
         let fs = run("crates/search/src/lib.rs", deny);
         assert!(active(&fs, "crate-attrs").is_empty());
+    }
+
+    #[test]
+    fn server_handlers_must_not_panic() {
+        // Panic-family macros and unwrap/expect inside a `handle_*` fn
+        // in the server zone are flagged; the same code outside a
+        // handler only trips the generic no-unwrap rule.
+        let src = "fn handle_submit(b: &str) -> Response {\n  let v = parse(b).unwrap();\n  if v.is_bad() { panic!(\"bad\"); }\n  todo!()\n}\nfn helper(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let fs = run("crates/server/src/routes.rs", src);
+        let hits = active(&fs, "server-no-unwrap-in-handler");
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert_eq!(hits[0].line, 2); // .unwrap()
+        assert_eq!(hits[1].line, 3); // panic!
+        assert_eq!(hits[2].line, 4); // todo!
+                                     // The helper outside the handler is generic no-unwrap territory.
+        assert_eq!(active(&fs, "no-unwrap").len(), 2);
+
+        // Outside the server zone, handle_* names carry no special bar.
+        let fs = run("crates/core/src/solver.rs", src);
+        assert!(active(&fs, "server-no-unwrap-in-handler").is_empty());
+
+        // A clean handler that propagates errors is silent.
+        let ok = "fn handle_status(id: u64) -> Result<Response, ApiError> {\n  let j = store.get(id).ok_or(ApiError::NotFound)?;\n  Ok(ok_json(&j))\n}\n";
+        let fs = run("crates/server/src/routes.rs", ok);
+        assert!(active(&fs, "server-no-unwrap-in-handler").is_empty());
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub enum Zone {
     /// record/observe entry points run on device threads inside the
     /// search loop, so those bodies must be allocation-free.
     Telemetry,
+    /// The serving layer (`crates/server`): long-running host process
+    /// whose HTTP handlers must never panic — one unwinding handler
+    /// thread poisons shared state for every later request
+    /// (`server-no-unwrap-in-handler`).
+    Server,
 }
 
 impl Zone {
@@ -44,6 +49,7 @@ impl Zone {
             Zone::Neutral => "neutral",
             Zone::Harness => "harness",
             Zone::Telemetry => "telemetry",
+            Zone::Server => "server",
         }
     }
 }
@@ -77,6 +83,8 @@ pub fn classify(rel_path: &str) -> Zone {
         Zone::Harness
     } else if p.starts_with("crates/telemetry/src/") {
         Zone::Telemetry
+    } else if p.starts_with("crates/server/src/") {
+        Zone::Server
     } else {
         Zone::Neutral
     }
@@ -256,6 +264,9 @@ mod tests {
         assert_eq!(classify("crates/bench/src/lib.rs"), Zone::Harness);
         assert_eq!(classify("crates/telemetry/src/ring.rs"), Zone::Telemetry);
         assert_eq!(classify("crates/telemetry/src/metrics.rs"), Zone::Telemetry);
+        assert_eq!(classify("crates/server/src/routes.rs"), Zone::Server);
+        assert_eq!(classify("crates/server/src/main.rs"), Zone::Server);
+        assert_eq!(classify("crates/server/tests/acceptance.rs"), Zone::Neutral);
     }
 
     #[test]

@@ -195,6 +195,7 @@ fn list_rules_names_every_rule() {
         "ordering-seqcst-justified",
         "ordering-pair-named",
         "no-unwrap",
+        "server-no-unwrap-in-handler",
         "crate-attrs",
         "bad-allow-marker",
         "allow-budget",

@@ -44,6 +44,7 @@ pub mod bitvec;
 pub mod energy;
 pub mod format;
 pub mod ising;
+pub mod json;
 pub mod matrix;
 pub mod sparse;
 pub mod stats;
@@ -52,6 +53,7 @@ pub mod storage;
 pub use bitvec::BitVec;
 pub use energy::{phi, Energy};
 pub use ising::Ising;
+pub use json::JsonProblemError;
 pub use matrix::{Qubo, QuboBuilder, QuboError, ROW_ALIGN_BYTES, ROW_LANE};
 pub use sparse::SparseQubo;
 pub use stats::InstanceStats;

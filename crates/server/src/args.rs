@@ -1,0 +1,116 @@
+//! Command-line parsing for the server, shared by the `abs-server`
+//! binary and the CLI's `abs-cli serve` subcommand (which passes its
+//! remaining arguments through verbatim).
+
+use crate::ServerConfig;
+
+/// Usage text (also printed by `abs-cli serve --help`).
+pub const USAGE: &str = "\
+usage: abs-server [options]
+
+options:
+  --addr A           bind address (default 127.0.0.1)
+  --port P           bind port; 0 picks an ephemeral port (default 0)
+  --queue-depth N    queued jobs admitted before 429 (default 8)
+  --http-workers N   HTTP worker threads (default 4)
+  --spool DIR        spool directory for drain checkpoints
+  --resume-jobs      reload jobs a drained predecessor spooled
+  --help             print this help
+";
+
+/// Parses server arguments. `Ok(None)` means "print usage and exit 0".
+///
+/// # Errors
+/// A human-readable message for unknown flags, missing values, or
+/// out-of-range numbers (the caller exits 2).
+pub fn parse(args: &[String]) -> Result<Option<ServerConfig>, String> {
+    let mut config = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--addr" => config.addr = value("--addr")?,
+            "--port" => {
+                config.port = value("--port")?
+                    .parse()
+                    .map_err(|_| "--port needs an integer in 0..=65535".to_string())?;
+            }
+            "--queue-depth" => {
+                config.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth needs a positive integer".to_string())?;
+                if config.queue_depth == 0 {
+                    return Err("--queue-depth needs a positive integer".into());
+                }
+            }
+            "--http-workers" => {
+                config.http_workers = value("--http-workers")?
+                    .parse()
+                    .map_err(|_| "--http-workers needs a positive integer".to_string())?;
+                if config.http_workers == 0 {
+                    return Err("--http-workers needs a positive integer".into());
+                }
+            }
+            "--spool" => config.spool = Some(value("--spool")?.into()),
+            "--resume-jobs" => config.resume_jobs = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if config.resume_jobs && config.spool.is_none() {
+        return Err("--resume-jobs requires --spool".into());
+    }
+    Ok(Some(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let c = parse(&[]).unwrap().expect("run");
+        assert_eq!(c.addr, "127.0.0.1");
+        assert_eq!(c.port, 0);
+        assert_eq!(c.queue_depth, 8);
+
+        let c = parse(&strs(&[
+            "--addr",
+            "0.0.0.0",
+            "--port",
+            "8080",
+            "--queue-depth",
+            "2",
+            "--http-workers",
+            "1",
+            "--spool",
+            "/tmp/sp",
+            "--resume-jobs",
+        ]))
+        .unwrap()
+        .expect("run");
+        assert_eq!(c.addr, "0.0.0.0");
+        assert_eq!(c.port, 8080);
+        assert_eq!(c.queue_depth, 2);
+        assert_eq!(c.http_workers, 1);
+        assert!(c.resume_jobs);
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(parse(&strs(&["--nope"])).is_err());
+        assert!(parse(&strs(&["--port"])).is_err());
+        assert!(parse(&strs(&["--port", "zebra"])).is_err());
+        assert!(parse(&strs(&["--queue-depth", "0"])).is_err());
+        assert!(parse(&strs(&["--resume-jobs"])).is_err());
+        assert!(parse(&strs(&["--help"])).unwrap().is_none());
+    }
+}

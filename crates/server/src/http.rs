@@ -1,0 +1,261 @@
+//! A minimal HTTP/1.1 layer over [`std::net::TcpStream`].
+//!
+//! The workspace builds fully offline, so there is no tokio/axum (or
+//! any async runtime) to reach for; the serving layer needs exactly
+//! five routes, one request per connection, and Server-Sent Events for
+//! the progress stream — a hand-rolled parser over blocking sockets
+//! covers that in a few hundred auditable lines (DESIGN.md §12 records
+//! the trade-off). Every connection is `Connection: close`: job
+//! submission and polling are low-rate control traffic, not the data
+//! path, and the solver itself never blocks on a socket.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request line + headers.
+const MAX_HEAD: usize = 16 * 1024;
+/// Upper bound on a request body (a dense 2048-bit upper triangle in
+/// JSON is ~15 MiB; edge lists are far smaller).
+pub const MAX_BODY: usize = 32 * 1024 * 1024;
+/// How long a worker waits on a slow client before giving up.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Path component only (no query parsing; none of the routes need
+    /// it).
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// A request the parser refuses, mapped to a status code.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or framing: 400.
+    BadRequest(String),
+    /// Declared body beyond [`MAX_BODY`]: 413.
+    PayloadTooLarge,
+    /// The socket died or timed out mid-request; nothing to answer.
+    Disconnected,
+}
+
+/// Reads and parses exactly one request from `stream`.
+///
+/// # Errors
+/// [`HttpError`] as above; the caller maps `BadRequest` /
+/// `PayloadTooLarge` to responses and drops `Disconnected` silently.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(HttpError::BadRequest("request head too large".into()));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|_| HttpError::Disconnected)?;
+        if n == 0 {
+            return Err(HttpError::Disconnected);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?;
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::BadRequest("bad Content-Length".into()))?;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(HttpError::PayloadTooLarge);
+    }
+
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|_| HttpError::Disconnected)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("truncated body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Canonical reason phrases for the status codes the server emits.
+#[must_use]
+pub fn status_reason(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete response and flushes.
+///
+/// # Errors
+/// Propagates socket errors; the caller treats them as a disconnect.
+pub fn write_response(
+    stream: &mut TcpStream,
+    code: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_reason(code),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Starts a Server-Sent Events response; events follow via
+/// [`write_sse_event`].
+///
+/// # Errors
+/// Propagates socket errors.
+pub fn write_sse_header(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+/// Writes one SSE frame (`event:` line only when `name` is given).
+///
+/// # Errors
+/// Propagates socket errors; a failed write means the client went away
+/// and the stream loop should end.
+pub fn write_sse_event(
+    stream: &mut TcpStream,
+    name: Option<&str>,
+    data: &str,
+) -> std::io::Result<()> {
+    if let Some(name) = name {
+        stream.write_all(b"event: ")?;
+        stream.write_all(name.as_bytes())?;
+        stream.write_all(b"\n")?;
+    }
+    stream.write_all(b"data: ")?;
+    stream.write_all(data.as_bytes())?;
+    stream.write_all(b"\n\n")?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Runs the parser against raw bytes via a real socket pair.
+    fn parse_raw(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let out = read_request(&mut conn);
+        writer.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse_raw(b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"a\": 1}\n")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, b"{\"a\": 1}\n");
+    }
+
+    #[test]
+    fn parses_a_get_and_strips_query() {
+        let req = parse_raw(b"GET /jobs/7/events?from=3 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/jobs/7/events");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_framing() {
+        assert!(matches!(
+            parse_raw(b"GET\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"GET / SPDY/9\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_declared_body() {
+        let head = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            parse_raw(head.as_bytes()),
+            Err(HttpError::PayloadTooLarge)
+        ));
+    }
+}

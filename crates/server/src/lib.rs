@@ -1,0 +1,240 @@
+//! Solve-as-a-service: the ABS job server (DESIGN.md §12).
+//!
+//! `abs-server` (or `abs serve`) exposes the solver over HTTP/JSON:
+//! jobs are submitted with `POST /jobs`, watched with `GET /jobs/{id}`
+//! and an SSE progress stream, cancelled with `DELETE`, and observed
+//! live through `GET /metrics`. Admission is a bounded queue (429 when
+//! full), one [`abs::AbsSession`] runs at a time, and SIGINT/SIGTERM
+//! *drain*: the in-flight job checkpoints to the spool and a restarted
+//! server picks it back up with `--resume-jobs`, cumulative accounting
+//! intact.
+//!
+//! The whole stack is std-only — hand-rolled HTTP/1.1 over blocking
+//! sockets with a small worker pool — because the workspace builds
+//! offline with no async runtime available; see `http.rs` and
+//! DESIGN.md §12 for the trade-off.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod http;
+pub mod job;
+pub mod metrics;
+pub mod routes;
+pub mod runner;
+pub mod signals;
+pub mod spec;
+pub mod spool;
+
+use job::{JobPhase, JobStore};
+use metrics::ServerMetrics;
+use routes::AppState;
+use spool::ManifestEntry;
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often the accept loop checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Server settings (the `abs-server` command line maps 1:1 onto this).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address.
+    pub addr: String,
+    /// Bind port; `0` picks an ephemeral port (printed on startup).
+    pub port: u16,
+    /// Bounded admission: queued jobs beyond this refuse with 429.
+    pub queue_depth: usize,
+    /// HTTP worker threads (SSE streams occupy one each while open).
+    pub http_workers: usize,
+    /// Spool directory for drain checkpoints and job bodies.
+    pub spool: Option<PathBuf>,
+    /// Reload the spool manifest left by a drained predecessor.
+    pub resume_jobs: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1".into(),
+            port: 0,
+            queue_depth: 8,
+            http_workers: 4,
+            spool: None,
+            resume_jobs: false,
+        }
+    }
+}
+
+/// Why the server could not run (startup or drain).
+#[derive(Debug)]
+pub enum ServerError {
+    /// Binding the listen socket failed.
+    Bind(std::io::Error),
+    /// The spool directory could not be created or written.
+    Spool(std::io::Error),
+    /// `--resume-jobs` was passed without `--spool`.
+    ResumeNeedsSpool,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Bind(e) => write!(f, "binding listen socket: {e}"),
+            Self::Spool(e) => write!(f, "spool directory: {e}"),
+            Self::ResumeNeedsSpool => write!(f, "--resume-jobs requires --spool"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Runs the server until SIGINT/SIGTERM, then drains: stops accepting,
+/// checkpoints the in-flight job, writes the spool manifest, and
+/// returns.
+///
+/// # Errors
+/// [`ServerError`] on startup problems; a clean drain is `Ok`.
+pub fn run(config: &ServerConfig) -> Result<(), ServerError> {
+    signals::install();
+    if config.resume_jobs && config.spool.is_none() {
+        return Err(ServerError::ResumeNeedsSpool);
+    }
+    if let Some(dir) = &config.spool {
+        std::fs::create_dir_all(dir).map_err(ServerError::Spool)?;
+    }
+
+    let store = Arc::new(JobStore::new(config.queue_depth));
+    let metrics = Arc::new(ServerMetrics::new());
+    if config.resume_jobs {
+        if let Some(dir) = &config.spool {
+            resume_jobs(&store, dir)?;
+        }
+    }
+
+    let listener =
+        TcpListener::bind((config.addr.as_str(), config.port)).map_err(ServerError::Bind)?;
+    let local = listener.local_addr().map_err(ServerError::Bind)?;
+    listener.set_nonblocking(true).map_err(ServerError::Bind)?;
+    // The acceptance suite parses this exact line for the port.
+    println!("abs-server listening on http://{local}");
+    let _ = std::io::stdout().flush();
+
+    let solver = runner::spawn(
+        Arc::clone(&store),
+        Arc::clone(&metrics),
+        config.spool.clone(),
+    );
+
+    let (tx, rx) = mpsc::channel::<std::net::TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut http_workers = Vec::new();
+    for i in 0..config.http_workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let state = AppState {
+            store: Arc::clone(&store),
+            metrics: Arc::clone(&metrics),
+            spool: config.spool.clone(),
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("abs-http-{i}"))
+            .spawn(move || loop {
+                let next = rx
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .recv();
+                match next {
+                    Ok(stream) => routes::serve_connection(stream, &state),
+                    Err(_) => return, // sender dropped: drain
+                }
+            })
+            .map_err(ServerError::Bind)?;
+        http_workers.push(handle);
+    }
+
+    while !signals::interrupted() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+
+    // Drain: refuse new work, let the worker checkpoint, release the
+    // HTTP pool (open SSE streams see `draining` and close themselves).
+    store.begin_drain();
+    drop(tx);
+    let _ = solver.join();
+    for handle in http_workers {
+        let _ = handle.join();
+    }
+
+    let mut spooled = 0usize;
+    if let Some(dir) = &config.spool {
+        let entries: Vec<ManifestEntry> = store
+            .non_terminal()
+            .into_iter()
+            .filter_map(|(id, phase)| {
+                let state = match phase {
+                    JobPhase::Queued => "queued",
+                    JobPhase::Interrupted => "interrupted",
+                    _ => return None,
+                };
+                Some(ManifestEntry {
+                    id,
+                    state: state.into(),
+                })
+            })
+            .collect();
+        spooled = entries.len();
+        spool::write_manifest(dir, &entries).map_err(ServerError::Spool)?;
+    }
+    println!("abs-server drained; {spooled} job(s) spooled");
+    Ok(())
+}
+
+/// Reloads the drain manifest: queued jobs re-queue fresh, interrupted
+/// jobs resume from their checkpoint with identifiers preserved.
+fn resume_jobs(store: &JobStore, dir: &std::path::Path) -> Result<(), ServerError> {
+    let entries = spool::take_manifest(dir).map_err(ServerError::Spool)?;
+    for entry in entries {
+        let body = match std::fs::read_to_string(spool::job_file(dir, entry.id)) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("abs-server: skipping job {}: reading body: {e}", entry.id);
+                continue;
+            }
+        };
+        let spec = match spec::parse_spec(&body) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("abs-server: skipping job {}: {e}", entry.id);
+                continue;
+            }
+        };
+        let resume_from = if entry.state == "interrupted" {
+            let ckpt = spool::ckpt_file(dir, entry.id);
+            ckpt.exists().then_some(ckpt)
+        } else {
+            None
+        };
+        // Restores bypass the admission bound — these jobs were already
+        // admitted by the drained predecessor.
+        if let Err(e) = store.submit(spec, resume_from, Some(entry.id)) {
+            eprintln!("abs-server: skipping job {}: {e:?}", entry.id);
+        }
+    }
+    Ok(())
+}

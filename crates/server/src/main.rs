@@ -1,0 +1,38 @@
+//! `abs-server`: the ABS solve-as-a-service binary.
+//!
+//! ```text
+//! abs-server [--addr A] [--port P] [--queue-depth N] [--http-workers N]
+//!            [--spool DIR] [--resume-jobs]
+//! ```
+//!
+//! Exit codes follow the CLI convention: `2` for usage errors, `1` for
+//! runtime failures, `0` for a clean drain after SIGINT/SIGTERM.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use abs_server::{args, run};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let config = match args::parse(&argv) {
+        Ok(None) => {
+            print!("{}", args::USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Ok(Some(config)) => config,
+        Err(msg) => {
+            eprintln!("abs-server: {msg}");
+            eprint!("{}", args::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    match run(&config) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("abs-server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

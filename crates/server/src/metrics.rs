@@ -1,0 +1,159 @@
+//! Server observability: a dedicated [`abs_telemetry::Registry`] for
+//! serving-layer counters plus a live slot for the running session's
+//! solver snapshot.
+//!
+//! `GET /metrics` renders both in one Prometheus text exposition: the
+//! server registry first (`abs_server_*` families), then the most
+//! recent solver snapshot published by the worker at a poll boundary
+//! (`abs_*` families) — live mid-solve, not only at solve end. The
+//! solver families carry the currently-running job's view; between jobs
+//! the last finished job's final fold stays visible.
+
+use abs_telemetry::expose::prometheus_text;
+use abs_telemetry::{Counter, Gauge, MetricsSnapshot, Registry};
+use std::sync::{Arc, Mutex};
+
+/// All serving-layer instruments, registered once at startup.
+pub struct ServerMetrics {
+    registry: Registry,
+    /// Jobs admitted by `POST /jobs`.
+    pub jobs_submitted: Arc<Counter>,
+    /// Submissions refused with 429 (queue full) or 503 (draining).
+    pub jobs_rejected: Arc<Counter>,
+    /// Jobs finished in `done`.
+    pub jobs_done: Arc<Counter>,
+    /// Jobs finished in `failed`.
+    pub jobs_failed: Arc<Counter>,
+    /// Jobs finished in `cancelled`.
+    pub jobs_cancelled: Arc<Counter>,
+    /// Jobs checkpointed to the spool during drain.
+    pub jobs_interrupted: Arc<Counter>,
+    /// HTTP requests accepted (any route, any outcome).
+    pub http_requests: Arc<Counter>,
+    /// Jobs currently waiting in the bounded queue.
+    pub queue_depth: Arc<Gauge>,
+    /// 1 while a session is live, 0 otherwise.
+    pub jobs_running: Arc<Gauge>,
+    live: Mutex<Option<MetricsSnapshot>>,
+}
+
+impl ServerMetrics {
+    /// Registers every instrument.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut r = Registry::new();
+        let jobs_submitted = r.counter(
+            "abs_server_jobs_submitted_total",
+            &[],
+            "Jobs admitted by POST /jobs.",
+        );
+        let jobs_rejected = r.counter(
+            "abs_server_jobs_rejected_total",
+            &[],
+            "Submissions refused by admission control (queue full or draining).",
+        );
+        let jobs_done = r.counter(
+            "abs_server_jobs_done_total",
+            &[],
+            "Jobs that met a stop condition.",
+        );
+        let jobs_failed = r.counter(
+            "abs_server_jobs_failed_total",
+            &[],
+            "Jobs that failed (session start, poll error, or checkpoint write).",
+        );
+        let jobs_cancelled = r.counter(
+            "abs_server_jobs_cancelled_total",
+            &[],
+            "Jobs cancelled via DELETE.",
+        );
+        let jobs_interrupted = r.counter(
+            "abs_server_jobs_interrupted_total",
+            &[],
+            "Jobs checkpointed to the spool during drain.",
+        );
+        let http_requests = r.counter(
+            "abs_server_http_requests_total",
+            &[],
+            "HTTP requests read off the socket.",
+        );
+        let queue_depth = r.gauge(
+            "abs_server_queue_depth",
+            &[],
+            "Jobs waiting in the bounded admission queue.",
+        );
+        let jobs_running = r.gauge(
+            "abs_server_jobs_running",
+            &[],
+            "Live solver sessions (0 or 1).",
+        );
+        Self {
+            registry: r,
+            jobs_submitted,
+            jobs_rejected,
+            jobs_done,
+            jobs_failed,
+            jobs_cancelled,
+            jobs_interrupted,
+            http_requests,
+            queue_depth,
+            jobs_running,
+            live: Mutex::new(None),
+        }
+    }
+
+    /// Publishes the running session's latest aggregator snapshot.
+    pub fn publish_live(&self, snapshot: MetricsSnapshot) {
+        *self
+            .live
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(snapshot);
+    }
+
+    /// Renders the combined Prometheus text exposition.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = prometheus_text(&self.registry.snapshot());
+        let live = self
+            .live
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(snapshot) = live.as_ref() {
+            out.push_str(&prometheus_text(snapshot));
+        }
+        out
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abs_telemetry::expose::parse_prometheus;
+
+    #[test]
+    fn render_is_valid_exposition_with_and_without_live() {
+        let m = ServerMetrics::new();
+        m.jobs_submitted.inc();
+        m.queue_depth.set(2.0);
+        let samples = parse_prometheus(&m.render()).unwrap();
+        assert!(samples >= 9, "all server families present: {samples}");
+
+        // Fold in a live solver snapshot; the merged text must stay a
+        // valid exposition (the CI smoke check curls exactly this).
+        let mut solver = Registry::new();
+        solver
+            .counter("abs_flips_total", &[("device", "0")], "Flips.")
+            .add(7);
+        m.publish_live(solver.snapshot());
+        let text = m.render();
+        assert!(text.contains("abs_server_jobs_submitted_total 1"));
+        assert!(text.contains("abs_flips_total"));
+        parse_prometheus(&text).unwrap();
+    }
+}

@@ -1,0 +1,296 @@
+//! The solver worker: one thread, one live [`abs::AbsSession`] at a
+//! time.
+//!
+//! The paper's host drives a single bulk-search machine, and the
+//! serving layer keeps that shape: jobs are claimed off the bounded
+//! queue in FIFO order and solved one at a time, so a job's resource
+//! envelope is the whole virtual machine rather than a slice of it.
+//! The worker owns every phase transition out of `Running`:
+//!
+//! * a stop condition (or watchdog deadline with an incumbent) ends the
+//!   job `done`;
+//! * a poll error — including a refused checkpoint write, which
+//!   [`abs::AbsSession::poll`] surfaces as `Err(Checkpoint)` — ends it
+//!   `failed` with the reason in the status body;
+//! * a `DELETE`-flagged cancel is honoured at the next poll round,
+//!   keeping the partial result;
+//! * a drain checkpoints the session to the spool and parks the job
+//!   `interrupted` for `--resume-jobs`.
+//!
+//! Between poll rounds the worker appends progress events (monotone
+//! best energy — it reads the session incumbent, which only improves)
+//! and publishes the live aggregator snapshot for `GET /metrics`.
+
+use crate::job::{JobId, JobPhase, JobResult, JobStore, ProgressEvent};
+use crate::metrics::ServerMetrics;
+use crate::spec::JobSpec;
+use crate::spool;
+use abs::{AbsConfig, AbsSession, SessionStatus, SolveResult, StopCondition};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Progress-event / live-metrics cadence while a job runs.
+const EVENT_STRIDE: Duration = Duration::from_millis(100);
+/// Default spool checkpoint stride when the job does not pick one.
+const DEFAULT_CKPT_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Spawns the solver worker. It exits when the store drains.
+pub fn spawn(
+    store: Arc<JobStore>,
+    metrics: Arc<ServerMetrics>,
+    spool_dir: Option<PathBuf>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("abs-solver".into())
+        .spawn(move || worker_loop(&store, &metrics, spool_dir.as_deref()))
+        .unwrap_or_else(|e| panic!("spawning the solver worker failed: {e}"))
+}
+
+fn worker_loop(store: &JobStore, metrics: &ServerMetrics, spool_dir: Option<&Path>) {
+    while let Some(id) = store.claim_next() {
+        metrics.jobs_running.set(1.0);
+        metrics.queue_depth.set(store.queue_len() as f64);
+        run_job(store, metrics, spool_dir, id);
+        metrics.jobs_running.set(0.0);
+        metrics.queue_depth.set(store.queue_len() as f64);
+    }
+}
+
+/// Maps a job spec onto a solver configuration. Public to the crate so
+/// the acceptance suite's bit-for-bit twin uses literally this mapping.
+#[must_use]
+pub fn solver_config(spec: &JobSpec, ckpt_out: Option<PathBuf>) -> AbsConfig {
+    let mut cfg = AbsConfig::small();
+    cfg.seed = spec.config.seed;
+    let mut stop = StopCondition::timeout(Duration::from_millis(spec.config.timeout_ms.max(1)));
+    if let Some(t) = spec.config.target {
+        stop = stop.with_target(t);
+    }
+    cfg.stop = stop;
+    if let Some(d) = spec.config.devices {
+        cfg.machine.num_devices = d.max(1);
+    }
+    if let Some(b) = spec.config.blocks {
+        cfg.machine.device.blocks_override = Some(b.max(1));
+    }
+    if let Some(ms) = spec.config.deadline_ms {
+        cfg.watchdog.hard_timeout = Some(Duration::from_millis(ms));
+    }
+    if let Some(out) = ckpt_out {
+        cfg.checkpoint.out = Some(out);
+        cfg.checkpoint.interval = Some(
+            spec.config
+                .checkpoint_interval_ms
+                .map_or(DEFAULT_CKPT_INTERVAL, Duration::from_millis),
+        );
+    }
+    if let Some(at) = spec.config.deny_checkpoint_write {
+        cfg.machine.device.fault = Some(Arc::new(vgpu::FaultPlan::default().deny_write(at)));
+    }
+    cfg
+}
+
+fn run_job(store: &JobStore, metrics: &ServerMetrics, spool_dir: Option<&Path>, id: JobId) {
+    let Some((spec, resume_from)) = store.with_job(id, |j| (j.spec.clone(), j.resume_from.clone()))
+    else {
+        return;
+    };
+    let ckpt_out = spool_dir.map(|d| spool::ckpt_file(d, id));
+    let cfg = solver_config(&spec, ckpt_out);
+    let keep = cfg.checkpoint.keep.max(1);
+
+    let started = match resume_from {
+        Some(path) => AbsSession::resume(cfg, &spec.problem, &path),
+        None => AbsSession::start(cfg, &spec.problem),
+    };
+    let mut session = match started {
+        Ok(s) => s,
+        Err(e) => {
+            finish_failed(store, metrics, spool_dir, id, keep, &e.to_string());
+            return;
+        }
+    };
+
+    let mut last_emit = Instant::now() - EVENT_STRIDE;
+    let mut last_best: Option<i64> = None;
+    loop {
+        if store.with_job(id, |j| j.cancel_requested) == Some(true) {
+            let result = session.stop().ok().map(job_result);
+            store.update(id, |j| {
+                j.phase = JobPhase::Cancelled;
+                j.result = result;
+            });
+            metrics.jobs_cancelled.inc();
+            cleanup_spool(spool_dir, id, keep);
+            return;
+        }
+        if store.draining() {
+            // Park the job in the spool for `--resume-jobs`. A refused
+            // drain checkpoint fails the job instead of interrupting it:
+            // a manifest entry without a checkpoint would resume wrong.
+            if session.config().checkpoint.out.is_some() {
+                if let Err(e) = session.checkpoint_now() {
+                    finish_failed(store, metrics, spool_dir, id, keep, &e.to_string());
+                    return;
+                }
+            }
+            store.update(id, |j| j.phase = JobPhase::Interrupted);
+            metrics.jobs_interrupted.inc();
+            return;
+        }
+        match session.poll() {
+            Err(e) => {
+                finish_failed(store, metrics, spool_dir, id, keep, &e.to_string());
+                return;
+            }
+            Ok(SessionStatus::StopConditionMet) => {
+                emit_event(store, metrics, id, &session);
+                match session.stop() {
+                    Ok(sr) => {
+                        store.update(id, |j| {
+                            j.phase = JobPhase::Done;
+                            j.result = Some(job_result(sr));
+                        });
+                        metrics.jobs_done.inc();
+                        cleanup_spool(spool_dir, id, keep);
+                    }
+                    Err(e) => {
+                        finish_failed(store, metrics, spool_dir, id, keep, &e.to_string());
+                    }
+                }
+                return;
+            }
+            Ok(SessionStatus::Running) => {
+                let best = session.best().map(|(_, e)| e);
+                if best != last_best || last_emit.elapsed() >= EVENT_STRIDE {
+                    last_best = best;
+                    last_emit = Instant::now();
+                    emit_event(store, metrics, id, &session);
+                }
+            }
+        }
+    }
+}
+
+fn emit_event(store: &JobStore, metrics: &ServerMetrics, id: JobId, session: &AbsSession) {
+    let event = ProgressEvent {
+        seq: 0, // assigned under the store lock below
+        elapsed_ms: u64::try_from(session.total_elapsed().as_millis()).unwrap_or(u64::MAX),
+        best_energy: session.best().map(|(_, e)| e),
+        flips: session.total_flips(),
+    };
+    metrics.publish_live(session.metrics_snapshot());
+    store.update(id, move |j| {
+        let mut event = event;
+        event.seq = j.events.len() as u64;
+        j.events.push(event);
+    });
+}
+
+fn finish_failed(
+    store: &JobStore,
+    metrics: &ServerMetrics,
+    spool_dir: Option<&Path>,
+    id: JobId,
+    keep: usize,
+    reason: &str,
+) {
+    let reason = reason.to_string();
+    store.update(id, move |j| {
+        j.phase = JobPhase::Failed;
+        j.error = Some(reason);
+    });
+    metrics.jobs_failed.inc();
+    cleanup_spool(spool_dir, id, keep);
+}
+
+fn cleanup_spool(spool_dir: Option<&Path>, id: JobId, keep: usize) {
+    if let Some(dir) = spool_dir {
+        spool::remove_job_files(dir, id, keep);
+    }
+}
+
+fn job_result(sr: SolveResult) -> JobResult {
+    let solution: String = (0..sr.best.len())
+        .map(|i| if sr.best.get(i) { '1' } else { '0' })
+        .collect();
+    JobResult {
+        best_energy: sr.best_energy,
+        solution,
+        reached_target: sr.reached_target,
+        elapsed_ms: u64::try_from(sr.elapsed.as_millis()).unwrap_or(u64::MAX),
+        total_flips: sr.total_flips,
+        search_units: sr.search_units,
+        evaluated: sr.evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::parse_spec;
+
+    fn dense_spec(extra: &str) -> JobSpec {
+        parse_spec(&format!(
+            r#"{{"problem": {{"format": "dense", "n": 2, "upper": [-1, 2, -1]}}{extra}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn config_mapping_honours_overrides() {
+        let spec = dense_spec(
+            r#", "config": {"seed": 5, "timeout_ms": 40, "target": -2,
+                 "devices": 2, "blocks": 4, "deadline_ms": 900,
+                 "checkpoint_interval_ms": 30}"#,
+        );
+        let cfg = solver_config(&spec, Some(PathBuf::from("/tmp/x.ckpt")));
+        assert_eq!(cfg.seed, 5);
+        assert_eq!(cfg.stop.timeout, Some(Duration::from_millis(40)));
+        assert_eq!(cfg.stop.target_energy, Some(-2));
+        assert_eq!(cfg.machine.num_devices, 2);
+        assert_eq!(cfg.machine.device.blocks_override, Some(4));
+        assert_eq!(cfg.watchdog.hard_timeout, Some(Duration::from_millis(900)));
+        assert_eq!(cfg.checkpoint.interval, Some(Duration::from_millis(30)));
+        assert!(cfg.machine.device.fault.is_none());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn no_spool_means_no_checkpointing() {
+        let cfg = solver_config(&dense_spec(""), None);
+        assert!(cfg.checkpoint.out.is_none());
+        assert!(cfg.checkpoint.interval.is_none());
+    }
+
+    #[test]
+    fn worker_runs_a_tiny_job_to_done() {
+        let store = Arc::new(JobStore::new(4));
+        let metrics = Arc::new(ServerMetrics::new());
+        let spec = dense_spec(r#", "config": {"timeout_ms": 200, "target": -2}"#);
+        let id = store.submit(spec, None, None).unwrap();
+        let handle = spawn(Arc::clone(&store), Arc::clone(&metrics), None);
+        // Wait for the job to end, then drain so the worker exits.
+        loop {
+            let (_, phase, _) = store
+                .wait_events(id, usize::MAX, Duration::from_millis(50))
+                .unwrap();
+            if phase.is_terminal() {
+                break;
+            }
+        }
+        store.begin_drain();
+        handle.join().unwrap();
+        let (phase, result) = store.with_job(id, |j| (j.phase, j.result.clone())).unwrap();
+        assert_eq!(phase, JobPhase::Done);
+        let result = result.unwrap();
+        // n = 2, Q = [[-1, 2], [_, -1]]: the optimum sets exactly one
+        // bit (E = -1); the -2 target is unreachable so the timeout
+        // ends the job, and the incumbent must still be exact.
+        assert_eq!(result.best_energy, -1);
+        assert!(!result.reached_target);
+        assert!(result.solution == "10" || result.solution == "01");
+        assert_eq!(metrics.jobs_done.get(), 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! Job payload parsing: the `POST /jobs` body.
+//!
+//! ```json
+//! {
+//!   "problem": { "format": "dense" | "edge-list", ... },
+//!   "config": {
+//!     "seed": 7,
+//!     "timeout_ms": 1000,
+//!     "target": -123,
+//!     "devices": 1,
+//!     "blocks": 8,
+//!     "deadline_ms": 10000,
+//!     "checkpoint_interval_ms": 250
+//!   }
+//! }
+//! ```
+//!
+//! The `problem` object is decoded by the shared [`qubo::json`] codec
+//! (the same one behind the CLI's `--problem-json`); everything in
+//! `config` is optional. `deadline_ms` maps onto the session watchdog's
+//! hard timeout, so a job that exhausts its deadline *with* an
+//! incumbent finishes `done` and one without any result fails — the
+//! same semantics a one-shot solve has.
+
+use qubo::{json, Qubo};
+use std::sync::Arc;
+
+/// Default per-job solve budget when `timeout_ms` is absent.
+pub const DEFAULT_TIMEOUT_MS: u64 = 1_000;
+
+/// Per-job solver knobs, all optional in the payload.
+#[derive(Clone, Debug)]
+pub struct JobConfig {
+    /// Master seed (default 0).
+    pub seed: u64,
+    /// Wall-clock budget in milliseconds.
+    pub timeout_ms: u64,
+    /// Early-stop target energy.
+    pub target: Option<i64>,
+    /// Virtual GPU count override.
+    pub devices: Option<usize>,
+    /// Blocks-per-device override.
+    pub blocks: Option<usize>,
+    /// Watchdog hard deadline (milliseconds).
+    pub deadline_ms: Option<u64>,
+    /// Stride between spool checkpoints while running.
+    pub checkpoint_interval_ms: Option<u64>,
+    /// Testing hook: refuse the k-th checkpoint write (the PR-7 seeded
+    /// host I/O fault injection), so the acceptance suite can assert
+    /// that a checkpoint-write error fails the job loudly.
+    pub deny_checkpoint_write: Option<u64>,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            timeout_ms: DEFAULT_TIMEOUT_MS,
+            target: None,
+            devices: None,
+            blocks: None,
+            deadline_ms: None,
+            checkpoint_interval_ms: None,
+            deny_checkpoint_write: None,
+        }
+    }
+}
+
+/// A parsed, admitted job submission. The original body text rides
+/// along verbatim so the drain spool can persist exactly what the
+/// client sent.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// The verbatim `POST /jobs` body.
+    pub body: String,
+    /// Decoded problem (shared with the solver worker).
+    pub problem: Arc<Qubo>,
+    /// Decoded config.
+    pub config: JobConfig,
+}
+
+/// A typed rejection of a job payload (HTTP 400 with this message).
+#[derive(Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// The body is not a JSON object.
+    NotObject,
+    /// No `"problem"` field.
+    MissingProblem,
+    /// The problem sub-object was refused by the shared codec.
+    Problem(json::JsonProblemError),
+    /// A config field has the wrong type or an out-of-range value.
+    BadConfig {
+        /// Field name.
+        field: &'static str,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A config field nobody reads. A misspelled knob (`target_energy`
+    /// for `target`) silently solving with defaults is worse than a
+    /// 400, so unknown keys are refused.
+    UnknownConfigField(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotObject => write!(f, "job payload must be a JSON object"),
+            Self::MissingProblem => write!(f, "missing field \"problem\""),
+            Self::Problem(e) => write!(f, "problem: {e}"),
+            Self::BadConfig { field, expected } => {
+                write!(f, "config.{field} must be {expected}")
+            }
+            Self::UnknownConfigField(field) => {
+                write!(
+                    f,
+                    "config has no field {field:?} (known: {})",
+                    CONFIG_FIELDS.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Every key `parse_spec` reads from the `config` object.
+const CONFIG_FIELDS: &[&str] = &[
+    "seed",
+    "timeout_ms",
+    "target",
+    "devices",
+    "blocks",
+    "deadline_ms",
+    "checkpoint_interval_ms",
+    "deny_checkpoint_write",
+];
+
+fn u64_field(obj: &serde_json::Value, field: &'static str) -> Result<Option<u64>, SpecError> {
+    match obj.get(field) {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or(SpecError::BadConfig {
+            field,
+            expected: "a non-negative integer",
+        }),
+    }
+}
+
+fn usize_field(obj: &serde_json::Value, field: &'static str) -> Result<Option<usize>, SpecError> {
+    match u64_field(obj, field)? {
+        None => Ok(None),
+        Some(v) => usize::try_from(v)
+            .map(Some)
+            .map_err(|_| SpecError::BadConfig {
+                field,
+                expected: "a non-negative integer",
+            }),
+    }
+}
+
+/// Parses a `POST /jobs` body.
+///
+/// # Errors
+/// [`SpecError`] on a malformed payload; syntax errors surface through
+/// the codec's `Syntax` variant.
+pub fn parse_spec(body: &str) -> Result<JobSpec, SpecError> {
+    let value = serde_json::from_str(body)
+        .map_err(|e| SpecError::Problem(json::JsonProblemError::Syntax(e.to_string())))?;
+    if value.as_object().is_none() {
+        return Err(SpecError::NotObject);
+    }
+    let problem_value = value.get("problem").ok_or(SpecError::MissingProblem)?;
+    let problem = json::parse_problem_value(problem_value).map_err(SpecError::Problem)?;
+
+    let mut config = JobConfig::default();
+    if let Some(c) = value.get("config") {
+        let Some(fields) = c.as_object() else {
+            return Err(SpecError::BadConfig {
+                field: "config",
+                expected: "an object",
+            });
+        };
+        if let Some(unknown) = fields.keys().find(|k| !CONFIG_FIELDS.contains(k)) {
+            return Err(SpecError::UnknownConfigField((*unknown).to_string()));
+        }
+        if let Some(seed) = u64_field(c, "seed")? {
+            config.seed = seed;
+        }
+        if let Some(t) = u64_field(c, "timeout_ms")? {
+            config.timeout_ms = t;
+        }
+        if let Some(v) = c.get("target") {
+            config.target = Some(v.as_i64().ok_or(SpecError::BadConfig {
+                field: "target",
+                expected: "an integer",
+            })?);
+        }
+        config.devices = usize_field(c, "devices")?;
+        config.blocks = usize_field(c, "blocks")?;
+        config.deadline_ms = u64_field(c, "deadline_ms")?;
+        config.checkpoint_interval_ms = u64_field(c, "checkpoint_interval_ms")?;
+        config.deny_checkpoint_write = u64_field(c, "deny_checkpoint_write")?;
+    }
+    Ok(JobSpec {
+        body: body.to_string(),
+        problem: Arc::new(problem),
+        config,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_spec_defaults() {
+        let s = parse_spec(r#"{"problem": {"format": "dense", "n": 1, "upper": [-1]}}"#).unwrap();
+        assert_eq!(s.problem.n(), 1);
+        assert_eq!(s.config.seed, 0);
+        assert_eq!(s.config.timeout_ms, DEFAULT_TIMEOUT_MS);
+        assert_eq!(s.config.target, None);
+    }
+
+    #[test]
+    fn full_config_round_trips() {
+        let s = parse_spec(
+            r#"{"problem": {"format": "edge-list", "n": 3, "edges": [[1, 2, 5]]},
+                "config": {"seed": 9, "timeout_ms": 50, "target": -5,
+                           "devices": 2, "blocks": 4, "deadline_ms": 700,
+                           "checkpoint_interval_ms": 25}}"#,
+        )
+        .unwrap();
+        assert_eq!(s.config.seed, 9);
+        assert_eq!(s.config.timeout_ms, 50);
+        assert_eq!(s.config.target, Some(-5));
+        assert_eq!(s.config.devices, Some(2));
+        assert_eq!(s.config.blocks, Some(4));
+        assert_eq!(s.config.deadline_ms, Some(700));
+        assert_eq!(s.config.checkpoint_interval_ms, Some(25));
+    }
+
+    #[test]
+    fn typed_rejections() {
+        assert_eq!(parse_spec("[]").unwrap_err(), SpecError::NotObject);
+        assert_eq!(
+            parse_spec(r#"{"config": {}}"#).unwrap_err(),
+            SpecError::MissingProblem
+        );
+        assert!(matches!(
+            parse_spec(r#"{"problem": {"format": "dense", "n": 1, "upper": [1.5]}}"#).unwrap_err(),
+            SpecError::Problem(json::JsonProblemError::NotInteger { .. })
+        ));
+        assert_eq!(
+            parse_spec(
+                r#"{"problem": {"format": "dense", "n": 1, "upper": [1]},
+                    "config": {"seed": -4}}"#
+            )
+            .unwrap_err(),
+            SpecError::BadConfig {
+                field: "seed",
+                expected: "a non-negative integer"
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_config_keys_are_refused_not_ignored() {
+        // A misspelled knob must not silently solve with defaults.
+        let err = parse_spec(
+            r#"{"problem": {"format": "dense", "n": 1, "upper": [1]},
+                "config": {"target_energy": -13}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err, SpecError::UnknownConfigField("target_energy".into()));
+        assert!(err.to_string().contains("known: seed"), "{err}");
+    }
+}

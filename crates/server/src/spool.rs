@@ -1,0 +1,172 @@
+//! The drain spool: how in-flight work survives a server restart.
+//!
+//! Layout under the `--spool` directory:
+//!
+//! ```text
+//! spool/
+//!   jobs.json     drain manifest: [{"id": 3, "state": "interrupted"}, …]
+//!   3.job         verbatim POST /jobs body of job 3
+//!   3.ckpt[.k]    AbsSession checkpoint generations of job 3
+//! ```
+//!
+//! Job bodies are written at admission time (so a crash loses nothing
+//! that was acknowledged), checkpoints at stride boundaries and on
+//! drain, and the manifest only during graceful shutdown. On restart
+//! with `--resume-jobs`, the manifest is consumed: interrupted jobs
+//! resume from their checkpoint (cumulative accounting intact, the
+//! PR-7 machinery), queued jobs are re-queued, and the manifest file is
+//! removed so a second restart does not double-load.
+
+use crate::job::JobId;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Path of a job's verbatim submission body.
+#[must_use]
+pub fn job_file(spool: &Path, id: JobId) -> PathBuf {
+    spool.join(format!("{id}.job"))
+}
+
+/// Path of a job's checkpoint chain head.
+#[must_use]
+pub fn ckpt_file(spool: &Path, id: JobId) -> PathBuf {
+    spool.join(format!("{id}.ckpt"))
+}
+
+fn manifest_file(spool: &Path) -> PathBuf {
+    spool.join("jobs.json")
+}
+
+/// One manifest entry: a job that was not terminal at drain time.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Job identifier (also the spool file stem).
+    pub id: JobId,
+    /// `"queued"` or `"interrupted"`.
+    pub state: String,
+}
+
+/// Writes the drain manifest (atomically: tmp + rename).
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_manifest(spool: &Path, entries: &[ManifestEntry]) -> io::Result<()> {
+    let mut body = String::from("{\"jobs\": [");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&format!("{{\"id\": {}, \"state\": \"{}\"}}", e.id, e.state));
+    }
+    body.push_str("]}\n");
+    let tmp = spool.join("jobs.json.tmp");
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, manifest_file(spool))
+}
+
+/// Reads and *consumes* the manifest: entries are returned in id order
+/// and the file is removed so the load is one-shot.
+///
+/// # Errors
+/// Filesystem errors, or `InvalidData` on a malformed manifest. A
+/// missing manifest is an empty load, not an error.
+pub fn take_manifest(spool: &Path) -> io::Result<Vec<ManifestEntry>> {
+    let path = manifest_file(spool);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    let value = serde_json::from_str(&text).map_err(|e| bad(&format!("manifest: {e}")))?;
+    let jobs = value
+        .get("jobs")
+        .and_then(|j| j.as_array())
+        .ok_or_else(|| bad("manifest: missing \"jobs\" array"))?;
+    let mut entries = Vec::with_capacity(jobs.len());
+    for j in jobs {
+        let id = j
+            .get("id")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| bad("manifest: entry without integer id"))?;
+        let state = j
+            .get("state")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| bad("manifest: entry without state"))?;
+        entries.push(ManifestEntry {
+            id,
+            state: state.to_string(),
+        });
+    }
+    entries.sort_by_key(|e| e.id);
+    std::fs::remove_file(&path)?;
+    Ok(entries)
+}
+
+/// Removes a terminal job's spool files (best-effort: the generations
+/// trail `.1`, `.2`, … up to the configured keep count).
+pub fn remove_job_files(spool: &Path, id: JobId, keep: usize) {
+    let _ = std::fs::remove_file(job_file(spool, id));
+    let ckpt = ckpt_file(spool, id);
+    let _ = std::fs::remove_file(&ckpt);
+    for k in 1..=keep {
+        let mut os = ckpt.clone().into_os_string();
+        os.push(format!(".{k}"));
+        let _ = std::fs::remove_file(PathBuf::from(os));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_spool(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("abs-spool-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn manifest_round_trips_and_is_consumed() {
+        let spool = temp_spool("roundtrip");
+        write_manifest(
+            &spool,
+            &[
+                ManifestEntry {
+                    id: 3,
+                    state: "interrupted".into(),
+                },
+                ManifestEntry {
+                    id: 5,
+                    state: "queued".into(),
+                },
+            ],
+        )
+        .unwrap();
+        let entries = take_manifest(&spool).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].id, 3);
+        assert_eq!(entries[0].state, "interrupted");
+        assert_eq!(entries[1].state, "queued");
+        // Consumed: a second load sees nothing.
+        assert!(take_manifest(&spool).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn missing_manifest_is_an_empty_load() {
+        let spool = temp_spool("empty");
+        assert!(take_manifest(&spool).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn malformed_manifest_is_invalid_data() {
+        let spool = temp_spool("malformed");
+        std::fs::write(spool.join("jobs.json"), "{\"jobs\": 7}").unwrap();
+        let err = take_manifest(&spool).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+}

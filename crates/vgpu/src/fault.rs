@@ -30,7 +30,8 @@
 //! * [`FaultKind::DropTargets`] — targets vanish from the device's queue,
 //!   simulating lost host→device transfers.
 //! * [`FaultKind::ShortWrite`] / [`FaultKind::TornRename`] /
-//!   [`FaultKind::BitFlipOnRead`] — host-side checkpoint I/O faults
+//!   [`FaultKind::BitFlipOnRead`] / [`FaultKind::DenyWrite`] —
+//!   host-side checkpoint I/O faults
 //!   (crash mid-write, crash before rename, media corruption) consumed
 //!   by the host's checkpoint writer/loader, never by the device loop.
 
@@ -115,6 +116,15 @@ pub enum FaultKind {
         at_read: u64,
         /// Bit position to flip within the file.
         bit: u64,
+    },
+    /// Host-side I/O fault: refuse the host's `at_write`-th checkpoint
+    /// write outright — a full disk or revoked permission. Unlike
+    /// [`FaultKind::ShortWrite`] / [`FaultKind::TornRename`] (simulated
+    /// crashes that return `Ok` and are discovered at load time), this
+    /// surfaces as a write *error* the session must propagate.
+    DenyWrite {
+        /// Zero-based index of the checkpoint write this fault hits.
+        at_write: u64,
     },
 }
 
@@ -221,6 +231,13 @@ impl FaultPlan {
     #[must_use]
     pub fn bit_flip_on_read(mut self, at_read: u64, bit: u64) -> Self {
         self.push(FaultKind::BitFlipOnRead { at_read, bit });
+        self
+    }
+
+    /// Adds an outright refusal of a checkpoint write.
+    #[must_use]
+    pub fn deny_write(mut self, at_write: u64) -> Self {
+        self.push(FaultKind::DenyWrite { at_write });
         self
     }
 
@@ -370,6 +387,14 @@ impl FaultPlan {
     #[must_use]
     pub fn take_torn_rename(&self, write_index: u64) -> bool {
         self.take(|k| matches!(k, FaultKind::TornRename { at_write } if *at_write == write_index))
+            .is_some()
+    }
+
+    /// Fires (once) a write denial planned for checkpoint write number
+    /// `write_index`.
+    #[must_use]
+    pub fn take_deny_write(&self, write_index: u64) -> bool {
+        self.take(|k| matches!(k, FaultKind::DenyWrite { at_write } if *at_write == write_index))
             .is_some()
     }
 
@@ -537,7 +562,8 @@ mod tests {
                     | FaultKind::DropTargets { device, .. } => device,
                     FaultKind::ShortWrite { .. }
                     | FaultKind::TornRename { .. }
-                    | FaultKind::BitFlipOnRead { .. } => {
+                    | FaultKind::BitFlipOnRead { .. }
+                    | FaultKind::DenyWrite { .. } => {
                         unreachable!("scatter plans device faults only (seed {seed})")
                     }
                 };
