@@ -76,6 +76,7 @@ mod tests {
                 .map(|&(ns, e)| HistoryPoint {
                     elapsed_ns: ns,
                     energy: e,
+                    flips: 0,
                 })
                 .collect(),
             degraded: false,

@@ -45,8 +45,9 @@ use vgpu::FaultPlan;
 
 /// File magic: "ABSCKPT1".
 pub const MAGIC: [u8; 8] = *b"ABSCKPT1";
-/// Format version written by this build.
-pub const VERSION: u32 = 1;
+/// Format version written by this build. v2 added the cumulative flip
+/// count to every history point.
+pub const VERSION: u32 = 2;
 
 /// Generations probed by [`load_checkpoint`] before giving up
 /// (`path` itself plus `path.1` … `path.{MAX_GENERATIONS-1}`).
@@ -271,6 +272,7 @@ pub fn encode(ckpt: &Checkpoint) -> Vec<u8> {
     for h in &ckpt.history {
         put_u128(&mut p, h.elapsed_ns);
         put_i64(&mut p, h.energy);
+        put_u64(&mut p, h.flips);
     }
     put_section(&mut out, SEC_BEST, &p);
 
@@ -538,7 +540,12 @@ pub fn decode(bytes: &[u8]) -> Result<Checkpoint, AbsError> {
                 for _ in 0..count {
                     let elapsed_ns = r.u128()?;
                     let energy = r.i64()?;
-                    history.push(HistoryPoint { elapsed_ns, energy });
+                    let flips = r.u64()?;
+                    history.push(HistoryPoint {
+                        elapsed_ns,
+                        energy,
+                        flips,
+                    });
                 }
                 best = Some((incumbent, reached, ttt, history));
             }
@@ -792,10 +799,12 @@ mod tests {
                 HistoryPoint {
                     elapsed_ns: 1_000,
                     energy: -4,
+                    flips: 64,
                 },
                 HistoryPoint {
                     elapsed_ns: 2_500,
                     energy: -9,
+                    flips: 160,
                 },
             ],
             received: 17,

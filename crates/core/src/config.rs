@@ -237,6 +237,23 @@ impl AbsConfig {
         }
     }
 
+    /// Applies a granted device-pool lease geometry: the session runs
+    /// on exactly the leased `devices × blocks_per_device`, no more.
+    /// Scheduling glue for `vgpu::DevicePool` — the server's runner
+    /// leases first, then shapes the machine with this.
+    pub fn apply_lease(&mut self, devices: usize, blocks_per_device: usize) {
+        self.machine.num_devices = devices.max(1);
+        self.machine.device.blocks_override = Some(blocks_per_device.max(1));
+    }
+
+    /// Installs warm-start seeds (prior incumbents from a
+    /// [`crate::ProblemCache`] hit): they join the GA pool unevaluated
+    /// and ship as the very first targets, so the bulk search resumes
+    /// from the cached bests instead of random bits.
+    pub fn apply_warm_seeds(&mut self, seeds: Vec<qubo::BitVec>) {
+        self.initial_solutions = seeds;
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod checkpoint;
 pub mod config;
 pub mod error;
@@ -43,6 +44,7 @@ pub mod solver;
 pub mod stats;
 
 pub use abs_telemetry::MetricsSnapshot;
+pub use cache::{CacheHit, CacheStats, ProblemCache};
 pub use checkpoint::{load_checkpoint, write_checkpoint, Checkpoint, DeviceBaseline};
 pub use config::{AbsConfig, CheckpointConfig, MetricsConfig, StopCondition, WatchdogConfig};
 pub use error::AbsError;

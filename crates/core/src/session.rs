@@ -527,9 +527,14 @@ impl AbsSession {
                 if rec.energy < self.best_energy {
                     self.best_energy = rec.energy;
                     self.best = Some(rec.x.clone());
+                    let flips_now = {
+                        let base: u64 = self.baselines.iter().map(|b| b.flips).sum();
+                        base + mems.iter().map(|m| m.total_flips()).sum::<u64>()
+                    };
                     self.history.push(HistoryPoint {
                         elapsed_ns: self.total_elapsed().as_nanos(),
                         energy: rec.energy,
+                        flips: flips_now,
                     });
                     if let Some(t) = self.config.stop.target_energy {
                         if rec.energy <= t && self.time_to_target.is_none() {

@@ -12,6 +12,11 @@ pub struct HistoryPoint {
     pub elapsed_ns: u128,
     /// Best energy known at that time.
     pub energy: Energy,
+    /// Cumulative machine-wide device flips when this best arrived —
+    /// the work-budget coordinate of the improvement trace (wall-clock
+    /// is scheduler-dependent; flips are not). Cumulative across
+    /// resumes, like `elapsed_ns`.
+    pub flips: u64,
 }
 
 /// Health of one device as observed by the host at the end of a solve.
@@ -132,13 +137,18 @@ impl SolveResult {
         }
     }
 
-    /// Renders the best-energy trace as CSV (`elapsed_s,energy` with a
-    /// header), for plotting convergence curves outside Rust.
+    /// Renders the best-energy trace as CSV (`elapsed_s,energy,flips`
+    /// with a header), for plotting convergence curves outside Rust.
     #[must_use]
     pub fn history_csv(&self) -> String {
-        let mut out = String::from("elapsed_s,energy\n");
+        let mut out = String::from("elapsed_s,energy,flips\n");
         for p in &self.history {
-            out.push_str(&format!("{:.9},{}\n", p.elapsed_ns as f64 / 1e9, p.energy));
+            out.push_str(&format!(
+                "{:.9},{},{}\n",
+                p.elapsed_ns as f64 / 1e9,
+                p.energy,
+                p.flips
+            ));
         }
         out
     }
@@ -210,14 +220,19 @@ mod tests {
             HistoryPoint {
                 elapsed_ns: 1_000_000,
                 energy: -5,
+                flips: 120,
             },
             HistoryPoint {
                 elapsed_ns: 2_500_000,
                 energy: -9,
+                flips: 480,
             },
         ];
         let csv = r.history_csv();
-        assert_eq!(csv, "elapsed_s,energy\n0.001000000,-5\n0.002500000,-9\n");
+        assert_eq!(
+            csv,
+            "elapsed_s,energy,flips\n0.001000000,-5,120\n0.002500000,-9,480\n"
+        );
         let path = std::env::temp_dir().join("abs-stats-test-history.csv");
         r.write_history_csv(&path).unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), csv);
@@ -239,8 +254,9 @@ mod tests {
         let p = HistoryPoint {
             elapsed_ns: 1_500,
             energy: -42,
+            flips: 7,
         };
         let json = serde_json::to_string(&p).unwrap();
-        assert_eq!(json, r#"{"elapsed_ns":1500,"energy":-42}"#);
+        assert_eq!(json, r#"{"elapsed_ns":1500,"energy":-42,"flips":7}"#);
     }
 }

@@ -7,8 +7,8 @@
 
 use crate::lexer::{Lexed, Tok, TokKind};
 use crate::zones::{
-    checkpoint_codec, checkpoint_io_allowed, indexing_audited, telemetry_audited, Zone, HOT_FNS,
-    TELEMETRY_HOT_FNS,
+    checkpoint_codec, checkpoint_io_allowed, indexing_audited, lease_api_allowed,
+    telemetry_audited, Zone, HOT_FNS, TELEMETRY_HOT_FNS,
 };
 
 /// All rule identifiers, in report order. `--list-rules` prints these.
@@ -60,6 +60,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "checkpoint-io-zone",
         "checkpoint publish/load stays in the host session zone; codec decodes need a `// crc:` comment",
+    ),
+    (
+        "pool-lease-discipline",
+        "pool lease acquire/release stays in pool.rs/runner.rs, and the runner must pair every acquire with a release",
     ),
     (
         "crate-attrs",
@@ -421,6 +425,10 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
         }
     }
 
+    // Lease call sites outside test spans, for the runner pairing audit.
+    let mut lease_acquires: Vec<u32> = Vec::new();
+    let mut lease_releases: u32 = 0;
+
     for (i, t) in toks.iter().enumerate() {
         let line = t.line;
         if in_spans(line, &spans.test) {
@@ -595,6 +603,29 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
             );
         }
 
+        // --- pool leases stay in the scheduler zone ---------------------
+        if (t.is_ident("acquire_lease") || t.is_ident("release_lease"))
+            && next.is_some_and(|n| n.is_punct('('))
+            && !prev.is_some_and(|p| p.is_ident("fn"))
+        {
+            if !lease_api_allowed(ctx.rel_path) {
+                push(
+                    "pool-lease-discipline",
+                    line,
+                    ctx.zone,
+                    format!(
+                        "`{}()` called outside the scheduler zone — device capacity is leased only by the pool and the job runner",
+                        t.text
+                    ),
+                );
+            }
+            if t.is_ident("acquire_lease") {
+                lease_acquires.push(line);
+            } else {
+                lease_releases += 1;
+            }
+        }
+
         // --- checkpoint durability stays in the session zone ------------
         if (t.is_ident("write_checkpoint") || t.is_ident("load_checkpoint"))
             && next.is_some_and(|n| n.is_punct('('))
@@ -672,6 +703,25 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
                 );
             }
         }
+    }
+
+    // The runner owns the job lifecycle, so every lease it takes must
+    // have a visible give-back: unequal call-site counts mean some path
+    // parks capacity forever (the pool's own ledger can only catch it
+    // at runtime).
+    if ctx.rel_path.replace('\\', "/") == "crates/server/src/runner.rs"
+        && lease_acquires.len() as u32 != lease_releases
+    {
+        push(
+            "pool-lease-discipline",
+            lease_acquires.first().copied().unwrap_or(1),
+            ctx.zone,
+            format!(
+                "runner has {} acquire_lease call(s) but {} release_lease call(s) — every lease needs a paired release",
+                lease_acquires.len(),
+                lease_releases
+            ),
+        );
     }
 
     apply_markers(&mut findings, &markers);
@@ -874,6 +924,54 @@ mod tests {
         let relaxed = "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n";
         let fs = run("crates/vgpu/src/buffers.rs", relaxed);
         assert!(active(&fs, "ordering-pair-named").is_empty());
+    }
+
+    #[test]
+    fn pool_leases_confined_and_runner_calls_paired() {
+        // Lease calls outside pool.rs/runner.rs are flagged.
+        let call = "fn f(p: &DevicePool, r: &LeaseRequest) { let l = p.acquire_lease(r); p.release_lease(l); }\n";
+        assert_eq!(
+            active(
+                &run("crates/server/src/routes.rs", call),
+                "pool-lease-discipline"
+            )
+            .len(),
+            2
+        );
+        assert!(active(
+            &run("crates/server/src/runner.rs", call),
+            "pool-lease-discipline"
+        )
+        .is_empty());
+        assert!(active(
+            &run("crates/vgpu/src/pool.rs", call),
+            "pool-lease-discipline"
+        )
+        .is_empty());
+
+        // Definition sites don't count as calls.
+        let def = "pub fn acquire_lease(&self, r: &LeaseRequest) -> PoolLease { todo!() }\n";
+        assert!(active(
+            &run("crates/core/src/session.rs", def),
+            "pool-lease-discipline"
+        )
+        .is_empty());
+
+        // An unpaired acquire in the runner is a leak-by-construction.
+        let leak = "fn f(p: &DevicePool, r: &LeaseRequest) { let _l = p.acquire_lease(r); }\n";
+        let fs = run("crates/server/src/runner.rs", leak);
+        let hits = active(&fs, "pool-lease-discipline");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].message.contains("1 acquire_lease"), "{hits:?}");
+
+        // Test-span lease calls don't skew the pairing count.
+        let tested = "fn f(p: &DevicePool, r: &LeaseRequest, l: PoolLease) { p.release_lease(l); let _ = p.acquire_lease(r); }\n\
+                      #[cfg(test)]\nmod tests {\n  fn g(p: &DevicePool, r: &LeaseRequest) { let _ = p.acquire_lease(r); }\n}\n";
+        assert!(active(
+            &run("crates/server/src/runner.rs", tested),
+            "pool-lease-discipline"
+        )
+        .is_empty());
     }
 
     #[test]

@@ -158,6 +158,17 @@ pub fn checkpoint_io_allowed(rel_path: &str) -> bool {
     p == "crates/core/src/checkpoint.rs" || p == "crates/core/src/session.rs"
 }
 
+/// Files allowed to call the pool lease entry points (`acquire_lease` /
+/// `release_lease`): the pool that owns the ledger and the server
+/// runner that owns the job lifecycle. Sessions, devices, and routes
+/// must never lease directly — capacity is a scheduler concern
+/// (DESIGN.md §13).
+#[must_use]
+pub fn lease_api_allowed(rel_path: &str) -> bool {
+    let p = rel_path.replace('\\', "/");
+    p == "crates/vgpu/src/pool.rs" || p == "crates/server/src/runner.rs"
+}
+
 /// The checkpoint codec file: every `from_le_bytes` deserialization in
 /// it must sit under an already-verified CRC, asserted by a
 /// neighbouring `// crc:` comment (`checkpoint-io-zone`).
@@ -294,6 +305,15 @@ mod tests {
         assert!(!checkpoint_io_allowed("crates/ga/src/pool.rs"));
         assert!(checkpoint_codec("crates/core/src/checkpoint.rs"));
         assert!(!checkpoint_codec("crates/core/src/session.rs"));
+    }
+
+    #[test]
+    fn lease_api_is_confined_to_pool_and_runner() {
+        assert!(lease_api_allowed("crates/vgpu/src/pool.rs"));
+        assert!(lease_api_allowed("crates/server/src/runner.rs"));
+        assert!(!lease_api_allowed("crates/server/src/routes.rs"));
+        assert!(!lease_api_allowed("crates/core/src/session.rs"));
+        assert!(!lease_api_allowed("crates/vgpu/src/device.rs"));
     }
 
     #[test]

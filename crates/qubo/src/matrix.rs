@@ -347,11 +347,137 @@ impl Qubo {
             .max()
             .unwrap_or(0)
     }
+
+    /// 256-bit content digest over the *canonical* form of the
+    /// instance: `n` followed by the upper triangle `W_ij (i ≤ j)` in
+    /// row-major order. Padding, stride and storage tier never enter
+    /// the digest, so two logically equal instances always hash equal
+    /// regardless of how they were built, and any single-weight
+    /// mutation changes the digest.
+    ///
+    /// The construction is BLAKE-inspired but *not* cryptographic
+    /// (this crate takes no dependencies): four independently seeded
+    /// 64-bit lanes absorb the stream through a splitmix64-style
+    /// permutation and are finalised with the absorbed length. It is a
+    /// cache/dedup key, not an integrity guarantee.
+    #[must_use]
+    pub fn content_hash(&self) -> ContentHash {
+        let mut lanes = ContentLanes::new();
+        lanes.absorb(self.n as u64);
+        for i in 0..self.n {
+            for j in i..self.n {
+                // Widen through u16 so -1 and 65535 stay distinct
+                // from each other only via the two's-complement map,
+                // deterministically on every platform.
+                lanes.absorb(u64::from(self.get(i, j) as u16));
+            }
+        }
+        lanes.finish()
+    }
 }
 
 impl fmt::Debug for Qubo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Qubo(n={}, couplers={})", self.n, self.coupler_count())
+    }
+}
+
+/// 256-bit instance digest returned by [`Qubo::content_hash`].
+///
+/// Used as the key of the solve server's warm-start cache and for
+/// request dedup: equal digests ⇒ same canonical upper triangle (up to
+/// the collision resistance of a 256-bit non-cryptographic mix).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContentHash([u64; 4]);
+
+impl ContentHash {
+    /// The four 64-bit lanes of the digest.
+    #[must_use]
+    pub fn as_words(&self) -> [u64; 4] {
+        self.0
+    }
+
+    /// Lowercase 64-character hex rendering (lane 0 first).
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for lane in self.0 {
+            for shift in (0..16).rev() {
+                let nibble = (lane >> (shift * 4)) & 0xf;
+                s.push(char::from_digit(nibble as u32, 16).unwrap_or('0'));
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Debug for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ContentHash({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Four chained 64-bit absorption lanes (the BLAKE-inspired sponge
+/// behind [`Qubo::content_hash`]).
+struct ContentLanes {
+    state: [u64; 4],
+    absorbed: u64,
+}
+
+/// splitmix64 finalisation permutation (Steele et al.); full-avalanche
+/// on 64 bits, which is what makes single-weight flips visible in
+/// every lane.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ContentLanes {
+    /// Distinct lane seeds (digits of φ, π, e, √2) and per-lane odd
+    /// multipliers decorrelate the four lanes over the same stream.
+    const SEEDS: [u64; 4] = [
+        0x9e37_79b9_7f4a_7c15,
+        0x2430_54a5_4de6_37c7,
+        0xadb7_2dbf_5a27_91cd,
+        0x6a09_e667_f3bc_c909,
+    ];
+    const MULS: [u64; 4] = [
+        0xff51_afd7_ed55_8ccd,
+        0xc4ce_b9fe_1a85_ec53,
+        0x9e6c_63d0_876a_8f29,
+        0xd6e8_feb8_6659_fd93,
+    ];
+
+    fn new() -> Self {
+        Self {
+            state: Self::SEEDS,
+            absorbed: 0,
+        }
+    }
+
+    fn absorb(&mut self, word: u64) {
+        self.absorbed = self.absorbed.wrapping_add(1);
+        for lane in 0..4 {
+            let keyed = word
+                .wrapping_mul(Self::MULS[lane])
+                .wrapping_add(self.absorbed);
+            self.state[lane] = mix64(self.state[lane] ^ keyed);
+        }
+    }
+
+    fn finish(mut self) -> ContentHash {
+        let len = self.absorbed;
+        for lane in 0..4 {
+            self.state[lane] = mix64(self.state[lane] ^ len.wrapping_mul(Self::MULS[lane]));
+        }
+        ContentHash(self.state)
     }
 }
 
@@ -616,5 +742,63 @@ mod tests {
         let q = paper_fig1();
         assert_eq!(q.delta_bound(), 16);
         assert_eq!(q.max_abs_weight(), 8);
+    }
+
+    #[test]
+    fn content_hash_is_canonical_over_logical_equality() {
+        // Two construction paths for the same instance (dense vs
+        // builder) must digest identically: the hash reads the
+        // canonical upper triangle, never the physical layout.
+        let q = paper_fig1();
+        let mut b = QuboBuilder::new(4).unwrap();
+        for i in 0..4 {
+            for j in i..4 {
+                b.add(i, j, q.get(i, j)).unwrap();
+            }
+        }
+        let twin = b.build().unwrap();
+        assert_eq!(q, twin);
+        assert_eq!(q.content_hash(), twin.content_hash());
+        assert_eq!(q.content_hash().to_hex().len(), 64);
+    }
+
+    #[test]
+    fn content_hash_separates_mutations_and_sizes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let q = Qubo::random(16, &mut rng);
+        let base = q.content_hash();
+        // Same n, one weight nudged: must miss (the staleness
+        // regression the warm-start cache depends on).
+        let mut mutated = q.clone();
+        mutated.set(3, 7, mutated.get(3, 7).wrapping_add(1));
+        assert_ne!(base, mutated.content_hash());
+        // Diagonal-only mutation too.
+        let mut diag = q.clone();
+        diag.set(5, 5, diag.get(5, 5).wrapping_add(1));
+        assert_ne!(base, diag.content_hash());
+        // Different n, all-zero weights: n itself is absorbed.
+        assert_ne!(
+            Qubo::zero(4).unwrap().content_hash(),
+            Qubo::zero(5).unwrap().content_hash()
+        );
+        // -1 must not collide with a large positive weight.
+        let mut neg = Qubo::zero(2).unwrap();
+        neg.set(0, 1, -1);
+        let mut pos = Qubo::zero(2).unwrap();
+        pos.set(0, 1, i16::MAX);
+        assert_ne!(neg.content_hash(), pos.content_hash());
+    }
+
+    #[test]
+    fn content_hash_is_stable_across_calls_and_hex_round_trips() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let q = Qubo::random(32, &mut rng);
+        let h = q.content_hash();
+        assert_eq!(h, q.content_hash());
+        assert_eq!(h, q.clone().content_hash());
+        let hex = h.to_hex();
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(format!("{h}"), hex);
+        assert_eq!(format!("{h:?}"), format!("ContentHash({hex})"));
     }
 }

@@ -13,6 +13,9 @@ options:
   --port P           bind port; 0 picks an ephemeral port (default 0)
   --queue-depth N    queued jobs admitted before 429 (default 8)
   --http-workers N   HTTP worker threads (default 4)
+  --solver-workers N concurrent solver sessions (default 2)
+  --pool-devices N   logical devices in the shared pool (default 4)
+  --pool-blocks N    block capacity per pool device (default 16)
   --spool DIR        spool directory for drain checkpoints
   --resume-jobs      reload jobs a drained predecessor spooled
   --help             print this help
@@ -56,6 +59,30 @@ pub fn parse(args: &[String]) -> Result<Option<ServerConfig>, String> {
                     return Err("--http-workers needs a positive integer".into());
                 }
             }
+            "--solver-workers" => {
+                config.solver_workers = value("--solver-workers")?
+                    .parse()
+                    .map_err(|_| "--solver-workers needs a positive integer".to_string())?;
+                if config.solver_workers == 0 {
+                    return Err("--solver-workers needs a positive integer".into());
+                }
+            }
+            "--pool-devices" => {
+                config.pool_devices = value("--pool-devices")?
+                    .parse()
+                    .map_err(|_| "--pool-devices needs a positive integer".to_string())?;
+                if config.pool_devices == 0 {
+                    return Err("--pool-devices needs a positive integer".into());
+                }
+            }
+            "--pool-blocks" => {
+                config.pool_blocks = value("--pool-blocks")?
+                    .parse()
+                    .map_err(|_| "--pool-blocks needs a positive integer".to_string())?;
+                if config.pool_blocks == 0 {
+                    return Err("--pool-blocks needs a positive integer".into());
+                }
+            }
             "--spool" => config.spool = Some(value("--spool")?.into()),
             "--resume-jobs" => config.resume_jobs = true,
             other => return Err(format!("unknown option {other:?}")),
@@ -81,6 +108,9 @@ mod tests {
         assert_eq!(c.addr, "127.0.0.1");
         assert_eq!(c.port, 0);
         assert_eq!(c.queue_depth, 8);
+        assert_eq!(c.solver_workers, 2);
+        assert_eq!(c.pool_devices, 4);
+        assert_eq!(c.pool_blocks, 16);
 
         let c = parse(&strs(&[
             "--addr",
@@ -91,6 +121,12 @@ mod tests {
             "2",
             "--http-workers",
             "1",
+            "--solver-workers",
+            "3",
+            "--pool-devices",
+            "2",
+            "--pool-blocks",
+            "8",
             "--spool",
             "/tmp/sp",
             "--resume-jobs",
@@ -101,7 +137,12 @@ mod tests {
         assert_eq!(c.port, 8080);
         assert_eq!(c.queue_depth, 2);
         assert_eq!(c.http_workers, 1);
+        assert_eq!(c.solver_workers, 3);
+        assert_eq!(c.pool_devices, 2);
+        assert_eq!(c.pool_blocks, 8);
         assert!(c.resume_jobs);
+        assert_eq!(c.pool_config().capacity_blocks(), 16);
+        assert_eq!(c.pool_config().max_lease_blocks, 16);
     }
 
     #[test]
@@ -110,6 +151,9 @@ mod tests {
         assert!(parse(&strs(&["--port"])).is_err());
         assert!(parse(&strs(&["--port", "zebra"])).is_err());
         assert!(parse(&strs(&["--queue-depth", "0"])).is_err());
+        assert!(parse(&strs(&["--solver-workers", "0"])).is_err());
+        assert!(parse(&strs(&["--pool-devices", "none"])).is_err());
+        assert!(parse(&strs(&["--pool-blocks", "0"])).is_err());
         assert!(parse(&strs(&["--resume-jobs"])).is_err());
         assert!(parse(&strs(&["--help"])).unwrap().is_none());
     }

@@ -124,6 +124,11 @@ pub struct Job {
     pub result: Option<JobResult>,
     /// Checkpoint to resume from (jobs restored via `--resume-jobs`).
     pub resume_from: Option<PathBuf>,
+    /// Canonical instance digest (hex), set when the worker claims the
+    /// job — the warm-start cache key, exposed in the status body.
+    pub problem_hash: Option<String>,
+    /// Whether the session was seeded from cached incumbents.
+    pub warm_started: bool,
 }
 
 /// Why a submission was refused.
@@ -215,6 +220,8 @@ impl JobStore {
                 error: None,
                 result: None,
                 resume_from,
+                problem_hash: None,
+                warm_started: false,
             },
         );
         g.queue.push_back(id);
@@ -408,6 +415,54 @@ mod tests {
         let store = JobStore::new(8);
         assert_eq!(store.submit(spec(), None, Some(7)).unwrap(), 7);
         assert_eq!(store.submit(spec(), None, None).unwrap(), 8);
+    }
+
+    #[test]
+    fn queue_position_recomputes_under_concurrent_dequeues() {
+        // Several solver workers claim off the same queue at once; any
+        // job still queued must report a 0-based position consistent
+        // with the *current* queue, never a stale pre-claim index.
+        use std::sync::Arc;
+        let store = Arc::new(JobStore::new(16));
+        let ids: Vec<JobId> = (0..8)
+            .map(|_| store.submit(spec(), None, None).unwrap())
+            .collect();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(store.queue_position(id), Some(i));
+        }
+        // Four concurrent claimers dequeue two jobs each.
+        let mut claimers = Vec::new();
+        for _ in 0..4 {
+            let store = Arc::clone(&store);
+            claimers.push(std::thread::spawn(move || {
+                [store.claim_next().unwrap(), store.claim_next().unwrap()]
+            }));
+        }
+        let mut claimed: Vec<JobId> = claimers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        claimed.sort_unstable();
+        // FIFO across workers: the eight oldest jobs were claimed,
+        // each exactly once.
+        assert_eq!(claimed, ids);
+        // Fill in behind the concurrent dequeues and check positions
+        // recompute from scratch.
+        let late_a = store.submit(spec(), None, None).unwrap();
+        let late_b = store.submit(spec(), None, None).unwrap();
+        assert_eq!(store.queue_position(late_a), Some(0));
+        assert_eq!(store.queue_position(late_b), Some(1));
+        for &id in &ids {
+            assert_eq!(
+                store.queue_position(id),
+                None,
+                "a claimed job must leave the queue entirely"
+            );
+            assert_eq!(store.with_job(id, |j| j.phase), Some(JobPhase::Running));
+        }
+        // A cancellation in the middle shifts later positions down.
+        assert_eq!(store.cancel(late_a), Some(JobPhase::Cancelled));
+        assert_eq!(store.queue_position(late_b), Some(0));
     }
 
     #[test]

@@ -4,10 +4,13 @@
 //! jobs are submitted with `POST /jobs`, watched with `GET /jobs/{id}`
 //! and an SSE progress stream, cancelled with `DELETE`, and observed
 //! live through `GET /metrics`. Admission is a bounded queue (429 when
-//! full), one [`abs::AbsSession`] runs at a time, and SIGINT/SIGTERM
-//! *drain*: the in-flight job checkpoints to the spool and a restarted
-//! server picks it back up with `--resume-jobs`, cumulative accounting
-//! intact.
+//! full); up to `--solver-workers` concurrent [`abs::AbsSession`]s
+//! run, each leasing its device/block geometry from a shared
+//! [`vgpu::DevicePool`] and warm-starting repeat instances from the
+//! content-addressed [`abs::ProblemCache`] (DESIGN.md §13). On
+//! SIGINT/SIGTERM the server *drains*: every in-flight job checkpoints
+//! to the spool and a restarted server picks them all back up with
+//! `--resume-jobs`, cumulative accounting intact.
 //!
 //! The whole stack is std-only — hand-rolled HTTP/1.1 over blocking
 //! sockets with a small worker pool — because the workspace builds
@@ -56,6 +59,12 @@ pub struct ServerConfig {
     pub spool: Option<PathBuf>,
     /// Reload the spool manifest left by a drained predecessor.
     pub resume_jobs: bool,
+    /// Concurrent solver sessions (each worker drives one at a time).
+    pub solver_workers: usize,
+    /// Logical devices in the shared pool.
+    pub pool_devices: usize,
+    /// Block capacity per pool device.
+    pub pool_blocks: usize,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +76,27 @@ impl Default for ServerConfig {
             http_workers: 4,
             spool: None,
             resume_jobs: false,
+            solver_workers: 2,
+            pool_devices: 4,
+            pool_blocks: 16,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Pool geometry derived from the flags. The per-job budget is the
+    /// whole capacity: the pool throttles *admission* of concurrent
+    /// sessions, it never reshapes an in-capacity job (which keeps
+    /// leased sessions bit-for-bit equal to direct ones).
+    #[must_use]
+    pub fn pool_config(&self) -> vgpu::PoolConfig {
+        let devices = self.pool_devices.max(1);
+        let blocks = self.pool_blocks.max(1);
+        vgpu::PoolConfig {
+            num_devices: devices,
+            blocks_per_device: blocks,
+            max_lease_blocks: devices * blocks,
+            min_lease_blocks: 1,
         }
     }
 }
@@ -125,11 +155,17 @@ pub fn run(config: &ServerConfig) -> Result<(), ServerError> {
     println!("abs-server listening on http://{local}");
     let _ = std::io::stdout().flush();
 
-    let solver = runner::spawn(
-        Arc::clone(&store),
-        Arc::clone(&metrics),
-        config.spool.clone(),
-    );
+    let scheduler = runner::Scheduler::new(config.pool_config());
+    let mut solvers = Vec::new();
+    for i in 0..config.solver_workers.max(1) {
+        solvers.push(runner::spawn(
+            Arc::clone(&store),
+            Arc::clone(&metrics),
+            config.spool.clone(),
+            Arc::clone(&scheduler),
+            i,
+        ));
+    }
 
     let (tx, rx) = mpsc::channel::<std::net::TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
@@ -172,11 +208,14 @@ pub fn run(config: &ServerConfig) -> Result<(), ServerError> {
         }
     }
 
-    // Drain: refuse new work, let the worker checkpoint, release the
-    // HTTP pool (open SSE streams see `draining` and close themselves).
+    // Drain: refuse new work, let every worker checkpoint its job,
+    // release the HTTP pool (open SSE streams see `draining` and close
+    // themselves).
     store.begin_drain();
     drop(tx);
-    let _ = solver.join();
+    for solver in solvers {
+        let _ = solver.join();
+    }
     for handle in http_workers {
         let _ = handle.join();
     }

@@ -11,7 +11,18 @@
 
 use abs_telemetry::expose::prometheus_text;
 use abs_telemetry::{Counter, Gauge, MetricsSnapshot, Registry};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Per-tenant `abs_pool_blocks_leased` gauges, created on demand as
+/// tenants first lease capacity. Lives in its own registry so the
+/// label-bearing family renders after the plain server families.
+#[derive(Default)]
+struct PoolGauges {
+    registry: Registry,
+    tenants: HashMap<String, Arc<Gauge>>,
+}
 
 /// All serving-layer instruments, registered once at startup.
 pub struct ServerMetrics {
@@ -32,8 +43,13 @@ pub struct ServerMetrics {
     pub http_requests: Arc<Counter>,
     /// Jobs currently waiting in the bounded queue.
     pub queue_depth: Arc<Gauge>,
-    /// 1 while a session is live, 0 otherwise.
+    /// Count of live solver sessions (kept real under concurrency by
+    /// [`ServerMetrics::job_started`] / [`ServerMetrics::job_finished`]).
     pub jobs_running: Arc<Gauge>,
+    /// Authoritative running count backing `jobs_running`; the gauge
+    /// API is set-only, so concurrent workers go through this atomic.
+    running: AtomicI64,
+    pool: Mutex<PoolGauges>,
     live: Mutex<Option<MetricsSnapshot>>,
 }
 
@@ -82,11 +98,7 @@ impl ServerMetrics {
             &[],
             "Jobs waiting in the bounded admission queue.",
         );
-        let jobs_running = r.gauge(
-            "abs_server_jobs_running",
-            &[],
-            "Live solver sessions (0 or 1).",
-        );
+        let jobs_running = r.gauge("abs_server_jobs_running", &[], "Live solver sessions.");
         Self {
             registry: r,
             jobs_submitted,
@@ -98,7 +110,51 @@ impl ServerMetrics {
             http_requests,
             queue_depth,
             jobs_running,
+            running: AtomicI64::new(0),
+            pool: Mutex::new(PoolGauges::default()),
             live: Mutex::new(None),
+        }
+    }
+
+    /// A solver worker picked up a job: bumps the live-session count.
+    pub fn job_started(&self) {
+        // Pure occupancy counter — no data is published under it, so
+        // Relaxed is exact; the gauge tolerates scrape-order races.
+        let now = self.running.fetch_add(1, Ordering::Relaxed) + 1;
+        self.jobs_running.set(now as f64);
+    }
+
+    /// A solver worker finished (or parked) a job.
+    pub fn job_finished(&self) {
+        // Same counter as job_started: Relaxed, no publication.
+        let now = self.running.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.jobs_running.set(now.max(0) as f64);
+    }
+
+    /// Publishes the device pool's per-tenant holdings as
+    /// `abs_pool_blocks_leased{tenant="..."}` gauges. Tenants absent
+    /// from `per_tenant` drop to 0 (their series stays visible, which
+    /// is what a scrape-based collector expects).
+    pub fn set_pool_leased(&self, per_tenant: &[(String, usize)]) {
+        let mut pool = self
+            .pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for gauge in pool.tenants.values() {
+            gauge.set(0.0);
+        }
+        for (tenant, blocks) in per_tenant {
+            if !pool.tenants.contains_key(tenant) {
+                let gauge = pool.registry.gauge(
+                    "abs_pool_blocks_leased",
+                    &[("tenant", tenant)],
+                    "Device-pool blocks currently leased, per tenant.",
+                );
+                pool.tenants.insert(tenant.clone(), gauge);
+            }
+            if let Some(gauge) = pool.tenants.get(tenant) {
+                gauge.set(*blocks as f64);
+            }
         }
     }
 
@@ -114,6 +170,15 @@ impl ServerMetrics {
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = prometheus_text(&self.registry.snapshot());
+        {
+            let pool = self
+                .pool
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if !pool.tenants.is_empty() {
+                out.push_str(&prometheus_text(&pool.registry.snapshot()));
+            }
+        }
         let live = self
             .live
             .lock()
@@ -155,5 +220,50 @@ mod tests {
         assert!(text.contains("abs_server_jobs_submitted_total 1"));
         assert!(text.contains("abs_flips_total"));
         parse_prometheus(&text).unwrap();
+    }
+
+    #[test]
+    fn jobs_running_counts_concurrent_sessions() {
+        let m = Arc::new(ServerMetrics::new());
+        // Interleave starts/finishes from several threads; the gauge
+        // must track the true live count, not saturate at 0/1.
+        m.job_started();
+        m.job_started();
+        m.job_started();
+        assert_eq!(m.jobs_running.get(), 3.0);
+        m.job_finished();
+        assert_eq!(m.jobs_running.get(), 2.0);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    m.job_started();
+                    m.job_finished();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.jobs_running.get(), 2.0, "balanced start/finish pairs");
+        m.job_finished();
+        m.job_finished();
+        assert_eq!(m.jobs_running.get(), 0.0);
+    }
+
+    #[test]
+    fn pool_gauges_carry_tenant_labels_and_zero_on_release() {
+        let m = ServerMetrics::new();
+        m.set_pool_leased(&[("alice".to_string(), 12), ("bob".to_string(), 8)]);
+        let text = m.render();
+        assert!(text.contains("abs_pool_blocks_leased{tenant=\"alice\"} 12"));
+        assert!(text.contains("abs_pool_blocks_leased{tenant=\"bob\"} 8"));
+        parse_prometheus(&text).unwrap();
+        // bob releases everything: the series stays, at 0.
+        m.set_pool_leased(&[("alice".to_string(), 4)]);
+        let text = m.render();
+        assert!(text.contains("abs_pool_blocks_leased{tenant=\"alice\"} 4"));
+        assert!(text.contains("abs_pool_blocks_leased{tenant=\"bob\"} 0"));
     }
 }

@@ -208,6 +208,13 @@ fn handle_status(state: &AppState, id: JobId) -> Result<Reply, ApiError> {
                 out.push_str(", \"result\": ");
                 out.push_str(&serde_json::to_string(r).unwrap_or_else(|_| "null".into()));
             }
+            out.push_str(", \"tenant\": ");
+            write_json_string(&j.spec.config.tenant, &mut out);
+            if let Some(h) = &j.problem_hash {
+                out.push_str(", \"problem_hash\": ");
+                write_json_string(h, &mut out);
+            }
+            out.push_str(&format!(", \"warm_started\": {}", j.warm_started));
             out.push_str(&format!(", \"events\": {}", j.events.len()));
             (j.phase, out)
         })

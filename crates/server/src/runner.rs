@@ -1,11 +1,26 @@
-//! The solver worker: one thread, one live [`abs::AbsSession`] at a
-//! time.
+//! The solver workers: N threads, each driving one live
+//! [`abs::AbsSession`] at a time over a shared [`vgpu::DevicePool`].
 //!
-//! The paper's host drives a single bulk-search machine, and the
-//! serving layer keeps that shape: jobs are claimed off the bounded
-//! queue in FIFO order and solved one at a time, so a job's resource
-//! envelope is the whole virtual machine rather than a slice of it.
-//! The worker owns every phase transition out of `Running`:
+//! The paper's host drives a single bulk-search machine; PR 9 kept
+//! that shape (one worker, whole machine). This runner generalises it:
+//! jobs are claimed off the bounded queue in FIFO order by a small
+//! pool of workers, and each claimed job *leases* its device/block
+//! geometry from the shared pool before its session starts — N
+//! concurrent sessions, bounded by pool capacity, each on its own
+//! freshly-allocated `GlobalMem` regions (isolation is structural; see
+//! `vgpu::pool`). Every lease is acquired and released in exactly one
+//! place in this file — the `pool-lease-discipline` lint rule holds us
+//! to that.
+//!
+//! Before leasing, the worker digests the instance
+//! ([`qubo::Qubo::content_hash`]) and consults the shared
+//! [`abs::ProblemCache`]: a repeat submission reuses the cached padded
+//! matrix and seeds the GA pool from the best solutions of earlier
+//! solves, so it starts from incumbents, not random bits. Finished
+//! jobs record their best back into the cache.
+//!
+//! A worker owns every phase transition out of `Running` for the jobs
+//! it claims:
 //!
 //! * a stop condition (or watchdog deadline with an incumbent) ends the
 //!   job `done`;
@@ -19,46 +34,82 @@
 //!
 //! Between poll rounds the worker appends progress events (monotone
 //! best energy — it reads the session incumbent, which only improves)
-//! and publishes the live aggregator snapshot for `GET /metrics`.
+//! and publishes the live aggregator snapshot for `GET /metrics`
+//! (last writer wins across workers).
 
 use crate::job::{JobId, JobPhase, JobResult, JobStore, ProgressEvent};
 use crate::metrics::ServerMetrics;
 use crate::spec::JobSpec;
 use crate::spool;
-use abs::{AbsConfig, AbsSession, SessionStatus, SolveResult, StopCondition};
+use abs::{AbsConfig, AbsSession, ProblemCache, SessionStatus, SolveResult, StopCondition};
+use qubo::{ContentHash, Qubo};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use vgpu::{DevicePool, LeaseRequest, PoolConfig};
 
 /// Progress-event / live-metrics cadence while a job runs.
 const EVENT_STRIDE: Duration = Duration::from_millis(100);
 /// Default spool checkpoint stride when the job does not pick one.
 const DEFAULT_CKPT_INTERVAL: Duration = Duration::from_millis(250);
+/// Distinct instances the warm-start cache retains (LRU beyond this).
+pub const CACHE_CAPACITY: usize = 64;
 
-/// Spawns the solver worker. It exits when the store drains.
+/// Scheduling state shared by every solver worker: the device pool
+/// capacity is leased from and the content-addressed warm-start cache.
+pub struct Scheduler {
+    /// Shared device/block capacity.
+    pub pool: Arc<DevicePool>,
+    /// Warm-start cache keyed by instance digest.
+    pub cache: Arc<ProblemCache>,
+}
+
+impl Scheduler {
+    /// Builds the shared scheduler for a server instance.
+    #[must_use]
+    pub fn new(pool_config: PoolConfig) -> Arc<Self> {
+        Arc::new(Self {
+            pool: Arc::new(DevicePool::new(pool_config)),
+            cache: Arc::new(ProblemCache::new(CACHE_CAPACITY)),
+        })
+    }
+}
+
+/// Spawns solver worker `index`. Each worker exits when the store
+/// drains.
 pub fn spawn(
     store: Arc<JobStore>,
     metrics: Arc<ServerMetrics>,
     spool_dir: Option<PathBuf>,
+    scheduler: Arc<Scheduler>,
+    index: usize,
 ) -> std::thread::JoinHandle<()> {
     std::thread::Builder::new()
-        .name("abs-solver".into())
-        .spawn(move || worker_loop(&store, &metrics, spool_dir.as_deref()))
-        .unwrap_or_else(|e| panic!("spawning the solver worker failed: {e}"))
+        .name(format!("abs-solver-{index}"))
+        .spawn(move || worker_loop(&store, &metrics, spool_dir.as_deref(), &scheduler))
+        .unwrap_or_else(|e| panic!("spawning solver worker {index} failed: {e}"))
 }
 
-fn worker_loop(store: &JobStore, metrics: &ServerMetrics, spool_dir: Option<&Path>) {
+fn worker_loop(
+    store: &JobStore,
+    metrics: &ServerMetrics,
+    spool_dir: Option<&Path>,
+    scheduler: &Scheduler,
+) {
     while let Some(id) = store.claim_next() {
-        metrics.jobs_running.set(1.0);
+        metrics.job_started();
         metrics.queue_depth.set(store.queue_len() as f64);
-        run_job(store, metrics, spool_dir, id);
-        metrics.jobs_running.set(0.0);
+        run_job(store, metrics, spool_dir, scheduler, id);
+        metrics.job_finished();
         metrics.queue_depth.set(store.queue_len() as f64);
     }
 }
 
 /// Maps a job spec onto a solver configuration. Public to the crate so
 /// the acceptance suite's bit-for-bit twin uses literally this mapping.
+/// The pool grants exactly this geometry whenever its per-job budget
+/// allows (the default server pool's budget is its whole capacity), so
+/// a leased session is the same session a direct run would build.
 #[must_use]
 pub fn solver_config(spec: &JobSpec, ckpt_out: Option<PathBuf>) -> AbsConfig {
     let mut cfg = AbsConfig::small();
@@ -91,18 +142,86 @@ pub fn solver_config(spec: &JobSpec, ckpt_out: Option<PathBuf>) -> AbsConfig {
     cfg
 }
 
-fn run_job(store: &JobStore, metrics: &ServerMetrics, spool_dir: Option<&Path>, id: JobId) {
+fn run_job(
+    store: &JobStore,
+    metrics: &ServerMetrics,
+    spool_dir: Option<&Path>,
+    scheduler: &Scheduler,
+    id: JobId,
+) {
     let Some((spec, resume_from)) = store.with_job(id, |j| (j.spec.clone(), j.resume_from.clone()))
     else {
         return;
     };
     let ckpt_out = spool_dir.map(|d| spool::ckpt_file(d, id));
-    let cfg = solver_config(&spec, ckpt_out);
-    let keep = cfg.checkpoint.keep.max(1);
+    let mut cfg = solver_config(&spec, ckpt_out);
 
+    // Warm start: a repeat instance reuses the cached padded matrix
+    // and seeds the GA pool from prior incumbents. Resumed jobs skip
+    // seeding — their checkpoint already carries a better pool.
+    let hash = spec.problem.content_hash();
+    let fresh_start = resume_from.is_none();
+    let (problem, seeds) = match scheduler.cache.lookup(&hash) {
+        Some(hit) if spec.config.warm_start && fresh_start => (hit.problem, hit.seeds),
+        Some(hit) => (hit.problem, Vec::new()),
+        None => {
+            scheduler.cache.admit(hash, &spec.problem);
+            (Arc::clone(&spec.problem), Vec::new())
+        }
+    };
+    let warm_started = !seeds.is_empty();
+    cfg.apply_warm_seeds(seeds);
+    store.update(id, |j| {
+        j.problem_hash = Some(hash.to_hex());
+        j.warm_started = warm_started;
+    });
+
+    // Lease exactly the geometry the config asks for; the session then
+    // runs on what was actually granted. This is the single acquire
+    // site, paired with the single release below (lint-enforced).
+    let lease = scheduler.pool.acquire_lease(&LeaseRequest {
+        tenant: &spec.config.tenant,
+        priority: spec.config.priority,
+        devices: cfg.machine.num_devices,
+        blocks_per_device: cfg.machine.device.blocks_override.unwrap_or(1),
+    });
+    metrics.set_pool_leased(&scheduler.pool.leased_by_tenant());
+    cfg.apply_lease(lease.geometry().devices, lease.geometry().blocks_per_device);
+
+    drive_session(
+        store,
+        metrics,
+        spool_dir,
+        scheduler,
+        id,
+        cfg,
+        &problem,
+        hash,
+        resume_from,
+    );
+
+    scheduler.pool.release_lease(lease);
+    metrics.set_pool_leased(&scheduler.pool.leased_by_tenant());
+}
+
+/// Runs the session for one claimed job to whatever end it meets. The
+/// caller holds the pool lease across this entire function.
+#[allow(clippy::too_many_arguments)]
+fn drive_session(
+    store: &JobStore,
+    metrics: &ServerMetrics,
+    spool_dir: Option<&Path>,
+    scheduler: &Scheduler,
+    id: JobId,
+    cfg: AbsConfig,
+    problem: &Arc<Qubo>,
+    hash: ContentHash,
+    resume_from: Option<PathBuf>,
+) {
+    let keep = cfg.checkpoint.keep.max(1);
     let started = match resume_from {
-        Some(path) => AbsSession::resume(cfg, &spec.problem, &path),
-        None => AbsSession::start(cfg, &spec.problem),
+        Some(path) => AbsSession::resume(cfg, problem, &path),
+        None => AbsSession::start(cfg, problem),
     };
     let mut session = match started {
         Ok(s) => s,
@@ -148,6 +267,9 @@ fn run_job(store: &JobStore, metrics: &ServerMetrics, spool_dir: Option<&Path>, 
                 emit_event(store, metrics, id, &session);
                 match session.stop() {
                     Ok(sr) => {
+                        scheduler
+                            .cache
+                            .record_best(hash, problem, sr.best_energy, &sr.best);
                         store.update(id, |j| {
                             j.phase = JobPhase::Done;
                             j.result = Some(job_result(sr));
@@ -238,6 +360,21 @@ mod tests {
         .unwrap()
     }
 
+    fn scheduler() -> Arc<Scheduler> {
+        Scheduler::new(PoolConfig::default())
+    }
+
+    fn wait_terminal(store: &JobStore, id: JobId) {
+        loop {
+            let (_, phase, _) = store
+                .wait_events(id, usize::MAX, Duration::from_millis(50))
+                .unwrap();
+            if phase.is_terminal() {
+                break;
+            }
+        }
+    }
+
     #[test]
     fn config_mapping_honours_overrides() {
         let spec = dense_spec(
@@ -265,21 +402,37 @@ mod tests {
     }
 
     #[test]
+    fn default_pool_grants_the_default_job_geometry_exactly() {
+        // The bit-for-bit acceptance twin depends on this: the default
+        // server pool's per-job budget must never clamp the default
+        // (or any explicitly requested, in-capacity) job shape.
+        let sched = scheduler();
+        let cfg = solver_config(&dense_spec(""), None);
+        let granted = sched.pool.clamp(
+            cfg.machine.num_devices,
+            cfg.machine.device.blocks_override.unwrap_or(1),
+        );
+        assert_eq!(granted.devices, cfg.machine.num_devices);
+        assert_eq!(
+            Some(granted.blocks_per_device),
+            cfg.machine.device.blocks_override
+        );
+    }
+
+    #[test]
     fn worker_runs_a_tiny_job_to_done() {
         let store = Arc::new(JobStore::new(4));
         let metrics = Arc::new(ServerMetrics::new());
         let spec = dense_spec(r#", "config": {"timeout_ms": 200, "target": -2}"#);
         let id = store.submit(spec, None, None).unwrap();
-        let handle = spawn(Arc::clone(&store), Arc::clone(&metrics), None);
-        // Wait for the job to end, then drain so the worker exits.
-        loop {
-            let (_, phase, _) = store
-                .wait_events(id, usize::MAX, Duration::from_millis(50))
-                .unwrap();
-            if phase.is_terminal() {
-                break;
-            }
-        }
+        let handle = spawn(
+            Arc::clone(&store),
+            Arc::clone(&metrics),
+            None,
+            scheduler(),
+            0,
+        );
+        wait_terminal(&store, id);
         store.begin_drain();
         handle.join().unwrap();
         let (phase, result) = store.with_job(id, |j| (j.phase, j.result.clone())).unwrap();
@@ -292,5 +445,96 @@ mod tests {
         assert!(!result.reached_target);
         assert!(result.solution == "10" || result.solution == "01");
         assert_eq!(metrics.jobs_done.get(), 1);
+        assert_eq!(metrics.jobs_running.get(), 0.0, "lease count drained");
+    }
+
+    #[test]
+    fn repeat_job_warm_starts_from_the_cache() {
+        let store = Arc::new(JobStore::new(4));
+        let metrics = Arc::new(ServerMetrics::new());
+        let sched = scheduler();
+        let body = r#", "config": {"timeout_ms": 150, "target": -1, "seed": 3}"#;
+        let first = store.submit(dense_spec(body), None, None).unwrap();
+        let handle = spawn(
+            Arc::clone(&store),
+            Arc::clone(&metrics),
+            None,
+            Arc::clone(&sched),
+            0,
+        );
+        wait_terminal(&store, first);
+        let cold = store
+            .with_job(first, |j| (j.warm_started, j.problem_hash.clone()))
+            .unwrap();
+        assert!(!cold.0, "first sight of an instance is a cold start");
+        let cold_hash = cold.1.expect("hash set when claimed");
+        assert_eq!(sched.cache.stats().entries, 1);
+
+        // Same matrix again: must hit and seed from the incumbent.
+        let second = store.submit(dense_spec(body), None, None).unwrap();
+        wait_terminal(&store, second);
+        let warm = store
+            .with_job(second, |j| {
+                (j.warm_started, j.problem_hash.clone(), j.result.clone())
+            })
+            .unwrap();
+        assert!(warm.0, "repeat POST of the same W must warm-start");
+        assert_eq!(warm.1, Some(cold_hash));
+        assert_eq!(warm.2.unwrap().best_energy, -1);
+
+        // A different matrix (same n) must not hit.
+        let other = parse_spec(
+            r#"{"problem": {"format": "dense", "n": 2, "upper": [-1, 3, -1]},
+                "config": {"timeout_ms": 150, "target": -1}}"#,
+        )
+        .unwrap();
+        let third = store.submit(other, None, None).unwrap();
+        wait_terminal(&store, third);
+        assert_eq!(store.with_job(third, |j| j.warm_started), Some(false));
+
+        store.begin_drain();
+        handle.join().unwrap();
+        let pool_stats = sched.pool.stats();
+        assert_eq!(pool_stats.granted, 3);
+        assert_eq!(pool_stats.released, 3);
+        assert_eq!(pool_stats.reclaimed, 0);
+        assert_eq!(pool_stats.free_blocks, pool_stats.capacity_blocks);
+    }
+
+    #[test]
+    fn warm_start_opt_out_is_honoured() {
+        let store = Arc::new(JobStore::new(4));
+        let metrics = Arc::new(ServerMetrics::new());
+        let sched = scheduler();
+        let handle = spawn(
+            Arc::clone(&store),
+            Arc::clone(&metrics),
+            None,
+            Arc::clone(&sched),
+            0,
+        );
+        let a = store
+            .submit(
+                dense_spec(r#", "config": {"timeout_ms": 100, "target": -1}"#),
+                None,
+                None,
+            )
+            .unwrap();
+        wait_terminal(&store, a);
+        let b = store
+            .submit(
+                dense_spec(r#", "config": {"timeout_ms": 100, "target": -1, "warm_start": false}"#),
+                None,
+                None,
+            )
+            .unwrap();
+        wait_terminal(&store, b);
+        assert_eq!(
+            store.with_job(b, |j| j.warm_started),
+            Some(false),
+            "warm_start: false must cold-start even on a cache hit"
+        );
+        store.begin_drain();
+        handle.join().unwrap();
     }
 }

@@ -49,6 +49,15 @@ pub struct JobConfig {
     /// host I/O fault injection), so the acceptance suite can assert
     /// that a checkpoint-write error fails the job loudly.
     pub deny_checkpoint_write: Option<u64>,
+    /// Tenant label for pool accounting and the per-tenant
+    /// `abs_pool_blocks_leased` gauge (default `"default"`).
+    pub tenant: String,
+    /// Device-pool scheduling class: `"interactive"` jumps the batch
+    /// queue when capacity is contended (default `"batch"`).
+    pub priority: vgpu::Priority,
+    /// Whether a repeat submission may seed from cached incumbents
+    /// (default true; disable for bit-for-bit cold-start twins).
+    pub warm_start: bool,
 }
 
 impl Default for JobConfig {
@@ -62,6 +71,9 @@ impl Default for JobConfig {
             deadline_ms: None,
             checkpoint_interval_ms: None,
             deny_checkpoint_write: None,
+            tenant: "default".to_string(),
+            priority: vgpu::Priority::Batch,
+            warm_start: true,
         }
     }
 }
@@ -133,6 +145,9 @@ const CONFIG_FIELDS: &[&str] = &[
     "deadline_ms",
     "checkpoint_interval_ms",
     "deny_checkpoint_write",
+    "tenant",
+    "priority",
+    "warm_start",
 ];
 
 fn u64_field(obj: &serde_json::Value, field: &'static str) -> Result<Option<u64>, SpecError> {
@@ -199,6 +214,34 @@ pub fn parse_spec(body: &str) -> Result<JobSpec, SpecError> {
         config.deadline_ms = u64_field(c, "deadline_ms")?;
         config.checkpoint_interval_ms = u64_field(c, "checkpoint_interval_ms")?;
         config.deny_checkpoint_write = u64_field(c, "deny_checkpoint_write")?;
+        if let Some(v) = c.get("tenant") {
+            let tenant = v.as_str().ok_or(SpecError::BadConfig {
+                field: "tenant",
+                expected: "a non-empty string",
+            })?;
+            if tenant.is_empty() {
+                return Err(SpecError::BadConfig {
+                    field: "tenant",
+                    expected: "a non-empty string",
+                });
+            }
+            config.tenant = tenant.to_string();
+        }
+        if let Some(v) = c.get("priority") {
+            config.priority =
+                v.as_str()
+                    .and_then(vgpu::Priority::parse)
+                    .ok_or(SpecError::BadConfig {
+                        field: "priority",
+                        expected: "\"interactive\" or \"batch\"",
+                    })?;
+        }
+        if let Some(v) = c.get("warm_start") {
+            config.warm_start = v.as_bool().ok_or(SpecError::BadConfig {
+                field: "warm_start",
+                expected: "a boolean",
+            })?;
+        }
     }
     Ok(JobSpec {
         body: body.to_string(),
@@ -226,7 +269,8 @@ mod tests {
             r#"{"problem": {"format": "edge-list", "n": 3, "edges": [[1, 2, 5]]},
                 "config": {"seed": 9, "timeout_ms": 50, "target": -5,
                            "devices": 2, "blocks": 4, "deadline_ms": 700,
-                           "checkpoint_interval_ms": 25}}"#,
+                           "checkpoint_interval_ms": 25, "tenant": "team-a",
+                           "priority": "interactive", "warm_start": false}}"#,
         )
         .unwrap();
         assert_eq!(s.config.seed, 9);
@@ -236,6 +280,42 @@ mod tests {
         assert_eq!(s.config.blocks, Some(4));
         assert_eq!(s.config.deadline_ms, Some(700));
         assert_eq!(s.config.checkpoint_interval_ms, Some(25));
+        assert_eq!(s.config.tenant, "team-a");
+        assert_eq!(s.config.priority, vgpu::Priority::Interactive);
+        assert!(!s.config.warm_start);
+    }
+
+    #[test]
+    fn tenant_priority_warm_start_defaults_and_rejections() {
+        let s = parse_spec(r#"{"problem": {"format": "dense", "n": 1, "upper": [-1]}}"#).unwrap();
+        assert_eq!(s.config.tenant, "default");
+        assert_eq!(s.config.priority, vgpu::Priority::Batch);
+        assert!(s.config.warm_start);
+        let problem = r#""problem": {"format": "dense", "n": 1, "upper": [-1]}"#;
+        assert_eq!(
+            parse_spec(&format!(r#"{{{problem}, "config": {{"tenant": ""}}}}"#)).unwrap_err(),
+            SpecError::BadConfig {
+                field: "tenant",
+                expected: "a non-empty string"
+            }
+        );
+        assert_eq!(
+            parse_spec(&format!(
+                r#"{{{problem}, "config": {{"priority": "urgent"}}}}"#
+            ))
+            .unwrap_err(),
+            SpecError::BadConfig {
+                field: "priority",
+                expected: "\"interactive\" or \"batch\""
+            }
+        );
+        assert_eq!(
+            parse_spec(&format!(r#"{{{problem}, "config": {{"warm_start": 1}}}}"#)).unwrap_err(),
+            SpecError::BadConfig {
+                field: "warm_start",
+                expected: "a boolean"
+            }
+        );
     }
 
     #[test]

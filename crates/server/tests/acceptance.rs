@@ -7,7 +7,11 @@
 //! direct `AbsSession` on the same seed, mid-solve cancellation,
 //! checkpoint-write failures surfacing as `failed`, SIGTERM drain plus
 //! `--resume-jobs` with the `(flips + units) · (n + 1)` accounting
-//! intact, and a live `/metrics` exposition that parses.
+//! intact, a live `/metrics` exposition that parses, and the PR-10
+//! scheduler: two jobs running simultaneously on the shared device
+//! pool with bit-for-bit isolated results, a SIGTERM drain that spools
+//! *every* in-flight job, and warm starts from the content-hash cache
+//! (repeat POST hits, mutated-matrix POST misses).
 
 use abs_server::runner::solver_config;
 use abs_server::spec::parse_spec;
@@ -148,7 +152,13 @@ fn dense_problem_json(q: &Qubo) -> String {
 /// "bit-for-bit" is well-defined: any solver that reaches the optimal
 /// energy must hold exactly these bits.
 fn unique_optimum_instance() -> (Qubo, i64, String) {
-    for seed in 11.. {
+    unique_optimum_instance_from(11)
+}
+
+/// As above, scanning seeds from `start` — lets tests pick *distinct*
+/// unique-optimum instances.
+fn unique_optimum_instance_from(start: u64) -> (Qubo, i64, String) {
+    for seed in start.. {
         let q = qubo_problems::random::generate(14, seed);
         let mut best = i64::MAX;
         let mut arg = 0u32;
@@ -233,7 +243,9 @@ fn solve_matches_direct_session_bit_for_bit() {
 
 #[test]
 fn full_queue_refuses_with_429() {
-    let server = Server::spawn(&["--queue-depth", "1"]);
+    // One solver worker, or the second job would be claimed instead of
+    // waiting in the (depth-1) queue.
+    let server = Server::spawn(&["--queue-depth", "1", "--solver-workers", "1"]);
     let q = qubo_problems::random::generate(16, 2);
     let slow = format!(
         "{{\"problem\": {}, \"config\": {{\"timeout_ms\": 20000}}}}",
@@ -483,6 +495,261 @@ fn bad_requests_are_typed() {
     assert_eq!(status, 405);
     let (status, _) = http(server.port, "GET", "/nope", None);
     assert_eq!(status, 404);
+}
+
+#[test]
+fn concurrent_jobs_run_simultaneously() {
+    // Two solver workers share the device pool: two submitted jobs
+    // must both be observably `running` at the same instant, and the
+    // serving metrics must count them truthfully.
+    let server = Server::spawn(&["--solver-workers", "2"]);
+    let q1 = qubo_problems::random::generate(48, 21);
+    let q2 = qubo_problems::random::generate(48, 22);
+    for q in [&q1, &q2] {
+        let body = format!(
+            "{{\"problem\": {}, \"config\": {{\"timeout_ms\": 20000, \"tenant\": \"stress\"}}}}",
+            dense_problem_json(q)
+        );
+        let (status, _) = http(server.port, "POST", "/jobs", Some(&body));
+        assert_eq!(status, 201);
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, a) = get_json(server.port, "/jobs/1");
+        let (_, b) = get_json(server.port, "/jobs/2");
+        let running =
+            |v: &serde_json::Value| v.get("state").and_then(|s| s.as_str()) == Some("running");
+        if running(&a) && running(&b) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "both jobs must run simultaneously: {a:?} / {b:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (status, text) = http(server.port, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(
+        text.contains("abs_server_jobs_running 2"),
+        "the gauge must count concurrent sessions, not saturate at 1: {text}"
+    );
+    assert!(
+        text.contains("abs_pool_blocks_leased{tenant=\"stress\"} 16"),
+        "two 8-block leases aggregate per tenant: {text}"
+    );
+    for id in [1, 2] {
+        let (status, _) = http(server.port, "DELETE", &format!("/jobs/{id}"), None);
+        assert_eq!(status, 202);
+        wait_state(server.port, id, &["cancelled"], Duration::from_secs(10));
+    }
+}
+
+#[test]
+fn concurrent_results_match_direct_sessions_bit_for_bit() {
+    // Two *different* unique-optimum instances solved concurrently on
+    // the shared pool: each must land on exactly the bits a direct,
+    // exclusive session finds — tenant isolation means no cross-talk
+    // in results, not just in memory.
+    let (qa, opt_a, _) = unique_optimum_instance_from(11);
+    let (qb, opt_b, _) = unique_optimum_instance_from(101);
+    assert_ne!(
+        qa.content_hash(),
+        qb.content_hash(),
+        "the two instances must be distinct"
+    );
+    let body_a = format!(
+        "{{\"problem\": {}, \"config\": {{\"seed\": 7, \"target\": {opt_a}, \"timeout_ms\": 30000}}}}",
+        dense_problem_json(&qa)
+    );
+    let body_b = format!(
+        "{{\"problem\": {}, \"config\": {{\"seed\": 9, \"target\": {opt_b}, \"timeout_ms\": 30000}}}}",
+        dense_problem_json(&qb)
+    );
+
+    let server = Server::spawn(&["--solver-workers", "2"]);
+    let (status, _) = http(server.port, "POST", "/jobs", Some(&body_a));
+    assert_eq!(status, 201);
+    let (status, _) = http(server.port, "POST", "/jobs", Some(&body_b));
+    assert_eq!(status, 201);
+
+    let mut served = Vec::new();
+    for (id, optimum) in [(1u64, opt_a), (2u64, opt_b)] {
+        let done = wait_state(
+            server.port,
+            id,
+            &["done", "failed"],
+            Duration::from_secs(40),
+        );
+        assert_eq!(done.get("state").and_then(|s| s.as_str()), Some("done"));
+        let result = done.get("result").expect("result present");
+        assert_eq!(
+            result.get("best_energy").and_then(|v| v.as_i64()),
+            Some(optimum)
+        );
+        served.push(
+            result
+                .get("solution")
+                .and_then(|v| v.as_str())
+                .expect("solution")
+                .to_string(),
+        );
+    }
+
+    for (body, expect) in [(&body_a, &served[0]), (&body_b, &served[1])] {
+        let spec = parse_spec(body).expect("spec parses");
+        let cfg = solver_config(&spec, None);
+        let direct = abs::AbsSession::start(cfg, &spec.problem)
+            .expect("direct session")
+            .run_to_completion()
+            .expect("direct solve");
+        let direct_solution: String = (0..direct.best.len())
+            .map(|i| if direct.best.get(i) { '1' } else { '0' })
+            .collect();
+        assert_eq!(
+            direct_solution, **expect,
+            "a pooled concurrent session must be bit-for-bit a direct one"
+        );
+    }
+}
+
+#[test]
+fn concurrent_drain_spools_every_in_flight_job() {
+    let spool = temp_dir("drain-all");
+    let spool_arg = spool.to_str().expect("utf-8 path");
+    let server = Server::spawn(&["--spool", spool_arg, "--solver-workers", "2"]);
+    let port = server.port;
+    for seed in [31, 32] {
+        let q = qubo_problems::random::generate(32, seed);
+        let body = format!(
+            "{{\"problem\": {}, \"config\": {{\"timeout_ms\": 8000,
+               \"checkpoint_interval_ms\": 25}}}}",
+            dense_problem_json(&q)
+        );
+        let (status, _) = http(port, "POST", "/jobs", Some(&body));
+        assert_eq!(status, 201);
+    }
+    wait_state(port, 1, &["running"], Duration::from_secs(10));
+    wait_state(port, 2, &["running"], Duration::from_secs(10));
+    std::thread::sleep(Duration::from_millis(400));
+    server.sigterm_and_wait();
+
+    let manifest = std::fs::read_to_string(spool.join("jobs.json")).expect("manifest");
+    for id in [1, 2] {
+        assert!(
+            manifest.contains(&format!("\"id\": {id}"))
+                || manifest.contains(&format!("\"id\":{id}")),
+            "job {id} must be in the drain manifest: {manifest}"
+        );
+        assert!(
+            spool.join(format!("{id}.ckpt")).exists(),
+            "drain must checkpoint job {id}"
+        );
+    }
+
+    // Both resume and finish on a restarted server.
+    let server = Server::spawn(&[
+        "--spool",
+        spool_arg,
+        "--resume-jobs",
+        "--solver-workers",
+        "2",
+    ]);
+    for id in [1, 2] {
+        let v = wait_state(
+            server.port,
+            id,
+            &["done", "failed"],
+            Duration::from_secs(30),
+        );
+        assert_eq!(
+            v.get("state").and_then(|s| s.as_str()),
+            Some("done"),
+            "{v:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn warm_start_repeat_submission_hits_cache_and_stays_exact() {
+    // Warm-start correctness: a cached-seed solve on a unique-optimum
+    // instance must land bit-for-bit where the cold start landed, the
+    // repeat POST must actually hit the cache, and a mutated matrix of
+    // the same n must MISS (hash staleness regression).
+    let (q, optimum, solution) = unique_optimum_instance();
+    let body = format!(
+        "{{\"problem\": {}, \"config\": {{\"seed\": 7, \"target\": {optimum}, \"timeout_ms\": 30000}}}}",
+        dense_problem_json(&q)
+    );
+    let server = Server::spawn(&[]);
+
+    let (status, _) = http(server.port, "POST", "/jobs", Some(&body));
+    assert_eq!(status, 201);
+    let cold = wait_state(server.port, 1, &["done", "failed"], Duration::from_secs(40));
+    assert_eq!(cold.get("state").and_then(|s| s.as_str()), Some("done"));
+    assert_eq!(
+        cold.get("warm_started").and_then(|v| v.as_bool()),
+        Some(false),
+        "first sight of the instance is a cold start: {cold:?}"
+    );
+    let cold_hash = cold
+        .get("problem_hash")
+        .and_then(|v| v.as_str())
+        .expect("hash exposed")
+        .to_string();
+
+    // Repeat POST of the same problem: must start from the cached
+    // incumbent (which *is* the unique optimum) and return it exactly.
+    let (status, _) = http(server.port, "POST", "/jobs", Some(&body));
+    assert_eq!(status, 201);
+    let warm = wait_state(server.port, 2, &["done", "failed"], Duration::from_secs(40));
+    assert_eq!(warm.get("state").and_then(|s| s.as_str()), Some("done"));
+    assert_eq!(
+        warm.get("warm_started").and_then(|v| v.as_bool()),
+        Some(true),
+        "repeat POST of the same W must warm-start: {warm:?}"
+    );
+    assert_eq!(
+        warm.get("problem_hash").and_then(|v| v.as_str()),
+        Some(cold_hash.as_str()),
+        "same matrix, same digest"
+    );
+    let warm_result = warm.get("result").expect("result");
+    assert_eq!(
+        warm_result.get("best_energy").and_then(|v| v.as_i64()),
+        Some(optimum)
+    );
+    assert_eq!(
+        warm_result.get("solution").and_then(|v| v.as_str()),
+        Some(solution.as_str()),
+        "warm start must be bit-for-bit as good as cold on a unique optimum"
+    );
+    assert_eq!(
+        warm_result.get("reached_target").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+
+    // Mutate one weight (same n): different digest, must MISS.
+    let mut mutated = q.clone();
+    mutated.set(3, 9, mutated.get(3, 9).wrapping_add(1));
+    let mutated_body = format!(
+        "{{\"problem\": {}, \"config\": {{\"seed\": 7, \"timeout_ms\": 2000}}}}",
+        dense_problem_json(&mutated)
+    );
+    let (status, _) = http(server.port, "POST", "/jobs", Some(&mutated_body));
+    assert_eq!(status, 201);
+    let miss = wait_state(server.port, 3, &["done", "failed"], Duration::from_secs(20));
+    assert_eq!(
+        miss.get("warm_started").and_then(|v| v.as_bool()),
+        Some(false),
+        "a mutated W with the same n must MISS the cache: {miss:?}"
+    );
+    assert_ne!(
+        miss.get("problem_hash").and_then(|v| v.as_str()),
+        Some(cold_hash.as_str()),
+        "mutation must change the digest"
+    );
 }
 
 fn temp_dir(tag: &str) -> PathBuf {

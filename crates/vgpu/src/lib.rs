@@ -76,6 +76,7 @@ pub mod fault;
 pub mod health;
 pub mod machine;
 pub mod occupancy;
+pub mod pool;
 pub mod spec;
 pub mod timing;
 
@@ -86,5 +87,8 @@ pub use fault::{Corruption, FaultKind, FaultPlan, InjectedPanic};
 pub use health::{DeviceHealth, HealthStatus};
 pub use machine::{Machine, MachineConfig, RunningMachine};
 pub use occupancy::{full_occupancy_configs, occupancy, Occupancy, OccupancyError};
+pub use pool::{
+    DevicePool, LeaseGeometry, LeaseRequest, PoolConfig, PoolLease, PoolStats, Priority,
+};
 pub use spec::DeviceSpec;
 pub use timing::{TimingModel, PAPER_TABLE2};

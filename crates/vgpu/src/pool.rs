@@ -1,0 +1,646 @@
+//! Multi-tenant device pool: logical devices and their block capacity
+//! as a shared resource, leased to concurrent solve sessions.
+//!
+//! The paper's host owns every GPU exclusively for the duration of one
+//! bulk search. This module deliberately deviates from that shape (the
+//! deviation is documented in DESIGN.md §13): because our devices are
+//! virtual — OS threads over private [`crate::GlobalMem`] regions — a
+//! host can run many machines at once, and the scarce resource is the
+//! *block capacity* each machine multiplexes onto worker threads. The
+//! pool makes that capacity explicit:
+//!
+//! * every job takes a [`PoolLease`] before building its machine and
+//!   gives it back when the session ends — blocks are the unit of
+//!   accounting, `devices × blocks_per_device` per lease;
+//! * a lease is clamped to the per-job budget
+//!   ([`PoolConfig::max_lease_blocks`]) so one tenant cannot monopolise
+//!   the pool, and grants go to the eldest waiter of the highest
+//!   [`Priority`] class — no overtaking within a class, which bounds
+//!   starvation;
+//! * a dropped lease is *reclaimed*: if the owning job dies (panic,
+//!   watchdog kill) without an explicit release, the capacity returns
+//!   to the pool anyway and the reclaim is counted separately so the
+//!   operator can see it happening.
+//!
+//! Isolation is structural, not policed: each lease's session builds
+//! its own [`crate::Machine`], whose devices allocate fresh
+//! [`crate::GlobalMem`] regions, so no tenant can observe another
+//! tenant's targets, solutions or counters. The pool never shares
+//! memory between leases — it only schedules capacity.
+//!
+//! The only functions that may call [`DevicePool::acquire_lease`] /
+//! [`DevicePool::release_lease`] live in this file and in the server's
+//! `runner.rs`; the `pool-lease-discipline` lint rule enforces that
+//! confinement and that the two calls pair up in the runner.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Scheduling class of a lease. Grants are ordered by class first
+/// (interactive before batch), then by arrival within a class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Bulk traffic; yields to interactive work when the pool is hot.
+    Batch,
+    /// Latency-sensitive traffic; jumps the batch queue but never
+    /// preempts a running lease.
+    Interactive,
+}
+
+impl Priority {
+    /// Parses the wire form used by the server (`"batch"` /
+    /// `"interactive"`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "batch" => Some(Self::Batch),
+            "interactive" => Some(Self::Interactive),
+            _ => None,
+        }
+    }
+
+    /// The wire/label form (`"batch"` / `"interactive"`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Batch => "batch",
+            Self::Interactive => "interactive",
+        }
+    }
+}
+
+/// Static pool geometry and per-job budget.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Logical devices in the pool.
+    pub num_devices: usize,
+    /// Block capacity of each logical device.
+    pub blocks_per_device: usize,
+    /// Per-job budget: a single lease never holds more than this many
+    /// blocks in total; larger asks are shrunk (never refused). The
+    /// clamp depends only on this configuration, never on load, so a
+    /// job's granted geometry is deterministic.
+    pub max_lease_blocks: usize,
+    /// Floor for a clamped ask: shrinking stops here.
+    pub min_lease_blocks: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            num_devices: 4,
+            blocks_per_device: 16,
+            max_lease_blocks: 64,
+            min_lease_blocks: 1,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// Total block capacity (`num_devices × blocks_per_device`).
+    #[must_use]
+    pub fn capacity_blocks(&self) -> usize {
+        self.num_devices.max(1) * self.blocks_per_device.max(1)
+    }
+}
+
+/// What a job asks the pool for.
+#[derive(Clone, Debug)]
+pub struct LeaseRequest<'a> {
+    /// Tenant label for telemetry aggregation (`abs_pool_blocks_leased`).
+    pub tenant: &'a str,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Devices wanted (clamped to the pool's device count, floor 1).
+    pub devices: usize,
+    /// Blocks per device wanted (clamped to device capacity and the
+    /// per-job budget, floor 1).
+    pub blocks_per_device: usize,
+}
+
+/// Geometry actually granted after clamping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaseGeometry {
+    /// Devices granted.
+    pub devices: usize,
+    /// Blocks per device granted.
+    pub blocks_per_device: usize,
+}
+
+impl LeaseGeometry {
+    /// Total blocks held (`devices × blocks_per_device`).
+    #[must_use]
+    pub fn total_blocks(&self) -> usize {
+        self.devices * self.blocks_per_device
+    }
+}
+
+/// Point-in-time pool accounting, for telemetry and tests.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total block capacity.
+    pub capacity_blocks: usize,
+    /// Blocks currently free.
+    pub free_blocks: usize,
+    /// Live leases.
+    pub active_leases: usize,
+    /// Requests currently blocked waiting for capacity.
+    pub waiting: usize,
+    /// Leases granted since the pool was built.
+    pub granted: u64,
+    /// Leases returned through [`DevicePool::release_lease`].
+    pub released: u64,
+    /// Leases returned by drop without an explicit release — the
+    /// re-lease-on-death path (panicked or watchdog-killed jobs).
+    pub reclaimed: u64,
+}
+
+struct Waiter {
+    ticket: u64,
+    priority: Priority,
+}
+
+struct PoolState {
+    /// Free blocks per logical device.
+    free: Vec<usize>,
+    /// Blocks held, aggregated per tenant label.
+    leased_by_tenant: HashMap<String, usize>,
+    waiters: Vec<Waiter>,
+    next_ticket: u64,
+    active_leases: usize,
+    granted: u64,
+    released: u64,
+    reclaimed: u64,
+}
+
+/// The shared pool. Cheap to clone behind an [`Arc`]; every lease holds
+/// one so reclaim-on-drop works even if the scheduler thread is gone.
+pub struct DevicePool {
+    config: PoolConfig,
+    state: Mutex<PoolState>,
+    capacity_freed: Condvar,
+}
+
+fn lock(pool: &DevicePool) -> MutexGuard<'_, PoolState> {
+    pool.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl DevicePool {
+    /// Builds a pool with the given geometry (device/block counts are
+    /// floored at 1).
+    #[must_use]
+    pub fn new(config: PoolConfig) -> Self {
+        let devices = config.num_devices.max(1);
+        let blocks = config.blocks_per_device.max(1);
+        let state = PoolState {
+            free: vec![blocks; devices],
+            leased_by_tenant: HashMap::new(),
+            waiters: Vec::new(),
+            next_ticket: 0,
+            active_leases: 0,
+            granted: 0,
+            released: 0,
+            reclaimed: 0,
+        };
+        Self {
+            config,
+            state: Mutex::new(state),
+            capacity_freed: Condvar::new(),
+        }
+    }
+
+    /// The geometry the pool was built with.
+    #[must_use]
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// Deterministic clamp of an ask onto pool geometry and the
+    /// per-job budget. Depends only on [`PoolConfig`], never on load:
+    /// repeat submissions of the same job always get the same shape.
+    #[must_use]
+    pub fn clamp(&self, devices: usize, blocks_per_device: usize) -> LeaseGeometry {
+        let devices = devices.max(1).min(self.config.num_devices.max(1));
+        let mut blocks = blocks_per_device
+            .max(1)
+            .min(self.config.blocks_per_device.max(1));
+        let budget = self.config.max_lease_blocks.max(1);
+        if devices * blocks > budget {
+            blocks = (budget / devices).max(self.config.min_lease_blocks.max(1));
+            blocks = blocks.min(self.config.blocks_per_device.max(1));
+        }
+        LeaseGeometry {
+            devices,
+            blocks_per_device: blocks,
+        }
+    }
+
+    /// Blocks until capacity is available, then leases it.
+    ///
+    /// The ask is clamped with [`DevicePool::clamp`]; the wait is
+    /// FIFO within a [`Priority`] class, and interactive waiters are
+    /// always served before batch waiters. Capacity freed by a release
+    /// *or* a reclaim wakes the queue, so a dead tenant's blocks
+    /// re-lease immediately.
+    #[must_use]
+    pub fn acquire_lease(self: &Arc<Self>, req: &LeaseRequest<'_>) -> PoolLease {
+        let geometry = self.clamp(req.devices, req.blocks_per_device);
+        let mut state = lock(self);
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.waiters.push(Waiter {
+            ticket,
+            priority: req.priority,
+        });
+        loop {
+            let eligible = !state.waiters.iter().any(|w| {
+                w.priority > req.priority || (w.priority == req.priority && w.ticket < ticket)
+            });
+            if eligible {
+                if let Some(device_indices) = take_capacity(&mut state.free, geometry) {
+                    state.waiters.retain(|w| w.ticket != ticket);
+                    state.active_leases += 1;
+                    state.granted += 1;
+                    *state
+                        .leased_by_tenant
+                        .entry(req.tenant.to_string())
+                        .or_insert(0) += geometry.total_blocks();
+                    // The next waiter in line may fit in what is left.
+                    self.capacity_freed.notify_all();
+                    return PoolLease {
+                        pool: Arc::clone(self),
+                        tenant: req.tenant.to_string(),
+                        priority: req.priority,
+                        geometry,
+                        device_indices,
+                        settled: AtomicBool::new(false),
+                    };
+                }
+            }
+            state = self
+                .capacity_freed
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Returns a lease to the pool explicitly (the clean path). A
+    /// lease that is merely dropped is *reclaimed* instead — same
+    /// capacity effect, separate counter.
+    pub fn release_lease(&self, lease: PoolLease) {
+        lease.settle(true);
+    }
+
+    /// Blocks currently held, aggregated per tenant, sorted by label.
+    #[must_use]
+    pub fn leased_by_tenant(&self) -> Vec<(String, usize)> {
+        let state = lock(self);
+        let mut out: Vec<(String, usize)> = state
+            .leased_by_tenant
+            .iter()
+            .map(|(t, b)| (t.clone(), *b))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Point-in-time accounting snapshot.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        let state = lock(self);
+        PoolStats {
+            capacity_blocks: self.config.capacity_blocks(),
+            free_blocks: state.free.iter().sum(),
+            active_leases: state.active_leases,
+            waiting: state.waiters.len(),
+            granted: state.granted,
+            released: state.released,
+            reclaimed: state.reclaimed,
+        }
+    }
+
+    fn give_back(&self, lease: &PoolLease, clean: bool) {
+        let mut state = lock(self);
+        for &d in &lease.device_indices {
+            if let Some(free) = state.free.get_mut(d) {
+                *free += lease.geometry.blocks_per_device;
+            }
+        }
+        state.active_leases = state.active_leases.saturating_sub(1);
+        if clean {
+            state.released += 1;
+        } else {
+            state.reclaimed += 1;
+        }
+        let total = lease.geometry.total_blocks();
+        let drained = match state.leased_by_tenant.get_mut(&lease.tenant) {
+            Some(held) => {
+                *held = held.saturating_sub(total);
+                *held == 0
+            }
+            None => false,
+        };
+        if drained {
+            state.leased_by_tenant.remove(&lease.tenant);
+        }
+        drop(state);
+        self.capacity_freed.notify_all();
+    }
+}
+
+/// Picks `geometry.devices` distinct devices, each with at least
+/// `geometry.blocks_per_device` free, preferring the emptiest devices
+/// so load spreads. Returns the chosen indices, or `None` if the ask
+/// does not fit right now.
+fn take_capacity(free: &mut [usize], geometry: LeaseGeometry) -> Option<Vec<usize>> {
+    let mut candidates: Vec<usize> = (0..free.len())
+        .filter(|&d| free[d] >= geometry.blocks_per_device)
+        .collect();
+    if candidates.len() < geometry.devices {
+        return None;
+    }
+    // Most-free first; ties broken by index for determinism.
+    candidates.sort_by_key(|&d| (std::cmp::Reverse(free[d]), d));
+    candidates.truncate(geometry.devices);
+    candidates.sort_unstable();
+    for &d in &candidates {
+        free[d] -= geometry.blocks_per_device;
+    }
+    Some(candidates)
+}
+
+/// A granted slice of the pool. Holding one is the *only* right to
+/// run a machine of the granted geometry; dropping it returns the
+/// capacity (counted as a reclaim unless
+/// [`DevicePool::release_lease`] ran first).
+pub struct PoolLease {
+    pool: Arc<DevicePool>,
+    tenant: String,
+    priority: Priority,
+    geometry: LeaseGeometry,
+    device_indices: Vec<usize>,
+    settled: AtomicBool,
+}
+
+impl PoolLease {
+    /// Tenant label the lease is accounted under.
+    #[must_use]
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Scheduling class the lease was granted under.
+    #[must_use]
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Granted geometry (post-clamp).
+    #[must_use]
+    pub fn geometry(&self) -> LeaseGeometry {
+        self.geometry
+    }
+
+    /// The logical device indices held (distinct, ascending). A real
+    /// multi-GPU host would bind the session's machine to exactly
+    /// these physical devices.
+    #[must_use]
+    pub fn device_indices(&self) -> &[usize] {
+        &self.device_indices
+    }
+
+    fn settle(&self, clean: bool) {
+        // The swap only elects a single settler (release path vs Drop);
+        // the ledger mutation itself is ordered by the pool mutex inside
+        // give_back, so Relaxed is sufficient here.
+        if !self.settled.swap(true, Ordering::Relaxed) {
+            self.pool.give_back(self, clean);
+        }
+    }
+}
+
+impl Drop for PoolLease {
+    fn drop(&mut self) {
+        self.settle(false);
+    }
+}
+
+impl std::fmt::Debug for PoolLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolLease")
+            .field("tenant", &self.tenant)
+            .field("priority", &self.priority)
+            .field("geometry", &self.geometry)
+            .field("device_indices", &self.device_indices)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn pool(devices: usize, blocks: usize) -> Arc<DevicePool> {
+        Arc::new(DevicePool::new(PoolConfig {
+            num_devices: devices,
+            blocks_per_device: blocks,
+            max_lease_blocks: devices * blocks,
+            min_lease_blocks: 1,
+        }))
+    }
+
+    fn req(tenant: &str, priority: Priority, devices: usize, blocks: usize) -> LeaseRequest<'_> {
+        LeaseRequest {
+            tenant,
+            priority,
+            devices,
+            blocks_per_device: blocks,
+        }
+    }
+
+    #[test]
+    fn uncontended_lease_grants_the_exact_ask() {
+        let p = pool(2, 8);
+        let lease = p.acquire_lease(&req("t", Priority::Batch, 1, 8));
+        assert_eq!(
+            lease.geometry(),
+            LeaseGeometry {
+                devices: 1,
+                blocks_per_device: 8
+            }
+        );
+        assert_eq!(lease.device_indices().len(), 1);
+        assert_eq!(p.stats().free_blocks, 8);
+        p.release_lease(lease);
+        let stats = p.stats();
+        assert_eq!(stats.free_blocks, 16);
+        assert_eq!(stats.released, 1);
+        assert_eq!(stats.reclaimed, 0);
+    }
+
+    #[test]
+    fn clamp_is_static_and_budgeted() {
+        let p = Arc::new(DevicePool::new(PoolConfig {
+            num_devices: 4,
+            blocks_per_device: 16,
+            max_lease_blocks: 16,
+            min_lease_blocks: 2,
+        }));
+        // Oversized ask shrinks to the budget, floor respected.
+        assert_eq!(
+            p.clamp(2, 16),
+            LeaseGeometry {
+                devices: 2,
+                blocks_per_device: 8
+            }
+        );
+        // Zero asks floor at 1×1.
+        assert_eq!(
+            p.clamp(0, 0),
+            LeaseGeometry {
+                devices: 1,
+                blocks_per_device: 1
+            }
+        );
+        // Asks beyond pool geometry cap at the pool.
+        assert_eq!(p.clamp(9, 99).devices, 4);
+    }
+
+    #[test]
+    fn exhausted_pool_blocks_until_release() {
+        let p = pool(1, 8);
+        let first = p.acquire_lease(&req("a", Priority::Batch, 1, 8));
+        let (tx, rx) = mpsc::channel();
+        let p2 = Arc::clone(&p);
+        let waiter = std::thread::spawn(move || {
+            let lease = p2.acquire_lease(&req("b", Priority::Batch, 1, 8));
+            tx.send(()).unwrap();
+            p2.release_lease(lease);
+        });
+        // The second ask must wait while the first lease is live.
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
+        assert_eq!(p.stats().waiting, 1);
+        p.release_lease(first);
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("waiter should be granted after release");
+        waiter.join().unwrap();
+        assert_eq!(p.stats().free_blocks, 8);
+    }
+
+    #[test]
+    fn dropped_lease_is_reclaimed_and_re_leased() {
+        let p = pool(1, 4);
+        let doomed = p.acquire_lease(&req("dead", Priority::Batch, 1, 4));
+        // Simulate a watchdog-killed job: the lease drops on an
+        // unwound stack with no explicit release.
+        drop(doomed);
+        let stats = p.stats();
+        assert_eq!(stats.reclaimed, 1);
+        assert_eq!(stats.free_blocks, 4);
+        assert!(p.leased_by_tenant().is_empty());
+        // The reclaimed capacity is immediately grantable.
+        let next = p.acquire_lease(&req("next", Priority::Batch, 1, 4));
+        assert_eq!(next.geometry().total_blocks(), 4);
+        p.release_lease(next);
+    }
+
+    #[test]
+    fn interactive_overtakes_batch_in_the_wait_queue() {
+        let p = pool(1, 4);
+        let holder = p.acquire_lease(&req("hold", Priority::Batch, 1, 4));
+        let (tx, rx) = mpsc::channel();
+        let spawn_waiter = |label: &'static str, priority: Priority, delay_ms: u64| {
+            let p = Arc::clone(&p);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(delay_ms));
+                let lease = p.acquire_lease(&req(label, priority, 1, 4));
+                tx.send(label).unwrap();
+                std::thread::sleep(Duration::from_millis(50));
+                p.release_lease(lease);
+            })
+        };
+        // Batch waiter arrives first, interactive second.
+        let batch = spawn_waiter("batch", Priority::Batch, 0);
+        let interactive = spawn_waiter("interactive", Priority::Interactive, 100);
+        // Wait until both are queued, then free the pool.
+        while p.stats().waiting < 2 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        p.release_lease(holder);
+        let first = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let second = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            (first, second),
+            ("interactive", "batch"),
+            "interactive must be served before an earlier batch waiter"
+        );
+        batch.join().unwrap();
+        interactive.join().unwrap();
+    }
+
+    #[test]
+    fn per_tenant_accounting_aggregates_and_drains() {
+        let p = pool(4, 8);
+        let a1 = p.acquire_lease(&req("alice", Priority::Batch, 1, 8));
+        let a2 = p.acquire_lease(&req("alice", Priority::Batch, 1, 4));
+        let b = p.acquire_lease(&req("bob", Priority::Interactive, 2, 8));
+        assert_eq!(
+            p.leased_by_tenant(),
+            vec![("alice".to_string(), 12), ("bob".to_string(), 16)]
+        );
+        p.release_lease(a1);
+        assert_eq!(
+            p.leased_by_tenant(),
+            vec![("alice".to_string(), 4), ("bob".to_string(), 16)]
+        );
+        p.release_lease(a2);
+        p.release_lease(b);
+        assert!(p.leased_by_tenant().is_empty());
+        assert_eq!(p.stats().free_blocks, 32);
+    }
+
+    #[test]
+    fn capacity_spreads_across_emptiest_devices() {
+        let p = pool(3, 8);
+        let a = p.acquire_lease(&req("a", Priority::Batch, 1, 6));
+        let b = p.acquire_lease(&req("b", Priority::Batch, 1, 6));
+        // Two 6-block leases must land on distinct devices (most-free
+        // first), leaving a third device untouched.
+        assert_ne!(a.device_indices(), b.device_indices());
+        let c = p.acquire_lease(&req("c", Priority::Batch, 1, 8));
+        assert_eq!(c.geometry().blocks_per_device, 8);
+        p.release_lease(a);
+        p.release_lease(b);
+        p.release_lease(c);
+    }
+
+    #[test]
+    fn concurrent_storm_conserves_capacity() {
+        let p = pool(4, 8);
+        let mut handles = Vec::new();
+        for i in 0..16 {
+            let p = Arc::clone(&p);
+            handles.push(std::thread::spawn(move || {
+                let tenant = format!("t{}", i % 3);
+                for _ in 0..20 {
+                    let lease = p.acquire_lease(&req(&tenant, Priority::Batch, 1, 4));
+                    std::thread::yield_now();
+                    p.release_lease(lease);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = p.stats();
+        assert_eq!(stats.free_blocks, 32, "all capacity must come back");
+        assert_eq!(stats.granted, 16 * 20);
+        assert_eq!(stats.released, 16 * 20);
+        assert_eq!(stats.waiting, 0);
+        assert!(p.leased_by_tenant().is_empty());
+    }
+}

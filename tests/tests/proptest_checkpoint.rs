@@ -34,6 +34,7 @@ fn build_checkpoint(n: usize, seed: u64) -> Checkpoint {
         .map(|_| HistoryPoint {
             elapsed_ns: wide(&mut rng),
             energy: rng.gen_range(-10_000i64..10_000),
+            flips: rng.next_u64(),
         })
         .collect();
     let devices: Vec<DeviceBaseline> = (0..rng.gen_range(1..5usize))
